@@ -1,0 +1,91 @@
+"""Ablation bench: flow pinning policy (sticky vs the paper's literal
+5-tuple hashing) on the Fig-11 testbed.
+
+Both policies must avoid intra-flow reordering; they differ in how flows
+are assigned to paths under congestion.  Sticky adapts (first-come flows
+keep the default, later ones deflect); hash splits the flow space by a
+fixed fraction regardless of arrival order.
+"""
+
+import dataclasses
+
+from repro.experiments import fig12
+from repro.mifo.engine import MifoEngineConfig
+
+from .conftest import write_result
+
+
+def test_ablation_pin_mode(benchmark, results_dir):
+    base = fig12.TestbedConfig(flows_per_source=10, flow_size_bytes=5e6)
+
+    def run_mode(pin_mode: str, fraction: float = 0.5):
+        # Rebuild the testbed with the chosen engine policy on every
+        # router.
+        import repro.experiments.fig12 as f12
+
+        cfg = base
+
+        def patched_engine_cfg():
+            return MifoEngineConfig(
+                congestion_threshold=cfg.congestion_threshold,
+                pin_mode=pin_mode,
+                hash_deflect_fraction=fraction,
+            )
+
+        net, handles = f12.build_testbed(cfg, mifo=True)
+        # Swap engines for the requested pin mode.
+        from repro.mifo.engine import MifoEngine
+
+        for r in handles["routers"].values():
+            r.engine = MifoEngine(patched_engine_cfg())
+        s1, s2 = handles["sources"]
+        from repro.dataplane.network import ThroughputSampler
+        from repro.dataplane.tcp import TcpConfig
+
+        sampler = ThroughputSampler(net, list(handles["sinks"]), interval=0.1)
+        sampler.start()
+        completions = []
+        expected = 2 * cfg.flows_per_source
+
+        def chain(host, dst, fid, remaining):
+            def on_complete(sender):
+                completions.append(sender.duration)
+                if remaining > 1:
+                    chain(host, dst, fid + 1, remaining - 1)
+                elif len(completions) == expected:
+                    sampler.stop()
+
+            host.start_flow(fid, dst, cfg.flow_size_bytes,
+                            config=TcpConfig(mss=cfg.mss), on_complete=on_complete)
+
+        chain(s1, "D1", 1000, cfg.flows_per_source)
+        chain(s2, "D2", 2000, cfg.flows_per_source)
+        net.run(max_events=cfg.max_events)
+        return sampler.mean_bps()
+
+    def run_all():
+        return {
+            "sticky": run_mode("sticky"),
+            "hash(0.5)": run_mode("hash", 0.5),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rendered = (
+        "Ablation: flow pinning policy (Section II-A hashing)\n"
+        + "\n".join(
+            f"aggregate goodput [{k:>9s}]: {v / 1e9:.2f} Gb/s"
+            for k, v in results.items()
+        )
+        + "\nFinding: a fixed hash split is load-oblivious — with few"
+        "\nconcurrent flows it frequently co-buckets them onto one path,"
+        "\nwhile sticky pinning adapts to the observed queue and splits"
+        "\nthe pair. Hashing's value is statistical, at many-flow scale."
+    )
+    write_result(results_dir, "ablation_pinmode", rendered)
+
+    # Sticky adapts and clearly beats the single-path bound.
+    assert results["sticky"] > 1.2e9
+    # Hash never does worse than single-path BGP, and sticky >= hash on
+    # this two-at-a-time workload.
+    assert results["hash(0.5)"] >= 0.9e9
+    assert results["sticky"] >= results["hash(0.5)"]

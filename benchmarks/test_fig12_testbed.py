@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 12 (testbed aggregate throughput + FCT CDF).
+
+Paper: BGP 0.94 Gb/s vs MIFO ~1.7 Gb/s aggregate (+81%); all MIFO flows
+finish within ~1.1 s while 80% of BGP flows take > 1.6 s; total makespan
+30 s (MIFO) vs 51 s (BGP) — a 0.59 ratio."""
+
+import numpy as np
+
+from repro.experiments import fig12
+
+from .conftest import write_result
+
+
+def test_fig12(benchmark, results_dir):
+    result = benchmark.pedantic(lambda: fig12.run(), rounds=1, iterations=1)
+    write_result(results_dir, "fig12", result.render())
+
+    # BGP pinned at the single 1 Gb/s bottleneck.
+    assert 0.80e9 <= result.bgp.mean_aggregate_bps <= 1.02e9
+    # MIFO exploits the second path.
+    assert result.mifo.mean_aggregate_bps >= 1.4e9
+    # Improvement in the paper's band (+81%; accept 50-110%).
+    assert 0.50 <= result.improvement <= 1.10
+    # Makespan ratio near the paper's 30/51 ~= 0.59.
+    ratio = result.mifo.finish_time / result.bgp.finish_time
+    assert 0.45 <= ratio <= 0.75
+    # FCT tail: MIFO's slowest flow beats BGP's 80th percentile (paper
+    # Fig 12(b): all MIFO flows < 1.1 s, 80% of BGP flows > 1.6 s).
+    assert max(result.mifo.completion_times) <= np.percentile(
+        result.bgp.completion_times, 80
+    ) * 1.5

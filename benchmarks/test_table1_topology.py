@@ -1,0 +1,21 @@
+"""Bench: regenerate Table I (topology attributes)."""
+
+import pytest
+
+from repro.experiments import table1
+
+from .conftest import write_result
+
+
+def test_table1(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        lambda: table1.run(bench_scale), rounds=1, iterations=1
+    )
+    rendered = result.render()
+    write_result(results_dir, "table1", rendered)
+    # Paper: 69% P/C, 31% peering.
+    assert result.stats.p2c_fraction == pytest.approx(0.69, abs=0.03)
+    assert result.stats.peering_fraction == pytest.approx(0.31, abs=0.03)
+    # Link-to-node ratio in the paper is ~2.47; generator lands nearby.
+    ratio = result.stats.n_links / result.stats.n_nodes
+    assert 1.5 < ratio < 4.0

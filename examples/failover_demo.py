@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fast data-plane failover: what MIFO's congestion signal buys on a
+link failure.
+
+When a link dies, the upstream tx queue backs up within milliseconds —
+the same queuing-ratio signal MIFO uses for congestion.  The border
+router deflects onto its RIB alternative long before any control plane
+could reconverge; plain BGP blackholes the traffic instead.
+
+The scenario is the paper's Fig-11 testbed: default path 1→3→4→5, the
+3→4 link fails 5 ms into a 200 Mbps constant-rate transfer.  The demo
+prints the delivery timeline under BGP and under MIFO, then shows the
+control plane's view of the same failure (the message-level BGP model
+withdrawing and re-converging onto 3→6→5).
+
+Run:  python examples/failover_demo.py
+"""
+
+from repro.bgp import BgpNetwork
+from repro.mifo import MifoEngineConfig
+from repro.netbuild import BuildConfig, build_network
+from repro.topology import ASGraph
+
+
+def build_fig11() -> ASGraph:
+    return ASGraph.from_links(p2c=[(3, 1), (3, 2), (4, 3), (6, 3), (4, 5), (6, 5)])
+
+
+def find_link(net, a_name, b_name):
+    for link in net.links:
+        names = {d.name for d in (link._end_a[0], link._end_b[0])}
+        if names == {a_name, b_name}:
+            return link
+    raise RuntimeError(f"no link {a_name}-{b_name}")
+
+
+def run_one(graph, *, mifo: bool):
+    built = build_network(
+        graph,
+        expand={3},
+        mifo_capable={3} if mifo else set(),
+        hosts_at=[1, 5],
+        config=BuildConfig(mifo_config=MifoEngineConfig(congestion_threshold=0.5)),
+    )
+    link = find_link(built.net, "R3.4", "R4")
+    _, h1 = built.hosts["H1"]
+    _, h5 = built.hosts["H5"]
+    h1.start_cbr(1, "H5", rate_bps=200e6, total_bytes=5e6)
+    built.net.sim.schedule(0.005, link.fail)
+
+    timeline = []
+    for t_ms in range(0, 260, 20):
+        built.run(until=t_ms / 1000.0)
+        timeline.append((t_ms, h5.cbr_received.get(1, 0)))
+    return timeline, built
+
+
+def main() -> None:
+    graph = build_fig11()
+    print("Fig-11 testbed; 200 Mb/s CBR transfer 1 -> 5; link 3-4 fails at t=5 ms")
+    print()
+    results = {}
+    for mifo in (False, True):
+        timeline, built = run_one(graph, mifo=mifo)
+        results["MIFO" if mifo else "BGP"] = timeline
+        label = "MIFO" if mifo else "BGP "
+        series = "  ".join(f"{b / 1e6:4.1f}" for _t, b in timeline[1:None:3])
+        print(f"{label} delivered MB at t=20,80,140,200 ms ...: {series}")
+        if mifo:
+            print(
+                f"      deflected {built.counters_total('deflected')} packets "
+                f"through the iBGP tunnel to the 3->6->5 alternative"
+            )
+    bgp_final = results["BGP"][-1][1]
+    mifo_final = results["MIFO"][-1][1]
+    print()
+    print(
+        f"final delivery: BGP {bgp_final / 1e6:.1f} MB (blackholed), "
+        f"MIFO {mifo_final / 1e6:.1f} MB of 5.0 MB"
+    )
+
+    print()
+    print("The control plane's view of the same failure (message-level BGP):")
+    net = BgpNetwork(graph)
+    net.announce(5)
+    print(f"  before: AS3's path to AS5 = {net.best_path(3, 5)}")
+    churn = net.fail_link(3, 4)
+    print(
+        f"  after withdraw + {churn} UPDATE messages of churn: "
+        f"AS3's path = {net.best_path(3, 5)}"
+    )
+    print(
+        "  MIFO reached the same alternative in ~a queue-fill time, with\n"
+        "  zero messages — the data plane repaired before the control\n"
+        "  plane even noticed."
+    )
+
+
+if __name__ == "__main__":
+    main()

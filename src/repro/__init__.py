@@ -1,0 +1,73 @@
+"""repro — a full reproduction of *MIFO: Multi-Path Interdomain Forwarding*
+(Zhu et al., ICPP 2015).
+
+MIFO lets AS border routers deflect traffic from a congested default BGP
+path onto alternatives already present in the local BGP RIB, entirely on
+the data plane: a one-bit valley-free Tag-Check provably prevents
+forwarding loops, IP-in-IP encapsulation between iBGP peers prevents
+intra-AS deflection cycles, and a greedy monitor of direct inter-AS link
+capacity picks the best alternative.
+
+Package map (see DESIGN.md for the full inventory):
+
+====================  =====================================================
+``repro.topology``    AS graphs, business relationships, synthetic Internet
+``repro.bgp``         valley-free BGP: fast 3-stage + message-level models
+``repro.mifo``        the contribution: Tag-Check, engine, daemon, deflection
+``repro.miro``        MIRO baseline (strict policy)
+``repro.flowsim``     fluid AS-level simulator (max-min fair sharing)
+``repro.dataplane``   packet-level DES: routers, queues, TCP Reno
+``repro.traffic``     uniform & power-law traffic matrices
+``repro.netbuild``    AS graph -> packet network materialization
+``repro.metrics``     CDFs, path diversity, offload, stability
+``repro.experiments`` one module per paper table/figure + CLI
+====================  =====================================================
+
+Quickstart::
+
+    from repro.topology import generate_topology, TopologyConfig
+    from repro.bgp import RoutingCache
+    from repro.mifo import MifoPathBuilder
+    from repro.flowsim import FluidSimulator, MifoProvider
+    from repro.traffic import TrafficConfig, uniform_matrix
+
+    graph = generate_topology(TopologyConfig(n_ases=1000))
+    routing = RoutingCache(graph)
+    builder = MifoPathBuilder(graph, routing, frozenset(graph.nodes()))
+    sim = FluidSimulator(graph, MifoProvider(builder))
+    result = sim.run(uniform_matrix(graph, TrafficConfig(n_flows=500)))
+    print(result.throughputs_bps().mean() / 1e6, "Mbps mean")
+"""
+
+from . import (
+    analysis,
+    bgp,
+    dataplane,
+    errors,
+    flowsim,
+    metrics,
+    mifo,
+    miro,
+    netbuild,
+    topology,
+    traffic,
+)
+
+__version__ = "1.0.0"
+__paper__ = "MIFO: Multi-Path Interdomain Forwarding (ICPP 2015)"
+
+__all__ = [
+    "analysis",
+    "bgp",
+    "dataplane",
+    "errors",
+    "flowsim",
+    "metrics",
+    "mifo",
+    "miro",
+    "netbuild",
+    "topology",
+    "traffic",
+    "__version__",
+    "__paper__",
+]

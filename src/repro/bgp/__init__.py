@@ -1,0 +1,33 @@
+"""BGP control plane (system S2 in DESIGN.md).
+
+Two equivalent models:
+
+* :func:`~repro.bgp.propagation.compute_routing` — fast three-stage
+  per-destination computation (used by all experiments), exposing default
+  paths *and* the multi-neighbor RIB that MIFO mines for alternatives;
+* :class:`~repro.bgp.speaker.BgpNetwork` — exact message-level convergence
+  (test oracle + small-topology control plane).
+"""
+
+from .policy import accepts, can_export, local_preference, select_best
+from .propagation import DestinationRouting, RibEntry, RoutingCache, compute_routing
+from .rib import AdjRibIn, LocRib
+from .route import Route, selection_key
+from .speaker import BgpNetwork, Speaker
+
+__all__ = [
+    "Route",
+    "selection_key",
+    "accepts",
+    "can_export",
+    "local_preference",
+    "select_best",
+    "RibEntry",
+    "DestinationRouting",
+    "RoutingCache",
+    "compute_routing",
+    "AdjRibIn",
+    "LocRib",
+    "Speaker",
+    "BgpNetwork",
+]

@@ -1,0 +1,61 @@
+"""Import/export policies and route selection (Gao–Rexford / paper §IV-A).
+
+Export ("valley-free" [12]): routes learned from peers or providers are
+exported only to customers; customer routes and locally originated prefixes
+are exported to everyone.
+
+Selection: customer routes over peer routes over provider routes; within a
+class the shortest AS path; final tie broken by the lowest next-hop AS
+identifier.  These are exactly the criteria the paper's simulation states.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..topology.relationships import Relationship, export_allowed
+from .route import Route, selection_key
+
+__all__ = [
+    "can_export",
+    "accepts",
+    "select_best",
+    "local_preference",
+]
+
+#: Conventional local-preference values corresponding to each relationship
+#: class, as commonly configured in practice (customer 100 > peer 90 >
+#: provider 80).  MIRO's "strict policy" compares these.
+_LOCAL_PREF = {
+    None: 110,  # locally originated
+    Relationship.CUSTOMER: 100,
+    Relationship.PEER: 90,
+    Relationship.PROVIDER: 80,
+}
+
+
+def local_preference(route: Route) -> int:
+    """The LOCAL_PREF a Gao–Rexford speaker assigns to ``route``."""
+    return _LOCAL_PREF[route.learned_from]
+
+
+def can_export(route: Route, to_relationship: Relationship) -> bool:
+    """Whether the holder of ``route`` may announce it to a neighbor with
+    relationship ``to_relationship`` (as seen from the holder)."""
+    return export_allowed(route.learned_from, to_relationship)
+
+
+def accepts(receiver: int, route: Route) -> bool:
+    """Import filter: reject routes whose AS path already contains us."""
+    return not route.contains(receiver)
+
+
+def select_best(routes: Iterable[Route]) -> Route | None:
+    """Pick the best route according to the paper's selection rule."""
+    best: Route | None = None
+    best_key: tuple[int, int, int] | None = None
+    for r in routes:
+        k = selection_key(r)
+        if best_key is None or k < best_key:
+            best, best_key = r, k
+    return best

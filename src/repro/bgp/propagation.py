@@ -1,0 +1,299 @@
+"""Per-destination BGP route computation (system S2 in DESIGN.md).
+
+For a destination AS *d*, this module computes — for every AS in the graph —
+the Gao–Rexford outcome of BGP convergence under valley-free export and the
+paper's selection rule, using the classic three-stage algorithm instead of
+simulating message exchange (the slow message-level simulator in
+:mod:`repro.bgp.speaker` exists to cross-validate this one on small graphs):
+
+1. **customer routes** — breadth-first search from *d* climbing provider
+   edges: an AS has a customer route iff *d* lies in its customer cone;
+2. **peer routes** — one peer hop from any AS whose *best* route is a
+   customer route (peers only export customer routes);
+3. **provider routes** — multi-source Dijkstra descending customer edges,
+   seeded with each AS's exported best length (providers export their best
+   route, whatever its class, to customers).
+
+The result object also materializes the **multi-path RIB** MIFO exploits:
+for any AS *x*, the set of neighbors whose selected best route passes the
+export filter toward *x* and does not contain *x* — i.e. the alternatives
+present in *x*'s Adj-RIB-In with *zero* control-plane overhead (paper
+Section II-B).
+
+Loop-freedom of default forwarding is structural: each hop decreases the
+best-route length by exactly one (the selected path of the next hop is the
+tail of ours), so following ``next_hop`` pointers always terminates at *d*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections import deque
+
+from ..errors import NoRouteError, TopologyError
+from ..topology.asgraph import ASGraph
+from ..topology.relationships import Relationship, export_allowed, invert
+
+__all__ = ["RibEntry", "DestinationRouting", "compute_routing", "RoutingCache"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RibEntry:
+    """One Adj-RIB-In alternative at some AS toward the destination.
+
+    ``relationship`` is the announcing neighbor's relationship as seen from
+    the RIB owner (this is the class that determines the route's local
+    preference at the owner).  ``length`` is the full AS-hop distance to the
+    destination via this neighbor.
+    """
+
+    neighbor: int
+    length: int
+    relationship: Relationship
+
+    @property
+    def selection_key(self) -> tuple[int, int, int]:
+        return (int(self.relationship), self.length, self.neighbor)
+
+
+class DestinationRouting:
+    """Converged BGP state of the whole AS graph for one destination."""
+
+    __slots__ = (
+        "graph",
+        "dest",
+        "_cust_dist",
+        "_peer_dist",
+        "_export_len",
+        "_best_class",
+        "_next_hop",
+        "_path_cache",
+        "_rib_cache",
+    )
+
+    def __init__(self, graph: ASGraph, dest: int):
+        if dest not in graph:
+            raise TopologyError(f"destination AS {dest} not in graph")
+        self.graph = graph
+        self.dest = dest
+        self._cust_dist: dict[int, int] = {}
+        self._peer_dist: dict[int, int] = {}
+        self._export_len: dict[int, int] = {}
+        self._best_class: dict[int, Relationship | None] = {}
+        self._next_hop: dict[int, int | None] = {}
+        self._path_cache: dict[int, tuple[int, ...]] = {}
+        self._rib_cache: dict[int, tuple[RibEntry, ...]] = {}
+        self._compute()
+
+    # ------------------------------------------------------------------
+    # the three-stage computation
+    # ------------------------------------------------------------------
+    def _compute(self) -> None:
+        g = self.graph
+        dest = self.dest
+        cust = self._cust_dist
+        peer = self._peer_dist
+        export_len = self._export_len
+
+        # Stage 1: customer routes — BFS climbing provider edges from dest.
+        cust[dest] = 0
+        frontier = deque([dest])
+        while frontier:
+            u = frontier.popleft()
+            du = cust[u] + 1
+            for p in g.providers(u):
+                if p not in cust:
+                    cust[p] = du
+                    frontier.append(p)
+
+        # Stage 2: peer routes — one peer hop off the customer cone.
+        for x in g.nodes():
+            if x == dest:
+                continue
+            best = None
+            for y in g.peers(x):
+                dy = cust.get(y)
+                if dy is not None and (best is None or dy + 1 < best):
+                    best = dy + 1
+            if best is not None:
+                peer[x] = best
+
+        # Stage 3: provider routes — Dijkstra descending customer edges,
+        # seeded with exported best lengths (class priority means an AS
+        # with a customer or peer route exports *that*, never a shorter
+        # provider route).
+        heap: list[tuple[int, int]] = []
+        for u, d in cust.items():
+            heap.append((d, u))
+        for u, d in peer.items():
+            if u not in cust:
+                heap.append((d, u))
+        heapq.heapify(heap)
+        has_cp = cust.keys() | peer.keys()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in export_len:
+                continue
+            export_len[u] = d
+            nd = d + 1
+            for c in g.customers(u):
+                if c not in export_len and c not in has_cp:
+                    heapq.heappush(heap, (nd, c))
+
+        # Best class and default next hop per node.
+        best_class = self._best_class
+        next_hop = self._next_hop
+        for x in g.nodes():
+            if x == dest:
+                best_class[x] = None
+                next_hop[x] = None
+                continue
+            if x in cust:
+                best_class[x] = Relationship.CUSTOMER
+                target = cust[x] - 1
+                next_hop[x] = min(
+                    c for c in g.customers(x) if cust.get(c, -2) == target
+                )
+            elif x in peer:
+                best_class[x] = Relationship.PEER
+                target = peer[x] - 1
+                next_hop[x] = min(
+                    y for y in g.peers(x) if cust.get(y, -2) == target
+                )
+            elif x in export_len:
+                best_class[x] = Relationship.PROVIDER
+                target = export_len[x] - 1
+                next_hop[x] = min(
+                    p for p in g.providers(x) if export_len.get(p, -2) == target
+                )
+            # else: unreachable — absent from best_class entirely.
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_route(self, x: int) -> bool:
+        """Whether AS ``x`` has any route toward the destination."""
+        return x in self._best_class
+
+    def best_class(self, x: int) -> Relationship | None:
+        """Class of ``x``'s selected route (None at the destination)."""
+        try:
+            return self._best_class[x]
+        except KeyError:
+            raise NoRouteError(x, self.dest) from None
+
+    def best_len(self, x: int) -> int:
+        """AS-hop length of ``x``'s selected route."""
+        if x not in self._best_class:
+            raise NoRouteError(x, self.dest)
+        return self._export_len[x]
+
+    def next_hop(self, x: int) -> int | None:
+        """Default next hop of ``x`` (None at the destination)."""
+        try:
+            return self._next_hop[x]
+        except KeyError:
+            raise NoRouteError(x, self.dest) from None
+
+    def best_path(self, x: int) -> tuple[int, ...]:
+        """The selected default AS path from ``x`` to the destination,
+        inclusive of both endpoints."""
+        cached = self._path_cache.get(x)
+        if cached is not None:
+            return cached
+        if x not in self._best_class:
+            raise NoRouteError(x, self.dest)
+        hops = [x]
+        cur = x
+        limit = len(self.graph) + 1
+        while cur != self.dest:
+            cur = self._next_hop[cur]
+            hops.append(cur)
+            if len(hops) > limit:  # impossible by construction; be loud
+                raise AssertionError(f"default-path loop from AS {x}: {hops[:16]}...")
+        path = tuple(hops)
+        self._path_cache[x] = path
+        return path
+
+    def rib(self, x: int, *, loop_filter: bool = True) -> tuple[RibEntry, ...]:
+        """The multi-neighbor Adj-RIB-In of ``x`` toward the destination.
+
+        Entries are sorted by selection preference; entry 0 is always the
+        default route (same neighbor as :meth:`next_hop`).  ``loop_filter``
+        drops neighbors whose selected path contains ``x`` (the standard
+        AS-path import filter); the default next hop can never be dropped
+        by it.
+        """
+        if x == self.dest:
+            return ()
+        if loop_filter:
+            cached = self._rib_cache.get(x)
+            if cached is not None:
+                return cached
+        g = self.graph
+        entries: list[RibEntry] = []
+        missing = object()
+        for nb, rel in g.neighbors(x).items():
+            learned = self._best_class.get(nb, missing)
+            if learned is missing:
+                continue  # neighbor has no route at all
+            # nb announces its best route to x iff the export policy allows
+            # it toward x (relationship of x as seen from nb).  learned is
+            # None when nb is the destination itself (local origination).
+            if not export_allowed(learned, invert(rel)):
+                continue
+            if loop_filter and nb != self.dest and x in self.best_path(nb):
+                continue
+            entries.append(RibEntry(nb, self._export_len[nb] + 1, rel))
+        entries.sort(key=lambda e: e.selection_key)
+        result = tuple(entries)
+        if loop_filter:
+            self._rib_cache[x] = result
+        return result
+
+    def alternatives(self, x: int) -> tuple[RibEntry, ...]:
+        """RIB entries other than the default route — MIFO's alt candidates."""
+        rib = self.rib(x)
+        default = self._next_hop.get(x)
+        return tuple(e for e in rib if e.neighbor != default)
+
+    def reachable_count(self) -> int:
+        """Number of ASes holding a route (connectivity sanity metric)."""
+        return len(self._best_class)
+
+
+def compute_routing(graph: ASGraph, dest: int) -> DestinationRouting:
+    """Compute converged BGP state for one destination.
+
+    ``graph`` must be frozen; results are undefined if it mutates afterward.
+    """
+    if not graph.frozen:
+        raise TopologyError("freeze() the graph before computing routing")
+    return DestinationRouting(graph, dest)
+
+
+class RoutingCache:
+    """Memoizes :class:`DestinationRouting` per destination.
+
+    The flow simulator and the diversity counter both touch the same small
+    set of destination ASes many times; computing each destination once is
+    the single biggest constant-factor win in the whole pipeline.
+    """
+
+    def __init__(self, graph: ASGraph, *, max_entries: int | None = None):
+        self.graph = graph
+        self.max_entries = max_entries
+        self._cache: dict[int, DestinationRouting] = {}
+
+    def __call__(self, dest: int) -> DestinationRouting:
+        r = self._cache.get(dest)
+        if r is None:
+            if self.max_entries is not None and len(self._cache) >= self.max_entries:
+                self._cache.pop(next(iter(self._cache)))
+            r = compute_routing(self.graph, dest)
+            self._cache[dest] = r
+        return r
+
+    def __len__(self) -> int:
+        return len(self._cache)

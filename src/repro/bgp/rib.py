@@ -1,0 +1,100 @@
+"""Routing information bases for the message-level BGP model.
+
+These mirror a real BGP speaker's tables:
+
+* :class:`AdjRibIn` — last route received from each neighbor (post import
+  filter), per destination;
+* :class:`LocRib` — the selected best route per destination.
+
+The fast three-stage computation in :mod:`repro.bgp.propagation` produces
+equivalent end state without materializing these; the message-level model in
+:mod:`repro.bgp.speaker` uses them and exists as an oracle for tests and for
+small-topology studies (e.g. the Fig-11 testbed control plane).
+"""
+
+from __future__ import annotations
+
+from ..topology.relationships import Relationship
+from .policy import accepts, select_best
+from .route import Route
+
+__all__ = ["AdjRibIn", "LocRib"]
+
+
+class AdjRibIn:
+    """Per-neighbor routes received by one AS, per destination."""
+
+    def __init__(self, owner: int):
+        self.owner = owner
+        # dest -> neighbor -> Route
+        self._routes: dict[int, dict[int, Route]] = {}
+
+    def update(self, dest: int, neighbor: int, route: Route | None) -> bool:
+        """Install (or withdraw, if ``route`` is None) a neighbor's route.
+
+        Routes failing the import filter (AS-path contains owner) are
+        treated as withdrawals.  Returns True if the table changed.
+        """
+        table = self._routes.setdefault(dest, {})
+        if route is not None and not accepts(self.owner, route):
+            route = None
+        old = table.get(neighbor)
+        if route is None:
+            if old is None:
+                return False
+            del table[neighbor]
+            return True
+        if old == route:
+            return False
+        table[neighbor] = route
+        return True
+
+    def candidates(self, dest: int) -> list[Route]:
+        return list(self._routes.get(dest, {}).values())
+
+    def route_from(self, dest: int, neighbor: int) -> Route | None:
+        return self._routes.get(dest, {}).get(neighbor)
+
+    def neighbors_offering(self, dest: int) -> list[int]:
+        """Neighbors currently offering a route — the MIFO alternative set."""
+        return sorted(self._routes.get(dest, {}))
+
+
+class LocRib:
+    """Selected best route per destination for one AS."""
+
+    def __init__(self, owner: int):
+        self.owner = owner
+        self._best: dict[int, Route] = {}
+
+    def originate(self, dest: int) -> None:
+        """Install a locally originated route (the owner is ``dest``)."""
+        self._best[dest] = Route(dest=dest, as_path=(), learned_from=None)
+
+    def reselect(self, dest: int, adj_in: AdjRibIn) -> bool:
+        """Re-run best selection for ``dest``; returns True on change."""
+        if dest in self._best and self._best[dest].is_local:
+            return False  # local routes always win
+        new = select_best(adj_in.candidates(dest))
+        old = self._best.get(dest)
+        if new == old:
+            return False
+        if new is None:
+            del self._best[dest]
+        else:
+            self._best[dest] = new
+        return True
+
+    def best(self, dest: int) -> Route | None:
+        return self._best.get(dest)
+
+    def destinations(self) -> list[int]:
+        return sorted(self._best)
+
+    def next_hop(self, dest: int) -> int | None:
+        r = self._best.get(dest)
+        return r.next_hop if r is not None else None
+
+    def best_relationship(self, dest: int) -> Relationship | None:
+        r = self._best.get(dest)
+        return r.learned_from if r is not None else None

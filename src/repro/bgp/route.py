@@ -1,0 +1,78 @@
+"""BGP route objects.
+
+A :class:`Route` is one entry of an Adj-RIB-In / Loc-RIB: a destination AS,
+the AS path toward it (next hop first, destination last), and the business
+relationship of the neighbor it was learned from — which determines its
+local preference under the Gao–Rexford selection rule the paper adopts
+(customer > peer > provider, Section IV-A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..topology.relationships import Relationship
+
+__all__ = ["Route", "selection_key"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Route:
+    """One candidate path toward ``dest``.
+
+    ``as_path`` starts at the next-hop AS and ends at ``dest`` (so
+    ``len(as_path)`` is the AS-hop distance).  A locally originated route
+    has an empty path and ``learned_from is None``.
+    """
+
+    dest: int
+    as_path: tuple[int, ...]
+    learned_from: Relationship | None  #: relationship of the announcing neighbor
+
+    def __post_init__(self) -> None:
+        if self.as_path and self.as_path[-1] != self.dest:
+            raise ValueError(
+                f"as_path {self.as_path} does not terminate at dest {self.dest}"
+            )
+
+    @property
+    def next_hop(self) -> int | None:
+        """The neighboring AS this route forwards to (None if local)."""
+        return self.as_path[0] if self.as_path else None
+
+    @property
+    def length(self) -> int:
+        return len(self.as_path)
+
+    @property
+    def is_local(self) -> bool:
+        return not self.as_path
+
+    def contains(self, asn: int) -> bool:
+        """AS-path loop check: would accepting this route at ``asn`` loop?"""
+        return asn in self.as_path
+
+    def announced_by(self, announcer: int, relationship: Relationship) -> "Route":
+        """The route as seen by a neighbor that learns it from ``announcer``.
+
+        ``announcer`` (the AS currently holding this route) is prepended to
+        the AS path; ``relationship`` is the announcer's relationship *as
+        seen from the receiver* and becomes the new ``learned_from``.
+        """
+        return Route(
+            dest=self.dest,
+            as_path=(announcer,) + self.as_path,
+            learned_from=relationship,
+        )
+
+
+def selection_key(route: Route) -> tuple[int, int, int]:
+    """Total order implementing the paper's selection rule; lower is better.
+
+    1. relationship class (customer 0 < peer 1 < provider 2; local -1),
+    2. AS-path length,
+    3. lowest next-hop AS identifier.
+    """
+    cls = -1 if route.learned_from is None else int(route.learned_from)
+    nh = route.next_hop if route.next_hop is not None else -1
+    return (cls, route.length, nh)

@@ -1,0 +1,166 @@
+"""Message-level BGP convergence model.
+
+Every AS runs a :class:`Speaker` holding an Adj-RIB-In and a Loc-RIB; route
+announcements propagate along a work queue until a fixed point.  Under
+Gao–Rexford policies (valley-free export + customer>peer>provider
+preference) convergence is guaranteed [Gao & Rexford 2001], so the loop is
+safe.  This model is exponentially slower than the three-stage computation
+in :mod:`repro.bgp.propagation` but is *exact by construction* — the test
+suite uses it as the oracle, and the Fig-11 testbed experiment uses it for
+its six-AS control plane.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import TopologyError
+from ..topology.asgraph import ASGraph
+from .policy import can_export
+from .rib import AdjRibIn, LocRib
+from .route import Route
+
+__all__ = ["Speaker", "BgpNetwork"]
+
+
+class Speaker:
+    """One AS's BGP state in the message-level model."""
+
+    def __init__(self, asn: int):
+        self.asn = asn
+        self.adj_in = AdjRibIn(asn)
+        self.loc_rib = LocRib(asn)
+
+    def receive(self, dest: int, neighbor: int, route: Route | None) -> bool:
+        """Process an announcement/withdrawal; True if best route changed."""
+        if not self.adj_in.update(dest, neighbor, route):
+            return False
+        return self.loc_rib.reselect(dest, self.adj_in)
+
+    def exported_route(self, dest: int, to_relationship) -> Route | None:
+        """What this speaker announces toward a neighbor of the given
+        relationship: its best route if export policy allows, else None
+        (implicit withdrawal)."""
+        best = self.loc_rib.best(dest)
+        if best is None or not can_export(best, to_relationship):
+            return None
+        return best
+
+
+class BgpNetwork:
+    """All speakers of an AS graph plus the propagation engine."""
+
+    def __init__(self, graph: ASGraph):
+        if not graph.frozen:
+            raise TopologyError("freeze() the graph first")
+        self.graph = graph
+        self.speakers = {asn: Speaker(asn) for asn in graph.nodes()}
+        self._announced: set[int] = set()
+        self._down_links: set[frozenset[int]] = set()
+
+    def announce(self, dest: int, *, max_messages: int | None = None) -> int:
+        """Originate ``dest``'s prefix and propagate to convergence.
+
+        Returns the number of UPDATE messages processed.  ``max_messages``
+        guards against runaway propagation in adversarial tests (raises
+        ``RuntimeError`` when exceeded).
+        """
+        origin = self.speakers[dest]
+        origin.loc_rib.originate(dest)
+        self._announced.add(dest)
+        return self._propagate(dest, deque([dest]), max_messages=max_messages)
+
+    def _propagate(
+        self,
+        dest: int,
+        pending: deque[int],
+        *,
+        max_messages: int | None = None,
+        down_links: set[frozenset[int]] | None = None,
+    ) -> int:
+        """Drive UPDATE exchange to a fixed point from the given seeds."""
+        down = down_links if down_links is not None else self._down_links
+        queued = set(pending)
+        messages = 0
+        while pending:
+            u = pending.popleft()
+            queued.discard(u)
+            speaker = self.speakers[u]
+            for nb, rel_of_nb in self.graph.neighbors(u).items():
+                if frozenset((u, nb)) in down:
+                    continue  # session torn down with the link
+                # Export toward nb: policy keyed on nb's relationship as
+                # seen from u.
+                route = speaker.exported_route(dest, rel_of_nb)
+                announced = (
+                    route.announced_by(u, self.graph.relationship(nb, u))
+                    if route is not None
+                    else None
+                )
+                messages += 1
+                if max_messages is not None and messages > max_messages:
+                    raise RuntimeError("BGP propagation exceeded message budget")
+                if self.speakers[nb].receive(dest, u, announced) and nb not in queued:
+                    pending.append(nb)
+                    queued.add(nb)
+        return messages
+
+    # ------------------------------------------------------------------
+    # dynamics: link failure and repair with re-convergence
+    # ------------------------------------------------------------------
+    def fail_link(self, u: int, v: int, *, max_messages: int | None = None) -> int:
+        """Tear down the BGP session on link (u, v) and re-converge.
+
+        Both ends treat every route previously learned over the session as
+        withdrawn (RFC 4271 session-loss semantics) and propagate the
+        consequences.  Returns the UPDATE message count of the churn.
+        """
+        if not self.graph.are_adjacent(u, v):
+            raise TopologyError(f"no link between AS {u} and AS {v}")
+        self._down_links.add(frozenset((u, v)))
+        messages = 0
+        for dest in sorted(self._announced):
+            pending: deque[int] = deque()
+            for x, peer in ((u, v), (v, u)):
+                if self.speakers[x].receive(dest, peer, None):
+                    pending.append(x)
+            # Even if the best route did not change, x must re-announce
+            # nothing; but neighbors only need updating when bests moved,
+            # so seeding with the changed endpoints is sufficient.
+            if pending:
+                messages += self._propagate(dest, pending, max_messages=max_messages)
+        return messages
+
+    def restore_link(self, u: int, v: int, *, max_messages: int | None = None) -> int:
+        """Re-establish the session on link (u, v) and re-converge."""
+        key = frozenset((u, v))
+        if key not in self._down_links:
+            return 0
+        self._down_links.discard(key)
+        messages = 0
+        for dest in sorted(self._announced):
+            # Both ends re-advertise their current best over the new
+            # session; propagation handles the rest.
+            messages += self._propagate(dest, deque([u, v]), max_messages=max_messages)
+        return messages
+
+    # ------------------------------------------------------------------
+    # converged-state queries (mirror DestinationRouting's API)
+    # ------------------------------------------------------------------
+    def best(self, x: int, dest: int) -> Route | None:
+        return self.speakers[x].loc_rib.best(dest)
+
+    def next_hop(self, x: int, dest: int) -> int | None:
+        return self.speakers[x].loc_rib.next_hop(dest)
+
+    def best_path(self, x: int, dest: int) -> tuple[int, ...] | None:
+        r = self.speakers[x].loc_rib.best(dest)
+        if r is None:
+            return None
+        return (x,) + r.as_path
+
+    def rib_neighbors(self, x: int, dest: int) -> list[int]:
+        """Neighbors offering a route to ``dest`` — MIFO's alternatives."""
+        if x == dest:
+            return []
+        return self.speakers[x].adj_in.neighbors_offering(dest)

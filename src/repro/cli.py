@@ -1,0 +1,174 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig5 --scale default
+    python -m repro run all --scale test
+    python -m repro topology --n-ases 2000 --out topo.txt
+
+The ``mifo-repro`` console script (pyproject) maps here too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import REGISTRY, SCALES
+from .topology.generator import TopologyConfig, generate_topology
+from .topology.loader import save_caida
+from .topology.stats import topology_stats
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for name, mod in REGISTRY.items():
+        doc = (mod.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:8s} {doc}")
+    print("\nscales:", ", ".join(SCALES))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    for name in names:
+        t0 = time.time()
+        result = REGISTRY[name].run(args.scale)
+        elapsed = time.time() - t0
+        print(f"==== {name} (scale={args.scale}, {elapsed:.1f}s) " + "=" * 20)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    cfg = TopologyConfig(n_ases=args.n_ases, seed=args.seed)
+    graph = generate_topology(cfg)
+    stats = topology_stats(graph)
+    print(
+        f"generated {stats.n_nodes} ASes, {stats.n_links} links "
+        f"(P/C {stats.p2c_fraction:.0%}, peering {stats.peering_fraction:.0%})"
+    )
+    if args.out:
+        save_caida(graph, args.out, header=f"synthetic Internet, seed={args.seed}")
+        print(f"wrote {args.out} (CAIDA serial-1 format)")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .experiments.export import export_all
+
+    written = export_all(args.out, args.scale)
+    for p in written:
+        print(f"wrote {p}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    """One-shot scheme comparison on user-chosen parameters."""
+    import time
+
+    from .bgp.propagation import RoutingCache
+    from .experiments.common import deployment_sample, make_provider
+    from .experiments.report import text_table
+    from .flowsim.simulator import FluidSimConfig, FluidSimulator
+    from .metrics.summary import comparison_rows
+    from .topology.generator import TopologyConfig, generate_topology
+    from .traffic.matrix import TrafficConfig, powerlaw_matrix, uniform_matrix
+
+    graph = generate_topology(TopologyConfig(n_ases=args.n_ases, seed=args.seed))
+    routing = RoutingCache(graph)
+    capable = deployment_sample(graph, args.deployment)
+    tc = TrafficConfig(
+        n_flows=args.n_flows,
+        arrival_rate=args.rate,
+        alpha=args.alpha,
+        seed=args.seed,
+        size_distribution=args.size_distribution,
+    )
+    if args.traffic == "uniform":
+        specs = uniform_matrix(graph, tc)
+    else:
+        specs = powerlaw_matrix(graph, tc, n_providers=max(50, args.n_ases // 20))
+
+    results = []
+    for scheme in args.schemes:
+        t0 = time.time()
+        provider = make_provider(scheme, graph, routing, capable)
+        res = FluidSimulator(graph, provider, FluidSimConfig()).run(specs)
+        results.append(res)
+        print(f"ran {scheme} in {time.time() - t0:.1f}s", file=sys.stderr)
+    print(
+        text_table(
+            ["Scheme", "Flows", "Median Mbps", "p10", "p90", ">=500 Mbps", "On alt paths"],
+            comparison_rows(results),
+            title=(
+                f"{args.traffic} traffic, {args.n_ases} ASes, "
+                f"{args.n_flows} flows @ {args.rate:.0f}/s, "
+                f"deployment {args.deployment:.0%}"
+            ),
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mifo-repro",
+        description="Reproduction of 'MIFO: Multi-Path Interdomain Forwarding' (ICPP 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and scales").set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment (or 'all')")
+    p_run.add_argument("experiment", help="experiment name from 'list', or 'all'")
+    p_run.add_argument("--scale", default="default", choices=sorted(SCALES))
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_topo = sub.add_parser("topology", help="generate a synthetic AS topology")
+    p_topo.add_argument("--n-ases", type=int, default=2000)
+    p_topo.add_argument("--seed", type=int, default=2014)
+    p_topo.add_argument("--out", default=None, help="write CAIDA serial-1 file")
+    p_topo.set_defaults(fn=_cmd_topology)
+
+    p_exp = sub.add_parser(
+        "export", help="dump every figure's series as gnuplot .dat files"
+    )
+    p_exp.add_argument("--out", default="results/dat")
+    p_exp.add_argument("--scale", default="bench", choices=sorted(SCALES))
+    p_exp.set_defaults(fn=_cmd_export)
+
+    p_sim = sub.add_parser(
+        "simulate", help="one-shot BGP/MIRO/MIFO comparison, custom parameters"
+    )
+    p_sim.add_argument("--n-ases", type=int, default=1000)
+    p_sim.add_argument("--n-flows", type=int, default=1000)
+    p_sim.add_argument("--rate", type=float, default=1000.0, help="flow arrivals/s")
+    p_sim.add_argument("--deployment", type=float, default=1.0)
+    p_sim.add_argument("--traffic", choices=("uniform", "powerlaw"), default="uniform")
+    p_sim.add_argument("--alpha", type=float, default=1.0)
+    p_sim.add_argument(
+        "--size-distribution", choices=("fixed", "lognormal", "pareto"), default="fixed"
+    )
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument(
+        "--schemes", nargs="+", default=["BGP", "MIRO", "MIFO"],
+        help="any of BGP MIRO MIFO",
+    )
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Packet-level data plane (systems S6+S7 in DESIGN.md): DES core,
+packets with the MIFO tag bit and IP-in-IP stack, drop-tail ports, links,
+routers with pluggable forwarding engines, TCP-Reno hosts, wiring helpers.
+This is the substitute for the paper's Linux-kernel prototype + testbed."""
+
+from .cbr import CbrSender
+from .device import Device
+from .events import EventQueue, Simulator
+from .host import Host
+from .link import Link
+from .network import Network, ThroughputSampler
+from .packet import OuterHeader, Packet, PacketKind, flow_hash
+from .port import PeerKind, Port, PortStats
+from .router import Engine, Fib, FibEntry, Router, RouterCounters
+from .tcp import TcpConfig, TcpReceiver, TcpSender
+
+__all__ = [
+    "EventQueue",
+    "Simulator",
+    "Device",
+    "Packet",
+    "PacketKind",
+    "OuterHeader",
+    "flow_hash",
+    "Port",
+    "PortStats",
+    "PeerKind",
+    "Link",
+    "Fib",
+    "FibEntry",
+    "Router",
+    "RouterCounters",
+    "Engine",
+    "Host",
+    "TcpConfig",
+    "TcpSender",
+    "CbrSender",
+    "TcpReceiver",
+    "Network",
+    "ThroughputSampler",
+]

@@ -1,0 +1,85 @@
+"""Constant-bit-rate (UDP-like) traffic sources.
+
+TCP's ack-clocking couples the two directions of a path, which muddies
+single-direction experiments (a reverse-path event throttles the forward
+sender).  CBR sources send at a fixed rate regardless of feedback — the
+right tool for the failover experiments and for background/probe load.
+Delivered bytes are counted per flow at the receiving host
+(:attr:`repro.dataplane.host.Host.cbr_received`).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .packet import Packet, PacketKind
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .events import Simulator
+    from .host import Host
+
+__all__ = ["CbrSender"]
+
+
+class CbrSender:
+    """Sends ``packet_size``-byte datagrams at ``rate_bps`` until stopped
+    or ``total_bytes`` have been emitted."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        flow_id: int,
+        dst: str,
+        *,
+        rate_bps: float = 100e6,
+        packet_size: int = 1000,
+        total_bytes: float | None = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.dst = dst
+        self.packet_size = packet_size
+        self.interval = packet_size * 8.0 / rate_bps
+        self.total_bytes = total_bytes
+        self.sent_bytes = 0
+        self.sent_packets = 0
+        self._running = False
+        self._seq = 0
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._emit()
+
+    def stop(self) -> None:
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _emit(self) -> None:
+        if not self._running:
+            return
+        if self.total_bytes is not None and self.sent_bytes >= self.total_bytes:
+            self._running = False
+            return
+        pkt = Packet(
+            flow_id=self.flow_id,
+            seq=self._seq,
+            src=self.host.name,
+            dst=self.dst,
+            size=self.packet_size,
+            kind=PacketKind.CBR,
+            created_at=self.sim.now,
+        )
+        self._seq += 1
+        self.host.transmit(pkt)
+        self.sent_bytes += self.packet_size
+        self.sent_packets += 1
+        self.sim.schedule(self.interval, self._emit)

@@ -1,0 +1,32 @@
+"""Abstract network device for the packet-level simulator."""
+
+from __future__ import annotations
+
+import typing
+
+from .packet import Packet
+from .port import Port
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .events import Simulator
+
+__all__ = ["Device"]
+
+
+class Device:
+    """Anything a link can attach to: routers and hosts."""
+
+    def __init__(self, sim: "Simulator", name: str):
+        self.sim = sim
+        self.name = name
+        self.ports: list[Port] = []
+
+    def add_port(self, port: Port) -> Port:
+        self.ports.append(port)
+        return port
+
+    def receive(self, packet: Packet, in_port: Port) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"

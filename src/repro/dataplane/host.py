@@ -1,0 +1,120 @@
+"""End hosts: traffic sources and sinks for the packet simulator."""
+
+from __future__ import annotations
+
+import typing
+from collections.abc import Callable
+
+from .cbr import CbrSender
+from .device import Device
+from .packet import Packet, PacketKind
+from .port import PeerKind, Port
+from .tcp import TcpConfig, TcpReceiver, TcpSender
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .events import Simulator
+
+__all__ = ["Host"]
+
+
+class Host(Device):
+    """A host with one uplink port and any number of TCP connections.
+
+    Receivers are created on demand when the first segment of an unknown
+    flow arrives, so only senders need explicit setup
+    (:meth:`start_flow`).
+    """
+
+    def __init__(self, sim: "Simulator", name: str):
+        super().__init__(sim, name)
+        self.uplink = self.add_port(Port(f"{name}:up", peer_kind=PeerKind.HOST))
+        self.senders: dict[int, TcpSender] = {}
+        self.receivers: dict[int, TcpReceiver] = {}
+        self.cbr_senders: dict[int, CbrSender] = {}
+        #: flow_id -> application bytes received over CBR flows.
+        self.cbr_received: dict[int, int] = {}
+        #: flow_id -> highest sequence seen (CBR reordering detection).
+        self.cbr_last_seq: dict[int, int] = {}
+        #: flow_id -> count of out-of-order arrivals.  The paper pins
+        #: flows to paths precisely "to avoid packet reordering issues"
+        #: (Section II-A); this counter makes the property testable.
+        self.cbr_inversions: dict[int, int] = {}
+
+    def transmit(self, packet: Packet) -> bool:
+        return self.uplink.send(packet)
+
+    def start_flow(
+        self,
+        flow_id: int,
+        dst: str,
+        total_bytes: float,
+        *,
+        config: TcpConfig | None = None,
+        on_complete: Callable[[TcpSender], None] | None = None,
+        delay: float = 0.0,
+    ) -> TcpSender:
+        """Open a TCP connection toward host ``dst`` and start sending."""
+        sender = TcpSender(
+            self.sim, self, flow_id, dst, total_bytes, config, on_complete
+        )
+        self.senders[flow_id] = sender
+        if delay > 0:
+            self.sim.schedule(delay, sender.start)
+        else:
+            sender.start()
+        return sender
+
+    def start_cbr(
+        self,
+        flow_id: int,
+        dst: str,
+        *,
+        rate_bps: float = 100e6,
+        packet_size: int = 1000,
+        total_bytes: float | None = None,
+        delay: float = 0.0,
+    ) -> CbrSender:
+        """Start a feedback-free constant-bit-rate flow toward ``dst``."""
+        sender = CbrSender(
+            self.sim,
+            self,
+            flow_id,
+            dst,
+            rate_bps=rate_bps,
+            packet_size=packet_size,
+            total_bytes=total_bytes,
+        )
+        self.cbr_senders[flow_id] = sender
+        if delay > 0:
+            self.sim.schedule(delay, sender.start)
+        else:
+            sender.start()
+        return sender
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        if packet.kind is PacketKind.CBR:
+            fid = packet.flow_id
+            self.cbr_received[fid] = self.cbr_received.get(fid, 0) + packet.size
+            last = self.cbr_last_seq.get(fid, -1)
+            if packet.seq < last:
+                self.cbr_inversions[fid] = self.cbr_inversions.get(fid, 0) + 1
+            else:
+                self.cbr_last_seq[fid] = packet.seq
+            return
+        if packet.kind is PacketKind.ACK:
+            sender = self.senders.get(packet.flow_id)
+            if sender is not None:
+                sender.on_ack(packet.seq)
+            return
+        if packet.kind is PacketKind.DATA:
+            rcv = self.receivers.get(packet.flow_id)
+            if rcv is None:
+                rcv = TcpReceiver(self.sim, self, packet.flow_id, packet.src)
+                self.receivers[packet.flow_id] = rcv
+            rcv.on_data(packet)
+
+    @property
+    def delivered_bytes(self) -> int:
+        """In-order application bytes delivered across all flows — the
+        quantity the Fig-12(a) aggregate-throughput sampler differentiates."""
+        return sum(r.delivered_bytes for r in self.receivers.values())

@@ -1,0 +1,78 @@
+"""Full-duplex point-to-point links.
+
+A link joins two devices through one :class:`~repro.dataplane.port.Port`
+each; the two directions are independent (full duplex, like the testbed's
+Gigabit Ethernet).  After a packet finishes serializing at its sender's
+port, the link delays it by the propagation latency and hands it to the
+remote device's ``receive``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .packet import Packet
+from .port import Port
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .device import Device
+    from .events import Simulator
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Bidirectional link between two (device, port) attachment points."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        a: "Device",
+        port_a: Port,
+        b: "Device",
+        port_b: Port,
+        *,
+        rate_bps: float = 1e9,
+        delay_s: float = 50e-6,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.up = True
+        self._end_a = (a, port_a)
+        self._end_b = (b, port_b)
+        port_a.link = self
+        port_b.link = self
+
+    # ------------------------------------------------------------------
+    # failure model: a failed link stops *serving* its tx queues (carrier
+    # loss), so upstream queues back up — which is exactly the signal
+    # MIFO's queuing-ratio congestion detection reacts to, giving fast
+    # local repair on the data plane long before any control-plane
+    # reconvergence (cf. R-BGP's motivation, paper Section VI).
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring the link back and restart any stalled transmissions."""
+        if self.up:
+            return
+        self.up = True
+        for _device, port in (self._end_a, self._end_b):
+            port.kick()
+
+    def remote_of(self, port: Port) -> tuple["Device", Port]:
+        """The (device, port) at the other end of ``port``'s attachment."""
+        if port is self._end_a[1]:
+            return self._end_b
+        if port is self._end_b[1]:
+            return self._end_a
+        raise ValueError("port does not belong to this link")
+
+    def deliver_from(self, sender_port: Port, packet: Packet) -> None:
+        """Called by the sending port once serialization completes."""
+        device, in_port = self.remote_of(sender_port)
+        self.sim.schedule(self.delay_s, lambda: device.receive(packet, in_port))

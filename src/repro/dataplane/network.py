@@ -1,0 +1,178 @@
+"""Wiring helper and measurement taps for the packet-level simulator.
+
+:class:`Network` assembles routers, hosts and links; ports get their
+peer-kind (eBGP / iBGP / host) and neighbor-relationship annotations at
+connect time, which is all the MIFO engine needs at forwarding time.
+:class:`ThroughputSampler` produces the aggregate-goodput time series of
+the paper's Fig. 12(a).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..topology.relationships import Relationship, invert
+from .device import Device
+from .events import Simulator
+from .host import Host
+from .link import Link
+from .port import PeerKind, Port
+from .router import Engine, Router
+
+__all__ = ["Network", "ThroughputSampler"]
+
+
+class Network:
+    """A wired set of devices sharing one DES clock."""
+
+    def __init__(self) -> None:
+        self.sim = Simulator()
+        self.devices: dict[str, Device] = {}
+        self.links: list[Link] = []
+
+    # ------------------------------------------------------------------
+    def add_router(self, name: str, asn: int, engine: Engine) -> Router:
+        if name in self.devices:
+            raise ConfigError(f"duplicate device name {name!r}")
+        r = Router(self.sim, name, asn, engine)
+        self.devices[name] = r
+        return r
+
+    def add_host(self, name: str) -> Host:
+        if name in self.devices:
+            raise ConfigError(f"duplicate device name {name!r}")
+        h = Host(self.sim, name)
+        self.devices[name] = h
+        return h
+
+    def router(self, name: str) -> Router:
+        d = self.devices[name]
+        if not isinstance(d, Router):
+            raise ConfigError(f"{name!r} is not a router")
+        return d
+
+    def host(self, name: str) -> Host:
+        d = self.devices[name]
+        if not isinstance(d, Host):
+            raise ConfigError(f"{name!r} is not a host")
+        return d
+
+    # ------------------------------------------------------------------
+    def connect_routers(
+        self,
+        a: Router,
+        b: Router,
+        *,
+        rate_bps: float = 1e9,
+        delay_s: float = 50e-6,
+        relationship_of_b: Relationship | None = None,
+        queue_capacity: int = 64,
+    ) -> tuple[Port, Port]:
+        """Link two routers.
+
+        Same-AS routers become iBGP peers; different-AS routers become
+        eBGP peers and require ``relationship_of_b`` (b's AS as seen from
+        a's AS) to annotate both ports for Tag-Check.
+        """
+        if a.asn == b.asn:
+            pa = a.new_port(f"ibgp-{b.name}", peer_kind=PeerKind.IBGP, queue_capacity=queue_capacity)
+            pb = b.new_port(f"ibgp-{a.name}", peer_kind=PeerKind.IBGP, queue_capacity=queue_capacity)
+            a.ibgp_ports[b.name] = pa
+            b.ibgp_ports[a.name] = pb
+        else:
+            if relationship_of_b is None:
+                raise ConfigError(
+                    f"eBGP link {a.name}-{b.name} needs relationship_of_b"
+                )
+            pa = a.new_port(f"ebgp-{b.name}", peer_kind=PeerKind.EBGP, queue_capacity=queue_capacity)
+            pb = b.new_port(f"ebgp-{a.name}", peer_kind=PeerKind.EBGP, queue_capacity=queue_capacity)
+            pa.neighbor_as = b.asn
+            pa.neighbor_relationship = relationship_of_b
+            pb.neighbor_as = a.asn
+            pb.neighbor_relationship = invert(relationship_of_b)
+        self.links.append(
+            Link(self.sim, a, pa, b, pb, rate_bps=rate_bps, delay_s=delay_s)
+        )
+        return pa, pb
+
+    def attach_host(
+        self,
+        host: Host,
+        router: Router,
+        *,
+        rate_bps: float = 1e9,
+        delay_s: float = 20e-6,
+        queue_capacity: int = 128,
+    ) -> tuple[Port, Port]:
+        """Wire a host's uplink to an edge router."""
+        rp = router.new_port(
+            f"host-{host.name}", peer_kind=PeerKind.HOST, queue_capacity=queue_capacity
+        )
+        self.links.append(
+            Link(self.sim, host, host.uplink, router, rp, rate_bps=rate_bps, delay_s=delay_s)
+        )
+        return host.uplink, rp
+
+    # ------------------------------------------------------------------
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> float:
+        return self.sim.run(until=until, max_events=max_events)
+
+
+class ThroughputSampler:
+    """Samples total delivered application bytes at a fixed interval.
+
+    The derivative of consecutive samples is the network's aggregate
+    goodput — the Fig-12(a) y-axis.
+    """
+
+    def __init__(self, network: Network, hosts: list[Host], interval: float = 0.5):
+        if interval <= 0:
+            raise ConfigError("sampler interval must be positive")
+        self.network = network
+        self.hosts = hosts
+        self.interval = interval
+        self.times: list[float] = []
+        self.delivered: list[int] = []
+        self._armed = False
+        self._stopped = False
+
+    def start(self) -> None:
+        if self._armed:
+            return
+        self._armed = True
+        self.times.append(self.network.sim.now)
+        self.delivered.append(self._total())
+        self.network.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop rescheduling (lets the event queue drain and the run end)."""
+        if not self._stopped:
+            self._stopped = True
+            self.times.append(self.network.sim.now)
+            self.delivered.append(self._total())
+
+    def _total(self) -> int:
+        return sum(h.delivered_bytes for h in self.hosts)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.times.append(self.network.sim.now)
+        self.delivered.append(self._total())
+        self.network.sim.schedule(self.interval, self._tick)
+
+    def series_bps(self) -> list[tuple[float, float]]:
+        """(time, aggregate goodput bps) per completed interval."""
+        out = []
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            db = self.delivered[i] - self.delivered[i - 1]
+            if dt > 0:
+                out.append((self.times[i], db * 8.0 / dt))
+        return out
+
+    def mean_bps(self, *, skip_intervals: int = 1) -> float:
+        """Mean aggregate goodput, optionally skipping warm-up intervals."""
+        series = self.series_bps()[skip_intervals:]
+        if not series:
+            return 0.0
+        return sum(v for _t, v in series) / len(series)

@@ -1,0 +1,107 @@
+"""Packets and headers for the packet-level data plane.
+
+A :class:`Packet` models exactly the header state MIFO's forwarding engine
+(paper Algorithm 1) manipulates:
+
+* ``tag_bit`` — the single "upstream neighbor is a customer" bit the
+  Tag-Check strategy consumes (paper Section III-A4: carried in an unused
+  MPLS-label bit, an IP reserved bit, or an IP option);
+* an optional IP-in-IP **outer header** (:class:`OuterHeader`) used between
+  iBGP peers to break deflection cycles (Section III-B);
+* the 5-tuple-like flow identity used for flow-level deterministic
+  hashing (Section II-A footnote 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+__all__ = ["PacketKind", "OuterHeader", "Packet", "flow_hash"]
+
+
+class PacketKind(enum.Enum):
+    DATA = "data"
+    ACK = "ack"
+    PROBE = "probe"  #: link-capacity measurement traffic (MIFO daemon)
+    CBR = "cbr"  #: feedback-free constant-bit-rate datagrams
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class OuterHeader:
+    """IP-in-IP outer header: which router deflected to which iBGP peer."""
+
+    src_router: str  #: name of the encapsulating (default egress) router
+    dst_router: str  #: name of the iBGP peer carrying the alternative path
+
+
+@dataclasses.dataclass(slots=True)
+class Packet:
+    """One packet in flight.
+
+    ``dst`` is the destination prefix key used for FIB lookup (we identify
+    prefixes with destination AS/host ids, "ignoring the length of prefix in
+    our notation" exactly as the paper does).  ``size`` is the wire size in
+    bytes and includes headers; encapsulation adds ``ENCAP_OVERHEAD``.
+    """
+
+    flow_id: int
+    seq: int
+    src: str
+    dst: str
+    size: int
+    kind: PacketKind = PacketKind.DATA
+    tag_bit: bool = False
+    outer: OuterHeader | None = None
+    created_at: float = 0.0
+    #: hop limit — a loop never survives with Tag-Check on; the ablation
+    #: benches (Tag-Check off) rely on TTL expiry to terminate loops.
+    ttl: int = 64
+    #: MPLS shim-label stack (used by MplsLabelCarrier).
+    mpls_stack: list[int] = dataclasses.field(default_factory=list)
+    #: whether an IP tag option is present (used by IpOptionCarrier).
+    has_tag_option: bool = False
+    #: ASes traversed so far — instrumentation only (loop assertions, path
+    #: accounting); a real packet carries no such list.
+    as_trace: list[int] = dataclasses.field(default_factory=list)
+
+    #: bytes an IP-in-IP outer header adds on the wire.
+    ENCAP_OVERHEAD: typing.ClassVar[int] = 20
+
+    @property
+    def is_encapsulated(self) -> bool:
+        return self.outer is not None
+
+    def encapsulate(self, src_router: str, dst_router: str) -> None:
+        """Push an IP-in-IP outer header (paper Algorithm 1, line 13)."""
+        if self.outer is not None:
+            raise ValueError("packet is already encapsulated")
+        self.outer = OuterHeader(src_router, dst_router)
+        self.size += self.ENCAP_OVERHEAD
+
+    def decapsulate(self) -> OuterHeader:
+        """Strip the outer header, returning it (Algorithm 1, lines 2-3)."""
+        if self.outer is None:
+            raise ValueError("packet is not encapsulated")
+        outer = self.outer
+        self.outer = None
+        self.size -= self.ENCAP_OVERHEAD
+        return outer
+
+    def record_as(self, asn: int) -> None:
+        self.as_trace.append(asn)
+
+
+def flow_hash(flow_id: int, n_buckets: int = 2) -> int:
+    """Deterministic flow-level hash (the paper's 5-tuple hash stand-in).
+
+    Splitmix64-style avalanche so consecutive flow ids spread uniformly
+    across buckets; used to pin a flow to default vs alternative path so
+    packets of one flow never reorder across paths.
+    """
+    x = (flow_id + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return x % n_buckets

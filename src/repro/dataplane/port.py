@@ -1,0 +1,185 @@
+"""Router/host ports with drop-tail tx queues.
+
+The paper's congestion signal is "the queuing ratio of output ports"
+(Section II-A): a port exposes :attr:`Port.queuing_ratio` — occupied
+fraction of its tx queue — which the MIFO forwarding engine compares
+against a threshold (``isCongest`` in Algorithm 1).  The MIFO daemon's
+greedy alternative selection reads :meth:`Port.spare_capacity`, the
+remaining capacity of the directly connected inter-AS link estimated from a
+sliding utilization window (Section III-C: "link monitoring", not path
+probing).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+from collections import deque
+
+from .packet import Packet
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..topology.relationships import Relationship
+    from .link import Link
+
+__all__ = ["PeerKind", "Port", "PortStats"]
+
+
+class PeerKind(enum.Enum):
+    """What sits on the far side of a port."""
+
+    EBGP = "ebgp"  #: a border router of a *different* AS
+    IBGP = "ibgp"  #: a border router of the *same* AS
+    HOST = "host"  #: an end host / intradomain edge
+
+
+class PortStats:
+    """Counters accumulated by one port (tx direction)."""
+
+    __slots__ = ("packets_sent", "bytes_sent", "packets_dropped", "busy_time")
+
+    def __init__(self) -> None:
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_dropped = 0
+        self.busy_time = 0.0
+
+    def utilization(self, elapsed: float, rate_bps: float) -> float:
+        """Mean utilization over ``elapsed`` seconds of a ``rate_bps`` link."""
+        if elapsed <= 0.0 or rate_bps <= 0.0:
+            return 0.0
+        return min(1.0, self.bytes_sent * 8.0 / (elapsed * rate_bps))
+
+
+class Port:
+    """One transmit side of a (full-duplex) link attachment.
+
+    Transmission model: packets serialize at the link rate one at a time
+    from a drop-tail FIFO; a serialized packet then experiences the link's
+    propagation delay before delivery to the remote device.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        queue_capacity: int = 64,
+        peer_kind: PeerKind = PeerKind.EBGP,
+    ) -> None:
+        self.name = name
+        self.queue_capacity = queue_capacity
+        self.peer_kind = peer_kind
+        self.link: "Link | None" = None
+        #: ASN of the device on the far side (None for hosts).
+        self.neighbor_as: int | None = None
+        #: Relationship of the far-side AS as seen from this router's AS
+        #: (None for iBGP/host ports).
+        self.neighbor_relationship: "Relationship | None" = None
+        self._queue: deque[Packet] = deque()
+        self._transmitting = False
+        self.stats = PortStats()
+        # Sliding-window utilization estimate for the MIFO daemon.
+        self._window_bytes = 0
+        self._window_start = 0.0
+        self._last_utilization = 0.0
+
+    # ------------------------------------------------------------------
+    # queue state — the congestion signal
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue) + (1 if self._transmitting else 0)
+
+    @property
+    def queuing_ratio(self) -> float:
+        """Occupied fraction of the tx queue — the paper's congestion signal."""
+        if self.queue_capacity <= 0:
+            return 0.0
+        return min(1.0, self.queue_length / self.queue_capacity)
+
+    @property
+    def rate_bps(self) -> float:
+        return self.link.rate_bps if self.link is not None else 0.0
+
+    def spare_capacity(self, now: float) -> float:
+        """Estimated unused capacity (bps) of the attached link right now.
+
+        Combines the sliding-window utilization sample (refreshed by the
+        MIFO daemon via :meth:`sample_utilization`) with the instantaneous
+        queue state: a backlogged port has no spare capacity regardless of
+        what the window average says.
+        """
+        if self.link is None:
+            return 0.0
+        if self.queuing_ratio >= 1.0:
+            return 0.0
+        return max(0.0, (1.0 - self._last_utilization) * self.link.rate_bps)
+
+    #: EWMA smoothing factor for utilization windows: heavy enough that a
+    #: single idle window does not erase observed load (routers measure
+    #: with smoothing for exactly this reason).
+    UTILIZATION_EWMA = 0.5
+
+    def sample_utilization(self, now: float) -> float:
+        """Close the current measurement window; update the (smoothed)
+        utilization estimate and return it."""
+        if self.link is None:
+            return 0.0
+        elapsed = now - self._window_start
+        if elapsed > 0.0:
+            window = min(
+                1.0, self._window_bytes * 8.0 / (elapsed * self.link.rate_bps)
+            )
+            a = self.UTILIZATION_EWMA
+            self._last_utilization = (1.0 - a) * self._last_utilization + a * window
+        self._window_bytes = 0
+        self._window_start = now
+        return self._last_utilization
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission; False (and drop) if full."""
+        if self.link is None:
+            raise RuntimeError(f"port {self.name} is not wired to a link")
+        if len(self._queue) >= self.queue_capacity:
+            self.stats.packets_dropped += 1
+            return False
+        self._queue.append(packet)
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    def kick(self) -> None:
+        """Restart transmission after a link restore (no-op when busy)."""
+        if not self._transmitting:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        if not self.link.up:
+            # Carrier loss: stall with the queue intact; the backlog is
+            # the failure signal MIFO's congestion detection consumes.
+            self._transmitting = False
+            return
+        self._transmitting = True
+        packet = self._queue.popleft()
+        link = self.link
+        sim = link.sim
+        tx_time = packet.size * 8.0 / link.rate_bps
+        self.stats.busy_time += tx_time
+
+        def _serialized() -> None:
+            self.stats.packets_sent += 1
+            self.stats.bytes_sent += packet.size
+            self._window_bytes += packet.size
+            link.deliver_from(self, packet)
+            self._start_next()
+
+        sim.schedule(tx_time, _serialized)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Port({self.name}, q={self.queue_length}/{self.queue_capacity})"

@@ -1,0 +1,145 @@
+"""Border routers for the packet-level simulator.
+
+A :class:`Router` is a chassis: ports, a FIB, and counters.  *How* packets
+are forwarded is delegated to a pluggable engine callable — plain BGP
+forwarding or the MIFO forwarding engine (paper Algorithm 1) from
+:mod:`repro.mifo.engine`.  This mirrors the prototype architecture
+(Section V-A), where the kernel FIB lookup ``ip_mkroute_input()`` was
+re-implemented with MIFO callbacks while the chassis stayed stock Linux.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from collections.abc import Callable
+
+from ..errors import ForwardingError
+from .device import Device
+from .packet import Packet
+from .port import PeerKind, Port
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .events import Simulator
+
+__all__ = ["FibEntry", "Fib", "RouterCounters", "Router"]
+
+
+@dataclasses.dataclass(slots=True)
+class FibEntry:
+    """One FIB row — the paper's Figure-1 FIB with the added ``alt`` field.
+
+    ``out_port`` carries the default path; ``alt_port`` (possibly None) the
+    currently best alternative, maintained by the MIFO daemon.
+    """
+
+    out_port: Port
+    alt_port: Port | None = None
+
+
+class Fib:
+    """Destination-prefix → :class:`FibEntry` map.
+
+    Prefixes are destination ids (strings), consistent with the paper's
+    "we ignore the length of prefix in our notation".
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, FibEntry] = {}
+
+    def install(self, dst: str, out_port: Port, alt_port: Port | None = None) -> None:
+        self._entries[dst] = FibEntry(out_port, alt_port)
+
+    def set_alt(self, dst: str, alt_port: Port | None) -> None:
+        """Daemon hook: repoint the alternative port (Algorithm 1's
+        ``Ialt`` source; Section V-A "updates the 'alt' port in the FIB")."""
+        entry = self._entries.get(dst)
+        if entry is None:
+            raise ForwardingError(f"no FIB entry for {dst!r}")
+        entry.alt_port = alt_port
+
+    def lookup(self, dst: str) -> FibEntry:
+        """``FIBLookup(p)`` of Algorithm 1 line 4."""
+        try:
+            return self._entries[dst]
+        except KeyError:
+            raise ForwardingError(f"no FIB entry for {dst!r}") from None
+
+    def destinations(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, dst: str) -> bool:
+        return dst in self._entries
+
+
+class RouterCounters:
+    """Per-router accounting used by tests and the Fig-12 experiment."""
+
+    __slots__ = (
+        "forwarded",
+        "deflected",
+        "encapsulated",
+        "decapsulated",
+        "dropped_valley",
+        "dropped_no_route",
+        "dropped_ttl",
+        "tagged",
+    )
+
+    def __init__(self) -> None:
+        self.forwarded = 0
+        self.deflected = 0
+        self.encapsulated = 0
+        self.decapsulated = 0
+        self.dropped_valley = 0  #: Tag-Check failures (Algorithm 1 line 20)
+        self.dropped_no_route = 0
+        self.dropped_ttl = 0
+        self.tagged = 0
+
+
+#: Engine signature: (router, packet, in_port) -> None.  The engine owns the
+#: packet once called: it must either send it out a port or drop it
+#: (incrementing a counter).
+Engine = Callable[["Router", Packet, Port], None]
+
+
+class Router(Device):
+    """A border router: chassis + FIB + pluggable forwarding engine."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        asn: int,
+        engine: Engine,
+    ) -> None:
+        super().__init__(sim, name)
+        self.asn = asn
+        self.engine = engine
+        self.fib = Fib()
+        self.counters = RouterCounters()
+        #: iBGP peer router name -> port reaching it (used by encapsulation
+        #: addressing and by the daemon's measurement exchange).
+        self.ibgp_ports: dict[str, Port] = {}
+
+    def new_port(
+        self,
+        suffix: str,
+        *,
+        peer_kind: PeerKind,
+        queue_capacity: int = 64,
+    ) -> Port:
+        port = Port(
+            f"{self.name}:{suffix}",
+            peer_kind=peer_kind,
+            queue_capacity=queue_capacity,
+        )
+        return self.add_port(port)
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self.counters.dropped_ttl += 1
+            return
+        packet.record_as(self.asn)
+        self.engine(self, packet, in_port)

@@ -1,0 +1,284 @@
+"""Simplified TCP Reno over the packet-level data plane (system S7).
+
+The testbed experiments (paper Section V) run real TCP flows over the MIFO
+prototype; this module provides the equivalent traffic source for our
+simulated data plane: a window-based, ack-clocked sender with slow start,
+congestion avoidance, fast retransmit on three duplicate ACKs, and an RTO
+with exponential backoff and Karn's rule for RTT sampling.  Sequence
+numbers count MSS-sized segments rather than bytes — the granularity the
+simulator forwards at.
+
+Fidelity target: queue-building behavior (so the MIFO engine's
+queuing-ratio congestion signal fires like the prototype's) and fair
+bandwidth sharing between competing flows — the two properties Fig. 12
+depends on.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections.abc import Callable
+
+from .packet import Packet, PacketKind
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .events import Simulator
+    from .host import Host
+
+__all__ = ["TcpConfig", "TcpSender", "TcpReceiver"]
+
+_HEADER_BYTES = 40
+
+
+class TcpConfig:
+    """TCP tunables — defaults sized for the Gigabit testbed."""
+
+    __slots__ = (
+        "mss",
+        "initial_cwnd",
+        "initial_ssthresh",
+        "initial_rto",
+        "min_rto",
+        "max_rto",
+        "dupack_threshold",
+    )
+
+    def __init__(
+        self,
+        *,
+        mss: int = 1000,
+        initial_cwnd: float = 2.0,
+        initial_ssthresh: float = 64.0,
+        initial_rto: float = 0.2,
+        min_rto: float = 0.05,
+        max_rto: float = 1.0,
+        dupack_threshold: int = 3,
+    ) -> None:
+        self.mss = mss
+        self.initial_cwnd = initial_cwnd
+        self.initial_ssthresh = initial_ssthresh
+        self.initial_rto = initial_rto
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.dupack_threshold = dupack_threshold
+
+
+class TcpSender:
+    """One TCP Reno connection's sending side."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        flow_id: int,
+        dst: str,
+        total_bytes: float,
+        config: TcpConfig | None = None,
+        on_complete: Callable[["TcpSender"], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.dst = dst
+        self.config = config or TcpConfig()
+        self.total_segments = max(1, int(-(-total_bytes // self.config.mss)))
+        self.on_complete = on_complete
+
+        self.cwnd = self.config.initial_cwnd
+        self.ssthresh = self.config.initial_ssthresh
+        self.snd_una = 0  #: lowest unacked segment
+        self.snd_nxt = 0  #: next new segment to send
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover_seq = 0
+        self.start_time: float | None = None
+        self.finish_time: float | None = None
+        self.retransmissions = 0
+
+        self._rto = self.config.initial_rto
+        self._srtt: float | None = None
+        self._rttvar = 0.0
+        self._send_times: dict[int, float] = {}
+        self._retransmitted: set[int] = set()
+        self._timer_version = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def inflight(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    def start(self) -> None:
+        self.start_time = self.sim.now
+        self._pump()
+        self._arm_timer()
+
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Ack-clocked transmission: fill the window with new segments."""
+        window = int(self.cwnd)
+        while not self.completed and self.snd_nxt < self.total_segments and self.inflight < window:
+            self._transmit(self.snd_nxt, retransmit=False)
+            self.snd_nxt += 1
+
+    def _transmit(self, seq: int, *, retransmit: bool) -> None:
+        pkt = Packet(
+            flow_id=self.flow_id,
+            seq=seq,
+            src=self.host.name,
+            dst=self.dst,
+            size=self.config.mss + _HEADER_BYTES,
+            kind=PacketKind.DATA,
+            created_at=self.sim.now,
+        )
+        if retransmit:
+            self.retransmissions += 1
+            self._retransmitted.add(seq)
+        else:
+            self._send_times[seq] = self.sim.now
+        self.host.transmit(pkt)
+
+    # ------------------------------------------------------------------
+    def on_ack(self, ackno: int) -> None:
+        """Cumulative ACK: ``ackno`` is the next segment the peer expects."""
+        if self.completed:
+            return
+        if ackno > self.snd_una:
+            self._rtt_sample(ackno - 1)
+            self.snd_una = ackno
+            self.dupacks = 0
+            if self.in_recovery:
+                if ackno >= self.recover_seq:
+                    self.in_recovery = False
+                    self.cwnd = self.ssthresh
+                else:
+                    # NewReno partial ACK: the next hole is lost too —
+                    # retransmit it immediately instead of waiting for an
+                    # RTO (critical under multi-segment loss bursts).
+                    self._transmit(self.snd_una, retransmit=True)
+            else:
+                if self.cwnd < self.ssthresh:
+                    self.cwnd += 1.0  # slow start
+                else:
+                    self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+            if self.snd_una >= self.total_segments:
+                self._complete()
+                return
+            self._arm_timer()
+            self._pump()
+        elif ackno == self.snd_una:
+            self.dupacks += 1
+            if self.dupacks == self.config.dupack_threshold and not self.in_recovery:
+                # Fast retransmit + (simplified) fast recovery.
+                self.ssthresh = max(self.inflight / 2.0, 2.0)
+                self.cwnd = self.ssthresh
+                self.in_recovery = True
+                self.recover_seq = self.snd_nxt
+                self._transmit(self.snd_una, retransmit=True)
+                self._arm_timer()
+
+    def _rtt_sample(self, seq: int) -> None:
+        sent = self._send_times.pop(seq, None)
+        if sent is None or seq in self._retransmitted:
+            return  # Karn's rule: never sample retransmitted segments
+        rtt = self.sim.now - sent
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self._rto = min(
+            max(self._srtt + 4.0 * self._rttvar, self.config.min_rto),
+            self.config.max_rto,
+        )
+
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        self._timer_version += 1
+        version = self._timer_version
+        una = self.snd_una
+        self.sim.schedule(self._rto, lambda: self._on_timer(version, una))
+
+    def _on_timer(self, version: int, una_at_arm: int) -> None:
+        if self.completed or version != self._timer_version:
+            return
+        if self.snd_una != una_at_arm:  # progress happened; timer is stale
+            return
+        # Retransmission timeout: slow-start restart with go-back-N — all
+        # unacked segments are considered lost and will be resent by the
+        # pump, which is what keeps a burst-lossy window from degenerating
+        # into one RTO per segment.
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.config.initial_cwnd
+        self.dupacks = 0
+        self.in_recovery = False
+        self._rto = min(self._rto * 2.0, self.config.max_rto)
+        self._transmit(self.snd_una, retransmit=True)
+        self.snd_nxt = self.snd_una + 1
+        self._arm_timer()
+
+    def _complete(self) -> None:
+        self.finish_time = self.sim.now
+        self._timer_version += 1  # cancel outstanding timers
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    @property
+    def duration(self) -> float:
+        if self.start_time is None or self.finish_time is None:
+            raise RuntimeError("flow has not completed")
+        return self.finish_time - self.start_time
+
+    @property
+    def goodput_bps(self) -> float:
+        return self.total_segments * self.config.mss * 8.0 / self.duration
+
+
+class TcpReceiver:
+    """Receiving side: cumulative ACKs, out-of-order buffering."""
+
+    def __init__(self, sim: "Simulator", host: "Host", flow_id: int, peer: str):
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.peer = peer
+        self.next_expected = 0
+        self._out_of_order: set[int] = set()
+        self.bytes_received = 0
+        self.segments_received = 0
+        self.segment_payload = 0  #: payload bytes per segment (from wire)
+
+    @property
+    def delivered_bytes(self) -> int:
+        """In-order application bytes delivered so far (goodput)."""
+        return self.next_expected * self.segment_payload
+
+    def on_data(self, packet: Packet) -> None:
+        self.segments_received += 1
+        payload = packet.size - _HEADER_BYTES
+        self.bytes_received += payload
+        if self.segment_payload == 0:
+            self.segment_payload = payload
+        seq = packet.seq
+        if seq == self.next_expected:
+            self.next_expected += 1
+            while self.next_expected in self._out_of_order:
+                self._out_of_order.discard(self.next_expected)
+                self.next_expected += 1
+        elif seq > self.next_expected:
+            self._out_of_order.add(seq)
+        # else: duplicate of already-delivered data; still (re-)ACK.
+        ack = Packet(
+            flow_id=self.flow_id,
+            seq=self.next_expected,
+            src=self.host.name,
+            dst=self.peer,
+            size=_HEADER_BYTES,
+            kind=PacketKind.ACK,
+            created_at=self.sim.now,
+        )
+        self.host.transmit(ack)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the MIFO reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single handler while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "RoutingError",
+    "NoRouteError",
+    "ForwardingError",
+    "LoopDetectedError",
+    "SimulationError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError):
+    """Malformed or inconsistent AS topology (unknown node, bad edge, ...)."""
+
+
+class RoutingError(ReproError):
+    """Control-plane failure (invalid route, policy violation, ...)."""
+
+
+class NoRouteError(RoutingError):
+    """No route exists toward the requested destination."""
+
+    def __init__(self, source: int, destination: int):
+        super().__init__(f"AS {source} has no route toward AS {destination}")
+        self.source = source
+        self.destination = destination
+
+
+class ForwardingError(ReproError):
+    """Data-plane failure while forwarding a packet."""
+
+
+class LoopDetectedError(ForwardingError):
+    """A forwarding loop was observed — this indicates a broken invariant.
+
+    With Tag-Check enabled this must never fire (paper Theorem, Section
+    III-A3); the ablation benches disable the check to show it firing.
+    """
+
+    def __init__(self, path: list[int]):
+        super().__init__(f"forwarding loop detected: {' -> '.join(map(str, path))}")
+        self.path = path
+
+
+class SimulationError(ReproError):
+    """Event-driven simulator reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or simulator configuration."""

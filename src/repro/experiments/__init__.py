@@ -1,0 +1,41 @@
+"""Experiment harness (system S10 in DESIGN.md) — one module per paper
+artifact, each exposing ``run(scale) -> result`` with ``result.render()``.
+
+Registry keys match the DESIGN.md experiment index: ``table1``, ``fig5``,
+``fig6``, ``fig7``, ``fig8``, ``fig9``, ``fig12``.
+"""
+
+from . import export, fig5, fig6, fig7, fig8, fig9, fig12, overhead, ribstudy, table1
+from .common import SCALES, ExperimentScale, SharedContext, deployment_sample, get_scale
+
+#: name -> module with a ``run(scale)`` entry point.
+REGISTRY = {
+    "table1": table1,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig12": fig12,
+    "ribstudy": ribstudy,
+    "overhead": overhead,
+}
+
+__all__ = [
+    "REGISTRY",
+    "SCALES",
+    "ExperimentScale",
+    "SharedContext",
+    "deployment_sample",
+    "get_scale",
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig12",
+    "ribstudy",
+    "overhead",
+    "export",
+]

@@ -1,0 +1,153 @@
+"""Shared scaffolding for the per-figure experiment modules.
+
+Every experiment accepts an :class:`ExperimentScale` controlling topology
+size and workload volume.  Three presets:
+
+* ``test``  — seconds; used by the integration test suite;
+* ``default`` — a laptop-scale run whose *shapes* reproduce the paper
+  (minutes; what the benches run);
+* ``paper`` — the paper's full magnitudes (44,340 ASes, 10^6 flows);
+  provided for completeness, expect hours.
+
+All experiments share one topology and one routing cache per scale+seed so
+a bench that regenerates several figures pays for BGP convergence once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..bgp.propagation import RoutingCache
+from ..errors import ConfigError
+from ..mifo.deflection import MifoPathBuilder
+from ..miro.negotiation import MiroConfig, MiroRouting
+from ..flowsim.providers import BgpProvider, MifoProvider, MiroProvider, PathProvider
+from ..flowsim.simulator import FluidSimConfig, FluidSimulator
+from ..topology.asgraph import ASGraph
+from ..topology.generator import TopologyConfig, generate_topology
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "get_scale",
+    "SharedContext",
+    "deployment_sample",
+    "make_provider",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs for a whole experiment family."""
+
+    name: str
+    n_ases: int
+    n_flows: int
+    arrival_rate: float  #: flow starts per second (Poisson)
+    n_pairs: int  #: sampled AS pairs for the diversity figure
+    seed: int = 2014
+
+    def topology_config(self) -> TopologyConfig:
+        return TopologyConfig(n_ases=self.n_ases, seed=self.seed)
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "test": ExperimentScale("test", n_ases=300, n_flows=400, arrival_rate=400.0, n_pairs=60),
+    # "bench" trades a little statistical smoothness for wall-clock so the
+    # full per-figure bench suite finishes in minutes.
+    "bench": ExperimentScale(
+        "bench", n_ases=1200, n_flows=1200, arrival_rate=1200.0, n_pairs=250
+    ),
+    "default": ExperimentScale(
+        "default", n_ases=2000, n_flows=2500, arrival_rate=1500.0, n_pairs=400
+    ),
+    # The paper's Section IV magnitudes.  The arrival rate is the paper's
+    # 100 flows/s; at 44k ASes that yields the paper's load level.
+    "paper": ExperimentScale(
+        "paper", n_ases=44_340, n_flows=1_000_000, arrival_rate=100.0, n_pairs=2000
+    ),
+}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+class SharedContext:
+    """Topology + routing cache shared across figures at one scale."""
+
+    _cache: dict[tuple[str, int], "SharedContext"] = {}
+
+    def __init__(self, scale: ExperimentScale):
+        self.scale = scale
+        self.graph: ASGraph = generate_topology(scale.topology_config())
+        self.routing = RoutingCache(self.graph)
+
+    @classmethod
+    def get(cls, scale: str | ExperimentScale) -> "SharedContext":
+        sc = get_scale(scale)
+        key = (sc.name, sc.seed)
+        ctx = cls._cache.get(key)
+        if ctx is None:
+            ctx = cls(sc)
+            cls._cache[key] = ctx
+        return ctx
+
+
+def deployment_sample(
+    graph: ASGraph, ratio: float, *, seed: int = 77
+) -> frozenset[int]:
+    """A deterministic random sample of ASes deploying MIFO/MIRO.
+
+    ``ratio`` in (0, 1]; 1.0 returns every AS.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise ConfigError(f"deployment ratio {ratio} outside (0, 1]")
+    nodes = sorted(graph.nodes())
+    if ratio >= 1.0:
+        return frozenset(nodes)
+    rng = np.random.default_rng(seed)
+    k = max(1, int(round(len(nodes) * ratio)))
+    return frozenset(int(x) for x in rng.choice(nodes, size=k, replace=False))
+
+
+def make_provider(
+    scheme: str,
+    graph: ASGraph,
+    routing: RoutingCache,
+    capable: frozenset[int],
+    *,
+    miro_config: MiroConfig | None = None,
+) -> PathProvider:
+    """Instantiate the path provider for one of the three schemes."""
+    scheme = scheme.upper()
+    if scheme == "BGP":
+        return BgpProvider(graph, routing)
+    if scheme == "MIRO":
+        return MiroProvider(MiroRouting(graph, routing, capable, miro_config))
+    if scheme == "MIFO":
+        return MifoProvider(MifoPathBuilder(graph, routing, capable))
+    raise ConfigError(f"unknown scheme {scheme!r}")
+
+
+def run_scheme(
+    ctx: SharedContext,
+    scheme: str,
+    capable: frozenset[int],
+    specs,
+    *,
+    sim_config: FluidSimConfig | None = None,
+):
+    """Run one (scheme, deployment) fluid simulation over ``specs``."""
+    provider = make_provider(scheme, ctx.graph, ctx.routing, capable)
+    sim = FluidSimulator(ctx.graph, provider, sim_config or FluidSimConfig())
+    return sim.run(specs)

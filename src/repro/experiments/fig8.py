@@ -1,0 +1,69 @@
+"""Figure 8 — traffic offloaded to alternative paths vs MIFO deployment.
+
+The paper counts flows transferred on alternative paths over total flows,
+for deployment 10%..100%: ~50% of flows ride alternatives at full
+deployment, and even 10% deployment offloads ~9% of traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..flowsim.simulator import FluidSimResult
+from ..traffic.matrix import TrafficConfig, uniform_matrix
+from .common import SharedContext, deployment_sample, get_scale, run_scheme
+from .report import ascii_series, percent, text_table
+
+__all__ = ["Fig8Result", "run"]
+
+DEPLOYMENTS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclasses.dataclass
+class Fig8Result:
+    scale_name: str
+    #: deployment ratio -> fluid result (MIFO)
+    results: dict[float, FluidSimResult]
+
+    def offload(self, deployment: float) -> float:
+        return self.results[deployment].fraction_on_alternative()
+
+    def rows(self) -> list[list[object]]:
+        return [
+            [f"{dep:.0%}", percent(self.offload(dep))]
+            for dep in sorted(self.results)
+        ]
+
+    def render(self) -> str:
+        table = text_table(
+            ["MIFO deployment", "Traffic on alternative paths"],
+            self.rows(),
+            title=f"Figure 8: Traffic offload vs deployment (scale={self.scale_name})",
+        )
+        series = {
+            "offload %": [
+                (dep * 100, self.offload(dep) * 100) for dep in sorted(self.results)
+            ]
+        }
+        return table + "\n\n" + ascii_series(
+            series,
+            title="Fig 8: % of flows on alternative paths vs deployment %",
+            xlabel="% deployed",
+            ylabel="% offloaded",
+        )
+
+
+def run(scale: str = "default", *, deployments=DEPLOYMENTS) -> Fig8Result:
+    sc = get_scale(scale)
+    ctx = SharedContext.get(sc)
+    specs = uniform_matrix(
+        ctx.graph,
+        TrafficConfig(
+            n_flows=sc.n_flows, arrival_rate=sc.arrival_rate, seed=sc.seed + 4
+        ),
+    )
+    results: dict[float, FluidSimResult] = {}
+    for dep in deployments:
+        capable = deployment_sample(ctx.graph, dep)
+        results[dep] = run_scheme(ctx, "MIFO", capable, specs)
+    return Fig8Result(scale_name=sc.name, results=results)

@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment results (tables + ASCII series).
+
+Every experiment's ``render()`` goes through these helpers so the bench
+output visually matches the paper's tables and figures without a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["text_table", "ascii_series", "percent"]
+
+
+def percent(x: float, digits: int = 1) -> str:
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def text_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render one or more (x, y) series as a character plot.
+
+    Each series gets a marker letter; collisions show the later series.
+    Crude but sufficient to see CDFs cross and curves dominate.
+    """
+    pts = [(x, y) for s in series.values() for (x, y) in s]
+    if not pts:
+        return title or "(empty plot)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ABCDEFGH"
+    legend = []
+    for idx, (name, s) in enumerate(series.items()):
+        m = markers[idx % len(markers)]
+        legend.append(f"{m}={name}")
+        for x, y in s:
+            cx = int((x - x0) / (x1 - x0) * (width - 1))
+            cy = int((y - y0) / (y1 - y0) * (height - 1))
+            grid[height - 1 - cy][cx] = m
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel} [{y0:.3g} .. {y1:.3g}]   " + "  ".join(legend))
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel} [{x0:.3g} .. {x1:.3g}]")
+    return "\n".join(lines)

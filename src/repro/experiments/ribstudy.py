@@ -1,0 +1,94 @@
+"""Section II-B claim — multi-neighbor forwarding availability in the RIB.
+
+"By examining the BGP RIB provided by Routeview, we found that most of
+ASes are able to benefit from multi-neighbor forwarding" and "the degree
+of path diversity gained by an AS is therefore dependent on how many
+neighbors it has" (paper Section II-B).
+
+This experiment measures, over sampled destinations: how many RIB
+alternatives each AS holds (the zero-overhead multipath MIFO mines), the
+fraction of ASes with at least one alternative, and the correlation
+between node degree and alternative count — the quantitative form of the
+paper's two claims.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .common import SharedContext, get_scale
+from .report import percent, text_table
+
+__all__ = ["RibStudyResult", "run"]
+
+
+@dataclasses.dataclass
+class RibStudyResult:
+    scale_name: str
+    #: per-(AS, destination) RIB sizes (including the default route)
+    rib_sizes: np.ndarray
+    #: per-sample node degree aligned with rib_sizes
+    degrees: np.ndarray
+
+    @property
+    def fraction_multi_neighbor(self) -> float:
+        """ASes holding >= 2 routes (default + at least one alternative)."""
+        return float((self.rib_sizes >= 2).mean())
+
+    @property
+    def mean_alternatives(self) -> float:
+        return float((self.rib_sizes - 1).mean())
+
+    @property
+    def degree_correlation(self) -> float:
+        """Pearson correlation between degree and RIB size."""
+        if self.rib_sizes.size < 2 or self.degrees.std() == 0:
+            return 0.0
+        return float(np.corrcoef(self.degrees, self.rib_sizes)[0, 1])
+
+    def rows(self) -> list[list[object]]:
+        qs = np.percentile(self.rib_sizes, [50, 90, 99])
+        return [
+            ["ASes with >=1 alternative", percent(self.fraction_multi_neighbor)],
+            ["mean alternatives per (AS, dest)", f"{self.mean_alternatives:.2f}"],
+            ["median RIB size", f"{qs[0]:.0f}"],
+            ["p90 RIB size", f"{qs[1]:.0f}"],
+            ["p99 RIB size", f"{qs[2]:.0f}"],
+            ["corr(degree, RIB size)", f"{self.degree_correlation:.2f}"],
+        ]
+
+    def render(self) -> str:
+        return text_table(
+            ["Metric", "Value"],
+            self.rows(),
+            title=(
+                "Section II-B study: multi-neighbor forwarding availability "
+                f"in the BGP RIB (scale={self.scale_name})"
+            ),
+        )
+
+
+def run(scale: str = "default", *, n_destinations: int = 20) -> RibStudyResult:
+    sc = get_scale(scale)
+    ctx = SharedContext.get(sc)
+    graph = ctx.graph
+    rng = np.random.default_rng(sc.seed + 6)
+    nodes = np.fromiter(graph.nodes(), dtype=np.int64)
+    dests = rng.choice(nodes, size=min(n_destinations, len(nodes)), replace=False)
+
+    sizes: list[int] = []
+    degrees: list[int] = []
+    for d in dests:
+        routing = ctx.routing(int(d))
+        for x in graph.nodes():
+            if x == int(d) or not routing.has_route(x):
+                continue
+            sizes.append(len(routing.rib(x)))
+            degrees.append(graph.degree(x))
+    return RibStudyResult(
+        scale_name=sc.name,
+        rib_sizes=np.asarray(sizes),
+        degrees=np.asarray(degrees),
+    )

@@ -1,0 +1,29 @@
+"""Fluid AS-level flow simulator (system S5 in DESIGN.md) — the NS-3
+substitute behind Figures 5, 6, 8 and 9."""
+
+from .flow import ActiveFlow, FlowRecord, FlowSpec
+from .maxmin import build_incidence, maxmin_rates
+from .providers import (
+    BgpProvider,
+    LinkView,
+    MifoProvider,
+    MiroProvider,
+    PathProvider,
+)
+from .simulator import FluidSimConfig, FluidSimResult, FluidSimulator
+
+__all__ = [
+    "FlowSpec",
+    "FlowRecord",
+    "ActiveFlow",
+    "build_incidence",
+    "maxmin_rates",
+    "PathProvider",
+    "LinkView",
+    "BgpProvider",
+    "MiroProvider",
+    "MifoProvider",
+    "FluidSimConfig",
+    "FluidSimResult",
+    "FluidSimulator",
+]

@@ -1,0 +1,108 @@
+"""Flow objects for the fluid simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["FlowSpec", "FlowRecord", "ActiveFlow"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FlowSpec:
+    """A flow to be simulated: who, where, how much, when.
+
+    The paper's Section IV workload: 10 MB flows, Poisson starts at 100
+    flows/s, endpoints drawn from the traffic matrix.
+    """
+
+    flow_id: int
+    src: int
+    dst: int
+    size_bytes: float
+    start_time: float
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FlowRecord:
+    """Everything the experiments need about one finished flow."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size_bytes: float
+    start_time: float
+    finish_time: float
+    path_switches: int  #: Fig-9 metric: deflections + resumes
+    used_alternative: bool  #: Fig-8 metric: ever carried on a non-default path
+    initial_path_len: int
+    final_path_len: int = 0  #: AS hops of the path the flow ended on
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.start_time
+
+    @property
+    def throughput_bps(self) -> float:
+        """End-to-end goodput — the Fig-5/6 CDF variable."""
+        if self.duration <= 0.0:
+            return float("inf")
+        return self.size_bytes * 8.0 / self.duration
+
+
+class ActiveFlow:
+    """Mutable in-flight state of one flow."""
+
+    __slots__ = (
+        "spec",
+        "path",
+        "link_ids",
+        "on_alt",
+        "switches",
+        "used_alternative",
+        "remaining",
+        "rate",
+        "initial_path_len",
+        "last_switch_time",
+    )
+
+    def __init__(self, spec: FlowSpec, path: tuple[int, ...], link_ids: list[int], on_alt: bool):
+        self.spec = spec
+        self.path = path
+        self.link_ids = link_ids
+        self.on_alt = on_alt
+        self.switches = 0
+        self.used_alternative = on_alt
+        self.remaining = float(spec.size_bytes)
+        self.rate = 0.0  #: bytes/s, assigned by the allocator
+        self.initial_path_len = len(path)
+        self.last_switch_time = spec.start_time
+
+    def switch_to(
+        self,
+        path: tuple[int, ...],
+        link_ids: list[int],
+        on_alt: bool,
+        now: float = 0.0,
+    ) -> None:
+        """Move the flow to a new path (a Fig-9 "path switch")."""
+        self.path = path
+        self.link_ids = link_ids
+        self.on_alt = on_alt
+        self.switches += 1
+        self.last_switch_time = now
+        if on_alt:
+            self.used_alternative = True
+
+    def finalize(self, finish_time: float) -> FlowRecord:
+        return FlowRecord(
+            flow_id=self.spec.flow_id,
+            src=self.spec.src,
+            dst=self.spec.dst,
+            size_bytes=self.spec.size_bytes,
+            start_time=self.spec.start_time,
+            finish_time=finish_time,
+            path_switches=self.switches,
+            used_alternative=self.used_alternative,
+            initial_path_len=self.initial_path_len,
+            final_path_len=len(self.path),
+        )

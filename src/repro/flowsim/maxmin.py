@@ -1,0 +1,112 @@
+"""Vectorized max-min fair bandwidth allocation (progressive filling).
+
+The fluid simulator models every inter-AS link as a pipe shared max-min
+fairly among traversing flows — the standard fluid abstraction that
+packet-level TCP fair sharing converges to, and the allocation NS-3's
+per-flow throughput in the paper's Section IV reflects.
+
+Algorithm: classic water filling.  Each round computes every unsaturated
+link's fair share (residual capacity over unfrozen flow count), saturates
+the minimum-share link(s), freezes their flows at that share, and subtracts
+the frozen bandwidth.  Rounds are bounded by the number of links.
+
+Per the HPC guides, the inner work is fully vectorized over a
+``scipy.sparse`` link×flow incidence matrix: each round is a handful of
+sparse matvecs; no Python-level per-flow loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["build_incidence", "maxmin_rates"]
+
+
+def build_incidence(
+    flow_links: list[list[int]], n_links: int
+) -> sparse.csr_matrix:
+    """Build the link×flow 0/1 incidence matrix.
+
+    ``flow_links[f]`` lists the link indices flow ``f`` traverses (possibly
+    empty for degenerate one-AS flows).
+    """
+    rows: list[int] = []
+    cols: list[int] = []
+    for f, links in enumerate(flow_links):
+        rows.extend(links)
+        cols.extend([f] * len(links))
+    data = np.ones(len(rows), dtype=np.float64)
+    return sparse.csr_matrix(
+        (data, (rows, cols)), shape=(n_links, len(flow_links))
+    )
+
+
+def maxmin_rates(
+    incidence: sparse.csr_matrix,
+    capacity: np.ndarray,
+    *,
+    unconstrained_rate: float = np.inf,
+    tol: float = 1e-9,
+    group_rtol: float = 1e-3,
+) -> np.ndarray:
+    """Max-min fair rates for every flow.
+
+    ``incidence`` is link×flow (from :func:`build_incidence`);
+    ``capacity`` is per-link capacity in bps.  Flows that traverse no link
+    receive ``unconstrained_rate``.  ``group_rtol`` merges bottleneck links
+    whose fair shares lie within that relative band into one filling round
+    — a large constant-factor win on heavily loaded networks at a rate
+    error bounded by the same factor (exactness restored with
+    ``group_rtol=0``).
+
+    Postconditions (hypothesis-tested in ``tests/flowsim``):
+
+    * feasibility — no link carries more than its capacity (+tol);
+    * bottleneck property — every flow crosses at least one saturated link
+      on which it has a maximal rate (the definition of max-min fairness).
+    """
+    n_links, n_flows = incidence.shape
+    if n_flows == 0:
+        return np.zeros(0)
+    capacity = np.asarray(capacity, dtype=np.float64)
+    if capacity.shape != (n_links,):
+        raise ValueError(f"capacity shape {capacity.shape} != ({n_links},)")
+
+    rates = np.zeros(n_flows)
+    frozen = np.zeros(n_flows, dtype=bool)
+    # Flows on no link at all are unconstrained.
+    flow_degree = np.asarray(incidence.sum(axis=0)).ravel()
+    linkless = flow_degree == 0
+    rates[linkless] = unconstrained_rate
+    frozen |= linkless
+
+    residual = capacity.astype(np.float64).copy()
+
+    incidence_t = incidence.T.tocsr()  # flow×link, for fast "touched" matvec
+
+    for _round in range(n_links + 1):
+        unfrozen = (~frozen).astype(np.float64)
+        counts = incidence @ unfrozen  # unfrozen flows per link
+        active = counts > 0.5
+        if not active.any():
+            break
+        share = np.full(n_links, np.inf)
+        share[active] = residual[active] / counts[active]
+        bottleneck = share.min()
+        if not np.isfinite(bottleneck):  # pragma: no cover - defensive
+            break
+        cutoff = bottleneck + tol + group_rtol * max(bottleneck, 0.0)
+        saturated = (active & (share <= cutoff)).astype(np.float64)
+        # Flows (still unfrozen) crossing any saturated link freeze now.
+        touched = incidence_t @ saturated
+        to_freeze = (~frozen) & (touched > 0.5)
+        rates[to_freeze] = max(bottleneck, 0.0)
+        frozen |= to_freeze
+        # Subtract the newly frozen bandwidth from every link they cross.
+        delta = incidence @ (rates * to_freeze)
+        residual = np.maximum(residual - delta, 0.0)
+    else:  # pragma: no cover - defensive
+        raise AssertionError("progressive filling failed to converge")
+
+    return rates

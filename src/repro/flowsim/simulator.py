@@ -1,0 +1,344 @@
+"""Event-driven fluid flow simulator (system S5 in DESIGN.md).
+
+Models the AS-level network of the paper's Section IV: every directed
+inter-AS link is a 1 Gbps pipe (configurable); concurrent flows crossing a
+link share it max-min fairly; flows arrive per a Poisson process and carry
+a fixed number of bytes.  Between consecutive events (flow arrival or
+completion) rates are constant, so the simulation advances exactly — no
+time stepping, no discretization error.
+
+Congestion, the signal MIFO's deflection consumes, is per-directed-link
+utilization with hysteresis: a link becomes *congested* when its allocation
+reaches ``congest_threshold`` of capacity and *clears* only when the
+allocation falls below ``clear_threshold``.  The gap is what keeps flows
+from flapping (paper Fig. 9: most flows switch paths at most twice).
+
+After every event that flips some link's congestion state, the provider
+(MIFO only) is offered reroutes; moved flows immediately update the
+allocation estimate so later decisions in the same pass see the shifting
+load (routers react packet-by-packet, not in synchronized rounds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..errors import NoRouteError, SimulationError
+from ..topology.asgraph import ASGraph
+from .flow import ActiveFlow, FlowRecord, FlowSpec
+from .maxmin import build_incidence, maxmin_rates
+from .providers import LinkView, PathProvider
+
+__all__ = ["FluidSimConfig", "FluidSimResult", "FluidSimulator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FluidSimConfig:
+    """Knobs of the fluid simulator (defaults per the paper's Section IV)."""
+
+    link_capacity_bps: float = 1e9
+    congest_threshold: float = 0.95
+    clear_threshold: float = 0.70
+    reroute: bool = True  #: allow mid-flow path switches (MIFO)
+    #: a flow may switch paths at most once per this many (virtual)
+    #: seconds — the measurement/daemon reaction interval of a real border
+    #: router; the damping behind the paper's Fig-9 stability.
+    min_switch_interval: float = 0.05
+    #: how often the *control plane* view of remote link state refreshes.
+    #: Data-plane schemes (MIFO) see live local state; control-plane
+    #: schemes (MIRO) see this stale snapshot for non-local links — the
+    #: control/data-plane decoupling that motivates the paper (Section I).
+    #: Chosen so the lag is several flow lifetimes (as BGP-scale signaling
+    #: is, relative to real flows): stale enough to be routinely wrong,
+    #: fresh enough to carry coarse load information.
+    control_plane_interval: float = 0.5
+    completion_tol_bytes: float = 1.0
+    #: unroutable (partitioned) flows raise by default; True records and
+    #: skips them instead.
+    skip_unroutable: bool = False
+    max_events: int | None = None
+
+    def validate(self) -> None:
+        if self.link_capacity_bps <= 0:
+            raise SimulationError("link capacity must be positive")
+        if not 0.0 < self.clear_threshold <= self.congest_threshold <= 1.0:
+            raise SimulationError(
+                "need 0 < clear_threshold <= congest_threshold <= 1"
+            )
+
+
+@dataclasses.dataclass
+class FluidSimResult:
+    """Outcome of one fluid run."""
+
+    scheme: str
+    records: list[FlowRecord]
+    duration: float  #: virtual time when the last flow completed
+    events: int
+    reallocations: int
+    unroutable: int
+
+    def throughputs_bps(self) -> np.ndarray:
+        return np.array([r.throughput_bps for r in self.records])
+
+    def fraction_on_alternative(self) -> float:
+        """Fig-8 metric: flows ever carried on an alternative path."""
+        if not self.records:
+            return 0.0
+        return sum(r.used_alternative for r in self.records) / len(self.records)
+
+    def switch_histogram(self, max_switches: int = 5) -> dict[int, float]:
+        """Fig-9 metric: fraction of flows per path-switch count; the last
+        bucket aggregates ``>= max_switches``."""
+        if not self.records:
+            return {}
+        hist: dict[int, float] = {k: 0.0 for k in range(max_switches + 1)}
+        for r in self.records:
+            hist[min(r.path_switches, max_switches)] += 1
+        n = len(self.records)
+        return {k: v / n for k, v in hist.items()}
+
+
+class FluidSimulator:
+    """Runs one scheme (one provider) over one workload."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        provider: PathProvider,
+        config: FluidSimConfig | None = None,
+    ) -> None:
+        self.graph = graph
+        self.provider = provider
+        self.config = config or FluidSimConfig()
+        self.config.validate()
+        # Directed-link interning: (u, v) -> dense index.
+        self._link_idx: dict[tuple[int, int], int] = {}
+        self._alloc = np.zeros(0)  # allocated bps per directed link
+        self._congested = np.zeros(0, dtype=bool)
+        # Stale control-plane snapshot (see control_plane_interval).
+        self._stale_congested = np.zeros(0, dtype=bool)
+        self._stale_alloc = np.zeros(0)
+        self._next_cp_refresh = 0.0
+
+    # ------------------------------------------------------------------
+    # congestion callbacks handed to providers
+    # ------------------------------------------------------------------
+    def _congested_fn(self, u: int, v: int) -> bool:
+        idx = self._link_idx.get((u, v))
+        return bool(self._congested[idx]) if idx is not None else False
+
+    def _spare_fn(self, u: int, v: int) -> float:
+        idx = self._link_idx.get((u, v))
+        if idx is None:
+            return self.config.link_capacity_bps
+        return max(0.0, self.config.link_capacity_bps - float(self._alloc[idx]))
+
+    def _stale_congested_fn(self, u: int, v: int) -> bool:
+        idx = self._link_idx.get((u, v))
+        if idx is None or idx >= self._stale_congested.shape[0]:
+            return False
+        return bool(self._stale_congested[idx])
+
+    def _stale_spare_fn(self, u: int, v: int) -> float:
+        idx = self._link_idx.get((u, v))
+        if idx is None or idx >= self._stale_alloc.shape[0]:
+            return self.config.link_capacity_bps
+        return max(0.0, self.config.link_capacity_bps - float(self._stale_alloc[idx]))
+
+    def _maybe_refresh_control_plane(self, now: float) -> None:
+        if now >= self._next_cp_refresh:
+            self._stale_congested = self._congested.copy()
+            self._stale_alloc = self._alloc.copy()
+            self._next_cp_refresh = now + self.config.control_plane_interval
+
+    def _intern_path(self, path: tuple[int, ...]) -> list[int]:
+        ids = []
+        for i in range(len(path) - 1):
+            key = (path[i], path[i + 1])
+            idx = self._link_idx.get(key)
+            if idx is None:
+                idx = len(self._link_idx)
+                self._link_idx[key] = idx
+                if idx >= self._alloc.shape[0]:
+                    grow = max(64, self._alloc.shape[0])
+                    self._alloc = np.concatenate([self._alloc, np.zeros(grow)])
+                    self._congested = np.concatenate(
+                        [self._congested, np.zeros(grow, dtype=bool)]
+                    )
+            ids.append(idx)
+        return ids
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, specs: list[FlowSpec]) -> FluidSimResult:
+        cfg = self.config
+        order = sorted(specs, key=lambda s: (s.start_time, s.flow_id))
+        view = LinkView(
+            congested=self._congested_fn,
+            spare=self._spare_fn,
+            stale_congested=self._stale_congested_fn,
+            stale_spare=self._stale_spare_fn,
+        )
+        active: list[ActiveFlow] = []
+        records: list[FlowRecord] = []
+        unroutable = 0
+        i = 0
+        now = 0.0
+        events = 0
+        reallocs = 0
+
+        def next_completion() -> float:
+            best = math.inf
+            for f in active:
+                if f.rate > 0.0:
+                    best = min(best, f.remaining / f.rate)
+            return best
+
+        while i < len(order) or active:
+            events += 1
+            if cfg.max_events is not None and events > cfg.max_events:
+                raise SimulationError(f"fluid sim exceeded {cfg.max_events} events")
+            t_arr = order[i].start_time if i < len(order) else math.inf
+            dt_fin = next_completion()
+            t_fin = now + dt_fin if math.isfinite(dt_fin) else math.inf
+            t_next = min(t_arr, t_fin)
+            if not math.isfinite(t_next):
+                raise SimulationError(
+                    f"stalled at t={now}: {len(active)} active flows with zero rate"
+                )
+            # Advance all flows to t_next.
+            dt = t_next - now
+            if dt > 0:
+                for f in active:
+                    f.remaining -= f.rate * dt
+            now = t_next
+
+            # Completions.
+            still = []
+            for f in active:
+                if f.remaining <= cfg.completion_tol_bytes:
+                    records.append(f.finalize(now))
+                else:
+                    still.append(f)
+            active = still
+
+            # Refresh the control-plane snapshot if its interval elapsed.
+            self._maybe_refresh_control_plane(now)
+
+            # Arrivals due now.
+            while i < len(order) and order[i].start_time <= now + 1e-12:
+                spec = order[i]
+                i += 1
+                try:
+                    path, on_alt = self.provider.initial_path(spec, view)
+                except NoRouteError:
+                    if cfg.skip_unroutable:
+                        unroutable += 1
+                        continue
+                    raise
+                active.append(ActiveFlow(spec, path, self._intern_path(path), on_alt))
+
+            # Re-solve rates, update congestion, offer reroutes on flips.
+            newly_congested, any_cleared = self._reallocate(active)
+            reallocs += 1
+            if (
+                (newly_congested or any_cleared)
+                and cfg.reroute
+                and self.provider.supports_reroute
+                and active
+            ):
+                if self._offer_reroutes(active, now, view, newly_congested, any_cleared):
+                    self._reallocate(active)
+                    reallocs += 1
+
+        return FluidSimResult(
+            scheme=self.provider.name,
+            records=records,
+            duration=now,
+            events=events,
+            reallocations=reallocs,
+            unroutable=unroutable,
+        )
+
+    # ------------------------------------------------------------------
+    def _reallocate(self, active: list[ActiveFlow]) -> tuple[set[int], bool]:
+        """Max-min re-solve.
+
+        Returns ``(newly_congested_link_ids, any_link_cleared)`` so the
+        reroute pass can target only the flows a transition affects.
+        """
+        cfg = self.config
+        n_links = len(self._link_idx)
+        alloc = np.zeros(self._alloc.shape[0])
+        if active and n_links:
+            incidence = build_incidence([f.link_ids for f in active], n_links)
+            cap = np.full(n_links, cfg.link_capacity_bps)
+            rates = maxmin_rates(
+                incidence, cap, unconstrained_rate=cfg.link_capacity_bps
+            )
+            rates_bytes = rates / 8.0
+            for f, r in zip(active, rates_bytes):
+                f.rate = float(r)
+            alloc[:n_links] = incidence @ rates
+        else:
+            for f in active:
+                f.rate = cfg.link_capacity_bps / 8.0
+        self._alloc = alloc
+        # Hysteresis congestion update.
+        hi = cfg.congest_threshold * cfg.link_capacity_bps
+        lo = cfg.clear_threshold * cfg.link_capacity_bps
+        old = self._congested.copy()
+        view = self._congested
+        view[alloc >= hi] = True
+        view[alloc <= lo] = False
+        newly_congested = set(np.flatnonzero(view & ~old).tolist())
+        any_cleared = bool((old & ~view).any())
+        return newly_congested, any_cleared
+
+    def _offer_reroutes(
+        self,
+        active: list[ActiveFlow],
+        now: float,
+        view: LinkView,
+        newly_congested: set[int],
+        any_cleared: bool,
+    ) -> bool:
+        """One reroute pass; moved flows shift the allocation estimate so
+        later decisions in the pass see the evolving load.
+
+        A flow is only consulted if the transition can affect it: a flow on
+        its default path reacts to links that just congested *on its own
+        path*; a deflected flow reconsiders only when some link cleared
+        (its resume test re-checks the whole default path anyway).  The
+        per-flow switch cooldown models the router's reaction interval.
+        """
+        interval = self.config.min_switch_interval
+        moved = False
+        for f in sorted(active, key=lambda f: f.spec.flow_id):
+            if now - f.last_switch_time < interval:
+                continue
+            if f.on_alt:
+                if not any_cleared:
+                    continue
+            elif newly_congested.isdisjoint(f.link_ids):
+                continue
+            decision = self.provider.reroute(f, view)
+            if decision is None:
+                continue
+            path, on_alt = decision
+            if path == f.path:
+                continue
+            rate = f.rate
+            for idx in f.link_ids:
+                self._alloc[idx] = max(0.0, self._alloc[idx] - rate)
+            new_ids = self._intern_path(path)
+            for idx in new_ids:
+                self._alloc[idx] += rate
+            f.switch_to(path, new_ids, on_alt, now)
+            moved = True
+        return moved

@@ -1,0 +1,31 @@
+"""Metrics & analysis (system S9 in DESIGN.md): CDFs, path diversity,
+offload fraction, switch stability."""
+
+from .cdf import Cdf, survival_series
+from .diversity import (
+    DiversityResult,
+    count_bgp_paths,
+    count_mifo_paths,
+    diversity_counts,
+)
+from .offload import offload_fraction
+from .stability import SwitchDistribution, switch_distribution
+from .stretch import StretchStats, path_stretch
+from .summary import SchemeSummary, comparison_rows, summarize
+
+__all__ = [
+    "Cdf",
+    "survival_series",
+    "DiversityResult",
+    "count_bgp_paths",
+    "count_mifo_paths",
+    "diversity_counts",
+    "offload_fraction",
+    "SwitchDistribution",
+    "switch_distribution",
+    "StretchStats",
+    "path_stretch",
+    "SchemeSummary",
+    "summarize",
+    "comparison_rows",
+]

@@ -1,0 +1,64 @@
+"""Empirical CDFs and inverse-CDF series for the paper's figures."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["Cdf", "survival_series"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Cdf:
+    """An empirical cumulative distribution over a sample."""
+
+    values: np.ndarray  #: sorted sample
+
+    @classmethod
+    def from_samples(cls, samples) -> "Cdf":
+        arr = np.sort(np.asarray(samples, dtype=np.float64))
+        return cls(arr)
+
+    def at(self, x: float) -> float:
+        """P(X <= x), in [0, 1]."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.searchsorted(self.values, x, side="right")) / self.values.size
+
+    def fraction_at_least(self, x: float) -> float:
+        """P(X >= x) — e.g. "fraction of flows attaining 500 Mbps"."""
+        if self.values.size == 0:
+            return 0.0
+        return 1.0 - float(np.searchsorted(self.values, x, side="left")) / self.values.size
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 100]."""
+        return float(np.percentile(self.values, q))
+
+    def series(self, points: int = 50, lo: float | None = None, hi: float | None = None):
+        """``(x, cdf_percent)`` arrays shaped like the paper's CDF plots."""
+        if self.values.size == 0:
+            return np.zeros(0), np.zeros(0)
+        lo = float(self.values[0]) if lo is None else lo
+        hi = float(self.values[-1]) if hi is None else hi
+        xs = np.linspace(lo, hi, points)
+        ys = np.array([self.at(x) * 100.0 for x in xs])
+        return xs, ys
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+
+def survival_series(samples) -> tuple[np.ndarray, np.ndarray]:
+    """Descending-sorted sample vs. percentage rank — the Fig-7 layout
+    ("number of paths per pair" against "percentage of node pairs")."""
+    arr = np.sort(np.asarray(samples, dtype=np.float64))[::-1]
+    if arr.size == 0:
+        return np.zeros(0), np.zeros(0)
+    pct = np.arange(1, arr.size + 1) / arr.size * 100.0
+    return pct, arr

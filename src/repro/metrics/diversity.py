@@ -1,0 +1,138 @@
+"""Path-diversity counting — reproduces Fig. 7 ("Available Paths").
+
+Counts, for an AS pair (s, t), how many distinct end-to-end forwarding
+paths each scheme can realize:
+
+* **BGP** — exactly one (the default path);
+* **MIRO** — the default plus the strict-policy negotiated alternatives
+  (:meth:`repro.miro.negotiation.MiroRouting.available_paths`);
+* **MIFO** — every walk realizable by hop-by-hop forwarding where each
+  MIFO-capable AS may deflect to any Tag-Check-permitted RIB alternative
+  and every AS may use its default next hop.
+
+The MIFO count is computed by dynamic programming over states
+``(AS, tag_bit)``.  The move relation is acyclic: moves out of a
+``bit=1`` state either climb the (acyclic) provider hierarchy, keeping
+``bit=1``, or drop to ``bit=0``; moves out of a ``bit=0`` state strictly
+descend customer edges.  Hence memoized DFS terminates and counts exactly
+— no sampling, no approximation.  (Walks may legitimately visit one AS
+twice — once climbing, once descending — see
+:mod:`repro.mifo.deflection`; they are counted as distinct paths, as the
+data plane would indeed realize them.)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+from ..bgp.propagation import RoutingCache
+from ..errors import NoRouteError
+from ..mifo.tag import check_bit
+from ..miro.negotiation import MiroRouting
+from ..topology.asgraph import ASGraph
+from ..topology.relationships import Relationship
+
+__all__ = ["count_bgp_paths", "count_mifo_paths", "DiversityResult", "diversity_counts"]
+
+
+def count_bgp_paths(routing_cache: RoutingCache, src: int, dst: int) -> int:
+    """1 if a route exists, else 0 — BGP's single default path."""
+    return 1 if routing_cache(dst).has_route(src) else 0
+
+
+def count_mifo_paths(
+    graph: ASGraph,
+    routing_cache: RoutingCache,
+    capable: frozenset[int],
+    src: int,
+    dst: int,
+    *,
+    max_count: int | None = None,
+) -> int:
+    """Exact number of distinct MIFO-realizable paths from ``src`` to
+    ``dst`` under the given deployment set.
+
+    ``max_count`` optionally clamps the result (counts can reach many
+    thousands on well-connected pairs — the paper's Fig. 7 saturates its
+    axis at 10^4).
+    """
+    routing = routing_cache(dst)
+    if not routing.has_route(src):
+        raise NoRouteError(src, dst)
+
+    memo: dict[tuple[int, bool], int] = {}
+
+    def visit(u: int, bit: bool) -> int:
+        if u == dst:
+            return 1
+        key = (u, bit)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        total = 0
+        default_nh = routing.next_hop(u)
+        # Default forwarding is always available.
+        total += visit(default_nh, _bit_at(graph, default_nh, u))
+        # Capable ASes may deflect to Tag-Check-permitted alternatives.
+        if u in capable:
+            for entry in routing.rib(u):
+                v = entry.neighbor
+                if v == default_nh:
+                    continue
+                if check_bit(bit, entry.relationship):
+                    total += visit(v, _bit_at(graph, v, u))
+        if max_count is not None and total > max_count:
+            total = max_count
+        memo[key] = total
+        return total
+
+    # The source originates the packet: bit semantics of "own traffic".
+    return visit(src, True)
+
+
+def _bit_at(graph: ASGraph, node: int, upstream: int) -> bool:
+    """Tag bit assigned when a packet enters ``node`` from ``upstream``."""
+    return graph.relationship(node, upstream) is Relationship.CUSTOMER
+
+
+@dataclasses.dataclass(frozen=True)
+class DiversityResult:
+    """Per-pair path counts for one scheme/deployment combination."""
+
+    scheme: str
+    deployment: float
+    counts: list[int]
+
+    def fraction_with_at_least(self, k: int) -> float:
+        if not self.counts:
+            return 0.0
+        return sum(c >= k for c in self.counts) / len(self.counts)
+
+
+def diversity_counts(
+    graph: ASGraph,
+    routing_cache: RoutingCache,
+    pairs: Iterable[tuple[int, int]],
+    *,
+    mifo_capable: frozenset[int],
+    miro_routing: MiroRouting,
+    max_count: int = 100_000,
+) -> tuple[list[int], list[int]]:
+    """MIFO and MIRO path counts over the same pair sample.
+
+    Unroutable pairs (possible under adversarial graphs) are skipped in
+    both series to keep them comparable.
+    """
+    mifo_counts: list[int] = []
+    miro_counts: list[int] = []
+    for s, t in pairs:
+        if not routing_cache(t).has_route(s):
+            continue
+        mifo_counts.append(
+            count_mifo_paths(
+                graph, routing_cache, mifo_capable, s, t, max_count=max_count
+            )
+        )
+        miro_counts.append(len(miro_routing.available_paths(s, t)))
+    return mifo_counts, miro_counts

@@ -1,0 +1,63 @@
+"""Path-stretch accounting: the cost side of deflection.
+
+A deflected flow trades the congested default for a (usually longer)
+alternative; the stretch — actual AS-hops over default-path AS-hops —
+quantifies the extra capacity MIFO consumes per delivered byte.  The
+paper does not plot stretch directly, but it is implicit in the Fig-7/8
+discussion (alternatives are longer valley-free paths) and is the natural
+ablation axis for the greedy selector.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..bgp.propagation import RoutingCache
+from ..flowsim.flow import FlowRecord
+
+__all__ = ["StretchStats", "path_stretch"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StretchStats:
+    """Distribution of per-flow path stretch (1.0 = default path)."""
+
+    mean: float
+    median: float
+    p95: float
+    max: float
+    fraction_stretched: float  #: flows whose final path exceeds the default
+
+    @classmethod
+    def from_ratios(cls, ratios: np.ndarray) -> "StretchStats":
+        if ratios.size == 0:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            mean=float(ratios.mean()),
+            median=float(np.median(ratios)),
+            p95=float(np.percentile(ratios, 95)),
+            max=float(ratios.max()),
+            fraction_stretched=float((ratios > 1.0 + 1e-9).mean()),
+        )
+
+
+def path_stretch(
+    records: Iterable[FlowRecord], routing: RoutingCache
+) -> StretchStats:
+    """Stretch of each flow's *final* path relative to its BGP default.
+
+    Uses hop counts (node counts cancel); flows recorded before the
+    ``final_path_len`` field existed (0) are skipped.
+    """
+    ratios = []
+    for r in records:
+        if r.final_path_len <= 0:
+            continue
+        default_hops = len(routing(r.dst).best_path(r.src)) - 1
+        actual_hops = r.final_path_len - 1
+        if default_hops > 0:
+            ratios.append(actual_hops / default_hops)
+    return StretchStats.from_ratios(np.asarray(ratios))

@@ -1,0 +1,78 @@
+"""Cross-scheme result summaries.
+
+The examples and experiments all end by comparing BGP/MIRO/MIFO runs on
+the same workload; this module centralizes that aggregation into one
+typed structure (and keeps every consumer's numbers consistent).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..flowsim.simulator import FluidSimResult
+from .stability import switch_distribution
+
+__all__ = ["SchemeSummary", "summarize", "comparison_rows"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeSummary:
+    """Headline numbers of one fluid run."""
+
+    scheme: str
+    n_flows: int
+    median_mbps: float
+    mean_mbps: float
+    p10_mbps: float
+    p90_mbps: float
+    fraction_at_500mbps: float
+    offload_fraction: float
+    fraction_switching: float
+    mean_switches: float
+
+    @classmethod
+    def empty(cls, scheme: str) -> "SchemeSummary":
+        return cls(scheme, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def summarize(result: FluidSimResult) -> SchemeSummary:
+    """Aggregate one run into its headline numbers."""
+    if not result.records:
+        return SchemeSummary.empty(result.scheme)
+    th = result.throughputs_bps() / 1e6
+    switches = np.array([r.path_switches for r in result.records])
+    dist = switch_distribution(result.records)
+    return SchemeSummary(
+        scheme=result.scheme,
+        n_flows=len(result.records),
+        median_mbps=float(np.median(th)),
+        mean_mbps=float(th.mean()),
+        p10_mbps=float(np.percentile(th, 10)),
+        p90_mbps=float(np.percentile(th, 90)),
+        fraction_at_500mbps=float((th >= 500.0).mean()),
+        offload_fraction=result.fraction_on_alternative(),
+        fraction_switching=dist.fraction_switching,
+        mean_switches=float(switches.mean()),
+    )
+
+
+def comparison_rows(results: list[FluidSimResult]) -> list[list[object]]:
+    """Rows for :func:`repro.experiments.report.text_table`: one scheme per
+    row, ready-made for the standard comparison table."""
+    rows = []
+    for res in results:
+        s = summarize(res)
+        rows.append(
+            [
+                s.scheme,
+                s.n_flows,
+                f"{s.median_mbps:.0f}",
+                f"{s.p10_mbps:.0f}",
+                f"{s.p90_mbps:.0f}",
+                f"{100 * s.fraction_at_500mbps:.1f}%",
+                f"{100 * s.offload_fraction:.1f}%",
+            ]
+        )
+    return rows

@@ -1,0 +1,43 @@
+"""MIFO — the paper's contribution (system S3 in DESIGN.md).
+
+* :mod:`~repro.mifo.tag` — the one-bit valley-free Tag-Check (Eq. 3),
+* :mod:`~repro.mifo.engine` — Algorithm 1 as a pluggable packet-level
+  forwarding engine (plus the plain-BGP baseline engine),
+* :mod:`~repro.mifo.daemon` — link monitoring + greedy alt-port updates,
+* :mod:`~repro.mifo.deflection` — the AS-level deflection walk used by the
+  fluid simulator and the path-diversity counter.
+"""
+
+from .carrier import (
+    IpOptionCarrier,
+    MplsLabelCarrier,
+    ReservedBitCarrier,
+)
+from .congestion import (
+    HybridDetector,
+    QueuingRatioDetector,
+    UtilizationDetector,
+)
+from .daemon import AltCandidate, MifoDaemon
+from .deflection import MifoPathBuilder, PathOutcome
+from .engine import MifoEngine, MifoEngineConfig, bgp_engine
+from .tag import check_bit, tag_for_upstream, transit_allowed
+
+__all__ = [
+    "check_bit",
+    "tag_for_upstream",
+    "transit_allowed",
+    "MifoEngine",
+    "MifoEngineConfig",
+    "bgp_engine",
+    "MifoDaemon",
+    "AltCandidate",
+    "MifoPathBuilder",
+    "PathOutcome",
+    "QueuingRatioDetector",
+    "UtilizationDetector",
+    "HybridDetector",
+    "ReservedBitCarrier",
+    "MplsLabelCarrier",
+    "IpOptionCarrier",
+]

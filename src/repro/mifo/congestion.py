@@ -1,0 +1,89 @@
+"""Pluggable congestion detectors for the forwarding engine.
+
+The paper deliberately leaves the congestion definition open: "MIFO does
+not specify how to identify the congestion on border routers.  It is an
+open to different congestion definitions.  Throughout this paper, we
+simply denote the queuing ratio of output ports as the congestion signal"
+(Section II-A).  This module provides that default plus two alternatives,
+all satisfying one protocol so :class:`repro.mifo.engine.MifoEngine` can
+swap them freely:
+
+* :class:`QueuingRatioDetector` — the paper's signal: tx-queue occupancy
+  above a threshold;
+* :class:`UtilizationDetector` — smoothed link utilization above a
+  threshold (what the daemon's measurement windows see);
+* :class:`HybridDetector` — either signal fires (queue catches bursts,
+  utilization catches sustained load below the queue knee).
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..dataplane.port import Port
+
+__all__ = [
+    "CongestionDetector",
+    "QueuingRatioDetector",
+    "UtilizationDetector",
+    "HybridDetector",
+]
+
+
+class CongestionDetector(typing.Protocol):
+    """Anything callable as ``detector(port) -> bool``."""
+
+    def __call__(self, port: "Port") -> bool: ...  # pragma: no cover
+
+
+class QueuingRatioDetector:
+    """The paper's default: output-port queuing ratio >= threshold."""
+
+    __slots__ = ("threshold",)
+
+    def __init__(self, threshold: float = 0.8):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold {threshold} outside (0, 1]")
+        self.threshold = threshold
+
+    def __call__(self, port: "Port") -> bool:
+        return port.queuing_ratio >= self.threshold
+
+    def __repr__(self) -> str:
+        return f"QueuingRatioDetector({self.threshold})"
+
+
+class UtilizationDetector:
+    """Smoothed-utilization signal (needs the daemon sampling the port)."""
+
+    __slots__ = ("threshold",)
+
+    def __init__(self, threshold: float = 0.9):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold {threshold} outside (0, 1]")
+        self.threshold = threshold
+
+    def __call__(self, port: "Port") -> bool:
+        if port.link is None:
+            return False
+        return port.spare_capacity(0.0) <= (1.0 - self.threshold) * port.link.rate_bps
+
+    def __repr__(self) -> str:
+        return f"UtilizationDetector({self.threshold})"
+
+
+class HybridDetector:
+    """Fires when either the queue or the utilization signal fires."""
+
+    __slots__ = ("queue", "utilization")
+
+    def __init__(self, queue_threshold: float = 0.8, utilization_threshold: float = 0.95):
+        self.queue = QueuingRatioDetector(queue_threshold)
+        self.utilization = UtilizationDetector(utilization_threshold)
+
+    def __call__(self, port: "Port") -> bool:
+        return self.queue(port) or self.utilization(port)
+
+    def __repr__(self) -> str:
+        return f"HybridDetector({self.queue.threshold}, {self.utilization.threshold})"

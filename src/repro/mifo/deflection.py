@@ -1,0 +1,190 @@
+"""AS-level MIFO path construction for the fluid simulator.
+
+The packet-level engine (:mod:`repro.mifo.engine`) makes one deflection
+decision per packet per router.  At the AS level the same logic collapses to
+a hop-by-hop walk: at each AS, follow the default BGP next hop unless the AS
+is MIFO-capable and its default egress link is congested, in which case
+deflect to the RIB alternative with the greatest spare direct-link capacity
+— subject to the valley-free Tag-Check, with the tag bit derived from how
+the packet entered this AS.
+
+Loop-freedom: every step of this walk satisfies the paper's Eq. 3 — default
+steps because any BGP-exported route step is valley-free-compatible, and
+deflected steps because Tag-Check enforces Eq. 3 explicitly.  The paper's
+Theorem (whose proof assumes cycles of length > 2) rules out repeating
+*cycles*; a compliant walk may still visit one AS twice — climbing through
+it on the up-leg and descending through it again on the down-leg (e.g.
+``a -> b -> c -> b -> d`` with ``b < c``) — but can never reuse a
+*directed* inter-AS link, because the walk's phase structure is
+``up* peer? down*``: up-steps strictly climb the acyclic provider
+hierarchy, down-steps strictly descend it, and a link cannot be both an
+up-step and a down-step in the same direction.  :class:`MifoPathBuilder`
+therefore asserts (a) no directed link repeats and (b) the walk stays
+within ``2·|V|`` hops; either firing means the valley-free invariant is
+broken — which the ablation tests demonstrate by disabling Tag-Check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from ..bgp.propagation import RoutingCache
+from ..errors import LoopDetectedError, NoRouteError
+from ..topology.asgraph import ASGraph
+from ..topology.relationships import Relationship
+from .tag import check_bit, tag_for_upstream
+
+__all__ = ["PathOutcome", "MifoPathBuilder"]
+
+#: ``congested(u, v)`` — is the directed inter-AS link u->v congested?
+CongestedFn = Callable[[int, int], bool]
+#: ``spare(u, v)`` — spare capacity (bps) of the directed link u->v.
+SpareFn = Callable[[int, int], float]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PathOutcome:
+    """Result of routing one flow at the AS level."""
+
+    path: tuple[int, ...]  #: AS-level path, source and destination inclusive
+    deflections: int  #: number of hops that deviated from the default
+    dropped: bool = False  #: packet-level MIFO would have dropped (no valid alt)
+
+    @property
+    def used_alternative(self) -> bool:
+        return self.deflections > 0
+
+
+class MifoPathBuilder:
+    """Builds the path a flow's packets take under MIFO.
+
+    ``capable`` is the set of MIFO-deploying ASes (partial-deployment
+    studies vary it); other ASes always use their default next hop.
+    ``deflect_uncongested_only``: when True, an alternative whose own
+    direct link is congested is never chosen (there is no point moving
+    congestion sideways); the flow stays on the default.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        routing: RoutingCache,
+        capable: frozenset[int],
+        *,
+        tag_check_enabled: bool = True,
+        deflect_uncongested_only: bool = True,
+        alt_selection: str = "greedy",
+    ) -> None:
+        if alt_selection not in ("greedy", "first", "random"):
+            raise ValueError(f"unknown alt_selection {alt_selection!r}")
+        self.graph = graph
+        self.routing = routing
+        self.capable = capable
+        self.tag_check_enabled = tag_check_enabled
+        self.deflect_uncongested_only = deflect_uncongested_only
+        #: "greedy" = paper Section III-C (max spare direct-link capacity);
+        #: "first" = highest-preference RIB alternative; "random" =
+        #: deterministic pseudo-random pick.  The non-greedy modes exist
+        #: for the alternative-selection ablation bench.
+        self.alt_selection = alt_selection
+
+    def default_path(self, src: int, dst: int) -> tuple[int, ...]:
+        """The plain BGP path (used by the BGP baseline and as fallback)."""
+        return self.routing(dst).best_path(src)
+
+    def build_path(
+        self,
+        src: int,
+        dst: int,
+        congested: CongestedFn,
+        spare: SpareFn,
+    ) -> PathOutcome:
+        """Walk from ``src`` to ``dst`` under the current congestion state.
+
+        Raises :class:`NoRouteError` if ``src`` has no route at all and
+        :class:`LoopDetectedError` if the walk revisits an AS (impossible
+        with Tag-Check on; reachable in ablation mode).
+        """
+        routing = self.routing(dst)
+        if not routing.has_route(src):
+            raise NoRouteError(src, dst)
+
+        graph = self.graph
+        path = [src]
+        used_links: set[tuple[int, int]] = set()
+        upstream: int | None = None
+        u = src
+        deflections = 0
+        limit = 2 * len(graph) + 2
+
+        while u != dst:
+            nh = routing.next_hop(u)
+            nxt = nh
+            if u in self.capable and congested(u, nh):
+                alt = self._pick_alternative(routing, u, upstream, nh, congested, spare)
+                if alt is not None:
+                    nxt = alt
+                    deflections += 1
+            link = (u, nxt)
+            if link in used_links:
+                # A repeated directed link implies a cycle — impossible
+                # with Tag-Check on (see module docstring).
+                raise LoopDetectedError(path + [nxt])
+            used_links.add(link)
+            upstream, u = u, nxt
+            path.append(u)
+            if len(path) > limit:  # unreachable with Tag-Check on
+                raise LoopDetectedError(path)
+        return PathOutcome(tuple(path), deflections)
+
+    def _pick_alternative(
+        self,
+        routing,
+        u: int,
+        upstream: int | None,
+        default_nh: int,
+        congested: CongestedFn,
+        spare: SpareFn,
+    ) -> int | None:
+        """Greedy selection among valley-free-permitted RIB alternatives."""
+        graph = self.graph
+        bit = tag_for_upstream(
+            None if upstream is None else graph.relationship(u, upstream)
+        )
+        candidates: list[int] = []
+        for entry in routing.rib(u):
+            v = entry.neighbor
+            if v == default_nh:
+                continue
+            if self.tag_check_enabled and not check_bit(bit, entry.relationship):
+                continue
+            if self.deflect_uncongested_only and congested(u, v):
+                continue
+            candidates.append(v)
+        if not candidates:
+            return None
+        if self.alt_selection == "first":
+            return candidates[0]
+        if self.alt_selection == "random":
+            # Deterministic hash pick so runs stay reproducible.
+            return candidates[(u * 2654435761 + default_nh) % len(candidates)]
+        return max(candidates, key=lambda v: (spare(u, v), -v))
+
+    def alternatives_allowed(
+        self, u: int, upstream: int | None, dst: int
+    ) -> list[tuple[int, Relationship]]:
+        """All RIB alternatives at ``u`` permitted by Tag-Check given the
+        upstream — the move set of the path-diversity DP (Fig. 7)."""
+        routing = self.routing(dst)
+        default_nh = routing.next_hop(u)
+        bit = tag_for_upstream(
+            None if upstream is None else self.graph.relationship(u, upstream)
+        )
+        out = []
+        for entry in routing.rib(u):
+            if entry.neighbor == default_nh:
+                continue
+            if check_bit(bit, entry.relationship):
+                out.append((entry.neighbor, entry.relationship))
+        return out

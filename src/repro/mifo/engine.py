@@ -1,0 +1,253 @@
+"""The MIFO Forwarding Engine — paper Algorithm 1, line for line.
+
+This is the data-plane heart of the paper: the per-packet procedure the
+authors implemented as a Linux kernel module.  It runs as a pluggable
+engine on :class:`repro.dataplane.router.Router` and performs
+
+1. IP-in-IP detection / sender extraction / decapsulation (lines 1–3),
+2. FIB lookup yielding default + alternative ports (line 4),
+3. ingress tagging of the valley-free bit at eBGP entry points (lines 5–10),
+4. the deflection trigger: local congestion **or** the packet was deflected
+   to us by the default egress router (line 11),
+5. encapsulation toward an iBGP peer when the alternative path exits
+   through another border router (lines 12–15),
+6. the Tag-Check before an eBGP alternative, dropping on violation
+   (lines 16–21),
+7. default forwarding otherwise (line 22).
+
+A note on line 11: the pseudocode prints ``s = GetNextHop(Ialt)``, but the
+prose of Section III-B is unambiguous — the deflected-packet test compares
+the iBGP *sender* with the packet's **default** next hop ("If the nexthop
+equals to sender ... it indicates the packet is 'deflected' from the
+default path").  We implement the prose semantics.
+
+Flow-level determinism (Section II-A): the engine pins each flow to a path
+("packets with same color belong to the same flow") so deflection never
+reorders packets within a flow.  A flow picks the alternative only at its
+first packet under congestion, and resumes the default path only when the
+alternative itself congests while the default has recovered — the sticky
+behavior that produces the paper's Fig-9 stability (most flows switch at
+most twice).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..dataplane.packet import Packet, PacketKind, flow_hash
+from ..dataplane.port import PeerKind, Port
+from ..dataplane.router import Router
+from ..topology.relationships import Relationship
+from .carrier import ReservedBitCarrier
+from .tag import check_bit
+
+__all__ = ["MifoEngineConfig", "MifoEngine", "bgp_engine"]
+
+
+def bgp_engine(router: Router, packet: Packet, in_port: Port) -> None:
+    """Baseline single-path forwarding: always the default FIB port."""
+    entry = router.fib.lookup(packet.dst)
+    router.counters.forwarded += 1
+    entry.out_port.send(packet)
+
+
+@dataclasses.dataclass(frozen=True)
+class MifoEngineConfig:
+    """Tunables of the forwarding engine.
+
+    ``congestion_threshold`` is the tx-queue queuing ratio above which the
+    default port counts as congested (the paper leaves the definition open
+    and uses the queuing ratio; Section II-A).  A custom ``detector``
+    (any ``port -> bool`` callable, see :mod:`repro.mifo.congestion`)
+    overrides it.  The ablation benches flip ``tag_check_enabled`` /
+    ``encap_enabled`` to demonstrate the loops and iBGP cycles each
+    mechanism prevents.
+    """
+
+    congestion_threshold: float = 0.8
+    #: optional custom congestion signal; None = queuing ratio >= threshold.
+    detector: object | None = None
+    #: how the tag bit rides in the packet (paper Section III-A4 offers
+    #: an MPLS label bit, an IP reserved bit, or an IP option — see
+    #: repro.mifo.carrier); default: reserved bit, zero overhead.
+    carrier: object = dataclasses.field(default_factory=ReservedBitCarrier)
+    #: a deflected flow resumes the default path only once the default
+    #: port's queuing ratio falls to this level — hysteresis that prevents
+    #: per-packet flapping and yields the paper's Fig-9 stability.
+    resume_threshold: float = 0.1
+    tag_check_enabled: bool = True
+    encap_enabled: bool = True
+    sticky_flows: bool = True
+    #: fraction of flows the 5-tuple hash makes *eligible* for deflection
+    #: in "hash" pin mode (Section II-A: "The eventual path for subsequent
+    #: packet is determined by hashing").  1.0 = every congested flow may
+    #: deflect; 0.5 = half the flow space sticks to the default no matter
+    #: what (classic hash-bucketed traffic splitting).
+    hash_deflect_fraction: float = 1.0
+    #: "sticky" (default): a flow pins to the path it first chose, with
+    #: hysteresis on resume.  "hash": the 5-tuple hash first gates which
+    #: flows are *eligible* to deflect at all (the paper's literal
+    #: description); eligible flows then follow the same sticky pinning —
+    #: a hash split without stability would flap per packet.
+    pin_mode: str = "sticky"
+    #: a flow changes paths at most once per this many (virtual) seconds —
+    #: the data-plane analogue of the fluid simulator's switch cooldown.
+    #: Without it a lone deflected flow can oscillate (deflect -> default
+    #: queue drains -> resume -> recongest), reordering on every cycle;
+    #: size it to a few RTTs of the deployment.  0 disables the cooldown
+    #: (suitable when flows are short relative to any sensible interval).
+    min_switch_interval: float = 0.0
+
+
+class MifoEngine:
+    """Stateful per-router engine instance implementing Algorithm 1."""
+
+    def __init__(self, config: MifoEngineConfig | None = None):
+        self.config = config or MifoEngineConfig()
+        #: flow_id -> "alt" | "default": the flow-level path pin.
+        self._flow_path: dict[int, str] = {}
+        #: flow_id -> virtual time of the last mid-flow path change.
+        self._flow_last_switch: dict[int, float] = {}
+
+    # -- helpers ---------------------------------------------------------
+    def _is_congested(self, port: Port) -> bool:
+        detector = self.config.detector
+        if detector is not None:
+            return bool(detector(port))
+        return port.queuing_ratio >= self.config.congestion_threshold
+
+    @staticmethod
+    def _next_hop_router_name(port: Port) -> str | None:
+        if port.link is None:
+            return None
+        device, _ = port.link.remote_of(port)
+        return device.name
+
+    # -- Algorithm 1 ------------------------------------------------------
+    def __call__(self, router: Router, packet: Packet, in_port: Port) -> None:
+        cfg = self.config
+        sender: str | None = None
+
+        # Lines 1-3: IP-in-IP handling.
+        if packet.is_encapsulated:
+            outer = packet.outer
+            if outer.dst_router == router.name:
+                packet.decapsulate()
+                router.counters.decapsulated += 1
+                sender = outer.src_router
+            # else: outer destination is another iBGP peer — in a full-mesh
+            # iBGP the encapsulating router always addresses its direct
+            # peer, so transit of encapsulated packets does not occur here.
+
+        # Line 4: FIB lookup.
+        entry = router.fib.lookup(packet.dst)
+        out_port, alt_port = entry.out_port, entry.alt_port
+
+        # Lines 5-10: tag at the AS entry point.  HOST ingress counts as
+        # "own traffic", tagged like a customer (the origin AS may start a
+        # packet in any direction — see repro.mifo.tag).  The configured
+        # carrier decides how the bit physically rides (reserved IP bit,
+        # MPLS label, IP option — Section III-A4).
+        carrier = cfg.carrier
+        if in_port.peer_kind is PeerKind.EBGP:
+            carrier.tag(
+                packet, in_port.neighbor_relationship is Relationship.CUSTOMER
+            )
+            router.counters.tagged += 1
+        elif in_port.peer_kind is PeerKind.HOST:
+            carrier.tag(packet, True)
+
+        # Line 11: deflect on local congestion, or because the default
+        # egress router deflected this packet to us (sender == our default
+        # next hop would send it straight back — the iBGP cycle of
+        # Fig. 2(b)).
+        deflected_to_us = (
+            sender is not None and sender == self._next_hop_router_name(out_port)
+        )
+        must_deflect = deflected_to_us
+        congested = self._is_congested(out_port)
+        wants_alt = congested or deflected_to_us
+        recovered = out_port.queuing_ratio <= self.config.resume_threshold
+
+        now = out_port.link.sim.now if out_port.link is not None else 0.0
+        if alt_port is not None and self._flow_decision(
+            packet, wants_alt, must_deflect, recovered, now
+        ):
+            # Lines 12-15: alternative path lives on an iBGP peer.
+            if alt_port.peer_kind is PeerKind.IBGP:
+                if cfg.encap_enabled:
+                    peer_name = self._next_hop_router_name(alt_port)
+                    packet.encapsulate(router.name, peer_name)
+                    router.counters.encapsulated += 1
+                router.counters.deflected += 1
+                alt_port.send(packet)
+                return
+            # Lines 16-21: alternative path exits via eBGP — Tag-Check.
+            down_rel = alt_port.neighbor_relationship
+            if not cfg.tag_check_enabled or check_bit(carrier.read(packet), down_rel):
+                router.counters.deflected += 1
+                carrier.strip(packet)  # AS exit point: pop per-AS state
+                alt_port.send(packet)
+            else:
+                router.counters.dropped_valley += 1
+                self._flow_path.pop(packet.flow_id, None)
+            return
+
+        # Line 22: default path.
+        router.counters.forwarded += 1
+        if out_port.peer_kind is PeerKind.EBGP:
+            carrier.strip(packet)  # AS exit point: pop per-AS state
+        out_port.send(packet)
+
+    # -- flow-level determinism -------------------------------------------
+    def _flow_decision(
+        self,
+        packet: Packet,
+        wants_alt: bool,
+        must_deflect: bool,
+        recovered: bool,
+        now: float,
+    ) -> bool:
+        """Whether this packet goes to the alternative path.
+
+        Control traffic (ACKs/probes) is light and follows the default path
+        unless it *must* deflect (came back encapsulated).  Data flows are
+        pinned: the pin changes only at flow start, when the default
+        congests mid-flow, or — with hysteresis — once the default has
+        fully recovered; mid-flow changes are rate-limited by the switch
+        cooldown.
+        """
+        cfg = self.config
+        if must_deflect:
+            return True
+        if packet.kind not in (PacketKind.DATA, PacketKind.CBR):
+            return False
+        if cfg.pin_mode == "hash":
+            # The hash gates eligibility (the paper's 5-tuple split);
+            # eligible flows then pin exactly like sticky mode, because a
+            # hash split that re-decided per packet would reorder.
+            bucket = flow_hash(packet.flow_id, 1000)
+            if bucket >= cfg.hash_deflect_fraction * 1000:
+                return False
+        elif not cfg.sticky_flows:
+            return wants_alt
+        fid = packet.flow_id
+        pinned = self._flow_path.get(fid)
+        if pinned is None:
+            choice = "alt" if wants_alt else "default"
+            self._flow_path[fid] = choice
+            self._flow_last_switch[fid] = now
+            return choice == "alt"
+        cooled = now - self._flow_last_switch.get(fid, 0.0) >= cfg.min_switch_interval
+        if pinned == "default" and wants_alt and cooled:
+            # Default congested mid-flow: deflect and stay deflected.
+            self._flow_path[fid] = "alt"
+            self._flow_last_switch[fid] = now
+            return True
+        if pinned == "alt" and recovered and not wants_alt and cooled:
+            # Resume the default once it has drained (a "path switch back"
+            # in Fig-9 terms).
+            self._flow_path[fid] = "default"
+            self._flow_last_switch[fid] = now
+            return False
+        return pinned == "alt"

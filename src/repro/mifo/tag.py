@@ -1,0 +1,56 @@
+"""The "one bit is enough" Tag-Check strategy (paper Section III-A4).
+
+Valley-free verification on the data plane needs, at the packet's *exit*
+router of an AS, the relationship with the *upstream* neighbor known only at
+the *entry* router.  The paper shows one bit suffices:
+
+* **Tag** (entry router, eBGP ingress): set the bit iff the upstream
+  neighbor is a customer (``V_{i-1} < V_i``);
+* **Check** (exit router, eBGP egress onto an *alternative* path): forward
+  iff the bit is set **or** the downstream neighbor is a customer
+  (``V_i > V_{i+1}``) — exactly Eq. 3; otherwise drop.
+
+These pure functions are shared by the packet-level engine
+(:mod:`repro.mifo.engine`) and the AS-level deflector
+(:mod:`repro.mifo.deflection`), so both planes enforce the identical rule
+the loop-freedom theorem covers.
+"""
+
+from __future__ import annotations
+
+from ..topology.asgraph import ASGraph
+from ..topology.relationships import Relationship
+
+__all__ = ["tag_for_upstream", "check_bit", "transit_allowed"]
+
+
+def tag_for_upstream(upstream_relationship: Relationship | None) -> bool:
+    """Bit value set at the entry router.
+
+    ``upstream_relationship`` is the relationship of the previous-hop AS as
+    seen from the tagging AS; ``None`` means the packet originated inside
+    this AS (own hosts), which we treat like a customer: the origin AS may
+    start its packet in any direction — a path's *first* step is always
+    valley-free-compatible.
+    """
+    return (
+        upstream_relationship is None
+        or upstream_relationship is Relationship.CUSTOMER
+    )
+
+
+def check_bit(bit: bool, downstream_relationship: Relationship) -> bool:
+    """Exit-router check before forwarding onto an alternative eBGP path."""
+    return bit or downstream_relationship is Relationship.CUSTOMER
+
+
+def transit_allowed(
+    graph: ASGraph, upstream: int | None, current: int, downstream: int
+) -> bool:
+    """AS-level form of Tag-Check: may ``current`` transit a packet that
+    arrived from ``upstream`` (None = locally originated) toward
+    ``downstream``?  Equivalent to tagging at ingress and checking at
+    egress."""
+    up_rel = None if upstream is None else graph.relationship(current, upstream)
+    down_rel = graph.relationship(current, downstream)
+    return check_bit(tag_for_upstream(up_rel), down_rel)

@@ -1,0 +1,6 @@
+"""MIRO baseline (system S4 in DESIGN.md) — strict-policy control-plane
+multi-path routing, the paper's primary comparison point."""
+
+from .negotiation import MiroConfig, MiroRouting
+
+__all__ = ["MiroConfig", "MiroRouting"]

@@ -1,0 +1,132 @@
+"""MIRO baseline — multi-path interdomain *routing* (Xu & Rexford, 2006).
+
+MIRO lets pairs of ASes negotiate alternative routes over dedicated control
+channels; traffic reaches an alternative through a tunnel from the
+negotiating AS.  The paper compares against MIRO under its **strict
+policy**: "each AS only announces the alternative paths with the same local
+preference as the default path", and with the number of advertised
+alternatives strictly limited for scalability (Section IV, VI).
+
+Model implemented here (per the paper's framing of MIRO's limitations):
+
+* only MIRO-capable ASes participate, and a negotiation needs *both* ends
+  capable (it is a bilateral protocol);
+* the tunnel head is the source AS: its alternatives are the RIB routes of
+  neighbors whose relationship class equals the default route's class
+  (equal local preference), capped at ``max_alternatives``;
+* transit ASes never deviate (no hop-by-hop adaptivity — that is MIFO's
+  data-plane novelty);
+* path selection happens on the control plane at flow start only — no
+  mid-flow reaction to congestion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from ..bgp.propagation import RoutingCache
+from ..errors import NoRouteError
+from ..topology.asgraph import ASGraph
+
+__all__ = ["MiroConfig", "MiroRouting"]
+
+CongestedFn = Callable[[int, int], bool]
+SpareFn = Callable[[int, int], float]
+
+
+@dataclasses.dataclass(frozen=True)
+class MiroConfig:
+    """MIRO strict-policy parameters."""
+
+    #: hard cap on negotiated alternatives per (source, destination) —
+    #: the scalability limit the paper cites ("MIRO strictly limits the
+    #: number of routes that each AS can advertise").
+    max_alternatives: int = 2
+
+
+class MiroRouting:
+    """Path provider implementing the MIRO baseline."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        routing: RoutingCache,
+        capable: frozenset[int],
+        config: MiroConfig | None = None,
+    ) -> None:
+        self.graph = graph
+        self.routing = routing
+        self.capable = capable
+        self.config = config or MiroConfig()
+
+    def available_paths(self, src: int, dst: int) -> list[tuple[int, ...]]:
+        """Default path plus negotiated alternatives (distinct, ordered).
+
+        Used both for routing and for the Fig-7 path-diversity count.
+        """
+        routing = self.routing(dst)
+        if not routing.has_route(src):
+            raise NoRouteError(src, dst)
+        default = routing.best_path(src)
+        paths = [default]
+        if src not in self.capable:
+            return paths
+        default_nh = routing.next_hop(src)
+        default_class = routing.best_class(src)
+        taken = 0
+        for entry in routing.rib(src):
+            if taken >= self.config.max_alternatives:
+                break
+            v = entry.neighbor
+            if v == default_nh:
+                continue
+            # Strict policy: same local preference class only.
+            if entry.relationship is not default_class:
+                continue
+            # Bilateral negotiation: the tunnel-tail AS must be capable too.
+            if v not in self.capable and v != dst:
+                continue
+            alt = (src,) + routing.best_path(v)
+            if alt not in paths:
+                paths.append(alt)
+                taken += 1
+        return paths
+
+    def choose_path(
+        self,
+        src: int,
+        dst: int,
+        congested: CongestedFn,
+        spare: SpareFn,
+    ) -> tuple[tuple[int, ...], bool]:
+        """Pick a path at flow start; returns ``(path, used_alternative)``.
+
+        MIRO operates on the control plane, where the negotiating AS can
+        assess end-to-end path quality (e.g. by measuring through the
+        tunnel before committing): if the default path crosses any
+        congested link, the alternative crossing the fewest congested
+        links (ties broken by the larger minimum spare capacity) is
+        selected.  The decision is made once, at flow start — reacting
+        mid-flow is precisely what control-plane schemes cannot do
+        (paper Section I).
+        """
+        paths = self.available_paths(src, dst)
+        default = paths[0]
+        if len(paths) == 1 or _congested_links(default, congested) == 0:
+            return default, False
+        best = default
+        best_key = (_congested_links(default, congested), -_min_spare(default, spare))
+        for alt in paths[1:]:
+            key = (_congested_links(alt, congested), -_min_spare(alt, spare))
+            if key < best_key:
+                best, best_key = alt, key
+        return best, best is not default
+
+
+def _congested_links(path: tuple[int, ...], congested: CongestedFn) -> int:
+    return sum(congested(path[i], path[i + 1]) for i in range(len(path) - 1))
+
+
+def _min_spare(path: tuple[int, ...], spare: SpareFn) -> float:
+    return min(spare(path[i], path[i + 1]) for i in range(len(path) - 1))

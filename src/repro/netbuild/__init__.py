@@ -1,0 +1,7 @@
+"""Router-level materialization of AS graphs (the paper's Section-IV
+tier-1 expansion): AS graph + BGP substrate in, packet-level network with
+derived FIBs, MIFO engines and daemons out."""
+
+from .builder import BuildConfig, RouterLevelNetwork, build_network
+
+__all__ = ["BuildConfig", "RouterLevelNetwork", "build_network"]

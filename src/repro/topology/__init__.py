@@ -1,0 +1,44 @@
+"""AS-level topology substrate (system S1 in DESIGN.md).
+
+Public surface:
+
+* :class:`~repro.topology.relationships.Relationship` and the valley-free
+  predicates (``may_transit`` is the paper's Eq. 3),
+* :class:`~repro.topology.asgraph.ASGraph` — the annotated AS graph,
+* :func:`~repro.topology.generator.generate_topology` — seeded synthetic
+  Internet matched to the paper's Table I statistics,
+* CAIDA serial-1 ``load_caida``/``save_caida`` for real traces,
+* :func:`~repro.topology.stats.topology_stats` — Table I attributes.
+"""
+
+from .asgraph import ASGraph, link_key
+from .generator import DEFAULT_SCALE, PAPER_SCALE, TopologyConfig, generate_topology
+from .loader import dumps_caida, load_caida, loads_caida, save_caida
+from .relationships import (
+    Relationship,
+    export_allowed,
+    invert,
+    is_valley_free,
+    may_transit,
+)
+from .stats import TopologyStats, topology_stats
+
+__all__ = [
+    "ASGraph",
+    "link_key",
+    "Relationship",
+    "invert",
+    "may_transit",
+    "is_valley_free",
+    "export_allowed",
+    "TopologyConfig",
+    "generate_topology",
+    "PAPER_SCALE",
+    "DEFAULT_SCALE",
+    "load_caida",
+    "loads_caida",
+    "save_caida",
+    "dumps_caida",
+    "TopologyStats",
+    "topology_stats",
+]

@@ -1,0 +1,259 @@
+"""AS-level topology graph annotated with business relationships.
+
+The graph is the substrate everything else (BGP propagation, MIFO
+deflection, the fluid and packet simulators) runs on.  Nodes are AS numbers
+(arbitrary ints); each undirected inter-AS link carries a business
+relationship — provider–customer (P2C) or mutual peering — stored from both
+endpoints' perspectives.
+
+Performance notes (per the HPC guides): adjacency is kept in plain dicts and
+per-relationship lists for O(1) neighbor queries inside the per-destination
+BFS hot loops; :meth:`ASGraph.freeze` validates invariants once and caches
+derived structures (sorted neighbor lists, link index) so the routing code
+never re-derives them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..errors import TopologyError
+from .relationships import Relationship, invert
+
+__all__ = ["ASGraph", "link_key"]
+
+
+def link_key(u: int, v: int) -> tuple[int, int]:
+    """Canonical undirected link identifier (smaller AS number first)."""
+    return (u, v) if u <= v else (v, u)
+
+
+class ASGraph:
+    """Mutable AS-level graph with provider/customer/peer annotations.
+
+    Build with :meth:`add_as`, :meth:`add_p2c` and :meth:`add_peering`, then
+    call :meth:`freeze` before handing the graph to routing or simulation
+    code.  ``freeze`` checks structural invariants (no self loops, no
+    duplicate conflicting links, acyclic provider hierarchy unless disabled)
+    and makes the graph immutable.
+    """
+
+    def __init__(self) -> None:
+        # _nbr[u][v] is the relationship of v *as seen from u*.
+        self._nbr: dict[int, dict[int, Relationship]] = {}
+        self._customers: dict[int, list[int]] = {}
+        self._providers: dict[int, list[int]] = {}
+        self._peers: dict[int, list[int]] = {}
+        self._frozen = False
+        self._links: list[tuple[int, int, Relationship]] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_as(self, asn: int) -> None:
+        """Register an AS.  Adding an existing AS is a no-op."""
+        self._check_mutable()
+        if asn not in self._nbr:
+            self._nbr[asn] = {}
+            self._customers[asn] = []
+            self._providers[asn] = []
+            self._peers[asn] = []
+
+    def add_p2c(self, provider: int, customer: int) -> None:
+        """Add a provider→customer link (``customer`` pays ``provider``)."""
+        self._add_link(provider, customer, Relationship.CUSTOMER)
+
+    def add_peering(self, a: int, b: int) -> None:
+        """Add a settlement-free peering link between ``a`` and ``b``."""
+        self._add_link(a, b, Relationship.PEER)
+
+    def _add_link(self, u: int, v: int, rel_of_v: Relationship) -> None:
+        self._check_mutable()
+        if u == v:
+            raise TopologyError(f"self-loop on AS {u}")
+        self.add_as(u)
+        self.add_as(v)
+        if v in self._nbr[u]:
+            if self._nbr[u][v] is rel_of_v:
+                return  # idempotent duplicate
+            raise TopologyError(
+                f"conflicting relationship on link {u}-{v}: "
+                f"{self._nbr[u][v].name} vs {rel_of_v.name}"
+            )
+        self._nbr[u][v] = rel_of_v
+        self._nbr[v][u] = invert(rel_of_v)
+        if rel_of_v is Relationship.CUSTOMER:
+            self._customers[u].append(v)
+            self._providers[v].append(u)
+        else:
+            self._peers[u].append(v)
+            self._peers[v].append(u)
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise TopologyError("graph is frozen")
+
+    # ------------------------------------------------------------------
+    # freezing & invariants
+    # ------------------------------------------------------------------
+    def freeze(self, *, require_acyclic_hierarchy: bool = True) -> "ASGraph":
+        """Validate invariants, make immutable, and return ``self``.
+
+        ``require_acyclic_hierarchy`` asserts the provider→customer
+        relation has no directed cycle — a precondition of Gao–Rexford
+        stability and of the path-counting DP.
+        """
+        if self._frozen:
+            return self
+        if require_acyclic_hierarchy and self._hierarchy_has_cycle():
+            raise TopologyError("provider-customer hierarchy contains a cycle")
+        for d in (self._customers, self._providers, self._peers):
+            for lst in d.values():
+                lst.sort()
+        self._links = sorted(
+            (u, v, rel)
+            for u, nbrs in self._nbr.items()
+            for v, rel in nbrs.items()
+            if u < v
+        )
+        self._frozen = True
+        return self
+
+    def _hierarchy_has_cycle(self) -> bool:
+        # Kahn's algorithm over provider→customer edges.
+        indeg = {n: len(self._providers[n]) for n in self._nbr}
+        stack = [n for n, d in indeg.items() if d == 0]
+        seen = 0
+        while stack:
+            n = stack.pop()
+            seen += 1
+            for c in self._customers[n]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    stack.append(c)
+        return seen != len(self._nbr)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def __len__(self) -> int:
+        return len(self._nbr)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._nbr
+
+    def nodes(self) -> Iterator[int]:
+        return iter(self._nbr)
+
+    def links(self) -> list[tuple[int, int, Relationship]]:
+        """All links as ``(u, v, relationship-of-v-seen-from-u)``, u < v."""
+        if self._links is not None:
+            return self._links
+        return sorted(
+            (u, v, rel)
+            for u, nbrs in self._nbr.items()
+            for v, rel in nbrs.items()
+            if u < v
+        )
+
+    def num_links(self) -> int:
+        return sum(len(n) for n in self._nbr.values()) // 2
+
+    def neighbors(self, asn: int) -> dict[int, Relationship]:
+        """Mapping neighbor → relationship of that neighbor seen from ``asn``."""
+        try:
+            return self._nbr[asn]
+        except KeyError:
+            raise TopologyError(f"unknown AS {asn}") from None
+
+    def relationship(self, u: int, v: int) -> Relationship:
+        """Relationship of ``v`` as seen from ``u`` (raises if not adjacent)."""
+        try:
+            return self._nbr[u][v]
+        except KeyError:
+            raise TopologyError(f"no link between AS {u} and AS {v}") from None
+
+    def are_adjacent(self, u: int, v: int) -> bool:
+        return v in self._nbr.get(u, ())
+
+    def customers(self, asn: int) -> list[int]:
+        return self._customers[asn]
+
+    def providers(self, asn: int) -> list[int]:
+        return self._providers[asn]
+
+    def peers(self, asn: int) -> list[int]:
+        return self._peers[asn]
+
+    def degree(self, asn: int) -> int:
+        return len(self._nbr[asn])
+
+    def stub_ases(self) -> list[int]:
+        """ASes with no customers — the traffic consumers of Section IV."""
+        return [n for n in self._nbr if not self._customers[n]]
+
+    def tier1_ases(self) -> list[int]:
+        """ASes with no providers (the top of the hierarchy)."""
+        return [n for n in self._nbr if not self._providers[n]]
+
+    def is_connected(self) -> bool:
+        """Whether the underlying undirected graph is connected."""
+        if not self._nbr:
+            return True
+        it = iter(self._nbr)
+        start = next(it)
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in self._nbr[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == len(self._nbr)
+
+    def subgraph_nodes_reachable_from(self, start: int) -> set[int]:
+        """All ASes reachable from ``start`` ignoring relationships."""
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in self._nbr[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return seen
+
+    # ------------------------------------------------------------------
+    # bulk helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_links(
+        cls,
+        p2c: Iterable[tuple[int, int]] = (),
+        peering: Iterable[tuple[int, int]] = (),
+        *,
+        freeze: bool = True,
+    ) -> "ASGraph":
+        """Build a graph from link tuples; convenient in tests and examples.
+
+        ``p2c`` tuples are ``(provider, customer)``.
+        """
+        g = cls()
+        for prov, cust in p2c:
+            g.add_p2c(prov, cust)
+        for a, b in peering:
+            g.add_peering(a, b)
+        if freeze:
+            g.freeze()
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ASGraph(|V|={len(self)}, |E|={self.num_links()}, "
+            f"frozen={self._frozen})"
+        )

@@ -1,0 +1,184 @@
+"""Synthetic AS-level Internet topology generator.
+
+The paper evaluates on the UCLA IRL AS-topology trace of Nov 2014
+(Table I: 44,340 nodes, 109,360 links, 69% provider–customer, 31% mutual
+peering).  That trace is proprietary-hosted and not available offline, so
+this module generates a *statistically matched* synthetic Internet:
+
+* a clique of tier-1 ASes mutually peering (no providers),
+* transit ASes attaching to 1..k providers chosen by preferential
+  attachment (rich-get-richer, producing the measured power-law degree
+  distribution),
+* stub ASes (no customers) — the traffic consumers of Section IV,
+* designated *content-provider* stubs with many peering links (the paper
+  cites Google/Facebook's enormous peering degree),
+* extra peering links between ASes of similar rank until the target
+  peering fraction (~31%) is met.
+
+The provider hierarchy is acyclic by construction: an AS may only pick
+providers with a strictly smaller node index, and node index increases
+down the hierarchy.  All randomness flows from a single seed for exact
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigError
+from .asgraph import ASGraph
+
+__all__ = ["TopologyConfig", "generate_topology", "PAPER_SCALE", "DEFAULT_SCALE"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyConfig:
+    """Parameters of the synthetic Internet generator.
+
+    The defaults produce a ~2,000-AS Internet whose relationship mix and
+    degree shape match Table I of the paper; ``PAPER_SCALE`` carries the
+    full 44,340-AS parameters for users with time to burn.
+    """
+
+    n_ases: int = 2000
+    n_tier1: int = 10
+    transit_fraction: float = 0.15  #: fraction of non-tier-1 ASes that transit
+    max_providers: int = 3  #: multihoming degree upper bound
+    peering_fraction: float = 0.31  #: target fraction of links that peer
+    n_content_providers: int = 20  #: stubs given rich peering (CDNs)
+    content_peer_degree: int = 40  #: peering degree of each content provider
+    seed: int = 2014
+
+    def validate(self) -> None:
+        if self.n_tier1 < 2:
+            raise ConfigError("need at least 2 tier-1 ASes")
+        if self.n_ases < self.n_tier1 + 2:
+            raise ConfigError("n_ases too small for the requested tier-1 core")
+        if not 0.0 < self.transit_fraction < 1.0:
+            raise ConfigError("transit_fraction must be in (0, 1)")
+        if not 0.0 <= self.peering_fraction < 1.0:
+            raise ConfigError("peering_fraction must be in [0, 1)")
+        if self.max_providers < 1:
+            raise ConfigError("max_providers must be >= 1")
+
+
+#: Full paper-scale configuration (Table I magnitude).  Expect minutes of
+#: generation time and heavy routing compute downstream.
+PAPER_SCALE = TopologyConfig(
+    n_ases=44_340,
+    n_tier1=14,
+    transit_fraction=0.17,
+    n_content_providers=200,
+    content_peer_degree=120,
+)
+
+#: Laptop-scale default used by tests and benches.
+DEFAULT_SCALE = TopologyConfig()
+
+
+def generate_topology(config: TopologyConfig | None = None) -> ASGraph:
+    """Generate a frozen :class:`ASGraph` according to ``config``."""
+    cfg = config or DEFAULT_SCALE
+    cfg.validate()
+    rng = np.random.default_rng(cfg.seed)
+    g = ASGraph()
+
+    n = cfg.n_ases
+    t1 = cfg.n_tier1
+    n_transit = max(1, int(round((n - t1) * cfg.transit_fraction)))
+    first_stub = t1 + n_transit
+
+    for asn in range(n):
+        g.add_as(asn)
+
+    # --- tier-1 clique of mutual peers -------------------------------
+    for i in range(t1):
+        for j in range(i + 1, t1):
+            g.add_peering(i, j)
+
+    # --- transit + stub ASes: preferential provider attachment -------
+    # customer_degree[i] drives preferential attachment.
+    customer_degree = np.zeros(n, dtype=np.float64)
+    for asn in range(t1, n):
+        # Providers are drawn from everything above this AS in the order,
+        # excluding stubs (stubs cannot be providers by definition).
+        pool_end = min(asn, first_stub)
+        pool = np.arange(pool_end)
+        weights = customer_degree[:pool_end] + 1.0
+        weights /= weights.sum()
+        k = int(rng.integers(1, cfg.max_providers + 1))
+        k = min(k, pool_end)
+        providers = rng.choice(pool, size=k, replace=False, p=weights)
+        for p in providers:
+            g.add_p2c(int(p), asn)
+            customer_degree[p] += 1.0
+
+    # --- content-provider stubs: rich peering ------------------------
+    # Scale the content-provider footprint with n so the Table-I
+    # relationship mix holds at laptop scales too: at full scale the
+    # configured values apply unchanged.
+    n_cp = min(cfg.n_content_providers, n - first_stub, max(1, n // 100))
+    peer_degree = min(cfg.content_peer_degree, max(4, n // 50))
+    content = list(range(first_stub, first_stub + n_cp))
+    transit_pool = np.arange(t1, first_stub)
+    for cp in content:
+        k = min(peer_degree, len(transit_pool))
+        if k == 0:
+            break
+        targets = rng.choice(transit_pool, size=k, replace=False)
+        for tgt in targets:
+            tgt = int(tgt)
+            if not g.are_adjacent(cp, tgt):
+                g.add_peering(cp, tgt)
+
+    # --- fill remaining peering to hit the target fraction -----------
+    _add_rank_local_peering(g, cfg, rng, first_stub)
+
+    return g.freeze()
+
+
+def _add_rank_local_peering(
+    g: ASGraph, cfg: TopologyConfig, rng: np.random.Generator, first_stub: int
+) -> None:
+    """Add peering links between similarly ranked ASes until the overall
+    peering fraction reaches ``cfg.peering_fraction``.
+
+    Real-world peering is assortative (ASes peer with ASes of comparable
+    size), so candidate partners are drawn from a window of nearby node
+    indices.
+    """
+    total = g.num_links()
+    n_p2c = sum(1 for *_uv, rel in g.links() if rel.name == "CUSTOMER")
+    # target: peering / total_links == peering_fraction
+    #   =>    peering == p2c * f / (1 - f)
+    f = cfg.peering_fraction
+    target_peering = int(round(n_p2c * f / (1.0 - f)))
+    current_peering = total - n_p2c
+    need = target_peering - current_peering
+    if need <= 0:
+        return
+
+    n = len(g)
+    window = max(8, n // 20)
+    attempts = 0
+    max_attempts = need * 50
+    added = 0
+    while added < need and attempts < max_attempts:
+        attempts += 1
+        a = int(rng.integers(cfg.n_tier1, n))
+        lo = max(cfg.n_tier1, a - window)
+        hi = min(n - 1, a + window)
+        if hi <= lo:
+            continue
+        b = int(rng.integers(lo, hi + 1))
+        if a == b or g.are_adjacent(a, b):
+            continue
+        # Avoid peering a stub pair with no transit value: require at least
+        # one endpoint below the stub boundary about half the time; pure
+        # stub-stub peering exists (IXPs) but is rarer.
+        if a >= first_stub and b >= first_stub and rng.random() < 0.5:
+            continue
+        g.add_peering(a, b)
+        added += 1

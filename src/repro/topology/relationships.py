@@ -1,0 +1,131 @@
+"""Business-relationship algebra between autonomous systems.
+
+The paper (Section III-A3) formalizes inter-AS business relationships as an
+algebraic order between adjacent vertices of the AS graph:
+
+* ``v_i < v_{i+1}`` — ``(v_i, v_{i+1})`` is *(customer, provider)*;
+* ``v_i = v_{i+1}`` — the two ASes are mutual *peers*;
+* ``v_i > v_{i+1}`` — ``(v_i, v_{i+1})`` is *(provider, customer)*.
+
+Transitivity holds only along chains of strict inequalities (paper Eq. 1-2).
+The data-plane path-verification rule (paper Eq. 3) allows ``v_i`` to transit
+a packet from ``v_{i-1}`` to ``v_{i+1}`` iff ``v_{i-1} < v_i`` **or**
+``v_i > v_{i+1}`` — i.e. the upstream neighbor is a customer or the
+downstream neighbor is a customer.  This module provides the relationship
+enumeration and the pure predicates used throughout the control plane
+(export policies) and the data plane (Tag-Check).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Relationship",
+    "invert",
+    "may_transit",
+    "is_valley_free",
+    "export_allowed",
+]
+
+
+class Relationship(enum.IntEnum):
+    """Relationship of a *neighbor* as seen from a given AS.
+
+    ``Relationship.CUSTOMER`` means "the neighbor is my customer".  Integer
+    values are chosen so that the BGP route-selection preference order
+    (customer routes > peer routes > provider routes, paper Section IV-A)
+    coincides with ascending integer order, letting selection code compare
+    the raw values directly.
+    """
+
+    CUSTOMER = 0  #: the neighbor pays me for transit
+    PEER = 1  #: settlement-free mutual peering
+    PROVIDER = 2  #: I pay the neighbor for transit
+
+    @property
+    def symbol(self) -> str:
+        """Single-character rendering used by loaders and reports."""
+        return {_C: "c", _P: "p", _R: "r"}[self]
+
+
+_C = Relationship.CUSTOMER
+_P = Relationship.PEER
+_R = Relationship.PROVIDER
+
+_INVERSE = {
+    Relationship.CUSTOMER: Relationship.PROVIDER,
+    Relationship.PROVIDER: Relationship.CUSTOMER,
+    Relationship.PEER: Relationship.PEER,
+}
+
+
+def invert(rel: Relationship) -> Relationship:
+    """Return the relationship seen from the other endpoint of a link.
+
+    If B is A's ``CUSTOMER`` then A is B's ``PROVIDER``; peering is
+    symmetric.
+    """
+    return _INVERSE[rel]
+
+
+def may_transit(upstream: Relationship, downstream: Relationship) -> bool:
+    """Paper Eq. 3 — the data-plane path-verification predicate.
+
+    ``upstream`` and ``downstream`` are the relationships of the previous-hop
+    and next-hop ASes *as seen from the transiting AS*.  Transit is permitted
+    iff the upstream neighbor is a customer (``v_{i-1} < v_i``) or the
+    downstream neighbor is a customer (``v_i > v_{i+1}``).
+
+    >>> may_transit(Relationship.PEER, Relationship.PEER)
+    False
+    >>> may_transit(Relationship.CUSTOMER, Relationship.PROVIDER)
+    True
+    """
+    return upstream is Relationship.CUSTOMER or downstream is Relationship.CUSTOMER
+
+
+def is_valley_free(step_relationships: list[Relationship]) -> bool:
+    """Whether a whole AS-level path is valley-free.
+
+    ``step_relationships[i]`` is the relationship of hop ``i+1`` as seen from
+    hop ``i`` (``PROVIDER`` meaning the path climbs, ``CUSTOMER`` meaning it
+    descends).  A valley-free path is ``up* peer? down*``: zero or more
+    customer→provider steps, at most one peer step, zero or more
+    provider→customer steps.
+
+    This is the *control-plane* notion; :func:`may_transit` is its per-hop
+    data-plane enforcement.  Every step of a valley-free path satisfies
+    Eq. 3, which is what makes default-path forwarding compatible with the
+    Tag-Check rule.
+    """
+    # Phases: 0 = climbing, 1 = seen the single allowed peer step,
+    # 2 = descending.  PROVIDER steps only in phase 0; a PEER step moves
+    # 0 -> 2 (consuming the peer allowance); CUSTOMER steps move to phase 2.
+    phase = 0
+    for rel in step_relationships:
+        if rel is Relationship.PROVIDER:
+            if phase != 0:
+                return False
+        elif rel is Relationship.PEER:
+            if phase != 0:
+                return False
+            phase = 2
+        else:  # CUSTOMER: start/continue the descent
+            phase = 2
+    return True
+
+
+def export_allowed(learned_from: Relationship | None, export_to: Relationship) -> bool:
+    """Gao–Rexford export policy (control plane).
+
+    ``learned_from`` is the relationship of the neighbor the route was
+    learned from (``None`` for a locally originated route).  ``export_to``
+    is the relationship of the neighbor the route would be announced to.
+
+    Routes through peers and providers are exported only to customers;
+    customer routes (and own prefixes) are exported to everyone.
+    """
+    if learned_from is None or learned_from is Relationship.CUSTOMER:
+        return True
+    return export_to is Relationship.CUSTOMER

@@ -1,0 +1,77 @@
+"""Topology attribute statistics — reproduces Table I of the paper.
+
+Table I reports, for the Nov-2014 UCLA trace: number of nodes, number of
+links, number of provider–customer links and number of peering links.
+:func:`topology_stats` computes the same attributes for any
+:class:`~repro.topology.asgraph.ASGraph`, plus the degree statistics the
+path-diversity discussion (Section II-B, VI) relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .asgraph import ASGraph
+from .relationships import Relationship
+
+__all__ = ["TopologyStats", "topology_stats"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyStats:
+    """Aggregate attributes of an AS graph (Table I columns + extras)."""
+
+    n_nodes: int
+    n_links: int
+    n_p2c_links: int
+    n_peering_links: int
+    n_tier1: int
+    n_stubs: int
+    mean_degree: float
+    max_degree: int
+    median_degree: float
+    multihomed_fraction: float  #: fraction of ASes with >= 2 neighbors
+
+    @property
+    def p2c_fraction(self) -> float:
+        return self.n_p2c_links / self.n_links if self.n_links else 0.0
+
+    @property
+    def peering_fraction(self) -> float:
+        return self.n_peering_links / self.n_links if self.n_links else 0.0
+
+    def as_table_row(self) -> dict[str, int]:
+        """The four Table-I columns, keyed like the paper's header."""
+        return {
+            "# of Nodes": self.n_nodes,
+            "# of Links": self.n_links,
+            "P/C Links": self.n_p2c_links,
+            "Peering Links": self.n_peering_links,
+        }
+
+
+def topology_stats(graph: ASGraph) -> TopologyStats:
+    """Compute :class:`TopologyStats` for ``graph``."""
+    n_p2c = 0
+    n_peer = 0
+    for _u, _v, rel in graph.links():
+        if rel is Relationship.PEER:
+            n_peer += 1
+        else:
+            n_p2c += 1
+    degrees = np.array([graph.degree(n) for n in graph.nodes()], dtype=np.int64)
+    n_nodes = len(graph)
+    return TopologyStats(
+        n_nodes=n_nodes,
+        n_links=n_p2c + n_peer,
+        n_p2c_links=n_p2c,
+        n_peering_links=n_peer,
+        n_tier1=len(graph.tier1_ases()),
+        n_stubs=len(graph.stub_ases()),
+        mean_degree=float(degrees.mean()) if n_nodes else 0.0,
+        max_degree=int(degrees.max()) if n_nodes else 0,
+        median_degree=float(np.median(degrees)) if n_nodes else 0.0,
+        multihomed_fraction=float((degrees >= 2).mean()) if n_nodes else 0.0,
+    )

@@ -1,0 +1,26 @@
+"""Traffic generation (system S8 in DESIGN.md)."""
+
+from .trace import dumps_trace, load_trace, loads_trace, save_trace
+from .matrix import (
+    TrafficConfig,
+    content_provider_ranking,
+    poisson_start_times,
+    powerlaw_matrix,
+    powerlaw_pairs,
+    uniform_matrix,
+    uniform_pairs,
+)
+
+__all__ = [
+    "TrafficConfig",
+    "poisson_start_times",
+    "uniform_pairs",
+    "powerlaw_pairs",
+    "uniform_matrix",
+    "powerlaw_matrix",
+    "content_provider_ranking",
+    "load_trace",
+    "loads_trace",
+    "save_trace",
+    "dumps_trace",
+]

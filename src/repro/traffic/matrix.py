@@ -1,0 +1,183 @@
+"""Traffic matrix generation (paper Section IV).
+
+Two generators, matching the paper's two workloads:
+
+* **uniform** — source and destination drawn uniformly at random from AS
+  pairs ("to analyze MIFO in a generic manner");
+* **power-law** — popular content providers produce traffic toward stub
+  consumers, with provider popularity Zipf-distributed:
+  ``F(i) = a * i^-alpha`` over providers ranked by connectivity (number of
+  providers + peers), "the higher a content provider ranks, more of its
+  traffic is consumed".
+
+Flow start times follow a Poisson process (default mean 100 flows/s); flow
+size defaults to 10 MB; all seeded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..flowsim.flow import FlowSpec
+from ..topology.asgraph import ASGraph
+
+__all__ = [
+    "TrafficConfig",
+    "uniform_pairs",
+    "powerlaw_pairs",
+    "poisson_start_times",
+    "uniform_matrix",
+    "powerlaw_matrix",
+    "content_provider_ranking",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficConfig:
+    """Workload parameters (paper defaults).
+
+    ``size_distribution`` extends the paper's fixed 10 MB flows:
+    ``"fixed"`` (the paper), ``"lognormal"`` (heavy-ish tail around the
+    mean; ``size_sigma`` is the log-scale std-dev), or ``"pareto"``
+    (classic heavy tail with shape ``size_shape > 1``); both alternatives
+    keep the configured mean flow size so load levels stay comparable.
+    """
+
+    n_flows: int = 1000
+    flow_size_bytes: float = 10e6  #: 10 MB
+    arrival_rate: float = 100.0  #: mean flow starts per second (Poisson)
+    alpha: float = 1.0  #: Zipf skew for the power-law matrix
+    seed: int = 1
+    size_distribution: str = "fixed"
+    size_sigma: float = 1.0  #: lognormal log-std-dev
+    size_shape: float = 1.5  #: Pareto shape (must be > 1 for finite mean)
+
+    def validate(self) -> None:
+        if self.n_flows <= 0:
+            raise ConfigError("n_flows must be positive")
+        if self.arrival_rate <= 0:
+            raise ConfigError("arrival_rate must be positive")
+        if self.alpha <= 0:
+            raise ConfigError("alpha must be positive")
+        if self.size_distribution not in ("fixed", "lognormal", "pareto"):
+            raise ConfigError(
+                f"unknown size_distribution {self.size_distribution!r}"
+            )
+        if self.size_distribution == "pareto" and self.size_shape <= 1.0:
+            raise ConfigError("pareto size_shape must exceed 1 (finite mean)")
+        if self.size_distribution == "lognormal" and self.size_sigma <= 0:
+            raise ConfigError("lognormal size_sigma must be positive")
+
+    def sample_sizes(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-flow sizes in bytes with mean ``flow_size_bytes``."""
+        mean = self.flow_size_bytes
+        if self.size_distribution == "fixed":
+            return np.full(n, mean)
+        if self.size_distribution == "lognormal":
+            sigma = self.size_sigma
+            mu = np.log(mean) - sigma * sigma / 2.0  # mean-preserving
+            return np.maximum(rng.lognormal(mu, sigma, size=n), 1.0)
+        # pareto: scale so the mean equals flow_size_bytes
+        shape = self.size_shape
+        scale = mean * (shape - 1.0) / shape
+        return scale * (1.0 + rng.pareto(shape, size=n))
+
+
+def poisson_start_times(
+    n: int, rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Cumulative sums of exponential inter-arrivals — a Poisson process."""
+    return np.cumsum(rng.exponential(1.0 / rate, size=n))
+
+
+def uniform_pairs(
+    graph: ASGraph, n: int, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """``n`` (src, dst) pairs drawn uniformly from distinct AS pairs."""
+    nodes = np.fromiter(graph.nodes(), dtype=np.int64)
+    src = rng.choice(nodes, size=n)
+    dst = rng.choice(nodes, size=n)
+    clash = src == dst
+    while clash.any():
+        dst[clash] = rng.choice(nodes, size=int(clash.sum()))
+        clash = src == dst
+    return list(zip(src.tolist(), dst.tolist()))
+
+
+def content_provider_ranking(graph: ASGraph) -> list[int]:
+    """ASes ranked by connectivity (providers + peers, descending) — the
+    paper's popularity proxy for content providers."""
+    nodes = list(graph.nodes())
+    nodes.sort(
+        key=lambda n: (-(len(graph.providers(n)) + len(graph.peers(n))), n)
+    )
+    return nodes
+
+
+def powerlaw_pairs(
+    graph: ASGraph,
+    n: int,
+    alpha: float,
+    rng: np.random.Generator,
+    *,
+    n_providers: int | None = None,
+) -> list[tuple[int, int]]:
+    """Power-law matrix: Zipf-ranked content providers → random stubs.
+
+    The i-th ranked provider sources a flow with probability
+    ``a * i^-alpha``; the consumer is a uniformly chosen stub AS.
+    """
+    ranked = content_provider_ranking(graph)
+    if n_providers is not None:
+        ranked = ranked[:n_providers]
+    k = len(ranked)
+    weights = np.arange(1, k + 1, dtype=np.float64) ** -alpha
+    weights /= weights.sum()
+    providers = np.asarray(ranked, dtype=np.int64)
+    stubs = np.asarray(graph.stub_ases(), dtype=np.int64)
+    if stubs.size == 0:
+        raise ConfigError("graph has no stub ASes to consume traffic")
+    src = rng.choice(providers, size=n, p=weights)
+    dst = rng.choice(stubs, size=n)
+    clash = src == dst
+    while clash.any():
+        dst[clash] = rng.choice(stubs, size=int(clash.sum()))
+        clash = src == dst
+    return list(zip(src.tolist(), dst.tolist()))
+
+
+def _to_specs(
+    pairs: list[tuple[int, int]], cfg: TrafficConfig, rng: np.random.Generator
+) -> list[FlowSpec]:
+    starts = poisson_start_times(len(pairs), cfg.arrival_rate, rng)
+    sizes = cfg.sample_sizes(len(pairs), rng)
+    return [
+        FlowSpec(
+            flow_id=i,
+            src=s,
+            dst=d,
+            size_bytes=float(size),
+            start_time=float(t),
+        )
+        for i, ((s, d), t, size) in enumerate(zip(pairs, starts, sizes))
+    ]
+
+
+def uniform_matrix(graph: ASGraph, cfg: TrafficConfig) -> list[FlowSpec]:
+    """The paper's uniformly distributed traffic matrix (Fig. 5)."""
+    cfg.validate()
+    rng = np.random.default_rng(cfg.seed)
+    return _to_specs(uniform_pairs(graph, cfg.n_flows, rng), cfg, rng)
+
+
+def powerlaw_matrix(
+    graph: ASGraph, cfg: TrafficConfig, *, n_providers: int | None = None
+) -> list[FlowSpec]:
+    """The paper's power-law content-provider matrix (Fig. 6)."""
+    cfg.validate()
+    rng = np.random.default_rng(cfg.seed)
+    pairs = powerlaw_pairs(graph, cfg.n_flows, cfg.alpha, rng, n_providers=n_providers)
+    return _to_specs(pairs, cfg, rng)

@@ -1,0 +1,114 @@
+"""Tests for BGP dynamics: link failure, withdrawal churn, repair."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.speaker import BgpNetwork
+from repro.errors import TopologyError
+from repro.topology.asgraph import ASGraph
+
+from ..conftest import as_graphs
+
+
+@pytest.fixture
+def fig11_net(fig11_graph):
+    net = BgpNetwork(fig11_graph)
+    net.announce(5)
+    return net
+
+
+class TestFailLink:
+    def test_reroutes_around_failure(self, fig11_net):
+        # Default 3 -> 4 -> 5; failing (3, 4) forces the path via 6.
+        assert fig11_net.best_path(3, 5) == (3, 4, 5)
+        churn = fig11_net.fail_link(3, 4)
+        assert churn > 0
+        assert fig11_net.best_path(3, 5) == (3, 6, 5)
+        assert fig11_net.best_path(1, 5) == (1, 3, 6, 5)
+
+    def test_partition_withdraws_routes(self):
+        g = ASGraph.from_links(p2c=[(1, 0), (2, 1)])
+        net = BgpNetwork(g)
+        net.announce(0)
+        assert net.best_path(2, 0) == (2, 1, 0)
+        net.fail_link(1, 0)
+        assert net.best(1, 0) is None
+        assert net.best(2, 0) is None  # withdrawal propagated upstream
+
+    def test_unknown_link_rejected(self, fig11_net):
+        with pytest.raises(TopologyError):
+            fig11_net.fail_link(1, 5)
+
+    def test_unrelated_failure_changes_nothing(self, fig11_net):
+        before = {x: fig11_net.best_path(x, 5) for x in (1, 2, 3)}
+        fig11_net.fail_link(6, 3)  # the unused alternative
+        after = {x: fig11_net.best_path(x, 5) for x in (1, 2, 3)}
+        assert before == after
+
+    def test_rib_loses_failed_alternative(self, fig11_net):
+        assert 6 in fig11_net.rib_neighbors(3, 5)
+        fig11_net.fail_link(6, 3)
+        assert 6 not in fig11_net.rib_neighbors(3, 5)
+
+
+class TestRestoreLink:
+    def test_restore_returns_to_original(self, fig11_net):
+        fig11_net.fail_link(3, 4)
+        assert fig11_net.best_path(3, 5) == (3, 6, 5)
+        fig11_net.restore_link(3, 4)
+        assert fig11_net.best_path(3, 5) == (3, 4, 5)
+        assert set(fig11_net.rib_neighbors(3, 5)) == {4, 6}
+
+    def test_restore_of_up_link_is_noop(self, fig11_net):
+        assert fig11_net.restore_link(3, 4) == 0
+
+
+class TestFailureProperties:
+    @given(g=as_graphs(max_nodes=9), link_idx=st.integers(0, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_fail_restore_round_trip(self, g, link_idx):
+        """Failing and restoring any link returns to the converged state."""
+        links = g.links()
+        u, v, _rel = links[link_idx % len(links)]
+        net = BgpNetwork(g)
+        net.announce(0)
+        before_paths = {x: net.best_path(x, 0) for x in g.nodes()}
+        before_ribs = {x: net.rib_neighbors(x, 0) for x in g.nodes()}
+        net.fail_link(u, v)
+        net.restore_link(u, v)
+        assert {x: net.best_path(x, 0) for x in g.nodes()} == before_paths
+        assert {x: net.rib_neighbors(x, 0) for x in g.nodes()} == before_ribs
+
+    @given(g=as_graphs(max_nodes=9), link_idx=st.integers(0, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_post_failure_state_is_failure_free_convergence(self, g, link_idx):
+        """Converging then failing (u,v) must equal converging on the graph
+        without (u,v) — re-convergence reaches the true fixed point."""
+        links = g.links()
+        u, v, rel = links[link_idx % len(links)]
+        net = BgpNetwork(g)
+        net.announce(0)
+        net.fail_link(u, v)
+
+        # Reference: rebuild the graph without that link.
+        from repro.topology.relationships import Relationship
+
+        ref = ASGraph()
+        for n in g.nodes():
+            ref.add_as(n)
+        for a, b, r in links:
+            if (a, b) == (u, v):
+                continue
+            if r is Relationship.CUSTOMER:
+                ref.add_p2c(a, b)
+            elif r is Relationship.PROVIDER:
+                ref.add_p2c(b, a)
+            else:
+                ref.add_peering(a, b)
+        ref.freeze()
+        ref_net = BgpNetwork(ref)
+        ref_net.announce(0)
+
+        for x in g.nodes():
+            assert net.best_path(x, 0) == ref_net.best_path(x, 0), x

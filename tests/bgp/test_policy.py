@@ -1,0 +1,58 @@
+"""Tests for export/import policy and best-route selection."""
+
+from repro.bgp.policy import accepts, can_export, local_preference, select_best
+from repro.bgp.route import Route
+from repro.topology.relationships import Relationship
+
+C, P, R = Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER
+
+
+def route(path, learned):
+    return Route(dest=path[-1], as_path=tuple(path), learned_from=learned)
+
+
+class TestExport:
+    def test_customer_route_exports_to_all(self):
+        r = route([2, 9], C)
+        assert can_export(r, C) and can_export(r, P) and can_export(r, R)
+
+    def test_provider_route_only_to_customers(self):
+        r = route([2, 9], R)
+        assert can_export(r, C)
+        assert not can_export(r, P)
+        assert not can_export(r, R)
+
+    def test_peer_route_only_to_customers(self):
+        r = route([2, 9], P)
+        assert can_export(r, C)
+        assert not can_export(r, P)
+
+
+class TestImport:
+    def test_loop_rejected(self):
+        assert not accepts(3, route([2, 3, 9], C))
+
+    def test_clean_route_accepted(self):
+        assert accepts(7, route([2, 3, 9], C))
+
+
+class TestSelection:
+    def test_empty(self):
+        assert select_best([]) is None
+
+    def test_prefers_customer_class(self):
+        best = select_best([route([5, 9], P), route([6, 7, 8, 9], C)])
+        assert best.learned_from is C
+
+    def test_prefers_shorter_within_class(self):
+        best = select_best([route([5, 6, 9], P), route([7, 9], P)])
+        assert best.next_hop == 7
+
+    def test_tiebreak_lowest_next_hop(self):
+        best = select_best([route([5, 9], P), route([3, 9], P)])
+        assert best.next_hop == 3
+
+    def test_local_preference_values(self):
+        assert local_preference(route([2, 9], C)) > local_preference(route([2, 9], P))
+        assert local_preference(route([2, 9], P)) > local_preference(route([2, 9], R))
+        assert local_preference(Route(dest=9, as_path=(), learned_from=None)) == 110

@@ -1,0 +1,171 @@
+"""Tests for the fast three-stage per-destination routing computation."""
+
+import pytest
+
+from repro.bgp.propagation import RoutingCache, compute_routing
+from repro.errors import NoRouteError, TopologyError
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import Relationship, is_valley_free
+
+C, P, R = Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER
+
+
+class TestBasics:
+    def test_requires_frozen_graph(self):
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        with pytest.raises(TopologyError, match="freeze"):
+            compute_routing(g, 0)
+
+    def test_unknown_destination(self, fig2a_graph):
+        with pytest.raises(TopologyError):
+            compute_routing(fig2a_graph, 99)
+
+    def test_destination_itself(self, fig2a_graph):
+        r = compute_routing(fig2a_graph, 0)
+        assert r.next_hop(0) is None
+        assert r.best_class(0) is None
+        assert r.best_path(0) == (0,)
+        assert r.rib(0) == ()
+
+    def test_no_route_raises(self):
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        g.add_as(9)  # isolated
+        g.freeze()
+        r = compute_routing(g, 0)
+        assert not r.has_route(9)
+        with pytest.raises(NoRouteError):
+            r.next_hop(9)
+        with pytest.raises(NoRouteError):
+            r.best_path(9)
+
+
+class TestFig2a:
+    """Paper Fig. 2(a): three peers above a shared customer."""
+
+    def test_default_paths_direct(self, fig2a_graph):
+        r = compute_routing(fig2a_graph, 0)
+        for asn in (1, 2, 3):
+            assert r.next_hop(asn) == 0
+            assert r.best_class(asn) is C
+            assert r.best_path(asn) == (asn, 0)
+
+    def test_alternatives_via_peers(self, fig2a_graph):
+        r = compute_routing(fig2a_graph, 0)
+        # AS 1 hears the route from customer-side AS 0 directly and from
+        # both peers (their best routes are customer routes, exportable
+        # to peers).
+        assert [e.neighbor for e in r.rib(1)] == [0, 2, 3]
+        alts = r.alternatives(1)
+        assert {e.neighbor for e in alts} == {2, 3}
+        assert all(e.relationship is P for e in alts)
+        assert all(e.length == 2 for e in alts)
+
+
+class TestFig11:
+    """The six-AS testbed graph: paper Section V-B paths."""
+
+    def test_default_paths(self, fig11_graph):
+        r = compute_routing(fig11_graph, 5)
+        assert r.best_path(1) == (1, 3, 4, 5)
+        assert r.best_path(2) == (2, 3, 4, 5)
+        assert r.best_path(3) == (3, 4, 5)
+
+    def test_as3_has_alternative_via_6(self, fig11_graph):
+        r = compute_routing(fig11_graph, 5)
+        assert {e.neighbor for e in r.alternatives(3)} == {6}
+
+    def test_tiebreak_chose_lower_asn(self, fig11_graph):
+        # AS3's two provider routes tie on class and length; AS 4 < AS 6.
+        r = compute_routing(fig11_graph, 5)
+        assert r.next_hop(3) == 4
+
+
+class TestChain:
+    def test_provider_route_chains_down(self, chain_graph):
+        r = compute_routing(chain_graph, 2)
+        # AS 0 reaches the top provider 2 via its provider 1.
+        assert r.best_path(0) == (0, 1, 2)
+        assert r.best_class(0) is R
+        assert r.best_len(0) == 2
+
+    def test_customer_route_chains_up(self, chain_graph):
+        r = compute_routing(chain_graph, 0)
+        assert r.best_path(2) == (2, 1, 0)
+        assert r.best_class(2) is C
+
+
+class TestInvariants:
+    """Structural invariants on a generated Internet."""
+
+    @pytest.fixture(scope="class")
+    def routing(self, small_internet):
+        return [compute_routing(small_internet, d) for d in (0, 50, 250, 299)]
+
+    def test_full_reachability(self, small_internet, routing):
+        for r in routing:
+            assert r.reachable_count() == len(small_internet)
+
+    def test_default_paths_valley_free(self, small_internet, routing):
+        for r in routing:
+            for x in list(small_internet.nodes())[::7]:
+                path = r.best_path(x)
+                steps = [
+                    small_internet.relationship(path[i], path[i + 1])
+                    for i in range(len(path) - 1)
+                ]
+                assert is_valley_free(steps), (path, steps)
+
+    def test_default_paths_loop_free(self, small_internet, routing):
+        for r in routing:
+            for x in small_internet.nodes():
+                path = r.best_path(x)
+                assert len(set(path)) == len(path)
+
+    def test_path_length_decreases_hop_by_hop(self, small_internet, routing):
+        for r in routing:
+            for x in list(small_internet.nodes())[::13]:
+                if x == r.dest:
+                    continue
+                nh = r.next_hop(x)
+                assert r.best_len(nh) == r.best_len(x) - 1
+
+    def test_rib_first_entry_is_default(self, small_internet, routing):
+        for r in routing:
+            for x in list(small_internet.nodes())[::7]:
+                if x == r.dest:
+                    continue
+                rib = r.rib(x)
+                assert rib, f"AS {x} has empty RIB"
+                assert rib[0].neighbor == r.next_hop(x)
+
+    def test_rib_entries_never_contain_self(self, small_internet, routing):
+        for r in routing:
+            for x in list(small_internet.nodes())[::17]:
+                for e in r.rib(x):
+                    if e.neighbor == r.dest:
+                        continue
+                    assert x not in r.best_path(e.neighbor)
+
+    def test_rib_lengths_consistent(self, small_internet, routing):
+        for r in routing:
+            for x in list(small_internet.nodes())[::23]:
+                if x == r.dest:
+                    continue
+                for e in r.rib(x):
+                    assert e.length == r.best_len(e.neighbor) + 1
+
+
+class TestRoutingCache:
+    def test_caches(self, fig2a_graph):
+        cache = RoutingCache(fig2a_graph)
+        a = cache(0)
+        b = cache(0)
+        assert a is b
+        assert len(cache) == 1
+
+    def test_eviction(self, fig2a_graph):
+        cache = RoutingCache(fig2a_graph, max_entries=2)
+        cache(0), cache(1), cache(2)
+        assert len(cache) == 2

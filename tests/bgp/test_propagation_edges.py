@@ -1,0 +1,106 @@
+"""Edge-case tests for route propagation: exotic tie-breaks, deep chains,
+peer-only reachability, disconnected fragments."""
+
+import pytest
+
+from repro.bgp.propagation import compute_routing
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import Relationship
+
+C, P, R = Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER
+
+
+class TestTieBreaks:
+    def test_shorter_customer_route_wins(self):
+        # dest 0; AS 3 reaches it via customer chains 3->1->0 and 3->0.
+        g = ASGraph.from_links(p2c=[(3, 1), (1, 0), (3, 0)])
+        r = compute_routing(g, 0)
+        assert r.best_path(3) == (3, 0)
+
+    def test_lowest_next_hop_on_equal_length(self):
+        # two equal-length customer routes via 1 and 2: pick AS 1.
+        g = ASGraph.from_links(p2c=[(4, 1), (4, 2), (1, 0), (2, 0)])
+        r = compute_routing(g, 0)
+        assert r.next_hop(4) == 1
+
+    def test_customer_beats_much_shorter_peer(self):
+        # AS 5's customer chain to 0 is long; its peer 9 offers 2 hops.
+        g = ASGraph.from_links(
+            p2c=[(5, 4), (4, 3), (3, 0), (9, 0)],
+            peering=[(5, 9)],
+        )
+        r = compute_routing(g, 0)
+        assert r.best_class(5) is C
+        assert r.best_path(5) == (5, 4, 3, 0)
+        # ... but the peer route is still in the RIB as an alternative.
+        assert 9 in {e.neighbor for e in r.alternatives(5)}
+
+    def test_peer_beats_provider(self):
+        g = ASGraph.from_links(
+            p2c=[(7, 5), (7, 0), (9, 0)],  # 7 provider of 5; 7 reaches 0
+            peering=[(5, 9)],
+        )
+        r = compute_routing(g, 0)
+        assert r.best_class(5) is P
+        assert r.best_path(5) == (5, 9, 0)
+
+
+class TestDeepChains:
+    def test_long_provider_chain(self):
+        # 0 <- 1 <- 2 <- ... <- 9 (each provider of the previous).
+        g = ASGraph.from_links(p2c=[(i + 1, i) for i in range(9)])
+        r = compute_routing(g, 9)
+        assert r.best_path(0) == tuple(range(10))
+        assert r.best_class(0) is R
+        assert r.best_len(0) == 9
+
+    def test_long_customer_chain(self):
+        g = ASGraph.from_links(p2c=[(i + 1, i) for i in range(9)])
+        r = compute_routing(g, 0)
+        assert r.best_path(9) == tuple(range(9, -1, -1))
+        assert r.best_class(9) is C
+
+
+class TestPeerOnlyReachability:
+    def test_one_peer_hop_reachable(self):
+        g = ASGraph.from_links(p2c=[(1, 0)], peering=[(1, 2)])
+        r = compute_routing(g, 0)
+        assert r.best_path(2) == (2, 1, 0)
+        assert r.best_class(2) is P
+
+    def test_two_peer_hops_unreachable(self):
+        # 3 -peer- 2 -peer- 1 -> 0: valley-free forbids transit at 2.
+        g = ASGraph.from_links(p2c=[(1, 0)], peering=[(1, 2), (2, 3)])
+        r = compute_routing(g, 0)
+        assert r.has_route(2)
+        assert not r.has_route(3)
+
+    def test_provider_rescues_peer_deadend(self):
+        # As above, but 3 also buys transit from 4, which peers with 1.
+        g = ASGraph.from_links(
+            p2c=[(1, 0), (4, 3)],
+            peering=[(1, 2), (2, 3), (4, 1)],
+        )
+        r = compute_routing(g, 0)
+        assert r.has_route(3)
+        assert r.best_path(3) == (3, 4, 1, 0)
+
+
+class TestFragments:
+    def test_unreachable_island(self):
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        g.add_p2c(9, 8)
+        g.freeze()
+        r = compute_routing(g, 0)
+        assert r.reachable_count() == 2
+        assert not r.has_route(8)
+        assert not r.has_route(9)
+
+    def test_single_node_graph(self):
+        g = ASGraph()
+        g.add_as(5)
+        g.freeze()
+        r = compute_routing(g, 5)
+        assert r.best_path(5) == (5,)
+        assert r.reachable_count() == 1

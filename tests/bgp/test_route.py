@@ -1,0 +1,65 @@
+"""Tests for Route objects and the selection key."""
+
+import pytest
+
+from repro.bgp.route import Route, selection_key
+from repro.topology.relationships import Relationship
+
+C, P, R = Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER
+
+
+class TestRoute:
+    def test_local_route(self):
+        r = Route(dest=5, as_path=(), learned_from=None)
+        assert r.is_local
+        assert r.next_hop is None
+        assert r.length == 0
+
+    def test_learned_route(self):
+        r = Route(dest=5, as_path=(2, 3, 5), learned_from=C)
+        assert not r.is_local
+        assert r.next_hop == 2
+        assert r.length == 3
+
+    def test_path_must_end_at_dest(self):
+        with pytest.raises(ValueError):
+            Route(dest=5, as_path=(2, 3), learned_from=C)
+
+    def test_contains(self):
+        r = Route(dest=5, as_path=(2, 3, 5), learned_from=C)
+        assert r.contains(3)
+        assert not r.contains(7)
+
+    def test_announced_by_prepends(self):
+        r = Route(dest=5, as_path=(3, 5), learned_from=C)
+        r2 = r.announced_by(2, P)
+        assert r2.as_path == (2, 3, 5)
+        assert r2.learned_from is P
+        assert r2.dest == 5
+
+    def test_frozen(self):
+        r = Route(dest=5, as_path=(5,), learned_from=C)
+        with pytest.raises(AttributeError):
+            r.dest = 6
+
+
+class TestSelectionKey:
+    def test_class_dominates_length(self):
+        long_customer = Route(dest=9, as_path=(4, 5, 6, 7, 9), learned_from=C)
+        short_peer = Route(dest=9, as_path=(2, 9), learned_from=P)
+        assert selection_key(long_customer) < selection_key(short_peer)
+
+    def test_length_breaks_class_tie(self):
+        a = Route(dest=9, as_path=(2, 9), learned_from=P)
+        b = Route(dest=9, as_path=(3, 4, 9), learned_from=P)
+        assert selection_key(a) < selection_key(b)
+
+    def test_lowest_next_hop_is_final_tiebreak(self):
+        a = Route(dest=9, as_path=(2, 9), learned_from=P)
+        b = Route(dest=9, as_path=(3, 9), learned_from=P)
+        assert selection_key(a) < selection_key(b)
+
+    def test_local_route_beats_everything(self):
+        local = Route(dest=9, as_path=(), learned_from=None)
+        best_learned = Route(dest=9, as_path=(0, 9), learned_from=C)
+        assert selection_key(local) < selection_key(best_learned)

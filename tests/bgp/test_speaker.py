@@ -1,0 +1,108 @@
+"""Tests for the message-level BGP model (RIBs + speakers)."""
+
+import pytest
+
+from repro.bgp.rib import AdjRibIn, LocRib
+from repro.bgp.route import Route
+from repro.bgp.speaker import BgpNetwork
+from repro.errors import TopologyError
+from repro.topology.asgraph import ASGraph
+from repro.topology.relationships import Relationship
+
+C, P, R = Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER
+
+
+class TestAdjRibIn:
+    def test_update_and_withdraw(self):
+        rib = AdjRibIn(owner=7)
+        r = Route(dest=9, as_path=(2, 9), learned_from=C)
+        assert rib.update(9, 2, r)
+        assert not rib.update(9, 2, r)  # no change
+        assert rib.route_from(9, 2) == r
+        assert rib.update(9, 2, None)  # withdraw
+        assert rib.route_from(9, 2) is None
+        assert not rib.update(9, 2, None)  # double-withdraw is a no-op
+
+    def test_looping_route_treated_as_withdrawal(self):
+        rib = AdjRibIn(owner=7)
+        good = Route(dest=9, as_path=(2, 9), learned_from=C)
+        rib.update(9, 2, good)
+        looping = Route(dest=9, as_path=(2, 7, 9), learned_from=C)
+        assert rib.update(9, 2, looping)  # replaces the good route with nothing
+        assert rib.candidates(9) == []
+
+    def test_neighbors_offering_sorted(self):
+        rib = AdjRibIn(owner=7)
+        rib.update(9, 5, Route(dest=9, as_path=(5, 9), learned_from=C))
+        rib.update(9, 2, Route(dest=9, as_path=(2, 9), learned_from=C))
+        assert rib.neighbors_offering(9) == [2, 5]
+
+
+class TestLocRib:
+    def test_originate_wins(self):
+        loc = LocRib(owner=9)
+        loc.originate(9)
+        adj = AdjRibIn(owner=9)
+        adj.update(9, 2, Route(dest=9, as_path=(2, 9), learned_from=C))
+        assert not loc.reselect(9, adj)  # local route never displaced
+        assert loc.best(9).is_local
+
+    def test_reselect_reports_change(self):
+        loc = LocRib(owner=7)
+        adj = AdjRibIn(owner=7)
+        adj.update(9, 5, Route(dest=9, as_path=(5, 9), learned_from=P))
+        assert loc.reselect(9, adj)
+        adj.update(9, 2, Route(dest=9, as_path=(2, 9), learned_from=C))
+        assert loc.reselect(9, adj)
+        assert loc.next_hop(9) == 2
+        assert loc.best_relationship(9) is C
+
+    def test_withdrawal_clears_best(self):
+        loc = LocRib(owner=7)
+        adj = AdjRibIn(owner=7)
+        adj.update(9, 5, Route(dest=9, as_path=(5, 9), learned_from=P))
+        loc.reselect(9, adj)
+        adj.update(9, 5, None)
+        assert loc.reselect(9, adj)
+        assert loc.best(9) is None
+        assert loc.destinations() == []
+
+
+class TestBgpNetwork:
+    def test_requires_frozen(self):
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        with pytest.raises(TopologyError):
+            BgpNetwork(g)
+
+    def test_fig2a_convergence(self, fig2a_graph):
+        net = BgpNetwork(fig2a_graph)
+        messages = net.announce(0)
+        assert messages > 0
+        for asn in (1, 2, 3):
+            assert net.next_hop(asn, 0) == 0
+            assert net.best_path(asn, 0) == (asn, 0)
+            # Peers offer alternatives: full RIB visibility.
+            assert set(net.rib_neighbors(asn, 0)) == {0} | ({1, 2, 3} - {asn})
+
+    def test_valley_free_blocks_peer_transit(self, fig2a_graph):
+        net = BgpNetwork(fig2a_graph)
+        net.announce(0)
+        # AS 1's best is its customer route; had AS 1 only a peer route it
+        # could not transit.  Check the export side: AS 1 announces its
+        # customer route to peers (so they have alternatives), which is
+        # legal; but no AS should ever learn a path through two peer links.
+        for asn in (1, 2, 3):
+            for nb in net.rib_neighbors(asn, 0):
+                path = net.speakers[asn].adj_in.route_from(0, nb).as_path
+                # A 2-peer-hop path like (2, 3, 0) from AS 1 would mean a
+                # peer exported a peer route.
+                if len(path) >= 2 and nb != 0:
+                    # nb exported its customer route (direct to 0).
+                    assert path[-2] in (1, 2, 3)
+                    assert path == (nb, 0)
+
+    def test_message_budget(self, small_internet):
+        net = BgpNetwork(small_internet)
+        with pytest.raises(RuntimeError, match="budget"):
+            net.announce(0, max_messages=3)

@@ -1,0 +1,90 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.topology.asgraph import ASGraph
+from repro.topology.generator import TopologyConfig, generate_topology
+
+
+# ---------------------------------------------------------------------------
+# Canonical small topologies from the paper's figures
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def fig2a_graph() -> ASGraph:
+    """Paper Fig. 2(a): ASes 1, 2, 3 mutually peering; AS 0 their customer.
+
+    The canonical data-plane loop example: every AS's default to AS 0 is
+    the direct link; alternatives run via the peers, and without the
+    valley-free rule a clockwise deflection cycle 1→2→3→1 exists.
+    """
+    return ASGraph.from_links(
+        p2c=[(1, 0), (2, 0), (3, 0)],
+        peering=[(1, 2), (2, 3), (1, 3)],
+    )
+
+
+@pytest.fixture
+def fig11_graph() -> ASGraph:
+    """Paper Fig. 11: the six-AS testbed relationship graph."""
+    return ASGraph.from_links(
+        p2c=[(3, 1), (3, 2), (4, 3), (6, 3), (4, 5), (6, 5)],
+    )
+
+
+@pytest.fixture
+def chain_graph() -> ASGraph:
+    """0 <- 1 <- 2: a provider chain (2 is top provider)."""
+    return ASGraph.from_links(p2c=[(1, 0), (2, 1)])
+
+
+@pytest.fixture(scope="session")
+def small_internet() -> ASGraph:
+    """A 300-AS synthetic Internet shared across tests (read-only)."""
+    return generate_topology(TopologyConfig(n_ases=300, seed=7))
+
+
+@pytest.fixture(scope="session")
+def medium_internet() -> ASGraph:
+    """A 800-AS synthetic Internet for heavier integration tests."""
+    return generate_topology(TopologyConfig(n_ases=800, seed=11))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategy: random valid AS graphs
+# ---------------------------------------------------------------------------
+@st.composite
+def as_graphs(draw, min_nodes: int = 3, max_nodes: int = 12) -> ASGraph:
+    """Random AS graph with an acyclic provider hierarchy.
+
+    Node ``i`` may only choose providers among ``0..i-1`` (guaranteeing
+    acyclicity); peering links join arbitrary non-adjacent pairs.  The
+    graph is connected by construction: every node > 0 has at least one
+    provider.
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    g = ASGraph()
+    for i in range(n):
+        g.add_as(i)
+    for i in range(1, n):
+        k = draw(st.integers(1, min(3, i)))
+        providers = draw(
+            st.lists(st.integers(0, i - 1), min_size=k, max_size=k, unique=True)
+        )
+        for p in providers:
+            g.add_p2c(p, i)
+    n_peer = draw(st.integers(0, n))
+    for _ in range(n_peer):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b and not g.are_adjacent(a, b):
+            g.add_peering(a, b)
+    return g.freeze()

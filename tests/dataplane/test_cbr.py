@@ -1,0 +1,64 @@
+"""Unit tests for the CBR traffic source."""
+
+import pytest
+
+from repro.dataplane import Network
+from repro.mifo.engine import bgp_engine
+from repro.topology.relationships import Relationship
+
+
+def wire():
+    net = Network()
+    r1 = net.add_router("R1", 1, bgp_engine)
+    r2 = net.add_router("R2", 2, bgp_engine)
+    a = net.add_host("A")
+    b = net.add_host("B")
+    _, r1_a = net.attach_host(a, r1)
+    _, r2_b = net.attach_host(b, r2)
+    p12, p21 = net.connect_routers(r1, r2, relationship_of_b=Relationship.PEER)
+    r1.fib.install("B", p12)
+    r2.fib.install("B", r2_b)
+    r2.fib.install("A", p21)
+    r1.fib.install("A", r1_a)
+    return net, a, b
+
+
+class TestCbr:
+    def test_rate_and_accounting(self):
+        net, a, b = wire()
+        s = a.start_cbr(1, "B", rate_bps=8e6, packet_size=1000, total_bytes=100_000)
+        net.run(until=2.0)
+        assert s.sent_bytes == 100_000
+        assert s.sent_packets == 100
+        assert not s.running
+        assert b.cbr_received[1] == 100_000
+        # 100 packets at 8 Mb/s with 1 kB packets = 1 ms apart = ~0.1 s
+        # of sending; everything arrives shortly after.
+
+    def test_unbounded_until_stopped(self):
+        net, a, b = wire()
+        s = a.start_cbr(1, "B", rate_bps=8e6, packet_size=1000)
+        net.sim.schedule(0.0105, s.stop)
+        net.run(until=1.0)
+        assert not s.running
+        assert 9 <= s.sent_packets <= 12
+
+    def test_delayed_start(self):
+        net, a, b = wire()
+        a.start_cbr(1, "B", rate_bps=8e6, total_bytes=5000, delay=0.5)
+        net.run(until=0.4)
+        assert b.cbr_received.get(1, 0) == 0
+        net.run(until=2.0)
+        assert b.cbr_received[1] == 5000
+
+    def test_bad_rate(self):
+        net, a, _b = wire()
+        with pytest.raises(ValueError):
+            a.start_cbr(1, "B", rate_bps=0)
+
+    def test_start_idempotent(self):
+        net, a, _b = wire()
+        s = a.start_cbr(1, "B", rate_bps=8e6, total_bytes=2000)
+        s.start()  # second start must not double the stream
+        net.run(until=1.0)
+        assert s.sent_packets == 2

@@ -1,0 +1,94 @@
+"""Byte/packet conservation properties of the packet plane.
+
+Whatever enters a link's tx queue either arrives at the far side or is
+accounted as a drop — under arbitrary packet sizes, bursts and queue
+capacities.  These invariants underpin every throughput number in the
+Fig-12 reproduction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.device import Device
+from repro.dataplane.events import Simulator
+from repro.dataplane.link import Link
+from repro.dataplane.packet import Packet
+from repro.dataplane.port import Port
+
+
+class Counter(Device):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.packets = 0
+        self.bytes = 0
+
+    def receive(self, packet, in_port):
+        self.packets += 1
+        self.bytes += packet.size
+
+
+@st.composite
+def bursts(draw):
+    queue = draw(st.integers(1, 32))
+    sizes = draw(st.lists(st.integers(40, 9000), min_size=1, max_size=80))
+    rate = draw(st.sampled_from([1e6, 1e8, 1e9]))
+    return queue, sizes, rate
+
+
+class TestConservation:
+    @given(bursts())
+    @settings(max_examples=60, deadline=None)
+    def test_sent_plus_dropped_equals_offered(self, burst):
+        queue, sizes, rate = burst
+        sim = Simulator()
+        a = Counter(sim, "A")
+        b = Counter(sim, "B")
+        pa = a.add_port(Port("A:0", queue_capacity=queue))
+        pb = b.add_port(Port("B:0", queue_capacity=queue))
+        Link(sim, a, pa, b, pb, rate_bps=rate, delay_s=1e-4)
+        accepted_bytes = 0
+        for i, size in enumerate(sizes):
+            p = Packet(flow_id=1, seq=i, src="S", dst="D", size=size)
+            if pa.send(p):
+                accepted_bytes += size
+        sim.run()
+        assert pa.stats.packets_sent + pa.stats.packets_dropped == len(sizes)
+        assert b.packets == pa.stats.packets_sent
+        assert b.bytes == pa.stats.bytes_sent == accepted_bytes
+
+    @given(bursts())
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_delivery_order(self, burst):
+        queue, sizes, rate = burst
+        sim = Simulator()
+        received = []
+
+        class Order(Device):
+            def receive(self, packet, in_port):
+                received.append(packet.seq)
+
+        a = Order(sim, "A")
+        b = Order(sim, "B")
+        pa = a.add_port(Port("A:0", queue_capacity=queue))
+        pb = b.add_port(Port("B:0", queue_capacity=queue))
+        Link(sim, a, pa, b, pb, rate_bps=rate, delay_s=1e-4)
+        for i, size in enumerate(sizes):
+            pa.send(Packet(flow_id=1, seq=i, src="S", dst="D", size=size))
+        sim.run()
+        assert received == sorted(received)
+
+    @given(bursts())
+    @settings(max_examples=40, deadline=None)
+    def test_busy_time_matches_bytes(self, burst):
+        queue, sizes, rate = burst
+        sim = Simulator()
+        a = Counter(sim, "A")
+        b = Counter(sim, "B")
+        pa = a.add_port(Port("A:0", queue_capacity=queue))
+        pb = b.add_port(Port("B:0", queue_capacity=queue))
+        Link(sim, a, pa, b, pb, rate_bps=rate, delay_s=1e-4)
+        for i, size in enumerate(sizes):
+            pa.send(Packet(flow_id=1, seq=i, src="S", dst="D", size=size))
+        sim.run()
+        expected = pa.stats.bytes_sent * 8.0 / rate
+        assert abs(pa.stats.busy_time - expected) < 1e-9 * max(1.0, expected)

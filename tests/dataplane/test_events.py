@@ -1,0 +1,105 @@
+"""Tests for the DES core."""
+
+import pytest
+
+from repro.dataplane.events import EventQueue, Simulator
+from repro.errors import SimulationError
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        out = []
+        q.push(2.0, lambda: out.append("b"))
+        q.push(1.0, lambda: out.append("a"))
+        q.push(3.0, lambda: out.append("c"))
+        while q:
+            _t, cb = q.pop()
+            cb()
+        assert out == ["a", "b", "c"]
+
+    def test_fifo_among_equal_times(self):
+        q = EventQueue()
+        out = []
+        for i in range(5):
+            q.push(1.0, lambda i=i: out.append(i))
+        while q:
+            q.pop()[1]()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_peek(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        assert q.peek_time() == 5.0
+        assert len(q) == 1
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        end = sim.run()
+        assert times == [0.5, 1.0]
+        assert end == 1.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        out = []
+
+        def first():
+            out.append(sim.now)
+            sim.schedule(2.0, lambda: out.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert out == [1.0, 3.0]
+
+    def test_until_pauses_but_keeps_events(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: out.append(1))
+        sim.schedule(5.0, lambda: out.append(5))
+        sim.run(until=2.0)
+        assert out == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert out == [1, 5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_event_budget(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run(max_events=10)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as e:
+                errors.append(e)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1

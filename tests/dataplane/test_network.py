@@ -1,0 +1,77 @@
+"""Tests for the Network wiring helper and the throughput sampler."""
+
+import pytest
+
+from repro.dataplane import Network, PeerKind, ThroughputSampler
+from repro.errors import ConfigError
+from repro.mifo.engine import bgp_engine
+from repro.topology.relationships import Relationship
+
+
+class TestWiring:
+    def test_duplicate_names_rejected(self):
+        net = Network()
+        net.add_router("R", 1, bgp_engine)
+        with pytest.raises(ConfigError):
+            net.add_router("R", 2, bgp_engine)
+        with pytest.raises(ConfigError):
+            net.add_host("R")
+
+    def test_type_checked_getters(self):
+        net = Network()
+        net.add_router("R", 1, bgp_engine)
+        net.add_host("H")
+        assert net.router("R").asn == 1
+        assert net.host("H").name == "H"
+        with pytest.raises(ConfigError):
+            net.router("H")
+        with pytest.raises(ConfigError):
+            net.host("R")
+
+    def test_same_as_becomes_ibgp(self):
+        net = Network()
+        a = net.add_router("A", 3, bgp_engine)
+        b = net.add_router("B", 3, bgp_engine)
+        pa, pb = net.connect_routers(a, b)
+        assert pa.peer_kind is PeerKind.IBGP
+        assert pb.peer_kind is PeerKind.IBGP
+        assert a.ibgp_ports["B"] is pa
+        assert b.ibgp_ports["A"] is pb
+
+    def test_cross_as_needs_relationship(self):
+        net = Network()
+        a = net.add_router("A", 1, bgp_engine)
+        b = net.add_router("B", 2, bgp_engine)
+        with pytest.raises(ConfigError):
+            net.connect_routers(a, b)
+
+    def test_ebgp_annotations_mirrored(self):
+        net = Network()
+        a = net.add_router("A", 1, bgp_engine)
+        b = net.add_router("B", 2, bgp_engine)
+        pa, pb = net.connect_routers(a, b, relationship_of_b=Relationship.CUSTOMER)
+        assert pa.peer_kind is PeerKind.EBGP
+        assert pa.neighbor_as == 2
+        assert pa.neighbor_relationship is Relationship.CUSTOMER
+        assert pb.neighbor_relationship is Relationship.PROVIDER
+
+
+class TestSampler:
+    def test_series_and_stop(self):
+        net = Network()
+        h = net.add_host("H")
+        r = net.add_router("R", 1, bgp_engine)
+        net.attach_host(h, r)
+        sampler = ThroughputSampler(net, [h], interval=0.1)
+        sampler.start()
+        net.sim.schedule(0.35, sampler.stop)
+        net.run()
+        # Samples at 0, .1, .2, .3 and the stop point.
+        assert len(sampler.times) == 5
+        assert sampler.series_bps() == [(pytest.approx(t), 0.0) for t in (0.1, 0.2, 0.3, 0.35)]
+        assert sampler.mean_bps() == 0.0
+
+    def test_bad_interval(self):
+        net = Network()
+        with pytest.raises(ConfigError):
+            ThroughputSampler(net, [], interval=0.0)

@@ -1,0 +1,70 @@
+"""Tests for packets, headers and the flow hash."""
+
+import pytest
+
+from repro.dataplane.packet import Packet, PacketKind, flow_hash
+
+
+def pkt(**kw):
+    base = dict(flow_id=1, seq=0, src="S", dst="D", size=1000)
+    base.update(kw)
+    return Packet(**base)
+
+
+class TestEncapsulation:
+    def test_encap_decap_round_trip(self):
+        p = pkt()
+        size0 = p.size
+        p.encapsulate("Rd", "Ra")
+        assert p.is_encapsulated
+        assert p.size == size0 + Packet.ENCAP_OVERHEAD
+        assert p.outer.src_router == "Rd"
+        assert p.outer.dst_router == "Ra"
+        outer = p.decapsulate()
+        assert outer.src_router == "Rd"
+        assert not p.is_encapsulated
+        assert p.size == size0
+
+    def test_double_encap_rejected(self):
+        p = pkt()
+        p.encapsulate("A", "B")
+        with pytest.raises(ValueError):
+            p.encapsulate("A", "C")
+
+    def test_decap_without_outer_rejected(self):
+        with pytest.raises(ValueError):
+            pkt().decapsulate()
+
+    def test_tag_bit_survives_encapsulation(self):
+        p = pkt(tag_bit=True)
+        p.encapsulate("A", "B")
+        assert p.tag_bit is True
+        p.decapsulate()
+        assert p.tag_bit is True
+
+
+class TestTrace:
+    def test_as_trace_records(self):
+        p = pkt()
+        p.record_as(3)
+        p.record_as(4)
+        assert p.as_trace == [3, 4]
+
+
+class TestFlowHash:
+    def test_deterministic(self):
+        assert flow_hash(42) == flow_hash(42)
+
+    def test_range(self):
+        for fid in range(200):
+            assert flow_hash(fid, 4) in range(4)
+
+    def test_roughly_uniform(self):
+        buckets = [0, 0]
+        for fid in range(1000):
+            buckets[flow_hash(fid, 2)] += 1
+        assert abs(buckets[0] - buckets[1]) < 150
+
+    def test_kinds(self):
+        assert pkt().kind is PacketKind.DATA
+        assert pkt(kind=PacketKind.ACK).kind is PacketKind.ACK

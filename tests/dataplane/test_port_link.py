@@ -1,0 +1,131 @@
+"""Tests for ports (queues, congestion signal) and links (timing)."""
+
+import pytest
+
+from repro.dataplane.device import Device
+from repro.dataplane.events import Simulator
+from repro.dataplane.link import Link
+from repro.dataplane.packet import Packet
+from repro.dataplane.port import PeerKind, Port
+
+
+class Recorder(Device):
+    """Device that records (packet, time) arrivals."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, packet, in_port):
+        self.received.append((packet, self.sim.now))
+
+
+def pkt(flow=1, size=1000):
+    return Packet(flow_id=flow, seq=0, src="S", dst="D", size=size)
+
+
+@pytest.fixture
+def wire():
+    sim = Simulator()
+    a = Recorder(sim, "A")
+    b = Recorder(sim, "B")
+    pa = a.add_port(Port("A:0", queue_capacity=4))
+    pb = b.add_port(Port("B:0", queue_capacity=4))
+    link = Link(sim, a, pa, b, pb, rate_bps=1e6, delay_s=0.01)
+    return sim, a, b, pa, pb, link
+
+
+class TestTransmission:
+    def test_timing_serialization_plus_delay(self, wire):
+        sim, _a, b, pa, _pb, _link = wire
+        pa.send(pkt(size=1000))  # 8 ms at 1 Mbps + 10 ms delay
+        sim.run()
+        assert len(b.received) == 1
+        _p, t = b.received[0]
+        assert t == pytest.approx(0.018)
+
+    def test_fifo_order_and_pipelining(self, wire):
+        sim, _a, b, pa, _pb, _link = wire
+        for i in range(3):
+            pa.send(pkt(flow=i))
+        sim.run()
+        assert [p.flow_id for p, _t in b.received] == [0, 1, 2]
+        # serialization is sequential: 8, 16, 24 ms; each + 10 ms delay
+        times = [t for _p, t in b.received]
+        assert times == pytest.approx([0.018, 0.026, 0.034])
+
+    def test_full_duplex_no_interference(self, wire):
+        sim, a, b, pa, pb, _link = wire
+        pa.send(pkt(flow=1))
+        pb.send(pkt(flow=2))
+        sim.run()
+        assert len(a.received) == 1 and len(b.received) == 1
+        assert a.received[0][1] == pytest.approx(0.018)
+        assert b.received[0][1] == pytest.approx(0.018)
+
+    def test_unwired_port_rejects_send(self):
+        p = Port("lonely")
+        with pytest.raises(RuntimeError):
+            p.send(pkt())
+
+
+class TestDropTail:
+    def test_overflow_drops(self, wire):
+        sim, _a, b, pa, _pb, _link = wire
+        results = [pa.send(pkt(flow=i)) for i in range(7)]
+        # 1 transmitting + 4 queued accepted; rest dropped.
+        assert results.count(True) == 5
+        assert results.count(False) == 2
+        assert pa.stats.packets_dropped == 2
+        sim.run()
+        assert len(b.received) == 5
+
+    def test_queuing_ratio(self, wire):
+        _sim, _a, _b, pa, _pb, _link = wire
+        assert pa.queuing_ratio == 0.0
+        pa.send(pkt())  # starts transmitting immediately
+        assert pa.queue_length == 1
+        pa.send(pkt())
+        pa.send(pkt())
+        assert pa.queuing_ratio == pytest.approx(3 / 4)
+
+
+class TestStats:
+    def test_counters(self, wire):
+        sim, _a, _b, pa, _pb, _link = wire
+        pa.send(pkt(size=500))
+        pa.send(pkt(size=500))
+        sim.run()
+        assert pa.stats.packets_sent == 2
+        assert pa.stats.bytes_sent == 1000
+        assert pa.stats.busy_time == pytest.approx(2 * 500 * 8 / 1e6)
+
+    def test_utilization_window_smoothing(self, wire):
+        sim, _a, _b, pa, _pb, _link = wire
+        pa.send(pkt(size=1000))
+        sim.run()
+        u1 = pa.sample_utilization(0.016)  # window fully busy: 8ms tx / 16ms
+        assert 0.2 < u1 <= 0.5  # EWMA from 0 toward 0.5
+        u2 = pa.sample_utilization(0.032)  # idle window decays
+        assert u2 < u1
+
+    def test_spare_capacity_zero_when_queue_full(self, wire):
+        _sim, _a, _b, pa, _pb, _link = wire
+        for i in range(6):
+            pa.send(pkt(flow=i))
+        assert pa.spare_capacity(0.0) == 0.0
+
+    def test_remote_of_validates(self, wire):
+        _sim, _a, _b, _pa, _pb, link = wire
+        with pytest.raises(ValueError):
+            link.remote_of(Port("other"))
+
+    def test_bad_rate_rejected(self):
+        sim = Simulator()
+        a, b = Recorder(sim, "A"), Recorder(sim, "B")
+        with pytest.raises(ValueError):
+            Link(sim, a, Port("x"), b, Port("y"), rate_bps=0)
+
+    def test_peer_kind_annotation(self):
+        p = Port("x", peer_kind=PeerKind.IBGP)
+        assert p.peer_kind is PeerKind.IBGP

@@ -1,0 +1,128 @@
+"""Tests for the TCP Reno substrate."""
+
+import pytest
+
+from repro.dataplane import Network, PeerKind
+from repro.dataplane.tcp import TcpConfig
+from repro.mifo.engine import bgp_engine
+from repro.topology.relationships import Relationship
+
+
+def two_host_net(rate=1e8, queue=16):
+    """A <-> R1 <-> R2 <-> B with configurable middle-link rate."""
+    net = Network()
+    r1 = net.add_router("R1", 1, bgp_engine)
+    r2 = net.add_router("R2", 2, bgp_engine)
+    a = net.add_host("A")
+    b = net.add_host("B")
+    _, r1_a = net.attach_host(a, r1, rate_bps=1e9)
+    _, r2_b = net.attach_host(b, r2, rate_bps=1e9)
+    p12, p21 = net.connect_routers(
+        r1, r2, relationship_of_b=Relationship.PEER, rate_bps=rate, queue_capacity=queue
+    )
+    r1.fib.install("B", p12)
+    r1.fib.install("A", r1_a)
+    r2.fib.install("A", p21)
+    r2.fib.install("B", r2_b)
+    return net, a, b
+
+
+class TestBulkTransfer:
+    def test_completes_and_utilizes_link(self):
+        net, a, _b = two_host_net(rate=1e8)
+        s = a.start_flow(1, "B", 1_000_000)
+        net.run(until=60.0)
+        assert s.completed
+        assert s.goodput_bps > 0.75e8  # >75% of the 100 Mbps bottleneck
+
+    def test_byte_count_exact(self):
+        net, a, b = two_host_net()
+        s = a.start_flow(1, "B", 500_000, config=TcpConfig(mss=1000))
+        net.run(until=60.0)
+        assert s.completed
+        assert s.total_segments == 500
+        assert b.receivers[1].next_expected == 500
+        assert b.delivered_bytes == 500_000
+
+    def test_tiny_flow(self):
+        net, a, _b = two_host_net()
+        s = a.start_flow(1, "B", 1)  # single segment
+        net.run(until=10.0)
+        assert s.completed
+        assert s.total_segments == 1
+
+    def test_duration_property_requires_completion(self):
+        net, a, _b = two_host_net()
+        s = a.start_flow(1, "B", 1_000_000)
+        with pytest.raises(RuntimeError):
+            _ = s.duration
+
+
+class TestFairness:
+    def test_two_flows_share_fairly(self):
+        net, a, _b = two_host_net(rate=1e8, queue=32)
+        s1 = a.start_flow(1, "B", 1_500_000)
+        s2 = a.start_flow(2, "B", 1_500_000)
+        net.run(until=120.0)
+        assert s1.completed and s2.completed
+        g1, g2 = s1.goodput_bps, s2.goodput_bps
+        assert 0.3 < g1 / g2 < 3.0  # coarse TCP fairness
+        assert g1 + g2 > 0.7e8
+
+
+class TestLossRecovery:
+    def test_survives_heavy_congestion(self):
+        # Tiny queue forces repeated loss; the flow must still complete.
+        net, a, _b = two_host_net(rate=1e7, queue=4)
+        s = a.start_flow(1, "B", 300_000)
+        net.run(until=120.0)
+        assert s.completed
+        assert s.retransmissions > 0
+
+    def test_delayed_start(self):
+        net, a, _b = two_host_net()
+        s = a.start_flow(1, "B", 100_000, delay=1.0)
+        net.run(until=30.0)
+        assert s.completed
+        assert s.start_time == pytest.approx(1.0)
+
+
+class TestReceiver:
+    def test_out_of_order_reassembly(self):
+        from repro.dataplane.events import Simulator
+        from repro.dataplane.host import Host
+        from repro.dataplane.packet import Packet, PacketKind
+        from repro.dataplane.tcp import TcpReceiver
+
+        sim = Simulator()
+        host = Host(sim, "B")
+        rcv = TcpReceiver(sim, host, flow_id=1, peer="A")
+        sent_acks = []
+        host.transmit = lambda p: sent_acks.append(p.seq)  # type: ignore
+
+        def data(seq):
+            return Packet(flow_id=1, seq=seq, src="A", dst="B", size=1040)
+
+        rcv.on_data(data(0))
+        rcv.on_data(data(2))  # gap
+        rcv.on_data(data(1))  # fills gap -> cumulative jump
+        assert sent_acks == [1, 1, 3]
+        assert rcv.next_expected == 3
+        assert rcv.delivered_bytes == 3 * 1000
+
+    def test_duplicate_data_reacked(self):
+        from repro.dataplane.events import Simulator
+        from repro.dataplane.host import Host
+        from repro.dataplane.packet import Packet
+        from repro.dataplane.tcp import TcpReceiver
+
+        sim = Simulator()
+        host = Host(sim, "B")
+        rcv = TcpReceiver(sim, host, flow_id=1, peer="A")
+        acks = []
+        host.transmit = lambda p: acks.append(p.seq)  # type: ignore
+        d = Packet(flow_id=1, seq=0, src="A", dst="B", size=1040)
+        rcv.on_data(d)
+        rcv.on_data(Packet(flow_id=1, seq=0, src="A", dst="B", size=1040))
+        assert acks == [1, 1]
+        assert rcv.next_expected == 1

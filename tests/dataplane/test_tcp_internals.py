@@ -1,0 +1,161 @@
+"""White-box tests of TCP sender internals: RTT estimation, RTO backoff,
+window evolution, Karn's rule — behaviors the bulk-transfer tests only
+exercise implicitly."""
+
+import pytest
+
+from repro.dataplane.events import Simulator
+from repro.dataplane.host import Host
+from repro.dataplane.packet import PacketKind
+from repro.dataplane.tcp import TcpConfig, TcpSender
+
+
+class LoopbackHost(Host):
+    """Host whose transmit() is captured instead of wired to a link."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.transmitted = []
+
+    def transmit(self, packet):
+        self.transmitted.append(packet)
+        return True
+
+
+@pytest.fixture
+def sender():
+    sim = Simulator()
+    host = LoopbackHost(sim, "S")
+    s = TcpSender(sim, host, flow_id=1, dst="D", total_bytes=50_000,
+                  config=TcpConfig(mss=1000))
+    return sim, host, s
+
+
+class TestWindow:
+    def test_initial_window_sent_at_start(self, sender):
+        _sim, host, s = sender
+        s.start()
+        assert len(host.transmitted) == int(s.cwnd)
+        assert all(p.kind is PacketKind.DATA for p in host.transmitted)
+        assert [p.seq for p in host.transmitted] == list(range(int(s.cwnd)))
+
+    def test_slow_start_doubles_per_rtt(self, sender):
+        sim, host, s = sender
+        s.start()
+        first_burst = len(host.transmitted)
+        # ACK everything outstanding: cwnd += 1 per ACK in slow start.
+        for ack in range(1, first_burst + 1):
+            s.on_ack(ack)
+        assert s.cwnd == pytest.approx(s.config.initial_cwnd + first_burst)
+
+    def test_congestion_avoidance_linear(self, sender):
+        _sim, _host, s = sender
+        s.start()
+        s.cwnd = s.ssthresh = 10.0
+        s.snd_nxt = 20
+        s.snd_una = 10
+        before = s.cwnd
+        s.on_ack(11)
+        assert s.cwnd == pytest.approx(before + 1.0 / before)
+
+    def test_completion_fires_once(self, sender):
+        sim, host, s = sender
+        done = []
+        s.on_complete = lambda snd: done.append(snd)
+        s.start()
+        # ACK cumulatively to the end.
+        s.on_ack(s.total_segments)
+        assert s.completed
+        assert len(done) == 1
+        assert s.finish_time == sim.now
+
+
+class TestFastRetransmit:
+    def test_three_dupacks_trigger_retransmit(self, sender):
+        _sim, host, s = sender
+        s.start()
+        sent_before = len(host.transmitted)
+        for _ in range(3):
+            s.on_ack(0)
+        assert len(host.transmitted) == sent_before + 1
+        assert host.transmitted[-1].seq == 0
+        assert s.in_recovery
+        assert s.retransmissions == 1
+
+    def test_two_dupacks_do_not(self, sender):
+        _sim, host, s = sender
+        s.start()
+        sent_before = len(host.transmitted)
+        for _ in range(2):
+            s.on_ack(0)
+        assert len(host.transmitted) == sent_before
+
+    def test_newreno_partial_ack_retransmits_next_hole(self, sender):
+        _sim, host, s = sender
+        s.start()
+        for _ in range(3):
+            s.on_ack(0)  # enter recovery, retransmit seq 0
+        assert s.in_recovery
+        s.on_ack(1)  # partial: seq 1 is also missing
+        # The hole (seq 1) was retransmitted immediately; the freed window
+        # may additionally admit new segments after it.
+        retransmitted = [p.seq for p in host.transmitted if p.seq == 1]
+        assert len(retransmitted) >= 2  # original + NewReno retransmit
+        assert s.retransmissions == 2  # seq 0 (fast rtx) + seq 1 (partial)
+        assert s.in_recovery
+
+    def test_full_ack_exits_recovery(self, sender):
+        _sim, _host, s = sender
+        s.start()
+        for _ in range(3):
+            s.on_ack(0)
+        recover = s.recover_seq
+        s.on_ack(recover)
+        assert not s.in_recovery
+        assert s.cwnd == pytest.approx(s.ssthresh)
+
+
+class TestRto:
+    def test_timeout_backoff_and_go_back_n(self, sender):
+        sim, host, s = sender
+        s.start()
+        nxt_before = s.snd_nxt
+        rto_before = s._rto
+        sim.run(until=rto_before + 0.001)
+        # Timer fired: seq 0 retransmitted, window collapsed, go-back-N.
+        assert s.retransmissions >= 1
+        assert s.cwnd == s.config.initial_cwnd
+        assert s.snd_nxt == s.snd_una + 1 <= nxt_before
+        assert s._rto == pytest.approx(min(rto_before * 2, s.config.max_rto))
+
+    def test_progress_cancels_stale_timer(self):
+        sim = Simulator()
+        host = LoopbackHost(sim, "S")
+        s = TcpSender(sim, host, flow_id=1, dst="D", total_bytes=50_000,
+                      config=TcpConfig(mss=1000, initial_rto=0.3, min_rto=0.2))
+        s.start()
+        sim.schedule(0.01, lambda: s.on_ack(1))  # progress re-arms the timer
+        sim.run(until=0.15)
+        # The original timer (armed at t=0, due t=0.3) was invalidated by
+        # progress; the re-armed timer (due ~0.21) has not fired yet.
+        assert s.retransmissions == 0
+
+
+class TestRttEstimation:
+    def test_srtt_converges(self, sender):
+        sim, host, s = sender
+        s.start()
+        # Deliver ACK for seq 0 at t=0.05: one clean RTT sample.
+        sim.schedule(0.05, lambda: s.on_ack(1))
+        sim.run(until=0.051)
+        assert s._srtt == pytest.approx(0.05, abs=1e-6)
+        assert s._rto >= s.config.min_rto
+
+    def test_karns_rule_skips_retransmitted(self, sender):
+        sim, host, s = sender
+        s.start()
+        for _ in range(3):
+            s.on_ack(0)  # retransmit seq 0
+        srtt_before = s._srtt
+        s.on_ack(1)  # ACK covering the retransmitted segment
+        assert s._srtt == srtt_before  # no sample taken

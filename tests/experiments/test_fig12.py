@@ -1,0 +1,68 @@
+"""Acceptance tests for the testbed reproduction (Figures 11/12)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig12
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig12.run("test")
+
+
+class TestControlPlane:
+    def test_as_graph_matches_paper(self):
+        g = fig12.build_as_graph()
+        assert len(g) == 6
+        # AS3's providers are AS4 and AS6; AS5's too.
+        assert sorted(g.providers(3)) == [4, 6]
+        assert sorted(g.providers(5)) == [4, 6]
+
+    def test_build_asserts_paper_paths(self):
+        # _derive_control_plane raises if the BGP substrate disagrees with
+        # the paper's stated default/alternative paths.
+        net, handles = fig12.build_testbed(fig12.TestbedConfig.test_scale(), mifo=True)
+        assert set(handles["routers"]) == {
+            "R1", "R2", "Rd", "Ra", "R4a", "R4b", "R6a", "R6b", "R5a", "R5b", "R5c",
+        }
+        assert len(handles["routers"]) == 11  # the paper's 11 machines
+
+
+class TestHeadlines:
+    def test_mifo_improves_aggregate_throughput(self, result):
+        """Paper: +81%.  Accept anything in the 40-110% band at test scale."""
+        assert 0.40 <= result.improvement <= 1.10
+
+    def test_bgp_bottlenecked_near_1g(self, result):
+        assert result.bgp.mean_aggregate_bps <= 1.05e9
+        assert result.bgp.mean_aggregate_bps >= 0.6e9
+
+    def test_mifo_exceeds_single_link(self, result):
+        assert result.mifo.mean_aggregate_bps > 1.2e9
+
+    def test_mifo_finishes_sooner(self, result):
+        assert result.mifo.finish_time < result.bgp.finish_time
+
+    def test_fct_tail_shorter_under_mifo(self, result):
+        bgp_tail = np.percentile(result.bgp.completion_times, 90)
+        mifo_tail = np.percentile(result.mifo.completion_times, 90)
+        assert mifo_tail <= bgp_tail
+
+    def test_mifo_actually_deflected(self, result):
+        assert result.mifo.deflected_packets > 0
+        assert result.mifo.encapsulated_packets > 0
+        assert result.bgp.deflected_packets == 0
+
+    def test_no_valley_drops_in_testbed(self, result):
+        # Rd's upstreams are customers: Tag-Check always passes here.
+        assert result.mifo.valley_drops == 0
+
+    def test_all_flows_completed(self, result):
+        expected = 2 * result.config.flows_per_source
+        assert len(result.bgp.completion_times) == expected
+        assert len(result.mifo.completion_times) == expected
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Fig 12(a)" in out and "Fig 12(b)" in out and "+81%" in out

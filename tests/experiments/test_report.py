@@ -1,0 +1,44 @@
+"""Tests for the text rendering helpers."""
+
+from repro.experiments.report import ascii_series, percent, text_table
+
+
+class TestTextTable:
+    def test_alignment_and_title(self):
+        out = text_table(["A", "Blong"], [[1, 2], [333, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert "-+-" in lines[2]
+        assert len(lines) == 5
+        # aligned columns: all rows same width
+        assert len(set(len(l) for l in lines[1:])) == 1
+
+    def test_handles_mixed_types(self):
+        out = text_table(["x"], [[None], [3.5]])
+        assert "None" in out and "3.5" in out
+
+
+class TestAsciiSeries:
+    def test_empty(self):
+        assert "(empty plot)" in ascii_series({}, title=None) or ascii_series({}) == ""
+
+    def test_markers_and_legend(self):
+        out = ascii_series(
+            {"one": [(0, 0), (1, 1)], "two": [(0, 1), (1, 0)]},
+            width=20,
+            height=5,
+            title="plot",
+        )
+        assert "A=one" in out and "B=two" in out
+        assert "A" in out and "B" in out
+
+    def test_degenerate_single_point(self):
+        out = ascii_series({"s": [(1.0, 2.0)]})
+        assert "s" in out
+
+
+class TestPercent:
+    def test_formatting(self):
+        assert percent(0.5) == "50.0%"
+        assert percent(0.12345, 2) == "12.35%"

@@ -1,0 +1,114 @@
+"""Unit tests for the figure result containers (no simulation needed)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.fig8 import Fig8Result
+from repro.flowsim.flow import FlowRecord
+from repro.flowsim.simulator import FluidSimResult
+
+
+def result_with_throughputs(scheme, mbps_list, used_alt=0):
+    records = [
+        FlowRecord(
+            flow_id=i,
+            src=1,
+            dst=2,
+            size_bytes=m * 1e6 / 8.0,  # 1 second at m Mbps
+            start_time=0.0,
+            finish_time=1.0,
+            path_switches=0,
+            used_alternative=i < used_alt,
+            initial_path_len=3,
+            final_path_len=3,
+        )
+        for i, m in enumerate(mbps_list)
+    ]
+    return FluidSimResult(scheme, records, 1.0, 1, 1, 0)
+
+
+class TestFig5Result:
+    @pytest.fixture
+    def result(self):
+        return Fig5Result(
+            scale_name="unit",
+            results={
+                (1.0, "BGP"): result_with_throughputs("BGP", [100, 200, 300]),
+                (1.0, "MIRO"): result_with_throughputs("MIRO", [200, 300, 400]),
+                (1.0, "MIFO"): result_with_throughputs("MIFO", [400, 600, 800]),
+            },
+        )
+
+    def test_fraction_at_least(self, result):
+        assert result.fraction_at_least(1.0, "MIFO", 500) == pytest.approx(2 / 3)
+        assert result.fraction_at_least(1.0, "BGP", 500) == 0.0
+
+    def test_deployments_property(self, result):
+        assert result.deployments == [1.0]
+
+    def test_rows_and_render(self, result):
+        rows = result.rows()
+        assert len(rows) == 3
+        out = result.render()
+        assert "Figure 5" in out and "MIFO" in out
+
+
+class TestFig6Result:
+    def test_alphas_sorted(self):
+        r = Fig6Result(
+            scale_name="unit",
+            results={
+                (1.2, "BGP"): result_with_throughputs("BGP", [100]),
+                (1.2, "MIRO"): result_with_throughputs("MIRO", [100]),
+                (1.2, "MIFO"): result_with_throughputs("MIFO", [100]),
+                (0.8, "BGP"): result_with_throughputs("BGP", [200]),
+                (0.8, "MIRO"): result_with_throughputs("MIRO", [200]),
+                (0.8, "MIFO"): result_with_throughputs("MIFO", [200]),
+            },
+        )
+        assert r.alphas == [0.8, 1.2]
+        assert "alpha" in r.render()
+
+
+class TestFig7Result:
+    @pytest.fixture
+    def result(self):
+        return Fig7Result(
+            scale_name="unit",
+            counts={
+                ("MIFO", 1.0): [100, 50, 10, 5],
+                ("MIRO", 1.0): [3, 2, 1, 1],
+            },
+        )
+
+    def test_median_and_fraction(self, result):
+        assert result.median("MIFO", 1.0) == pytest.approx(30.0)
+        assert result.fraction_with_at_least("MIFO", 1.0, 10) == pytest.approx(0.75)
+        assert result.fraction_with_at_least("MIRO", 1.0, 10) == 0.0
+
+    def test_series_log_scale(self, result):
+        series = result.series()
+        assert "100% MIFO" in series
+        pct, logv = zip(*series["100% MIFO"])
+        assert max(logv) == pytest.approx(np.log10(100))
+
+    def test_render(self, result):
+        assert "Figure 7" in result.render()
+
+
+class TestFig8Result:
+    def test_offload_and_render(self):
+        r = Fig8Result(
+            scale_name="unit",
+            results={
+                0.1: result_with_throughputs("MIFO", [100] * 10, used_alt=1),
+                1.0: result_with_throughputs("MIFO", [100] * 10, used_alt=5),
+            },
+        )
+        assert r.offload(0.1) == pytest.approx(0.1)
+        assert r.offload(1.0) == pytest.approx(0.5)
+        out = r.render()
+        assert "Figure 8" in out and "10%" in out

@@ -1,0 +1,95 @@
+"""Tests for the Section II-B RIB study and the gnuplot exporter."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ribstudy
+from repro.experiments.export import write_dat
+
+
+class TestRibStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ribstudy.run("test")
+
+    def test_most_ases_multi_neighbor(self, result):
+        """The paper's Section II-B claim, quantified."""
+        assert result.fraction_multi_neighbor > 0.5
+
+    def test_degree_drives_diversity(self, result):
+        """'The degree of path diversity gained by an AS is dependent on
+        how many neighbors it has' — positive degree/RIB correlation."""
+        assert result.degree_correlation > 0.2
+
+    def test_rib_sizes_sane(self, result):
+        assert result.rib_sizes.min() >= 1
+        assert result.mean_alternatives >= 0.0
+
+    def test_render(self, result):
+        out = result.render()
+        assert "multi-neighbor" in out
+        assert "corr(degree, RIB size)" in out
+
+
+class TestWriteDat:
+    def test_format(self, tmp_path):
+        p = tmp_path / "series.dat"
+        write_dat(
+            p,
+            [(1.0, 2.5), (2.0, 3.5)],
+            columns=["x", "y"],
+            comment="sample series",
+        )
+        text = p.read_text()
+        lines = text.strip().splitlines()
+        assert lines[0] == "# sample series"
+        assert lines[1] == "# x\ty"
+        assert lines[2] == "1\t2.5"
+        # gnuplot-parsable: every data line splits into 2 floats
+        for l in lines[2:]:
+            assert len([float(v) for v in l.split("\t")]) == 2
+
+    def test_creates_directories(self, tmp_path):
+        p = tmp_path / "deep" / "dir" / "s.dat"
+        write_dat(p, [(0, 0)], columns=["a", "b"])
+        assert p.exists()
+
+
+class TestOverhead:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import overhead
+
+        return overhead.run("test")
+
+    def test_mifo_costs_zero_extra_messages(self, result):
+        assert result.mifo_messages == 0
+
+    def test_mifo_offers_at_least_miro_alternatives(self, result):
+        """MIRO's strict policy is a filtered, capped subset of the RIB."""
+        assert result.mifo_alternatives >= result.miro_alternatives
+
+    def test_miro_pays_two_messages_per_alternative(self, result):
+        assert result.miro_messages == 2 * result.miro_alternatives
+
+    def test_render(self, result):
+        assert "zero additional control-plane traffic" in result.render()
+
+
+class TestExportAll:
+    def test_export_all_writes_gnuplot_files(self, tmp_path):
+        from repro.experiments.export import export_all
+
+        written = export_all(tmp_path, "test")
+        names = {p.name for p in written}
+        # one file per scheme per deployment/alpha, plus fig7/8/9/12 series
+        assert "fig5_100pct_mifo.dat" in names
+        assert "fig8_offload.dat" in names
+        assert "fig9_switches.dat" in names
+        assert any(n.startswith("fig12a_") for n in names)
+        for p in written:
+            lines = p.read_text().strip().splitlines()
+            data = [l for l in lines if not l.startswith("#")]
+            assert data, p
+            for l in data:
+                [float(v) for v in l.split("\t")]

@@ -1,0 +1,148 @@
+"""Property-based tests for the max-min fair allocator.
+
+The two defining properties of max-min fairness are asserted over random
+instances: feasibility (no link over capacity) and the bottleneck property
+(every flow crosses a saturated link on which its rate is maximal).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flowsim.maxmin import build_incidence, maxmin_rates
+
+
+@st.composite
+def allocation_instances(draw):
+    n_links = draw(st.integers(1, 10))
+    n_flows = draw(st.integers(1, 14))
+    flow_links = [
+        draw(
+            st.lists(
+                st.integers(0, n_links - 1), min_size=0, max_size=4, unique=True
+            )
+        )
+        for _ in range(n_flows)
+    ]
+    caps = draw(
+        st.lists(
+            st.floats(1.0, 1000.0, allow_nan=False),
+            min_size=n_links,
+            max_size=n_links,
+        )
+    )
+    return flow_links, np.asarray(caps)
+
+
+class TestBuildIncidence:
+    def test_shape_and_content(self):
+        inc = build_incidence([[0, 2], [1], []], 3)
+        assert inc.shape == (3, 3)
+        dense = inc.toarray()
+        assert dense[0, 0] == 1 and dense[2, 0] == 1
+        assert dense[1, 1] == 1
+        assert dense[:, 2].sum() == 0
+
+    def test_empty(self):
+        inc = build_incidence([], 5)
+        assert inc.shape == (5, 0)
+
+
+class TestMaxminBasics:
+    def test_single_flow_gets_capacity(self):
+        inc = build_incidence([[0]], 1)
+        rates = maxmin_rates(inc, np.array([100.0]))
+        assert rates[0] == pytest.approx(100.0)
+
+    def test_equal_split(self):
+        inc = build_incidence([[0], [0], [0], [0]], 1)
+        rates = maxmin_rates(inc, np.array([100.0]))
+        assert np.allclose(rates, 25.0)
+
+    def test_waterfilling_two_levels(self):
+        # Flows A,B share link 0 (cap 10); flow B also crosses link 1
+        # (cap 4).  B is bottlenecked at 4, A takes the rest: 6.
+        inc = build_incidence([[0], [0, 1]], 2)
+        rates = maxmin_rates(inc, np.array([10.0, 4.0]), group_rtol=0.0)
+        assert rates[1] == pytest.approx(4.0)
+        assert rates[0] == pytest.approx(6.0)
+
+    def test_classic_line_network(self):
+        # Three links in a line; one long flow over all, one short per link.
+        # Long flow gets cap/2 on the tightest link; shorts fill the rest.
+        inc = build_incidence([[0, 1, 2], [0], [1], [2]], 3)
+        rates = maxmin_rates(
+            inc, np.array([10.0, 10.0, 10.0]), group_rtol=0.0
+        )
+        assert rates[0] == pytest.approx(5.0)
+        assert np.allclose(rates[1:], 5.0)
+
+    def test_linkless_flow_unconstrained(self):
+        inc = build_incidence([[], [0]], 1)
+        rates = maxmin_rates(inc, np.array([7.0]), unconstrained_rate=42.0)
+        assert rates[0] == 42.0
+        assert rates[1] == pytest.approx(7.0)
+
+    def test_no_flows(self):
+        inc = build_incidence([], 3)
+        assert maxmin_rates(inc, np.ones(3)).shape == (0,)
+
+    def test_capacity_shape_mismatch(self):
+        inc = build_incidence([[0]], 1)
+        with pytest.raises(ValueError):
+            maxmin_rates(inc, np.ones(2))
+
+
+class TestMaxminProperties:
+    @given(allocation_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_feasibility(self, instance):
+        flow_links, caps = instance
+        inc = build_incidence(flow_links, len(caps))
+        rates = maxmin_rates(inc, caps, unconstrained_rate=0.0, group_rtol=0.0)
+        load = inc @ rates
+        assert np.all(load <= caps * (1 + 1e-6) + 1e-6)
+
+    @given(allocation_instances())
+    @settings(max_examples=150, deadline=None)
+    def test_bottleneck_property(self, instance):
+        """Each constrained flow crosses a saturated link where it is among
+        the maximally allocated flows — the max-min optimality condition."""
+        flow_links, caps = instance
+        inc = build_incidence(flow_links, len(caps))
+        rates = maxmin_rates(inc, caps, unconstrained_rate=0.0, group_rtol=0.0)
+        load = inc @ rates
+        dense = inc.toarray().astype(bool)
+        for f, links in enumerate(flow_links):
+            if not links:
+                continue
+            ok = False
+            for l in links:
+                saturated = load[l] >= caps[l] * (1 - 1e-6) - 1e-6
+                if saturated:
+                    flows_on_l = np.flatnonzero(dense[l])
+                    if rates[f] >= rates[flows_on_l].max() - 1e-6:
+                        ok = True
+                        break
+            assert ok, (f, rates, load, caps, flow_links)
+
+    @given(allocation_instances())
+    @settings(max_examples=100, deadline=None)
+    def test_rates_nonnegative(self, instance):
+        flow_links, caps = instance
+        inc = build_incidence(flow_links, len(caps))
+        rates = maxmin_rates(inc, caps, unconstrained_rate=0.0, group_rtol=0.0)
+        assert np.all(rates >= 0.0)
+
+    @given(allocation_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_grouping_tolerance_bounded_error(self, instance):
+        """group_rtol trades exactness for speed; the deviation from the
+        exact allocation must stay within a few times the tolerance."""
+        flow_links, caps = instance
+        inc = build_incidence(flow_links, len(caps))
+        exact = maxmin_rates(inc, caps, unconstrained_rate=0.0, group_rtol=0.0)
+        approx = maxmin_rates(inc, caps, unconstrained_rate=0.0, group_rtol=1e-3)
+        denom = np.maximum(exact, 1e-9)
+        assert np.all(np.abs(approx - exact) / denom <= 0.05)

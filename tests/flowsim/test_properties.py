@@ -1,0 +1,105 @@
+"""Hypothesis property tests for the fluid simulator as a whole."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.propagation import RoutingCache
+from repro.flowsim.flow import FlowSpec
+from repro.flowsim.providers import BgpProvider, MifoProvider
+from repro.flowsim.simulator import FluidSimConfig, FluidSimulator
+from repro.mifo.deflection import MifoPathBuilder
+
+from ..conftest import as_graphs
+
+
+@st.composite
+def workloads(draw):
+    """A random graph plus a random small workload on it."""
+    g = draw(as_graphs(min_nodes=4, max_nodes=10))
+    nodes = sorted(g.nodes())
+    n_flows = draw(st.integers(1, 12))
+    flows = []
+    for i in range(n_flows):
+        src = draw(st.sampled_from(nodes))
+        dst = draw(st.sampled_from(nodes))
+        if src == dst:
+            dst = nodes[(nodes.index(src) + 1) % len(nodes)]
+        size = draw(st.floats(1e4, 5e6))
+        start = draw(st.floats(0.0, 0.05))
+        flows.append(FlowSpec(i, src, dst, size, start))
+    return g, flows
+
+
+class TestFluidProperties:
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_all_routable_flows_complete(self, workload):
+        g, flows = workload
+        sim = FluidSimulator(
+            g,
+            BgpProvider(g, RoutingCache(g)),
+            FluidSimConfig(skip_unroutable=True),
+        )
+        res = sim.run(flows)
+        assert len(res.records) + res.unroutable == len(flows)
+        for r in res.records:
+            assert r.finish_time >= r.start_time
+            assert math.isfinite(r.throughput_bps)
+
+    @given(workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_throughput_never_exceeds_line_rate(self, workload):
+        g, flows = workload
+        cap = 1e9
+        sim = FluidSimulator(
+            g,
+            BgpProvider(g, RoutingCache(g)),
+            FluidSimConfig(link_capacity_bps=cap, skip_unroutable=True),
+        )
+        res = sim.run(flows)
+        for r in res.records:
+            assert r.throughput_bps <= cap * 1.01
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_mifo_run_is_loop_free_and_complete(self, workload):
+        g, flows = workload
+        rc = RoutingCache(g)
+        sim = FluidSimulator(
+            g,
+            MifoProvider(MifoPathBuilder(g, rc, frozenset(g.nodes()))),
+            FluidSimConfig(skip_unroutable=True),
+        )
+        # Would raise LoopDetectedError on any invariant violation.
+        res = sim.run(flows)
+        assert len(res.records) + res.unroutable == len(flows)
+        for r in res.records:
+            # A directed AS-level link is never reused, so final paths are
+            # bounded by 2|V| nodes.
+            assert r.final_path_len <= 2 * len(g)
+
+    @given(workloads(), st.floats(0.1, 0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_bgp_records_independent_of_thresholds(self, workload, clear):
+        """BGP never reroutes, so congestion thresholds cannot affect it."""
+        g, flows = workload
+        rc = RoutingCache(g)
+        a = FluidSimulator(
+            g,
+            BgpProvider(g, rc),
+            FluidSimConfig(skip_unroutable=True),
+        ).run(flows)
+        b = FluidSimulator(
+            g,
+            BgpProvider(g, rc),
+            FluidSimConfig(
+                skip_unroutable=True,
+                congest_threshold=max(clear, 0.95),
+                clear_threshold=clear,
+            ),
+        ).run(flows)
+        assert [r.finish_time for r in a.records] == [r.finish_time for r in b.records]

@@ -1,0 +1,197 @@
+"""Tests for the event-driven fluid simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bgp.propagation import RoutingCache
+from repro.errors import NoRouteError, SimulationError
+from repro.flowsim.flow import FlowSpec
+from repro.flowsim.providers import BgpProvider, MifoProvider
+from repro.flowsim.simulator import FluidSimConfig, FluidSimulator
+from repro.mifo.deflection import MifoPathBuilder
+from repro.topology.asgraph import ASGraph
+
+
+def bgp_sim(graph, **cfg):
+    return FluidSimulator(graph, BgpProvider(graph, RoutingCache(graph)), FluidSimConfig(**cfg))
+
+
+def mifo_sim(graph, capable=None, **cfg):
+    rc = RoutingCache(graph)
+    capable = frozenset(graph.nodes()) if capable is None else capable
+    return FluidSimulator(
+        graph, MifoProvider(MifoPathBuilder(graph, rc, capable)), FluidSimConfig(**cfg)
+    )
+
+
+class TestConfig:
+    def test_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            FluidSimConfig(link_capacity_bps=0).validate()
+
+    def test_bad_thresholds(self):
+        with pytest.raises(SimulationError):
+            FluidSimConfig(congest_threshold=0.5, clear_threshold=0.9).validate()
+
+
+class TestSingleFlow:
+    def test_solo_flow_runs_at_line_rate(self, fig11_graph):
+        sim = bgp_sim(fig11_graph)
+        spec = FlowSpec(flow_id=1, src=1, dst=5, size_bytes=1e6, start_time=0.0)
+        res = sim.run([spec])
+        assert len(res.records) == 1
+        rec = res.records[0]
+        assert rec.throughput_bps == pytest.approx(1e9, rel=1e-3)
+        assert rec.duration == pytest.approx(8e6 / 1e9, rel=1e-3)
+        assert rec.path_switches == 0
+
+    def test_empty_workload(self, fig11_graph):
+        res = bgp_sim(fig11_graph).run([])
+        assert res.records == []
+        assert res.duration == 0.0
+
+
+class TestSharing:
+    def test_two_flows_share_bottleneck(self, fig11_graph):
+        # Both flows traverse 3->4 under BGP: each gets ~500 Mbps.
+        sim = bgp_sim(fig11_graph)
+        specs = [
+            FlowSpec(flow_id=1, src=1, dst=5, size_bytes=1e6, start_time=0.0),
+            FlowSpec(flow_id=2, src=2, dst=5, size_bytes=1e6, start_time=0.0),
+        ]
+        res = sim.run(specs)
+        ths = sorted(r.throughput_bps for r in res.records)
+        # Identical simultaneous flows split the 1 Gbps bottleneck evenly
+        # and finish together at ~500 Mbps each.
+        assert ths[0] == pytest.approx(500e6, rel=1e-2)
+        assert ths[1] == pytest.approx(500e6, rel=1e-2)
+
+    def test_mifo_deflects_second_flow(self, fig11_graph):
+        # With MIFO, AS3 moves one flow to 3->6->5: both ~1 Gbps.
+        sim = mifo_sim(fig11_graph)
+        specs = [
+            FlowSpec(flow_id=1, src=1, dst=5, size_bytes=4e6, start_time=0.0),
+            FlowSpec(flow_id=2, src=2, dst=5, size_bytes=4e6, start_time=0.004),
+        ]
+        res = sim.run(specs)
+        by_id = {r.flow_id: r for r in res.records}
+        assert by_id[2].used_alternative or by_id[1].used_alternative
+        total_throughput = sum(r.throughput_bps for r in res.records)
+        assert total_throughput > 1.5e9  # near 2x the single-path case
+
+    def test_sequential_flows_do_not_interact(self, fig11_graph):
+        sim = bgp_sim(fig11_graph)
+        specs = [
+            FlowSpec(flow_id=1, src=1, dst=5, size_bytes=1e6, start_time=0.0),
+            FlowSpec(flow_id=2, src=2, dst=5, size_bytes=1e6, start_time=1.0),
+        ]
+        res = sim.run(specs)
+        for r in res.records:
+            assert r.throughput_bps == pytest.approx(1e9, rel=1e-3)
+
+
+class TestUnroutable:
+    @pytest.fixture
+    def partitioned(self):
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        g.add_p2c(3, 2)
+        return g.freeze()
+
+    def test_raises_by_default(self, partitioned):
+        sim = bgp_sim(partitioned)
+        with pytest.raises(NoRouteError):
+            sim.run([FlowSpec(flow_id=1, src=0, dst=2, size_bytes=1e6, start_time=0.0)])
+
+    def test_skip_option(self, partitioned):
+        sim = bgp_sim(partitioned, skip_unroutable=True)
+        res = sim.run(
+            [
+                FlowSpec(flow_id=1, src=0, dst=2, size_bytes=1e6, start_time=0.0),
+                FlowSpec(flow_id=2, src=0, dst=1, size_bytes=1e6, start_time=0.0),
+            ]
+        )
+        assert res.unroutable == 1
+        assert len(res.records) == 1
+
+
+class TestConservation:
+    def test_all_flows_complete_with_exact_bytes(self, small_internet):
+        from repro.traffic.matrix import TrafficConfig, uniform_matrix
+
+        specs = uniform_matrix(
+            small_internet, TrafficConfig(n_flows=150, arrival_rate=500.0, seed=3)
+        )
+        res = mifo_sim(small_internet).run(specs)
+        assert len(res.records) == 150
+        for r in res.records:
+            assert r.finish_time > r.start_time
+            assert math.isfinite(r.throughput_bps)
+            assert r.throughput_bps <= 1e9 * 1.001
+
+    def test_result_metrics(self, small_internet):
+        from repro.traffic.matrix import TrafficConfig, uniform_matrix
+
+        specs = uniform_matrix(
+            small_internet, TrafficConfig(n_flows=100, arrival_rate=1000.0, seed=4)
+        )
+        res = mifo_sim(small_internet).run(specs)
+        assert 0.0 <= res.fraction_on_alternative() <= 1.0
+        hist = res.switch_histogram()
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+    def test_deterministic(self, small_internet):
+        from repro.traffic.matrix import TrafficConfig, uniform_matrix
+
+        specs = uniform_matrix(
+            small_internet, TrafficConfig(n_flows=80, arrival_rate=1000.0, seed=5)
+        )
+        a = mifo_sim(small_internet).run(specs)
+        b = mifo_sim(small_internet).run(specs)
+        assert [r.finish_time for r in a.records] == [r.finish_time for r in b.records]
+        assert [r.path_switches for r in a.records] == [r.path_switches for r in b.records]
+
+    def test_event_budget(self, small_internet):
+        from repro.traffic.matrix import TrafficConfig, uniform_matrix
+
+        specs = uniform_matrix(
+            small_internet, TrafficConfig(n_flows=50, arrival_rate=1000.0, seed=6)
+        )
+        sim = bgp_sim(small_internet, max_events=3)
+        with pytest.raises(SimulationError, match="events"):
+            sim.run(specs)
+
+
+class TestControlPlaneStaleness:
+    def test_stale_view_lags_live(self, fig11_graph):
+        """The stale snapshot only updates at the control-plane interval."""
+        sim = bgp_sim(fig11_graph, control_plane_interval=100.0)
+        # Two heavy flows congest 3->4; run them.
+        specs = [
+            FlowSpec(flow_id=1, src=1, dst=5, size_bytes=5e6, start_time=0.0),
+            FlowSpec(flow_id=2, src=2, dst=5, size_bytes=5e6, start_time=0.0),
+        ]
+        sim.run(specs)
+        # After the run, the live view saw congestion on (3, 4) at some
+        # point; the stale view was snapshotted only at t=0 (empty).
+        assert not sim._stale_congested_fn(3, 4)
+
+    def test_stale_view_refreshes(self, fig11_graph):
+        sim = bgp_sim(fig11_graph, control_plane_interval=0.001)
+        specs = [
+            FlowSpec(flow_id=1, src=1, dst=5, size_bytes=8e6, start_time=0.0),
+            FlowSpec(flow_id=2, src=2, dst=5, size_bytes=8e6, start_time=0.0),
+            FlowSpec(flow_id=3, src=1, dst=5, size_bytes=8e6, start_time=0.05),
+        ]
+        sim.run(specs)
+        # With a tiny interval the snapshot tracked the live view: by the
+        # third arrival the (3,4) link's stale state had been refreshed
+        # at least once while congested.
+        assert sim._stale_alloc.shape[0] > 0
+
+    def test_unknown_links_report_defaults(self, fig11_graph):
+        sim = bgp_sim(fig11_graph)
+        assert not sim._stale_congested_fn(1, 3)
+        assert sim._stale_spare_fn(1, 3) == sim.config.link_capacity_bps

@@ -1,0 +1,52 @@
+"""Tests for empirical CDF helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.cdf import Cdf, survival_series
+
+
+class TestCdf:
+    def test_basic(self):
+        c = Cdf.from_samples([1, 2, 3, 4])
+        assert c.at(2) == pytest.approx(0.5)
+        assert c.at(0) == 0.0
+        assert c.at(4) == 1.0
+        assert len(c) == 4
+
+    def test_fraction_at_least(self):
+        c = Cdf.from_samples([100, 200, 300, 400, 500])
+        assert c.fraction_at_least(300) == pytest.approx(3 / 5)
+        assert c.fraction_at_least(501) == 0.0
+        assert c.fraction_at_least(0) == 1.0
+
+    def test_median_and_percentiles(self):
+        c = Cdf.from_samples(range(1, 102))
+        assert c.median == pytest.approx(51)
+        assert c.percentile(90) == pytest.approx(91)
+
+    def test_empty(self):
+        c = Cdf.from_samples([])
+        assert c.at(5) == 0.0
+        assert c.fraction_at_least(5) == 0.0
+        xs, ys = c.series()
+        assert xs.size == 0 and ys.size == 0
+
+    def test_series_monotone(self):
+        c = Cdf.from_samples(np.random.default_rng(0).normal(size=500))
+        xs, ys = c.series(points=30)
+        assert np.all(np.diff(xs) > 0)
+        assert np.all(np.diff(ys) >= 0)
+        assert ys[-1] == pytest.approx(100.0)
+
+
+class TestSurvival:
+    def test_descending_layout(self):
+        pct, vals = survival_series([5, 1, 9, 3])
+        assert list(vals) == [9, 5, 3, 1]
+        assert pct[-1] == pytest.approx(100.0)
+        assert pct[0] == pytest.approx(25.0)
+
+    def test_empty(self):
+        pct, vals = survival_series([])
+        assert pct.size == 0 and vals.size == 0

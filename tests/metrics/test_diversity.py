@@ -1,0 +1,117 @@
+"""Tests for the Fig-7 path-diversity counting DP."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.propagation import RoutingCache
+from repro.errors import NoRouteError
+from repro.metrics.diversity import (
+    count_bgp_paths,
+    count_mifo_paths,
+    diversity_counts,
+)
+from repro.miro.negotiation import MiroRouting
+
+from ..conftest import as_graphs
+
+
+class TestBgpCount:
+    def test_route_exists(self, fig2a_graph):
+        rc = RoutingCache(fig2a_graph)
+        assert count_bgp_paths(rc, 1, 0) == 1
+
+    def test_no_route(self):
+        from repro.topology.asgraph import ASGraph
+
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        g.add_as(9)
+        g.freeze()
+        assert count_bgp_paths(RoutingCache(g), 9, 0) == 0
+
+
+class TestMifoCount:
+    def test_fig2a_full_deployment(self, fig2a_graph):
+        rc = RoutingCache(fig2a_graph)
+        capable = frozenset(fig2a_graph.nodes())
+        # From AS 1 toward AS 0: direct (1,0); via each peer that then
+        # goes direct ((1,2,0), (1,3,0)).  The peers may NOT deflect
+        # onward (Tag-Check: arrived from peer).
+        assert count_mifo_paths(fig2a_graph, rc, capable, 1, 0) == 3
+
+    def test_no_deployment_equals_bgp(self, fig2a_graph):
+        rc = RoutingCache(fig2a_graph)
+        assert count_mifo_paths(fig2a_graph, rc, frozenset(), 1, 0) == 1
+
+    def test_fig11(self, fig11_graph):
+        rc = RoutingCache(fig11_graph)
+        capable = frozenset(fig11_graph.nodes())
+        # 1 -> 3 -> {4,6} -> 5: two paths (AS 1 has a single provider).
+        assert count_mifo_paths(fig11_graph, rc, capable, 1, 5) == 2
+
+    def test_partial_deployment_monotone(self, fig11_graph):
+        rc = RoutingCache(fig11_graph)
+        with_3 = count_mifo_paths(fig11_graph, rc, frozenset({3}), 1, 5)
+        without = count_mifo_paths(fig11_graph, rc, frozenset(), 1, 5)
+        assert with_3 >= without
+
+    def test_no_route_raises(self):
+        from repro.topology.asgraph import ASGraph
+
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        g.add_as(9)
+        g.freeze()
+        with pytest.raises(NoRouteError):
+            count_mifo_paths(g, RoutingCache(g), frozenset(), 9, 0)
+
+    def test_max_count_clamps(self, small_internet):
+        rc = RoutingCache(small_internet)
+        capable = frozenset(small_internet.nodes())
+        n = count_mifo_paths(small_internet, rc, capable, 150, 0, max_count=3)
+        assert n <= 3 * 4  # clamped per node; result stays small
+
+    @given(g=as_graphs(max_nodes=9), seed=st.integers(0, 999))
+    @settings(max_examples=50, deadline=None)
+    def test_count_at_least_bgp_and_terminates(self, g, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        nodes = list(g.nodes())
+        src, dst = rng.choice(nodes, size=2, replace=False)
+        src, dst = int(src), int(dst)
+        rc = RoutingCache(g)
+        if not rc(dst).has_route(src):
+            return
+        capable = frozenset(
+            int(x) for x in rng.choice(nodes, size=len(nodes) // 2 + 1, replace=False)
+        )
+        n = count_mifo_paths(g, rc, capable, src, dst)
+        assert n >= 1  # at least the default path
+
+    @given(g=as_graphs(max_nodes=9))
+    @settings(max_examples=40, deadline=None)
+    def test_full_deployment_dominates_partial(self, g):
+        rc = RoutingCache(g)
+        nodes = sorted(g.nodes())
+        src, dst = nodes[-1], nodes[0]
+        if src == dst or not rc(dst).has_route(src):
+            return
+        full = count_mifo_paths(g, rc, frozenset(nodes), src, dst)
+        half = count_mifo_paths(g, rc, frozenset(nodes[: len(nodes) // 2]), src, dst)
+        assert full >= half
+
+
+class TestDiversityCounts:
+    def test_joint_series(self, small_internet):
+        rc = RoutingCache(small_internet)
+        capable = frozenset(small_internet.nodes())
+        miro = MiroRouting(small_internet, rc, capable)
+        pairs = [(10, 0), (20, 0), (30, 0)]
+        mifo_counts, miro_counts = diversity_counts(
+            small_internet, rc, pairs, mifo_capable=capable, miro_routing=miro
+        )
+        assert len(mifo_counts) == len(miro_counts) == 3
+        # MIFO's multiplicative diversity dominates MIRO's bounded list.
+        assert sum(mifo_counts) >= sum(miro_counts)

@@ -1,0 +1,108 @@
+"""Tests for switch-distribution and offload metrics."""
+
+import pytest
+
+from repro.flowsim.flow import FlowRecord
+from repro.metrics.offload import offload_fraction
+from repro.metrics.stability import switch_distribution
+
+
+def rec(flow_id, switches=0, used_alt=False):
+    return FlowRecord(
+        flow_id=flow_id,
+        src=1,
+        dst=2,
+        size_bytes=1e6,
+        start_time=0.0,
+        finish_time=1.0,
+        path_switches=switches,
+        used_alternative=used_alt,
+        initial_path_len=3,
+    )
+
+
+class TestSwitchDistribution:
+    def test_paper_style_metrics(self):
+        records = (
+            [rec(i, 0) for i in range(50)]
+            + [rec(100 + i, 1) for i in range(30)]
+            + [rec(200 + i, 2) for i in range(15)]
+            + [rec(300 + i, 3) for i in range(5)]
+        )
+        d = switch_distribution(records)
+        assert d.total_flows == 100
+        assert d.switching_flows == 50
+        assert d.fraction_of_switching(1) == pytest.approx(0.6)
+        assert d.fraction_at_most(2) == pytest.approx(0.9)
+        assert d.fraction_switching == pytest.approx(0.5)
+
+    def test_bucket_aggregation(self):
+        d = switch_distribution([rec(1, 9)], max_bucket=5)
+        assert d.histogram == {5: 1}
+
+    def test_empty(self):
+        d = switch_distribution([])
+        assert d.fraction_of_switching(1) == 0.0
+        assert d.fraction_at_most(2) == 0.0
+        assert d.fraction_switching == 0.0
+
+
+class TestOffload:
+    def test_fraction(self):
+        records = [rec(1, used_alt=True), rec(2), rec(3), rec(4, used_alt=True)]
+        assert offload_fraction(records) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert offload_fraction([]) == 0.0
+
+    def test_record_throughput_property(self):
+        r = rec(1)
+        assert r.throughput_bps == pytest.approx(8e6)
+        assert r.duration == pytest.approx(1.0)
+
+
+class TestSummary:
+    def _result(self):
+        from repro.flowsim.simulator import FluidSimResult
+
+        records = [
+            rec(1, switches=1, used_alt=True),
+            rec(2),
+            rec(3),
+            rec(4, switches=2, used_alt=True),
+        ]
+        return FluidSimResult(
+            scheme="MIFO",
+            records=records,
+            duration=2.0,
+            events=10,
+            reallocations=10,
+            unroutable=0,
+        )
+
+    def test_summarize(self):
+        from repro.metrics.summary import summarize
+
+        s = summarize(self._result())
+        assert s.scheme == "MIFO"
+        assert s.n_flows == 4
+        assert s.median_mbps == pytest.approx(8.0)
+        assert s.offload_fraction == pytest.approx(0.5)
+        assert s.fraction_switching == pytest.approx(0.5)
+        assert s.mean_switches == pytest.approx(0.75)
+
+    def test_empty(self):
+        from repro.flowsim.simulator import FluidSimResult
+        from repro.metrics.summary import summarize
+
+        s = summarize(
+            FluidSimResult("BGP", [], 0.0, 0, 0, 0)
+        )
+        assert s.n_flows == 0 and s.median_mbps == 0.0
+
+    def test_comparison_rows(self):
+        from repro.metrics.summary import comparison_rows
+
+        rows = comparison_rows([self._result()])
+        assert rows[0][0] == "MIFO"
+        assert rows[0][1] == 4

@@ -1,0 +1,72 @@
+"""Tests for the path-stretch metric."""
+
+import pytest
+
+from repro.bgp.propagation import RoutingCache
+from repro.flowsim.flow import FlowRecord
+from repro.metrics.stretch import StretchStats, path_stretch
+
+
+def rec(src, dst, final_len, initial_len=None):
+    return FlowRecord(
+        flow_id=1,
+        src=src,
+        dst=dst,
+        size_bytes=1e6,
+        start_time=0.0,
+        finish_time=1.0,
+        path_switches=0,
+        used_alternative=final_len != initial_len,
+        initial_path_len=initial_len or final_len,
+        final_path_len=final_len,
+    )
+
+
+class TestStretch:
+    def test_default_path_has_stretch_one(self, fig11_graph):
+        rc = RoutingCache(fig11_graph)
+        # default 1 -> 3 -> 4 -> 5: 4 nodes
+        stats = path_stretch([rec(1, 5, 4)], rc)
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.fraction_stretched == 0.0
+
+    def test_deflected_longer_path(self, fig11_graph):
+        rc = RoutingCache(fig11_graph)
+        # a 5-node path where default is 4 nodes: stretch 4/3
+        stats = path_stretch([rec(1, 5, 5)], rc)
+        assert stats.mean == pytest.approx(4 / 3)
+        assert stats.fraction_stretched == 1.0
+
+    def test_mixed_population(self, fig11_graph):
+        rc = RoutingCache(fig11_graph)
+        stats = path_stretch([rec(1, 5, 4), rec(1, 5, 5)], rc)
+        assert stats.median == pytest.approx((1.0 + 4 / 3) / 2)
+        assert stats.fraction_stretched == pytest.approx(0.5)
+        assert stats.max == pytest.approx(4 / 3)
+
+    def test_legacy_records_skipped(self, fig11_graph):
+        rc = RoutingCache(fig11_graph)
+        stats = path_stretch([rec(1, 5, 0)], rc)
+        assert stats == StretchStats(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_from_fluid_run(self, fig11_graph):
+        from repro.flowsim import FluidSimulator, MifoProvider
+        from repro.flowsim.flow import FlowSpec
+        from repro.mifo import MifoPathBuilder
+
+        rc = RoutingCache(fig11_graph)
+        sim = FluidSimulator(
+            fig11_graph,
+            MifoProvider(
+                MifoPathBuilder(fig11_graph, rc, frozenset(fig11_graph.nodes()))
+            ),
+        )
+        res = sim.run(
+            [
+                FlowSpec(1, 1, 5, 4e6, 0.0),
+                FlowSpec(2, 2, 5, 4e6, 0.004),
+            ]
+        )
+        stats = path_stretch(res.records, rc)
+        assert stats.mean >= 1.0
+        assert stats.max <= 2.0  # the 3->6->5 detour adds no hops here

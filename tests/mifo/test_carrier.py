@@ -1,0 +1,134 @@
+"""Tests for the three tag-bit carriers (paper Section III-A4)."""
+
+import pytest
+
+from repro.dataplane import Network, Packet
+from repro.mifo.carrier import IpOptionCarrier, MplsLabelCarrier, ReservedBitCarrier
+from repro.mifo.engine import MifoEngine, MifoEngineConfig
+from repro.topology.relationships import Relationship
+
+C, P, R = Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER
+
+
+def pkt(size=1000):
+    return Packet(flow_id=1, seq=0, src="S", dst="D", size=size)
+
+
+class TestReservedBit:
+    def test_zero_overhead(self):
+        c = ReservedBitCarrier()
+        p = pkt()
+        c.tag(p, True)
+        assert p.size == 1000
+        assert c.read(p) is True
+        c.strip(p)
+        assert p.size == 1000
+
+    def test_overwrite(self):
+        c = ReservedBitCarrier()
+        p = pkt()
+        c.tag(p, True)
+        c.tag(p, False)
+        assert c.read(p) is False
+
+
+class TestMplsLabel:
+    def test_push_read_pop(self):
+        c = MplsLabelCarrier()
+        p = pkt()
+        c.tag(p, True)
+        assert p.size == 1004  # 4-byte shim on the wire inside the AS
+        assert len(p.mpls_stack) == 1
+        assert c.read(p) is True
+        c.strip(p)
+        assert p.size == 1000
+        assert not p.mpls_stack
+
+    def test_retag_does_not_stack(self):
+        c = MplsLabelCarrier()
+        p = pkt()
+        c.tag(p, True)
+        c.tag(p, False)
+        assert len(p.mpls_stack) == 1
+        assert p.size == 1004
+        assert c.read(p) is False
+
+    def test_bit_encoded_in_label(self):
+        c = MplsLabelCarrier()
+        p = pkt()
+        c.tag(p, True)
+        assert p.mpls_stack[0] & 0x1
+        c.tag(p, False)
+        assert not (p.mpls_stack[0] & 0x1)
+
+    def test_strip_without_label_is_safe(self):
+        c = MplsLabelCarrier()
+        p = pkt()
+        c.strip(p)
+        assert p.size == 1000
+
+    def test_read_falls_back_to_bit(self):
+        c = MplsLabelCarrier()
+        p = pkt()
+        p.tag_bit = True
+        assert c.read(p) is True
+
+
+class TestIpOption:
+    def test_option_added_once(self):
+        c = IpOptionCarrier()
+        p = pkt()
+        c.tag(p, True)
+        assert p.size == 1004
+        c.tag(p, False)
+        assert p.size == 1004  # option reused, not duplicated
+        assert c.read(p) is False
+
+    def test_option_survives_strip(self):
+        c = IpOptionCarrier()
+        p = pkt()
+        c.tag(p, True)
+        c.strip(p)
+        assert p.size == 1004  # options are end-to-end
+
+
+class TestEngineIntegration:
+    def _wire(self, carrier):
+        net = Network()
+        engine = MifoEngine(
+            MifoEngineConfig(congestion_threshold=0.5, carrier=carrier)
+        )
+        mid = net.add_router("M", 2, engine)
+        sink = lambda *_a: None
+        up = net.add_router("U", 1, sink)
+        d = net.add_router("D", 3, sink)
+        alt = net.add_router("A", 4, sink)
+        _, m_up = net.connect_routers(up, mid, relationship_of_b=R)
+        m_up.neighbor_relationship = C
+        m_d, _ = net.connect_routers(mid, d, relationship_of_b=R, queue_capacity=4)
+        m_a, _ = net.connect_routers(mid, alt, relationship_of_b=C)
+        mid.fib.install("D", m_d, m_a)
+        return net, mid, m_up, m_d
+
+    def test_mpls_label_popped_at_as_exit(self):
+        net, mid, m_up, _m_d = self._wire(MplsLabelCarrier())
+        p = pkt()
+        mid.receive(p, m_up)
+        net.sim.run()
+        # The packet left via an eBGP port: the label must be gone.
+        assert not p.mpls_stack
+        assert p.size == 1000
+
+    def test_deflected_packet_also_stripped(self):
+        net, mid, m_up, m_d = self._wire(MplsLabelCarrier())
+        for i in range(4):
+            m_d.send(pkt())
+        p = pkt()
+        mid.receive(p, m_up)
+        net.sim.run()
+        assert mid.counters.deflected == 1
+        assert not p.mpls_stack
+
+    def test_reserved_bit_default(self):
+        cfg = MifoEngineConfig()
+        assert isinstance(cfg.carrier, ReservedBitCarrier)

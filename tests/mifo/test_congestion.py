@@ -1,0 +1,106 @@
+"""Tests for the pluggable congestion detectors."""
+
+import pytest
+
+from repro.dataplane.events import Simulator
+from repro.dataplane.link import Link
+from repro.dataplane.device import Device
+from repro.dataplane.packet import Packet
+from repro.dataplane.port import Port
+from repro.mifo.congestion import (
+    HybridDetector,
+    QueuingRatioDetector,
+    UtilizationDetector,
+)
+
+
+class _Sink(Device):
+    def receive(self, packet, in_port):
+        pass
+
+
+def wired_port(rate=1e6, queue=4):
+    sim = Simulator()
+    a, b = _Sink(sim, "A"), _Sink(sim, "B")
+    pa, pb = Port("A:0", queue_capacity=queue), Port("B:0", queue_capacity=queue)
+    Link(sim, a, pa, b, pb, rate_bps=rate, delay_s=0.001)
+    return sim, pa
+
+
+def pkt(size=1000):
+    return Packet(flow_id=1, seq=0, src="S", dst="D", size=size)
+
+
+class TestQueuingRatio:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            QueuingRatioDetector(0.0)
+        with pytest.raises(ValueError):
+            QueuingRatioDetector(1.5)
+
+    def test_fires_on_backlog(self):
+        _sim, p = wired_port()
+        det = QueuingRatioDetector(0.5)
+        assert not det(p)
+        p.send(pkt())
+        p.send(pkt())
+        assert det(p)  # 2/4 occupied
+
+    def test_repr(self):
+        assert "0.8" in repr(QueuingRatioDetector(0.8))
+
+
+class TestUtilization:
+    def test_fires_after_sustained_load(self):
+        sim, p = wired_port(rate=1e6)
+        det = UtilizationDetector(0.5)
+        assert not det(p)
+        for _ in range(4):
+            p.send(pkt())
+        sim.run()  # 4 x 8 ms of transmission
+        p.sample_utilization(0.032)  # fully busy window -> EWMA reaches 0.5
+        assert det(p)
+
+    def test_unwired_port_never_congested(self):
+        det = UtilizationDetector(0.5)
+        assert not det(Port("x"))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            UtilizationDetector(0.0)
+
+
+class TestHybrid:
+    def test_queue_component(self):
+        _sim, p = wired_port()
+        det = HybridDetector(queue_threshold=0.5, utilization_threshold=0.99)
+        p.send(pkt())
+        p.send(pkt())
+        assert det(p)
+
+    def test_neither_fires_when_idle(self):
+        _sim, p = wired_port()
+        assert not HybridDetector()(p)
+
+
+class TestEngineIntegration:
+    def test_custom_detector_overrides_threshold(self):
+        """An always-congested detector deflects the first packet even
+        with an empty queue."""
+        from repro.dataplane import Network
+        from repro.mifo.engine import MifoEngine, MifoEngineConfig
+        from repro.topology.relationships import Relationship
+
+        net = Network()
+        always = lambda port: True
+        mid = net.add_router("M", 2, MifoEngine(MifoEngineConfig(detector=always)))
+        up = net.add_router("U", 1, lambda *a: None)
+        d = net.add_router("D", 3, lambda *a: None)
+        alt = net.add_router("A", 4, lambda *a: None)
+        _, m_up = net.connect_routers(up, mid, relationship_of_b=Relationship.PROVIDER)
+        m_up.neighbor_relationship = Relationship.CUSTOMER
+        m_d, _ = net.connect_routers(mid, d, relationship_of_b=Relationship.PROVIDER)
+        m_a, _ = net.connect_routers(mid, alt, relationship_of_b=Relationship.CUSTOMER)
+        mid.fib.install("X", m_d, m_a)
+        mid.receive(Packet(flow_id=1, seq=0, src="S", dst="X", size=100), m_up)
+        assert mid.counters.deflected == 1

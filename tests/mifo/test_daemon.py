@@ -1,0 +1,77 @@
+"""Tests for the MIFO daemon's greedy alt-port maintenance."""
+
+from repro.dataplane import Network, Packet, PacketKind
+from repro.mifo.daemon import AltCandidate, MifoDaemon
+from repro.mifo.engine import MifoEngine, MifoEngineConfig
+from repro.topology.relationships import Relationship
+
+
+def sink_engine(router, packet, in_port):
+    router.counters.forwarded += 1
+
+
+def _pkt(flow, size=1000):
+    return Packet(flow_id=flow, seq=0, src="S", dst="D", size=size)
+
+
+class TestDaemon:
+    def _net(self):
+        net = Network()
+        rd = net.add_router("Rd", 3, MifoEngine(MifoEngineConfig()))
+        a = net.add_router("A", 4, sink_engine)
+        b = net.add_router("B", 5, sink_engine)
+        c = net.add_router("C", 6, sink_engine)
+        rd_a, _ = net.connect_routers(rd, a, relationship_of_b=Relationship.PROVIDER)
+        rd_b, _ = net.connect_routers(rd, b, relationship_of_b=Relationship.PROVIDER)
+        rd_c, _ = net.connect_routers(rd, c, relationship_of_b=Relationship.PROVIDER)
+        rd.fib.install("D", rd_a)
+        return net, rd, (rd_a, rd_b, rd_c)
+
+    def test_daemon_points_alt_at_max_spare(self):
+        net, rd, (rd_a, rd_b, rd_c) = self._net()
+        daemon = MifoDaemon(net.sim, rd, interval=0.01)
+        daemon.register_alternatives(
+            "D",
+            [AltCandidate(rd_b, rd_b), AltCandidate(rd_c, rd_c)],
+        )
+        daemon.start()
+        # Load port B heavily so its measured utilization is high.
+        for i in range(20):
+            rd_b.send(_pkt(100 + i, size=9000))
+        net.run(until=0.05)
+        assert rd.fib.lookup("D").alt_port is rd_c
+        assert daemon.updates >= 1
+
+    def test_daemon_tracks_shifting_load(self):
+        net, rd, (rd_a, rd_b, rd_c) = self._net()
+        daemon = MifoDaemon(net.sim, rd, interval=0.01)
+        daemon.register_alternatives(
+            "D", [AltCandidate(rd_b, rd_b), AltCandidate(rd_c, rd_c)]
+        )
+        daemon.start()
+        for i in range(20):
+            rd_b.send(_pkt(100 + i, size=9000))
+        net.run(until=0.05)
+        assert rd.fib.lookup("D").alt_port is rd_c
+        # Now hammer C instead; after the next window B wins back.
+        for i in range(40):
+            rd_c.send(_pkt(200 + i, size=9000))
+        net.run(until=0.08)
+        assert rd.fib.lookup("D").alt_port is rd_b
+
+    def test_no_candidates_is_harmless(self):
+        net, rd, _ports = self._net()
+        daemon = MifoDaemon(net.sim, rd, interval=0.01)
+        daemon.register_alternatives("D", [])
+        daemon.start()
+        net.run(until=0.03)
+        assert rd.fib.lookup("D").alt_port is None
+
+    def test_start_idempotent(self):
+        net, rd, _ = self._net()
+        daemon = MifoDaemon(net.sim, rd, interval=0.01)
+        daemon.start()
+        daemon.start()
+        net.run(until=0.025)
+        # one tick chain, not two: at most ~3 sampling events
+        assert net.sim.events_processed <= 4

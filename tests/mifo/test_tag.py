@@ -1,0 +1,62 @@
+"""Tests for the one-bit Tag-Check strategy."""
+
+import pytest
+
+from repro.mifo.tag import check_bit, tag_for_upstream, transit_allowed
+from repro.topology.relationships import Relationship
+
+C, P, R = Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER
+
+
+class TestTag:
+    def test_customer_upstream_sets_bit(self):
+        assert tag_for_upstream(C) is True
+
+    @pytest.mark.parametrize("rel", [P, R])
+    def test_peer_provider_upstream_clears_bit(self, rel):
+        assert tag_for_upstream(rel) is False
+
+    def test_own_traffic_tagged_like_customer(self):
+        assert tag_for_upstream(None) is True
+
+
+class TestCheck:
+    def test_bit_set_allows_any_downstream(self):
+        for rel in Relationship:
+            assert check_bit(True, rel)
+
+    def test_bit_clear_requires_customer_downstream(self):
+        assert check_bit(False, C)
+        assert not check_bit(False, P)
+        assert not check_bit(False, R)
+
+
+class TestTransitAllowed:
+    """AS-level composition must equal Eq. 3 on real graphs."""
+
+    def test_fig2a_peer_chain_blocked(self, fig2a_graph):
+        # Packet 1 -> 2 -> 3: both peers of AS 2 — the Fig-2(a) loop step.
+        assert not transit_allowed(fig2a_graph, upstream=1, current=2, downstream=3)
+
+    def test_fig2a_down_allowed(self, fig2a_graph):
+        # 1 -> 2 -> 0: downstream is AS 2's customer.
+        assert transit_allowed(fig2a_graph, upstream=1, current=2, downstream=0)
+
+    def test_customer_upstream_allows_peer_downstream(self, fig2a_graph):
+        # 0 -> 1 -> 2: upstream AS 0 is AS 1's customer.
+        assert transit_allowed(fig2a_graph, upstream=0, current=1, downstream=2)
+
+    def test_origin_can_go_anywhere(self, fig2a_graph):
+        for downstream in (0, 2, 3):
+            assert transit_allowed(fig2a_graph, None, 1, downstream)
+
+    def test_equivalence_with_tag_then_check(self, fig11_graph):
+        g = fig11_graph
+        for u in g.nodes():
+            for up in g.neighbors(u):
+                for down in g.neighbors(u):
+                    expected = check_bit(
+                        tag_for_upstream(g.relationship(u, up)),
+                        g.relationship(u, down),
+                    )
+                    assert transit_allowed(g, up, u, down) == expected

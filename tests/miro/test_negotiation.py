@@ -1,0 +1,105 @@
+"""Tests for the MIRO baseline (strict policy, bounded alternatives)."""
+
+import pytest
+
+from repro.bgp.propagation import RoutingCache
+from repro.errors import NoRouteError
+from repro.miro.negotiation import MiroConfig, MiroRouting
+
+
+def never(_u, _v):
+    return False
+
+
+def unit(_u, _v):
+    return 1.0
+
+
+@pytest.fixture
+def full_miro(fig2a_graph):
+    return MiroRouting(
+        fig2a_graph, RoutingCache(fig2a_graph), frozenset(fig2a_graph.nodes())
+    )
+
+
+class TestAvailablePaths:
+    def test_default_first(self, full_miro):
+        paths = full_miro.available_paths(1, 0)
+        assert paths[0] == (1, 0)
+
+    def test_strict_policy_filters_class(self, full_miro):
+        # AS 1's default to AS 0 is a customer route; the peer alternatives
+        # (via 2 or 3) have a *different* local preference class and are
+        # excluded by the strict policy.
+        paths = full_miro.available_paths(1, 0)
+        assert paths == [(1, 0)]
+
+    def test_same_class_alternative_included(self, fig11_graph):
+        miro = MiroRouting(
+            fig11_graph, RoutingCache(fig11_graph), frozenset(fig11_graph.nodes())
+        )
+        # AS 3's default to AS 5 is a provider route via 4; the route via 6
+        # is also provider-class: the strict policy admits it.
+        paths = miro.available_paths(3, 5)
+        assert (3, 4, 5) in paths
+        assert (3, 6, 5) in paths
+
+    def test_cap_respected(self, small_internet):
+        miro = MiroRouting(
+            small_internet,
+            RoutingCache(small_internet),
+            frozenset(small_internet.nodes()),
+            MiroConfig(max_alternatives=1),
+        )
+        for src in list(small_internet.nodes())[::31]:
+            if src == 0:
+                continue
+            assert len(miro.available_paths(src, 0)) <= 2
+
+    def test_non_capable_source_has_default_only(self, fig11_graph):
+        miro = MiroRouting(fig11_graph, RoutingCache(fig11_graph), frozenset())
+        assert miro.available_paths(3, 5) == [(3, 4, 5)]
+
+    def test_bilateral_requirement(self, fig11_graph):
+        # AS 3 capable but AS 6 (the alternative's head) not: no alternative.
+        miro = MiroRouting(fig11_graph, RoutingCache(fig11_graph), frozenset({3, 4}))
+        assert miro.available_paths(3, 5) == [(3, 4, 5)]
+
+    def test_no_route_raises(self):
+        from repro.topology.asgraph import ASGraph
+
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        g.add_as(9)
+        g.freeze()
+        miro = MiroRouting(g, RoutingCache(g), frozenset(g.nodes()))
+        with pytest.raises(NoRouteError):
+            miro.available_paths(9, 0)
+
+
+class TestChoosePath:
+    def test_uncongested_stays_default(self, fig11_graph):
+        miro = MiroRouting(
+            fig11_graph, RoutingCache(fig11_graph), frozenset(fig11_graph.nodes())
+        )
+        path, used_alt = miro.choose_path(3, 5, never, unit)
+        assert path == (3, 4, 5)
+        assert not used_alt
+
+    def test_congested_default_picks_alternative(self, fig11_graph):
+        miro = MiroRouting(
+            fig11_graph, RoutingCache(fig11_graph), frozenset(fig11_graph.nodes())
+        )
+        congested = lambda u, v: (u, v) == (3, 4)
+        path, used_alt = miro.choose_path(3, 5, congested, unit)
+        assert path == (3, 6, 5)
+        assert used_alt
+
+    def test_equally_congested_alternative_not_preferred(self, fig11_graph):
+        miro = MiroRouting(
+            fig11_graph, RoutingCache(fig11_graph), frozenset(fig11_graph.nodes())
+        )
+        congested = lambda u, v: (u, v) in {(3, 4), (3, 6)}
+        path, used_alt = miro.choose_path(3, 5, congested, unit)
+        assert path == (3, 4, 5)
+        assert not used_alt

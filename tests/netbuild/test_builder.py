@@ -1,0 +1,164 @@
+"""Tests for the router-level network builder — including the cross-layer
+validation that packet-level MIFO behavior matches the AS-level claims."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mifo.engine import MifoEngineConfig
+from repro.netbuild import BuildConfig, build_network
+from repro.topology.asgraph import ASGraph
+from repro.topology.generator import TopologyConfig, generate_topology
+
+
+@pytest.fixture
+def fig11():
+    return ASGraph.from_links(p2c=[(3, 1), (3, 2), (4, 3), (6, 3), (4, 5), (6, 5)])
+
+
+class TestStructure:
+    def test_requires_frozen(self):
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        with pytest.raises(ConfigError):
+            build_network(g)
+
+    def test_unexpanded_as_is_single_router(self, fig11):
+        built = build_network(fig11, hosts_at=[5])
+        assert all(len(rs) == 1 for rs in built.routers.values())
+        assert len(built.all_routers()) == 6
+
+    def test_expand_creates_router_per_neighbor(self, fig11):
+        built = build_network(fig11, expand={3}, hosts_at=[5])
+        assert len(built.routers[3]) == 4  # neighbors 1, 2, 4, 6
+        names = {r.name for r in built.routers[3]}
+        assert names == {"R3.1", "R3.2", "R3.4", "R3.6"}
+
+    def test_expanded_as_full_ibgp_mesh(self, fig11):
+        built = build_network(fig11, expand={3}, hosts_at=[5])
+        rs = built.routers[3]
+        for r in rs:
+            # each border router peers with the other three
+            assert len(r.ibgp_ports) == 3
+
+    def test_single_neighbor_as_never_expanded(self, fig11):
+        built = build_network(fig11, expand={1}, hosts_at=[5])
+        assert len(built.routers[1]) == 1
+
+    def test_border_facing_map(self, fig11):
+        built = build_network(fig11, expand={3}, hosts_at=[5])
+        assert built.router_facing(3, 4).name == "R3.4"
+        assert built.router_facing(4, 3).name == "R4"
+
+    def test_fibs_cover_all_host_prefixes(self, fig11):
+        built = build_network(fig11, hosts_at=[1, 2, 5])
+        for r in built.all_routers():
+            for prefix in ("H1", "H2", "H5"):
+                if f"H{r.asn}" == prefix:
+                    continue
+                assert prefix in r.fib
+
+
+class TestEndToEnd:
+    def test_flow_delivery_plain_bgp(self, fig11):
+        built = build_network(fig11, hosts_at=[1, 5])
+        _, h1 = built.hosts["H1"]
+        s = h1.start_flow(1, "H5", 1e6)
+        built.run(until=5.0)
+        assert s.completed
+        assert s.goodput_bps > 0.6e9
+
+    def test_mifo_deflects_under_contention(self, fig11):
+        built = build_network(
+            fig11,
+            expand={3},
+            mifo_capable={3},
+            hosts_at=[1, 2, 5],
+        )
+        _, h1 = built.hosts["H1"]
+        _, h2 = built.hosts["H2"]
+        s1 = h1.start_flow(1, "H5", 4e6)
+        s2 = h2.start_flow(2, "H5", 4e6)
+        built.run(until=10.0)
+        assert s1.completed and s2.completed
+        assert built.counters_total("deflected") > 0
+        assert built.counters_total("encapsulated") > 0
+        assert built.counters_total("dropped_valley") == 0
+        assert built.counters_total("dropped_ttl") == 0
+
+    def test_mifo_beats_bgp_aggregate(self, fig11):
+        # The paper's testbed setup, auto-built: two destination hosts in
+        # AS 5 (D1, D2), sources in AS 1 and AS 2, contention at AS 3.
+        def total_duration(mifo: bool):
+            built = build_network(
+                fig11,
+                expand={3},
+                mifo_capable={3} if mifo else set(),
+                hosts_at=[1, 2, 5, 5],
+            )
+            _, h1 = built.hosts["H1"]
+            _, h2 = built.hosts["H2"]
+            s1 = h1.start_flow(1, "H5.1", 4e6)
+            s2 = h2.start_flow(2, "H5.2", 4e6)
+            built.run(until=20.0)
+            assert s1.completed and s2.completed
+            return max(s1.finish_time, s2.finish_time)
+
+        assert total_duration(mifo=True) < total_duration(mifo=False) * 0.8
+
+    def test_multiple_hosts_per_as(self, fig11):
+        built = build_network(fig11, hosts_at=[5, 5, 1])
+        assert set(built.hosts) == {"H5.1", "H5.2", "H1"}
+        # distinct access ports
+        assert built.host_ports["H5.1"] is not built.host_ports["H5.2"]
+        # both prefixes in every router's FIB
+        for r in built.all_routers():
+            if r.asn == 5:
+                continue
+            assert "H5.1" in r.fib and "H5.2" in r.fib
+
+    def test_no_loops_on_generated_internet(self):
+        # A 40-AS internet, everything MIFO, two expanded transit ASes,
+        # several concurrent flows: every packet delivered, no directed
+        # link ever repeated in any packet trace (the theorem at packet
+        # level), no TTL deaths.
+        g = generate_topology(TopologyConfig(n_ases=40, n_tier1=3, seed=13))
+        t1 = g.tier1_ases()
+        built = build_network(
+            g,
+            expand=set(t1[:2]),
+            mifo_capable=set(g.nodes()),
+            hosts_at=[0, 20, 30, 39],
+            config=BuildConfig(
+                mifo_config=MifoEngineConfig(congestion_threshold=0.3)
+            ),
+        )
+        _, h20 = built.hosts["H20"]
+        _, h30 = built.hosts["H30"]
+        _, h39 = built.hosts["H39"]
+        flows = [
+            h20.start_flow(1, "H0", 1e6),
+            h30.start_flow(2, "H0", 1e6),
+            h39.start_flow(3, "H0", 1e6),
+        ]
+        built.run(until=30.0)
+        assert all(f.completed for f in flows)
+        assert built.counters_total("dropped_ttl") == 0
+
+    def test_daemon_registered_for_capable_with_alternatives(self, fig11):
+        built = build_network(fig11, expand={3}, mifo_capable={3}, hosts_at=[5])
+        assert built.daemons  # AS3 has the via-6 alternative
+        built.run(until=0.2)
+        # daemon ticked and left alt ports pointing somewhere valid
+        for r in built.routers[3]:
+            entry = r.fib.lookup("H5")
+            assert entry.out_port is not None
+
+    def test_daemons_disabled(self, fig11):
+        built = build_network(
+            fig11,
+            expand={3},
+            mifo_capable={3},
+            hosts_at=[5],
+            config=BuildConfig(daemon_interval_s=0),
+        )
+        assert built.daemons == []

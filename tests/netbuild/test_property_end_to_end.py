@@ -1,0 +1,72 @@
+"""End-to-end property test: on ANY random AS graph with ANY deployment,
+packet-level MIFO delivers every CBR packet stream without loops.
+
+This composes the whole stack — topology, BGP convergence, FIB derivation,
+Algorithm 1, Tag-Check, IP-in-IP — under hypothesis, which is as close to
+an executable statement of the paper's Theorem at the packet level as it
+gets.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.propagation import RoutingCache
+from repro.mifo.engine import MifoEngineConfig
+from repro.netbuild import BuildConfig, build_network
+
+from ..conftest import as_graphs
+
+
+@given(
+    g=as_graphs(min_nodes=4, max_nodes=9),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_networks_deliver_without_loops(g, seed):
+    rng = np.random.default_rng(seed)
+    nodes = sorted(g.nodes())
+    rc = RoutingCache(g)
+
+    # pick a destination reachable from everywhere it matters
+    dst = int(rng.choice(nodes))
+    sources = [int(s) for s in rng.choice(nodes, size=2, replace=False) if int(s) != dst]
+    sources = [s for s in sources if rc(dst).has_route(s)]
+    if not sources:
+        return
+
+    capable = set(
+        int(x) for x in rng.choice(nodes, size=max(1, len(nodes) // 2), replace=False)
+    )
+    expand = {
+        int(x)
+        for x in rng.choice(nodes, size=1)
+        if len(g.neighbors(int(x))) > 1
+    }
+    built = build_network(
+        g,
+        expand=expand,
+        mifo_capable=capable,
+        hosts_at=[dst] + sources,
+        routing=rc,
+        config=BuildConfig(
+            mifo_config=MifoEngineConfig(congestion_threshold=0.4)
+        ),
+    )
+    dst_host_name = f"H{dst}"
+    _, dst_host = built.hosts[dst_host_name]
+    senders = []
+    for i, s in enumerate(sources, start=1):
+        _, h = built.hosts[f"H{s}"]
+        senders.append(
+            h.start_cbr(i, dst_host_name, rate_bps=400e6, total_bytes=0.5e6)
+        )
+    built.run(until=10.0, max_events=2_000_000)
+
+    # Everything sent arrives, minus at most transient queue losses.
+    total_sent = sum(s.sent_bytes for s in senders)
+    total_rcvd = sum(dst_host.cbr_received.values())
+    assert total_rcvd >= total_sent - 80_000
+    # The theorem, on the wire: no packet ever died of TTL and no
+    # valley-free violation had to be dropped on a *default* path.
+    assert built.counters_total("dropped_ttl") == 0

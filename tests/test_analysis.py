@@ -1,0 +1,86 @@
+"""Tests for the what-if / explain diagnostics."""
+
+import pytest
+
+from repro.analysis import explain_path
+from repro.bgp.propagation import RoutingCache
+from repro.errors import NoRouteError
+from repro.mifo.deflection import MifoPathBuilder
+
+
+@pytest.fixture
+def builder(fig11_graph):
+    return MifoPathBuilder(
+        fig11_graph, RoutingCache(fig11_graph), frozenset(fig11_graph.nodes())
+    )
+
+
+def never(_u, _v):
+    return False
+
+
+def unit(_u, _v):
+    return 1.0
+
+
+class TestExplainPath:
+    def test_matches_builder_walk(self, builder):
+        congested = lambda u, v: (u, v) == (3, 4)
+        spare = lambda u, v: 5.0
+        explained = explain_path(builder, 1, 5, congested, spare)
+        walked = builder.build_path(1, 5, congested, spare)
+        assert explained.path == walked.path
+        assert explained.deflections == walked.deflections
+
+    def test_uncongested_narrative(self, builder):
+        e = explain_path(builder, 1, 5, never, unit)
+        assert e.path == (1, 3, 4, 5)
+        assert e.deflections == 0
+        text = e.describe()
+        assert "follows the default path" in text
+        assert "DEFLECTS" not in text
+
+    def test_deflection_narrative_lists_candidates(self, builder):
+        congested = lambda u, v: (u, v) == (3, 4)
+        e = explain_path(builder, 1, 5, congested, unit)
+        assert e.deflections == 1
+        text = e.describe()
+        assert "DEFLECTS to AS 6" in text
+        assert "CHOSEN" in text
+        hop3 = next(h for h in e.hops if h.asn == 3)
+        assert hop3.default_congested
+        assert hop3.deflected_to == 6
+        assert any(c.chosen for c in hop3.candidates)
+
+    def test_tag_check_verdict_surfaces(self, fig2a_graph):
+        b = MifoPathBuilder(
+            fig2a_graph,
+            RoutingCache(fig2a_graph),
+            frozenset(fig2a_graph.nodes()),
+            deflect_uncongested_only=False,
+        )
+        congested = lambda u, v: v == 0
+        # From AS 1's perspective the first deflection is legal (own
+        # traffic); at the peer, the remaining peer candidate must be
+        # reported as forbidden by Tag-Check.
+        e = explain_path(b, 1, 0, congested, unit)
+        text = e.describe()
+        assert "forbidden by Tag-Check" in text
+
+    def test_non_capable_hop_reported(self, fig11_graph):
+        b = MifoPathBuilder(fig11_graph, RoutingCache(fig11_graph), frozenset({1}))
+        congested = lambda u, v: (u, v) == (3, 4)
+        e = explain_path(b, 1, 5, congested, unit)
+        assert "not MIFO-capable" in e.describe()
+        assert e.path == (1, 3, 4, 5)
+
+    def test_no_route_raises(self):
+        from repro.topology.asgraph import ASGraph
+
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        g.add_as(9)
+        g.freeze()
+        b = MifoPathBuilder(g, RoutingCache(g), frozenset(g.nodes()))
+        with pytest.raises(NoRouteError):
+            explain_path(b, 9, 0, never, unit)

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig5", "fig12"):
+            assert name in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_topology_generation(self, tmp_path, capsys):
+        out_file = tmp_path / "topo.txt"
+        assert main(["topology", "--n-ases", "150", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        from repro.topology.loader import load_caida
+
+        g = load_caida(out_file)
+        assert len(g) == 150
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSimulateCommand:
+    def test_simulate_runs_all_schemes(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--n-ases", "200",
+                    "--n-flows", "60",
+                    "--rate", "400",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "BGP" in out and "MIRO" in out and "MIFO" in out
+        assert "Median Mbps" in out
+
+    def test_simulate_powerlaw_single_scheme(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--n-ases", "200",
+                    "--n-flows", "50",
+                    "--traffic", "powerlaw",
+                    "--schemes", "MIFO",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "MIFO" in out and "powerlaw" in out
+
+    def test_export_command(self, tmp_path, capsys):
+        assert main(["export", "--out", str(tmp_path), "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8_offload.dat" in out

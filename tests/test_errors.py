@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.TopologyError,
+            errors.RoutingError,
+            errors.NoRouteError,
+            errors.ForwardingError,
+            errors.LoopDetectedError,
+            errors.SimulationError,
+            errors.ConfigError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_no_route_carries_endpoints(self):
+        e = errors.NoRouteError(3, 9)
+        assert e.source == 3 and e.destination == 9
+        assert "AS 3" in str(e) and "AS 9" in str(e)
+        assert isinstance(e, errors.RoutingError)
+
+    def test_loop_detected_carries_path(self):
+        e = errors.LoopDetectedError([1, 2, 3, 1])
+        assert e.path == [1, 2, 3, 1]
+        assert "1 -> 2 -> 3 -> 1" in str(e)
+        assert isinstance(e, errors.ForwardingError)
+
+    def test_package_exports(self):
+        import repro
+
+        assert repro.errors is errors
+        assert repro.__version__

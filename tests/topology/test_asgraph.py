@@ -1,0 +1,142 @@
+"""Tests for the ASGraph structure and its invariants."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import TopologyError
+from repro.topology.asgraph import ASGraph, link_key
+from repro.topology.relationships import Relationship
+
+from ..conftest import as_graphs
+
+C, P, R = Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER
+
+
+class TestConstruction:
+    def test_add_as_idempotent(self):
+        g = ASGraph()
+        g.add_as(1)
+        g.add_as(1)
+        assert len(g) == 1
+
+    def test_p2c_view_from_both_sides(self):
+        g = ASGraph.from_links(p2c=[(1, 2)], freeze=False)
+        assert g.relationship(1, 2) is C  # 2 is 1's customer
+        assert g.relationship(2, 1) is R  # 1 is 2's provider
+        assert g.customers(1) == [2]
+        assert g.providers(2) == [1]
+
+    def test_peering_symmetric(self):
+        g = ASGraph.from_links(peering=[(1, 2)], freeze=False)
+        assert g.relationship(1, 2) is P
+        assert g.relationship(2, 1) is P
+        assert g.peers(1) == [2] and g.peers(2) == [1]
+
+    def test_self_loop_rejected(self):
+        g = ASGraph()
+        with pytest.raises(TopologyError, match="self-loop"):
+            g.add_p2c(1, 1)
+
+    def test_duplicate_link_idempotent(self):
+        g = ASGraph()
+        g.add_p2c(1, 2)
+        g.add_p2c(1, 2)
+        assert g.num_links() == 1
+
+    def test_conflicting_relationship_rejected(self):
+        g = ASGraph()
+        g.add_p2c(1, 2)
+        with pytest.raises(TopologyError, match="conflicting"):
+            g.add_peering(1, 2)
+
+    def test_unknown_as_queries_raise(self):
+        g = ASGraph()
+        with pytest.raises(TopologyError):
+            g.neighbors(42)
+        g.add_as(1)
+        g.add_as(2)
+        with pytest.raises(TopologyError):
+            g.relationship(1, 2)
+
+
+class TestFreeze:
+    def test_freeze_blocks_mutation(self):
+        g = ASGraph.from_links(p2c=[(1, 2)])
+        assert g.frozen
+        with pytest.raises(TopologyError, match="frozen"):
+            g.add_p2c(2, 3)
+
+    def test_freeze_rejects_provider_cycle(self):
+        g = ASGraph()
+        g.add_p2c(1, 2)
+        g.add_p2c(2, 3)
+        g.add_p2c(3, 1)  # 1 -> 2 -> 3 -> 1 in the hierarchy
+        with pytest.raises(TopologyError, match="cycle"):
+            g.freeze()
+
+    def test_freeze_cycle_check_can_be_disabled(self):
+        g = ASGraph()
+        g.add_p2c(1, 2)
+        g.add_p2c(2, 3)
+        g.add_p2c(3, 1)
+        g.freeze(require_acyclic_hierarchy=False)
+        assert g.frozen
+
+    def test_double_freeze_is_noop(self):
+        g = ASGraph.from_links(p2c=[(1, 2)])
+        assert g.freeze() is g
+
+
+class TestQueries:
+    def test_tier1_and_stubs(self, fig2a_graph):
+        assert sorted(fig2a_graph.tier1_ases()) == [1, 2, 3]
+        assert fig2a_graph.stub_ases() == [0]
+
+    def test_degree(self, fig2a_graph):
+        assert fig2a_graph.degree(0) == 3  # three providers
+        assert fig2a_graph.degree(1) == 3  # one customer + two peers
+
+    def test_connectivity(self, fig2a_graph):
+        assert fig2a_graph.is_connected()
+        g = ASGraph()
+        g.add_p2c(1, 2)
+        g.add_p2c(3, 4)
+        assert not g.is_connected()
+
+    def test_links_canonical_order(self, fig2a_graph):
+        links = fig2a_graph.links()
+        assert all(u < v for u, v, _rel in links)
+        assert len(links) == 6
+
+    def test_link_key(self):
+        assert link_key(5, 3) == (3, 5) == link_key(3, 5)
+
+    def test_reachable_set(self, chain_graph):
+        assert chain_graph.subgraph_nodes_reachable_from(0) == {0, 1, 2}
+
+
+class TestHypothesisInvariants:
+    @given(as_graphs())
+    def test_relationship_views_consistent(self, g):
+        for u, v, rel in g.links():
+            assert g.relationship(u, v) is rel
+            from repro.topology.relationships import invert
+
+            assert g.relationship(v, u) is invert(rel)
+
+    @given(as_graphs())
+    def test_degree_sums_to_twice_links(self, g):
+        assert sum(g.degree(n) for n in g.nodes()) == 2 * g.num_links()
+
+    @given(as_graphs())
+    def test_customer_provider_lists_are_duals(self, g):
+        for n in g.nodes():
+            for c in g.customers(n):
+                assert n in g.providers(c)
+            for p in g.providers(n):
+                assert n in g.customers(p)
+
+    @given(as_graphs())
+    def test_generated_graphs_connected(self, g):
+        # Every node > 0 has a provider below it, so connectivity holds.
+        assert g.is_connected()

@@ -1,0 +1,87 @@
+"""Tests for the synthetic Internet generator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.topology.generator import (
+    DEFAULT_SCALE,
+    PAPER_SCALE,
+    TopologyConfig,
+    generate_topology,
+)
+from repro.topology.stats import topology_stats
+
+
+class TestValidation:
+    def test_too_few_tier1(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(n_tier1=1).validate()
+
+    def test_n_ases_too_small(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(n_ases=5, n_tier1=10).validate()
+
+    @pytest.mark.parametrize("frac", [0.0, 1.0, -0.1])
+    def test_bad_transit_fraction(self, frac):
+        with pytest.raises(ConfigError):
+            TopologyConfig(transit_fraction=frac).validate()
+
+    def test_bad_peering_fraction(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(peering_fraction=1.0).validate()
+
+    def test_bad_max_providers(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(max_providers=0).validate()
+
+
+class TestStructure:
+    def test_deterministic_for_seed(self):
+        a = generate_topology(TopologyConfig(n_ases=200, seed=5))
+        b = generate_topology(TopologyConfig(n_ases=200, seed=5))
+        assert a.links() == b.links()
+
+    def test_different_seeds_differ(self):
+        a = generate_topology(TopologyConfig(n_ases=200, seed=5))
+        b = generate_topology(TopologyConfig(n_ases=200, seed=6))
+        assert a.links() != b.links()
+
+    def test_connected_and_frozen(self, small_internet):
+        assert small_internet.frozen
+        assert small_internet.is_connected()
+
+    def test_tier1_clique_of_peers(self):
+        cfg = TopologyConfig(n_ases=200, n_tier1=6)
+        g = generate_topology(cfg)
+        for i in range(6):
+            assert not g.providers(i)
+            for j in range(i + 1, 6):
+                from repro.topology.relationships import Relationship
+
+                assert g.relationship(i, j) is Relationship.PEER
+
+    def test_every_non_tier1_has_provider(self, small_internet):
+        t1 = set(small_internet.tier1_ases())
+        for n in small_internet.nodes():
+            if n not in t1:
+                assert small_internet.providers(n), f"AS {n} has no provider"
+
+
+class TestTableOneFidelity:
+    """The generator must match the paper's Table-I relationship mix."""
+
+    @pytest.mark.parametrize("n", [300, 1000, 2000])
+    def test_relationship_mix(self, n):
+        stats = topology_stats(generate_topology(TopologyConfig(n_ases=n)))
+        assert stats.p2c_fraction == pytest.approx(0.69, abs=0.03)
+        assert stats.peering_fraction == pytest.approx(0.31, abs=0.03)
+
+    def test_most_ases_multihomed(self, small_internet):
+        # Section II-B: "most of ASes are able to benefit from
+        # multi-neighbor forwarding".
+        stats = topology_stats(small_internet)
+        assert stats.multihomed_fraction > 0.75
+
+    def test_paper_scale_config_declared(self):
+        assert PAPER_SCALE.n_ases == 44_340
+        assert DEFAULT_SCALE.n_ases < PAPER_SCALE.n_ases

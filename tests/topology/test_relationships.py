@@ -1,0 +1,113 @@
+"""Tests for the business-relationship algebra (paper Eq. 1-3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topology.relationships import (
+    Relationship,
+    export_allowed,
+    invert,
+    is_valley_free,
+    may_transit,
+)
+
+C, P, R = Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER
+
+
+class TestInvert:
+    def test_customer_provider_are_mutual(self):
+        assert invert(C) is R
+        assert invert(R) is C
+
+    def test_peer_is_symmetric(self):
+        assert invert(P) is P
+
+    @given(st.sampled_from(list(Relationship)))
+    def test_involution(self, rel):
+        assert invert(invert(rel)) is rel
+
+
+class TestSelectionOrder:
+    def test_customer_preferred_over_peer_over_provider(self):
+        # The integer order *is* the route-selection preference order.
+        assert C < P < R
+
+    def test_symbols_distinct(self):
+        assert len({r.symbol for r in Relationship}) == 3
+
+
+class TestMayTransit:
+    """Eq. 3: transit iff upstream is a customer or downstream is one."""
+
+    @pytest.mark.parametrize(
+        "up, down, allowed",
+        [
+            (C, C, True),
+            (C, P, True),
+            (C, R, True),
+            (P, C, True),
+            (R, C, True),
+            (P, P, False),
+            (P, R, False),
+            (R, P, False),
+            (R, R, False),
+        ],
+    )
+    def test_truth_table(self, up, down, allowed):
+        assert may_transit(up, down) is allowed
+
+    def test_fig2a_peer_transit_forbidden(self):
+        # AS 2 receiving from peer AS 1 must not forward toward peer AS 3.
+        assert not may_transit(P, P)
+
+
+class TestValleyFree:
+    def test_empty_and_single_step(self):
+        assert is_valley_free([])
+        for rel in Relationship:
+            assert is_valley_free([rel])
+
+    def test_up_then_down(self):
+        assert is_valley_free([R, R, C, C])
+
+    def test_up_peer_down(self):
+        assert is_valley_free([R, P, C])
+
+    def test_valley_rejected(self):
+        # down then up = a valley.
+        assert not is_valley_free([C, R])
+
+    def test_two_peer_steps_rejected(self):
+        assert not is_valley_free([P, P])
+
+    def test_peer_then_up_rejected(self):
+        assert not is_valley_free([P, R])
+
+    @given(st.lists(st.sampled_from(list(Relationship)), max_size=8))
+    def test_equivalence_with_per_hop_rule(self, steps):
+        """A path is valley-free iff every interior hop satisfies Eq. 3.
+
+        The interior hop at position i sees upstream = invert(steps[i-1])
+        (how the previous AS looks from here) and downstream = steps[i].
+        """
+        per_hop = all(
+            may_transit(invert(steps[i - 1]), steps[i]) for i in range(1, len(steps))
+        )
+        assert is_valley_free(steps) == per_hop
+
+
+class TestExportPolicy:
+    def test_customer_routes_export_everywhere(self):
+        for to in Relationship:
+            assert export_allowed(C, to)
+
+    def test_local_routes_export_everywhere(self):
+        for to in Relationship:
+            assert export_allowed(None, to)
+
+    @pytest.mark.parametrize("learned", [P, R])
+    def test_peer_provider_routes_only_to_customers(self, learned):
+        assert export_allowed(learned, C)
+        assert not export_allowed(learned, P)
+        assert not export_allowed(learned, R)

@@ -1,0 +1,36 @@
+"""Tests for Table-I style topology statistics."""
+
+import pytest
+
+from repro.topology.asgraph import ASGraph
+from repro.topology.stats import topology_stats
+
+
+class TestStats:
+    def test_fig2a(self, fig2a_graph):
+        s = topology_stats(fig2a_graph)
+        assert s.n_nodes == 4
+        assert s.n_links == 6
+        assert s.n_p2c_links == 3
+        assert s.n_peering_links == 3
+        assert s.n_tier1 == 3
+        assert s.n_stubs == 1
+        assert s.max_degree == 3
+        assert s.mean_degree == pytest.approx(3.0)
+        assert s.multihomed_fraction == 1.0
+
+    def test_fractions(self, fig2a_graph):
+        s = topology_stats(fig2a_graph)
+        assert s.p2c_fraction == pytest.approx(0.5)
+        assert s.peering_fraction == pytest.approx(0.5)
+
+    def test_table_row_keys_match_paper(self, fig2a_graph):
+        row = topology_stats(fig2a_graph).as_table_row()
+        assert list(row) == ["# of Nodes", "# of Links", "P/C Links", "Peering Links"]
+
+    def test_empty_graph(self):
+        s = topology_stats(ASGraph())
+        assert s.n_nodes == 0
+        assert s.n_links == 0
+        assert s.p2c_fraction == 0.0
+        assert s.mean_degree == 0.0

@@ -1,0 +1,123 @@
+"""Tests for traffic matrix generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic.matrix import (
+    TrafficConfig,
+    content_provider_ranking,
+    poisson_start_times,
+    powerlaw_matrix,
+    powerlaw_pairs,
+    uniform_matrix,
+    uniform_pairs,
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kw", [dict(n_flows=0), dict(arrival_rate=0), dict(alpha=0)]
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ConfigError):
+            TrafficConfig(**kw).validate()
+
+
+class TestPoisson:
+    def test_monotone_increasing(self, rng):
+        t = poisson_start_times(100, 50.0, rng)
+        assert np.all(np.diff(t) > 0)
+
+    def test_rate_approximately_respected(self, rng):
+        t = poisson_start_times(5000, 100.0, rng)
+        assert t[-1] == pytest.approx(50.0, rel=0.15)
+
+
+class TestUniform:
+    def test_no_self_pairs(self, small_internet, rng):
+        pairs = uniform_pairs(small_internet, 500, rng)
+        assert all(s != d for s, d in pairs)
+        assert len(pairs) == 500
+
+    def test_matrix_specs(self, small_internet):
+        specs = uniform_matrix(small_internet, TrafficConfig(n_flows=50, seed=1))
+        assert len(specs) == 50
+        assert all(s.size_bytes == 10e6 for s in specs)
+        assert [s.flow_id for s in specs] == list(range(50))
+        starts = [s.start_time for s in specs]
+        assert starts == sorted(starts)
+
+    def test_seed_reproducible(self, small_internet):
+        a = uniform_matrix(small_internet, TrafficConfig(n_flows=30, seed=5))
+        b = uniform_matrix(small_internet, TrafficConfig(n_flows=30, seed=5))
+        assert a == b
+
+
+class TestPowerLaw:
+    def test_ranking_by_connectivity(self, small_internet):
+        ranked = content_provider_ranking(small_internet)
+        g = small_internet
+
+        def conn(n):
+            return len(g.providers(n)) + len(g.peers(n))
+
+        scores = [conn(n) for n in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_skew_increases_with_alpha(self, small_internet, rng):
+        def top_share(alpha):
+            r = np.random.default_rng(0)
+            pairs = powerlaw_pairs(small_internet, 3000, alpha, r, n_providers=50)
+            srcs = [s for s, _d in pairs]
+            ranked = content_provider_ranking(small_internet)[:50]
+            top = ranked[0]
+            return srcs.count(top) / len(srcs)
+
+        assert top_share(1.2) > top_share(0.8)
+
+    def test_destinations_are_stubs(self, small_internet, rng):
+        pairs = powerlaw_pairs(small_internet, 300, 1.0, rng)
+        stubs = set(small_internet.stub_ases())
+        assert all(d in stubs for _s, d in pairs)
+
+    def test_matrix_entry_points(self, small_internet):
+        specs = powerlaw_matrix(
+            small_internet, TrafficConfig(n_flows=40, seed=2), n_providers=30
+        )
+        assert len(specs) == 40
+        assert all(s.src != s.dst for s in specs)
+
+
+class TestSizeDistributions:
+    def test_fixed_default(self, small_internet):
+        specs = uniform_matrix(small_internet, TrafficConfig(n_flows=20, seed=1))
+        assert all(s.size_bytes == 10e6 for s in specs)
+
+    @pytest.mark.parametrize("dist", ["lognormal", "pareto"])
+    def test_mean_preserved(self, small_internet, dist):
+        cfg = TrafficConfig(
+            n_flows=4000, seed=2, size_distribution=dist, flow_size_bytes=10e6
+        )
+        specs = uniform_matrix(small_internet, cfg)
+        sizes = np.array([s.size_bytes for s in specs])
+        assert sizes.mean() == pytest.approx(10e6, rel=0.25)
+        assert sizes.std() > 0
+
+    def test_pareto_heavy_tail(self, small_internet):
+        cfg = TrafficConfig(
+            n_flows=4000, seed=3, size_distribution="pareto", size_shape=1.2
+        )
+        sizes = np.array([s.size_bytes for s in uniform_matrix(small_internet, cfg)])
+        # heavy tail: the max dwarfs the median
+        assert sizes.max() > 20 * np.median(sizes)
+
+    def test_validation(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            TrafficConfig(size_distribution="weird").validate()
+        with pytest.raises(ConfigError):
+            TrafficConfig(size_distribution="pareto", size_shape=0.9).validate()
+        with pytest.raises(ConfigError):
+            TrafficConfig(size_distribution="lognormal", size_sigma=0).validate()
