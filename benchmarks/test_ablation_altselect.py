@@ -7,7 +7,6 @@ throughput on the same workload.
 """
 
 import numpy as np
-import pytest
 
 from repro.bgp.propagation import RoutingCache
 from repro.flowsim.providers import MifoProvider

@@ -7,7 +7,6 @@ keep the default, later ones deflect); hash splits the flow space by a
 fixed fraction regardless of arrival order.
 """
 
-import dataclasses
 
 from repro.experiments import fig12
 from repro.mifo.engine import MifoEngineConfig

@@ -12,7 +12,7 @@ from .conftest import write_result
 
 
 def test_fig12(benchmark, results_dir):
-    result = benchmark.pedantic(lambda: fig12.run(), rounds=1, iterations=1)
+    result = benchmark.pedantic(lambda: fig12.run().raw, rounds=1, iterations=1)
     write_result(results_dir, "fig12", result.render())
 
     # BGP pinned at the single 1 Gb/s bottleneck.

@@ -5,8 +5,6 @@ than MIRO fully deployed; (b) full-deployment MIFO's diversity is an order
 of magnitude beyond MIRO's strict cap; (c) diversity grows with
 deployment."""
 
-import numpy as np
-
 from repro.experiments import fig7
 
 from .conftest import write_result
@@ -14,7 +12,7 @@ from .conftest import write_result
 
 def test_fig7(benchmark, results_dir, bench_scale):
     result = benchmark.pedantic(
-        lambda: fig7.run(bench_scale), rounds=1, iterations=1
+        lambda: fig7.run(bench_scale, backend="array").raw, rounds=1, iterations=1
     )
     write_result(results_dir, "fig7", result.render())
 

@@ -9,7 +9,7 @@ from .conftest import write_result
 
 def test_table1(benchmark, results_dir, bench_scale):
     result = benchmark.pedantic(
-        lambda: table1.run(bench_scale), rounds=1, iterations=1
+        lambda: table1.run(bench_scale).raw, rounds=1, iterations=1
     )
     rendered = result.render()
     write_result(results_dir, "table1", rendered)

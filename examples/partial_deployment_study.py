@@ -16,8 +16,6 @@ import numpy as np
 
 from repro.bgp import RoutingCache
 from repro.experiments.common import deployment_sample
-from repro.experiments.fig7 import sample_pairs
-from repro.experiments.common import SharedContext, ExperimentScale
 from repro.flowsim import FluidSimConfig, FluidSimulator, MifoProvider
 from repro.metrics import diversity_counts
 from repro.mifo import MifoPathBuilder

@@ -18,7 +18,6 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable
 
-from .bgp.propagation import RoutingCache
 from .errors import NoRouteError
 from .mifo.deflection import MifoPathBuilder
 from .mifo.tag import check_bit, tag_for_upstream

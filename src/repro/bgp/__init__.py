@@ -1,21 +1,38 @@
 """BGP control plane (system S2 in DESIGN.md).
 
-Two equivalent models:
+Three equivalent models, fastest first:
 
-* :func:`~repro.bgp.propagation.compute_routing` — fast three-stage
-  per-destination computation (used by all experiments), exposing default
-  paths *and* the multi-neighbor RIB that MIFO mines for alternatives;
+* :func:`~repro.bgp.array_routing.compute_array_routing` — vectorized
+  three-stage computation over the frozen graph's CSR arrays; what the
+  :class:`~repro.bgp.parallel.ParallelRoutingEngine` shards across worker
+  processes;
+* :func:`~repro.bgp.propagation.compute_routing` — the original
+  dict-based three-stage computation, kept as the array backend's
+  cross-validation oracle, exposing default paths *and* the
+  multi-neighbor RIB that MIFO mines for alternatives;
 * :class:`~repro.bgp.speaker.BgpNetwork` — exact message-level convergence
   (test oracle + small-topology control plane).
 """
 
+from .array_routing import ArrayDestinationRouting, compute_array_routing
+from .parallel import ParallelRoutingEngine
 from .policy import accepts, can_export, local_preference, select_best
-from .propagation import DestinationRouting, RibEntry, RoutingCache, compute_routing
+from .propagation import (
+    CacheStats,
+    DestinationRouting,
+    RibEntry,
+    RoutingCache,
+    compute_routing,
+)
 from .rib import AdjRibIn, LocRib
 from .route import Route, selection_key
 from .speaker import BgpNetwork, Speaker
 
 __all__ = [
+    "ArrayDestinationRouting",
+    "compute_array_routing",
+    "ParallelRoutingEngine",
+    "CacheStats",
     "Route",
     "selection_key",
     "accepts",

@@ -1,0 +1,155 @@
+"""Parallel per-destination routing (the sharding layer over the array
+backend).
+
+Per-destination Gao–Rexford convergence is embarrassingly parallel: every
+destination reads the same frozen CSR arrays and writes only its own
+result.  :class:`ParallelRoutingEngine` exploits that by forking worker
+processes *after* the CSR arrays exist, so the topology is shared
+copy-on-write and never pickled; workers ship back only each
+destination's five result arrays (a few KB at bench scale), which the
+parent re-wraps around its own graph via
+:meth:`~repro.bgp.array_routing.ArrayDestinationRouting.from_state`.
+
+Degradation is graceful and explicit:
+
+* ``n_workers=1`` (or an effectively-serial pool) computes in-process,
+  bit-for-bit identical to the parallel path;
+* platforms without the ``fork`` start method (Windows, some macOS
+  configurations) fall back to serial rather than paying a spawn-and
+  -repickle tax per worker;
+* the ``dict`` backend is always serial — its per-node dict state is the
+  cross-validation oracle, not a shipping format.
+
+Results flow back through the ordinary
+:class:`~repro.bgp.propagation.RoutingCache` interface — see
+``RoutingCache.precompute`` — so nothing downstream (providers, metrics,
+experiments) knows whether a destination was computed serially or on a
+worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Iterable, Sequence
+
+from ..errors import ConfigError, TopologyError
+from ..topology.asgraph import ASGraph
+from .array_routing import ArrayDestinationRouting
+from .propagation import DestinationRouting
+
+__all__ = ["ParallelRoutingEngine", "fork_available", "resolve_workers"]
+
+#: Module-level slot read by forked workers.  Set in the parent immediately
+#: before the pool forks; children inherit it through copy-on-write memory,
+#: which is the whole point — the graph never crosses a pipe.
+_WORKER_GRAPH: ASGraph | None = None
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers that inherit shared arrays."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(n_workers: int | None) -> int:
+    """Normalize a worker-count knob (None = one per CPU, floor 1)."""
+    if n_workers is None:
+        return os.cpu_count() or 1
+    if n_workers < 1:
+        raise ConfigError(f"n_workers must be >= 1, got {n_workers}")
+    return n_workers
+
+
+def _compute_chunk(chunk: Sequence[int]) -> list[tuple[int, tuple]]:
+    """Worker body: converge each destination, return compact states."""
+    graph = _WORKER_GRAPH
+    assert graph is not None, "worker forked before _WORKER_GRAPH was set"
+    return [(d, ArrayDestinationRouting(graph, d).state()) for d in chunk]
+
+
+class ParallelRoutingEngine:
+    """Shards a destination list across worker processes.
+
+    Parameters
+    ----------
+    graph:
+        A frozen :class:`ASGraph`.
+    n_workers:
+        Worker processes; ``None`` means one per CPU.  ``1`` runs serial.
+    backend:
+        ``"array"`` (parallelizable) or ``"dict"`` (oracle; always serial).
+    chunk_size:
+        Destinations per work item; ``None`` picks ~4 chunks per worker.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        *,
+        n_workers: int | None = None,
+        backend: str = "array",
+        chunk_size: int | None = None,
+    ):
+        if backend not in ("array", "dict"):
+            raise ConfigError(f"unknown routing backend {backend!r}")
+        if not graph.frozen:
+            raise TopologyError("freeze() the graph before building an engine")
+        self.graph = graph
+        self.backend = backend
+        self.n_workers = resolve_workers(n_workers)
+        self.chunk_size = chunk_size
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_workers(self) -> int:
+        """Workers the engine will actually use (after fallbacks)."""
+        if self.backend == "dict" or not fork_available():
+            return 1
+        return self.n_workers
+
+    def compute(self, dest: int):
+        """One destination, always in-process."""
+        if self.backend == "dict":
+            return DestinationRouting(self.graph, dest)
+        return ArrayDestinationRouting(self.graph, dest)
+
+    def compute_many(self, dests: Iterable[int]) -> dict[int, object]:
+        """Converge every destination; returns ``{dest: routing}``.
+
+        Duplicate destinations are computed once.  Results are identical
+        (and identically keyed) for every worker count, including the
+        serial fallback.
+        """
+        unique = list(dict.fromkeys(dests))
+        if not unique:
+            return {}
+        workers = min(self.effective_workers, len(unique))
+        if workers <= 1:
+            return {d: self.compute(d) for d in unique}
+        return self._compute_parallel(unique, workers)
+
+    # ------------------------------------------------------------------
+    def _compute_parallel(self, unique: list[int], workers: int) -> dict[int, object]:
+        global _WORKER_GRAPH
+        graph = self.graph
+        # Materialize the CSR arrays *before* forking so children inherit
+        # them copy-on-write instead of each rebuilding the adjacency.
+        graph.csr()
+        chunk = self.chunk_size or max(1, -(-len(unique) // (workers * 4)))
+        chunks = [unique[i : i + chunk] for i in range(0, len(unique), chunk)]
+        ctx = multiprocessing.get_context("fork")
+        _WORKER_GRAPH = graph
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                # chunked submission: imap keeps at most a pool's worth of
+                # pending result arrays in flight (vs. map's all-at-once).
+                parts = pool.imap(_compute_chunk, chunks)
+                out: dict[int, object] = {}
+                for part in parts:
+                    for d, state in part:
+                        out[d] = ArrayDestinationRouting.from_state(graph, d, state)
+        finally:
+            _WORKER_GRAPH = None
+        return out

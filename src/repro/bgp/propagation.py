@@ -35,7 +35,13 @@ from ..errors import NoRouteError, TopologyError
 from ..topology.asgraph import ASGraph
 from ..topology.relationships import Relationship, export_allowed, invert
 
-__all__ = ["RibEntry", "DestinationRouting", "compute_routing", "RoutingCache"]
+__all__ = [
+    "RibEntry",
+    "DestinationRouting",
+    "compute_routing",
+    "RoutingCache",
+    "CacheStats",
+]
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -273,27 +279,108 @@ def compute_routing(graph: ASGraph, dest: int) -> DestinationRouting:
     return DestinationRouting(graph, dest)
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss/eviction counters of a :class:`RoutingCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
 class RoutingCache:
-    """Memoizes :class:`DestinationRouting` per destination.
+    """Memoizes per-destination routing with true LRU eviction.
 
     The flow simulator and the diversity counter both touch the same small
     set of destination ASes many times; computing each destination once is
     the single biggest constant-factor win in the whole pipeline.
+
+    ``backend`` selects the routing implementation: ``"dict"`` is the
+    original pure-Python :class:`DestinationRouting`; ``"array"`` is the
+    vectorized :class:`~repro.bgp.array_routing.ArrayDestinationRouting`
+    (same query API, same results — the cross-validation suite proves it).
+    :meth:`precompute` bulk-fills the cache, optionally through a
+    :class:`~repro.bgp.parallel.ParallelRoutingEngine`.
     """
 
-    def __init__(self, graph: ASGraph, *, max_entries: int | None = None):
+    def __init__(
+        self,
+        graph: ASGraph,
+        *,
+        max_entries: int | None = None,
+        backend: str = "dict",
+    ):
+        if backend not in ("dict", "array"):
+            from ..errors import ConfigError
+
+            raise ConfigError(f"unknown routing backend {backend!r}")
         self.graph = graph
         self.max_entries = max_entries
+        self.backend = backend
+        # dicts preserve insertion order; LRU = re-insert on hit, evict the
+        # first (= least recently used) key when full.
         self._cache: dict[int, DestinationRouting] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def _compute(self, dest: int):
+        if self.backend == "array":
+            from .array_routing import compute_array_routing
+
+            return compute_array_routing(self.graph, dest)
+        return compute_routing(self.graph, dest)
+
+    def _insert(self, dest: int, routing) -> None:
+        if self.max_entries is not None and len(self._cache) >= self.max_entries:
+            self._cache.pop(next(iter(self._cache)))
+            self._evictions += 1
+        self._cache[dest] = routing
 
     def __call__(self, dest: int) -> DestinationRouting:
         r = self._cache.get(dest)
-        if r is None:
-            if self.max_entries is not None and len(self._cache) >= self.max_entries:
-                self._cache.pop(next(iter(self._cache)))
-            r = compute_routing(self.graph, dest)
+        if r is not None:
+            self._hits += 1
+            # refresh recency: move to the back of the insertion order.
+            del self._cache[dest]
             self._cache[dest] = r
+            return r
+        self._misses += 1
+        r = self._compute(dest)
+        self._insert(dest, r)
         return r
+
+    def precompute(self, dests, engine=None) -> int:
+        """Bulk-fill the cache for ``dests``; returns how many were computed.
+
+        ``engine`` is a :class:`~repro.bgp.parallel.ParallelRoutingEngine`
+        (or anything with ``compute_many``); when omitted the fill runs
+        serially on this cache's backend.  Already-cached destinations are
+        skipped without touching the hit/miss counters — precomputation is
+        capacity planning, not demand.
+        """
+        todo = [d for d in dict.fromkeys(dests) if d not in self._cache]
+        if not todo:
+            return 0
+        if engine is not None:
+            for dest, routing in engine.compute_many(todo).items():
+                self._insert(dest, routing)
+        else:
+            for dest in todo:
+                self._insert(dest, self._compute(dest))
+        return len(todo)
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(self._hits, self._misses, self._evictions)
+
+    def __contains__(self, dest: int) -> bool:
+        return dest in self._cache
 
     def __len__(self) -> int:
         return len(self._cache)

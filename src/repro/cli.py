@@ -39,13 +39,24 @@ def _cmd_run(args) -> int:
     if unknown:
         print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
         return 2
+    workers = args.workers or None  # 0 -> one worker per CPU
     for name in names:
         t0 = time.time()
-        result = REGISTRY[name].run(args.scale)
+        result = REGISTRY[name].run(
+            args.scale, backend=args.routing_backend, workers=workers
+        )
         elapsed = time.time() - t0
         print(f"==== {name} (scale={args.scale}, {elapsed:.1f}s) " + "=" * 20)
         print(result.render())
         print()
+        if args.json:
+            import pathlib
+
+            out = pathlib.Path(args.json)
+            out.mkdir(parents=True, exist_ok=True)
+            path = out / f"{name}_{args.scale}.json"
+            path.write_text(result.to_json(indent=2) + "\n", encoding="utf-8")
+            print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -66,7 +77,12 @@ def _cmd_topology(args) -> int:
 def _cmd_export(args) -> int:
     from .experiments.export import export_all
 
-    written = export_all(args.out, args.scale)
+    written = export_all(
+        args.out,
+        args.scale,
+        backend=args.routing_backend,
+        workers=args.workers or None,
+    )
     for p in written:
         print(f"wrote {p}")
     return 0
@@ -85,7 +101,7 @@ def _cmd_simulate(args) -> int:
     from .traffic.matrix import TrafficConfig, powerlaw_matrix, uniform_matrix
 
     graph = generate_topology(TopologyConfig(n_ases=args.n_ases, seed=args.seed))
-    routing = RoutingCache(graph)
+    routing = RoutingCache(graph, backend=args.routing_backend)
     capable = deployment_sample(graph, args.deployment)
     tc = TrafficConfig(
         n_flows=args.n_flows,
@@ -98,6 +114,22 @@ def _cmd_simulate(args) -> int:
         specs = uniform_matrix(graph, tc)
     else:
         specs = powerlaw_matrix(graph, tc, n_providers=max(50, args.n_ases // 20))
+
+    workers = args.workers or None
+    if workers != 1:
+        from .bgp.parallel import ParallelRoutingEngine
+
+        engine = ParallelRoutingEngine(
+            graph, n_workers=workers, backend=args.routing_backend
+        )
+        if engine.effective_workers > 1:
+            t0 = time.time()
+            n = routing.precompute({s.dst for s in specs}, engine=engine)
+            print(
+                f"precomputed {n} destinations on {engine.effective_workers} "
+                f"workers in {time.time() - t0:.1f}s",
+                file=sys.stderr,
+            )
 
     results = []
     for scheme in args.schemes:
@@ -132,6 +164,21 @@ def main(argv: list[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="run one experiment (or 'all')")
     p_run.add_argument("experiment", help="experiment name from 'list', or 'all'")
     p_run.add_argument("--scale", default="default", choices=sorted(SCALES))
+    p_run.add_argument(
+        "--routing-backend",
+        choices=("dict", "array"),
+        default="dict",
+        help="BGP convergence implementation (array = vectorized CSR backend)",
+    )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="routing worker processes (0 = one per CPU)",
+    )
+    p_run.add_argument(
+        "--json", default=None, metavar="DIR", help="also dump ExperimentResult JSON"
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_topo = sub.add_parser("topology", help="generate a synthetic AS topology")
@@ -145,6 +192,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_exp.add_argument("--out", default="results/dat")
     p_exp.add_argument("--scale", default="bench", choices=sorted(SCALES))
+    p_exp.add_argument(
+        "--routing-backend", choices=("dict", "array"), default="dict"
+    )
+    p_exp.add_argument("--workers", type=int, default=1)
     p_exp.set_defaults(fn=_cmd_export)
 
     p_sim = sub.add_parser(
@@ -163,6 +214,18 @@ def main(argv: list[str] | None = None) -> int:
     p_sim.add_argument(
         "--schemes", nargs="+", default=["BGP", "MIRO", "MIFO"],
         help="any of BGP MIRO MIFO",
+    )
+    p_sim.add_argument(
+        "--routing-backend",
+        choices=("dict", "array"),
+        default="dict",
+        help="BGP convergence implementation",
+    )
+    p_sim.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="routing worker processes (0 = one per CPU)",
     )
     p_sim.set_defaults(fn=_cmd_simulate)
 

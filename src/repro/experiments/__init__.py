@@ -1,5 +1,8 @@
 """Experiment harness (system S10 in DESIGN.md) — one module per paper
-artifact, each exposing ``run(scale) -> result`` with ``result.render()``.
+artifact, each exposing the unified entry point
+``run(scale, *, backend="dict", workers=1, **extras) -> ExperimentResult``
+(see :mod:`repro.experiments.result`); ``result.render()`` produces the
+human-readable report, ``result.to_json()`` the machine-readable one.
 
 Registry keys match the DESIGN.md experiment index: ``table1``, ``fig5``,
 ``fig6``, ``fig7``, ``fig8``, ``fig9``, ``fig12``.
@@ -7,6 +10,7 @@ Registry keys match the DESIGN.md experiment index: ``table1``, ``fig5``,
 
 from . import export, fig5, fig6, fig7, fig8, fig9, fig12, overhead, ribstudy, table1
 from .common import SCALES, ExperimentScale, SharedContext, deployment_sample, get_scale
+from .result import ExperimentResult
 
 #: name -> module with a ``run(scale)`` entry point.
 REGISTRY = {
@@ -24,6 +28,7 @@ REGISTRY = {
 __all__ = [
     "REGISTRY",
     "SCALES",
+    "ExperimentResult",
     "ExperimentScale",
     "SharedContext",
     "deployment_sample",

@@ -19,6 +19,7 @@ import dataclasses
 
 import numpy as np
 
+from ..bgp.parallel import ParallelRoutingEngine
 from ..bgp.propagation import RoutingCache
 from ..errors import ConfigError
 from ..mifo.deflection import MifoPathBuilder
@@ -83,24 +84,63 @@ def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
 
 
 class SharedContext:
-    """Topology + routing cache shared across figures at one scale."""
+    """Topology + routing cache shared across figures at one scale.
 
-    _cache: dict[tuple[str, int], "SharedContext"] = {}
+    Contexts are memoized on the **full** frozen :class:`ExperimentScale`
+    plus the routing backend — not just ``(name, seed)``, which silently
+    aliased two scales sharing a name but differing in ``n_ases``.
 
-    def __init__(self, scale: ExperimentScale):
+    ``workers`` selects how many processes the context's
+    :class:`~repro.bgp.parallel.ParallelRoutingEngine` may fork when an
+    experiment bulk-fills the routing cache (see :meth:`precompute`);
+    it deliberately does not participate in the memo key because it
+    changes wall-clock, never results.
+    """
+
+    _cache: dict[tuple[ExperimentScale, str], "SharedContext"] = {}
+
+    def __init__(
+        self,
+        scale: ExperimentScale,
+        *,
+        backend: str = "dict",
+        workers: int | None = 1,
+    ):
         self.scale = scale
+        self.backend = backend
+        self.workers = workers
         self.graph: ASGraph = generate_topology(scale.topology_config())
-        self.routing = RoutingCache(self.graph)
+        self.routing = RoutingCache(self.graph, backend=backend)
+        self.engine = ParallelRoutingEngine(
+            self.graph, n_workers=workers, backend=backend
+        )
 
     @classmethod
-    def get(cls, scale: str | ExperimentScale) -> "SharedContext":
+    def get(
+        cls,
+        scale: str | ExperimentScale,
+        *,
+        backend: str = "dict",
+        workers: int | None = 1,
+    ) -> "SharedContext":
         sc = get_scale(scale)
-        key = (sc.name, sc.seed)
+        key = (sc, backend)
         ctx = cls._cache.get(key)
         if ctx is None:
-            ctx = cls(sc)
+            ctx = cls(sc, backend=backend, workers=workers)
             cls._cache[key] = ctx
+        elif workers is not None and workers != ctx.workers:
+            # same topology/cache, new parallelism knob: swap the engine.
+            ctx.workers = workers
+            ctx.engine = ParallelRoutingEngine(
+                ctx.graph, n_workers=workers, backend=backend
+            )
         return ctx
+
+    def precompute(self, dests) -> int:
+        """Bulk-converge ``dests`` through the parallel engine."""
+        engine = self.engine if self.engine.effective_workers > 1 else None
+        return self.routing.precompute(dests, engine=engine)
 
 
 def deployment_sample(
@@ -148,6 +188,10 @@ def run_scheme(
     sim_config: FluidSimConfig | None = None,
 ):
     """Run one (scheme, deployment) fluid simulation over ``specs``."""
+    # Converge every destination the workload will touch up front — on a
+    # parallel context this shards across workers instead of paying for
+    # each destination at first use inside the (serial) simulator loop.
+    ctx.precompute({spec.dst for spec in specs})
     provider = make_provider(scheme, ctx.graph, ctx.routing, capable)
     sim = FluidSimulator(ctx.graph, provider, sim_config or FluidSimConfig())
     return sim.run(specs)

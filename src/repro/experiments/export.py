@@ -45,17 +45,26 @@ def _cdf_rows(cdf, *, points: int = 60, hi: float = 1e9):
     return [(x / 1e6, y) for x, y in zip(xs, ys)]
 
 
-def export_all(out_dir: str | os.PathLike, scale: str = "bench") -> list[pathlib.Path]:
+def export_all(
+    out_dir: str | os.PathLike,
+    scale: str = "bench",
+    *,
+    backend: str = "dict",
+    workers: int | None = 1,
+) -> list[pathlib.Path]:
     """Run every figure experiment and dump its series; returns paths."""
     out = pathlib.Path(out_dir)
     written: list[pathlib.Path] = []
+
+    def figure(mod):
+        return mod.run(scale, backend=backend, workers=workers).raw
 
     def emit(name, rows, columns, comment):
         path = out / f"{name}.dat"
         write_dat(path, rows, columns=columns, comment=comment)
         written.append(path)
 
-    r5 = fig5.run(scale)
+    r5 = figure(fig5)
     for dep in r5.deployments:
         for scheme in ("BGP", "MIRO", "MIFO"):
             emit(
@@ -65,7 +74,7 @@ def export_all(out_dir: str | os.PathLike, scale: str = "bench") -> list[pathlib
                 f"Fig 5, {dep:.0%} deployment, {scheme}",
             )
 
-    r6 = fig6.run(scale)
+    r6 = figure(fig6)
     for alpha in r6.alphas:
         for scheme in ("BGP", "MIRO", "MIFO"):
             emit(
@@ -75,7 +84,7 @@ def export_all(out_dir: str | os.PathLike, scale: str = "bench") -> list[pathlib
                 f"Fig 6, alpha={alpha}, {scheme}",
             )
 
-    r7 = fig7.run(scale)
+    r7 = figure(fig7)
     for label, series in r7.series().items():
         safe = label.replace("% ", "pct_").replace("%", "pct").lower()
         emit(
@@ -85,7 +94,7 @@ def export_all(out_dir: str | os.PathLike, scale: str = "bench") -> list[pathlib
             f"Fig 7, {label}",
         )
 
-    r8 = fig8.run(scale)
+    r8 = figure(fig8)
     emit(
         "fig8_offload",
         [(dep * 100, r8.offload(dep) * 100) for dep in sorted(r8.results)],
@@ -93,7 +102,7 @@ def export_all(out_dir: str | os.PathLike, scale: str = "bench") -> list[pathlib
         "Fig 8, traffic on alternative paths",
     )
 
-    r9 = fig9.run(scale)
+    r9 = figure(fig9)
     emit(
         "fig9_switches",
         [
@@ -104,7 +113,7 @@ def export_all(out_dir: str | os.PathLike, scale: str = "bench") -> list[pathlib
         "Fig 9, path switch distribution",
     )
 
-    r12 = fig12.run(scale)
+    r12 = figure(fig12)
     for run_ in (r12.bgp, r12.mifo):
         emit(
             f"fig12a_{run_.scheme.lower()}",

@@ -38,7 +38,6 @@ import numpy as np
 
 from ..bgp.speaker import BgpNetwork
 from ..dataplane.network import Network, ThroughputSampler
-from ..dataplane.port import PeerKind
 from ..dataplane.tcp import TcpConfig
 from ..errors import SimulationError
 from ..metrics.cdf import Cdf
@@ -46,6 +45,7 @@ from ..mifo.engine import MifoEngine, MifoEngineConfig, bgp_engine
 from ..topology.asgraph import ASGraph
 from ..topology.relationships import Relationship
 from .report import ascii_series, text_table
+from .result import ExperimentResult, freeze_series
 
 __all__ = ["TestbedConfig", "TestbedRun", "Fig12Result", "build_as_graph", "build_testbed", "run"]
 
@@ -318,9 +318,33 @@ class Fig12Result:
         return table + summary + "\n\n" + plot_a + "\n\n" + plot_b
 
 
-def run(scale: str = "default", *, config: TestbedConfig | None = None) -> Fig12Result:
+def run(
+    scale: str = "default",
+    *,
+    backend: str = "dict",
+    workers: int | None = 1,
+    config: TestbedConfig | None = None,
+) -> ExperimentResult:
+    # The testbed is an 11-router packet simulation; its control plane is
+    # the message-level BgpNetwork, so the routing backend/worker knobs are
+    # accepted (uniform API) but have nothing to accelerate here.
+    del backend, workers
     if config is None:
         config = TestbedConfig.test_scale() if scale == "test" else TestbedConfig()
     bgp = _run_one(config, mifo=False)
     mifo = _run_one(config, mifo=True)
-    return Fig12Result(bgp=bgp, mifo=mifo, config=config)
+    raw = Fig12Result(bgp=bgp, mifo=mifo, config=config)
+
+    series = {
+        "BGP Gb/s": [(t, v / 1e9) for t, v in raw.bgp.throughput_series],
+        "MIFO Gb/s": [(t, v / 1e9) for t, v in raw.mifo.throughput_series],
+    }
+    meta: dict[str, object] = {
+        "improvement": raw.improvement,
+        "bgp_mean_aggregate_bps": raw.bgp.mean_aggregate_bps,
+        "mifo_mean_aggregate_bps": raw.mifo.mean_aggregate_bps,
+        "mifo_deflected_packets": raw.mifo.deflected_packets,
+    }
+    return ExperimentResult(
+        name="fig12", scale=scale, series=freeze_series(series), meta=meta, raw=raw
+    )

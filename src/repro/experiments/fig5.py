@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
 
 from ..flowsim.simulator import FluidSimResult
 from ..metrics.cdf import Cdf
 from ..traffic.matrix import TrafficConfig, uniform_matrix
 from .common import SharedContext, deployment_sample, get_scale, run_scheme
 from .report import ascii_series, percent, text_table
+from .result import ExperimentResult, freeze_series
 
 __all__ = ["Fig5Result", "run"]
 
@@ -88,9 +88,15 @@ class Fig5Result:
         return table + "\n\n" + "\n\n".join(plots)
 
 
-def run(scale: str = "default", *, deployments=DEPLOYMENTS) -> Fig5Result:
+def run(
+    scale: str = "default",
+    *,
+    backend: str = "dict",
+    workers: int | None = 1,
+    deployments=DEPLOYMENTS,
+) -> ExperimentResult:
     sc = get_scale(scale)
-    ctx = SharedContext.get(sc)
+    ctx = SharedContext.get(sc, backend=backend, workers=workers)
     specs = uniform_matrix(
         ctx.graph,
         TrafficConfig(
@@ -104,4 +110,20 @@ def run(scale: str = "default", *, deployments=DEPLOYMENTS) -> Fig5Result:
         results[(dep, "BGP")] = bgp_result
         for scheme in ("MIRO", "MIFO"):
             results[(dep, scheme)] = run_scheme(ctx, scheme, capable, specs)
-    return Fig5Result(scale_name=sc.name, results=results)
+    raw = Fig5Result(scale_name=sc.name, results=results)
+
+    series = {}
+    meta: dict[str, object] = {
+        "backend": backend,
+        "routing_cache": dataclasses.asdict(ctx.routing.stats),
+    }
+    for dep in raw.deployments:
+        for scheme in SCHEMES:
+            c = raw.cdf(dep, scheme)
+            xs, ys = c.series(points=40, lo=0.0, hi=1e9)
+            series[f"{dep:.0%} {scheme}"] = list(zip(xs / 1e6, ys))
+            meta[f"median_mbps[{dep:.0%} {scheme}]"] = c.median / 1e6
+            meta[f"frac_ge_500mbps[{dep:.0%} {scheme}]"] = c.fraction_at_least(500e6)
+    return ExperimentResult(
+        name="fig5", scale=sc.name, series=freeze_series(series), meta=meta, raw=raw
+    )

@@ -17,6 +17,7 @@ from ..metrics.cdf import Cdf
 from ..traffic.matrix import TrafficConfig, powerlaw_matrix
 from .common import SharedContext, deployment_sample, get_scale, run_scheme
 from .report import ascii_series, percent, text_table
+from .result import ExperimentResult, freeze_series
 
 __all__ = ["Fig6Result", "run"]
 
@@ -82,9 +83,16 @@ class Fig6Result:
         return table + "\n\n" + "\n\n".join(plots)
 
 
-def run(scale: str = "default", *, alphas=ALPHAS, deployment: float = DEPLOYMENT) -> Fig6Result:
+def run(
+    scale: str = "default",
+    *,
+    backend: str = "dict",
+    workers: int | None = 1,
+    alphas=ALPHAS,
+    deployment: float = DEPLOYMENT,
+) -> ExperimentResult:
     sc = get_scale(scale)
-    ctx = SharedContext.get(sc)
+    ctx = SharedContext.get(sc, backend=backend, workers=workers)
     capable = deployment_sample(ctx.graph, deployment)
     # The paper uses one million content providers; we use every AS ranked
     # by connectivity, capped to keep the Zipf tail meaningful at scale.
@@ -103,4 +111,19 @@ def run(scale: str = "default", *, alphas=ALPHAS, deployment: float = DEPLOYMENT
         )
         for scheme in SCHEMES:
             results[(alpha, scheme)] = run_scheme(ctx, scheme, capable, specs)
-    return Fig6Result(scale_name=sc.name, results=results)
+    raw = Fig6Result(scale_name=sc.name, results=results)
+
+    series = {}
+    meta: dict[str, object] = {"backend": backend, "deployment": deployment}
+    for alpha in raw.alphas:
+        for scheme in SCHEMES:
+            c = raw.cdf(alpha, scheme)
+            xs, ys = c.series(points=40, lo=0.0, hi=1e9)
+            series[f"alpha={alpha:.1f} {scheme}"] = list(zip(xs / 1e6, ys))
+            meta[f"median_mbps[alpha={alpha:.1f} {scheme}]"] = c.median / 1e6
+            meta[f"frac_ge_500mbps[alpha={alpha:.1f} {scheme}]"] = c.fraction_at_least(
+                500e6
+            )
+    return ExperimentResult(
+        name="fig6", scale=sc.name, series=freeze_series(series), meta=meta, raw=raw
+    )

@@ -20,6 +20,7 @@ from ..metrics.diversity import diversity_counts
 from ..miro.negotiation import MiroRouting
 from .common import SharedContext, deployment_sample, get_scale
 from .report import ascii_series, percent, text_table
+from .result import ExperimentResult, freeze_series
 
 __all__ = ["Fig7Result", "run", "sample_pairs"]
 
@@ -90,10 +91,17 @@ class Fig7Result:
         return table + "\n\n" + plot
 
 
-def run(scale: str = "default", *, deployments=DEPLOYMENTS) -> Fig7Result:
+def run(
+    scale: str = "default",
+    *,
+    backend: str = "dict",
+    workers: int | None = 1,
+    deployments=DEPLOYMENTS,
+) -> ExperimentResult:
     sc = get_scale(scale)
-    ctx = SharedContext.get(sc)
+    ctx = SharedContext.get(sc, backend=backend, workers=workers)
     pairs = sample_pairs(ctx, sc.n_pairs, seed=sc.seed + 3)
+    ctx.precompute({dst for _src, dst in pairs})
     counts: dict[tuple[str, float], list[int]] = {}
     for dep in deployments:
         capable = deployment_sample(ctx.graph, dep)
@@ -103,4 +111,18 @@ def run(scale: str = "default", *, deployments=DEPLOYMENTS) -> Fig7Result:
         )
         counts[("MIFO", dep)] = mifo_counts
         counts[("MIRO", dep)] = miro_counts
-    return Fig7Result(scale_name=sc.name, counts=counts)
+    raw = Fig7Result(scale_name=sc.name, counts=counts)
+
+    meta: dict[str, object] = {"backend": backend, "n_pairs": len(pairs)}
+    for (scheme, dep), c in sorted(raw.counts.items()):
+        meta[f"median_paths[{dep:.0%} {scheme}]"] = raw.median(scheme, dep)
+        meta[f"frac_ge_10_paths[{dep:.0%} {scheme}]"] = raw.fraction_with_at_least(
+            scheme, dep, 10
+        )
+    return ExperimentResult(
+        name="fig7",
+        scale=sc.name,
+        series=freeze_series(raw.series()),
+        meta=meta,
+        raw=raw,
+    )

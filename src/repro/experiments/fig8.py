@@ -13,6 +13,7 @@ from ..flowsim.simulator import FluidSimResult
 from ..traffic.matrix import TrafficConfig, uniform_matrix
 from .common import SharedContext, deployment_sample, get_scale, run_scheme
 from .report import ascii_series, percent, text_table
+from .result import ExperimentResult, freeze_series
 
 __all__ = ["Fig8Result", "run"]
 
@@ -53,9 +54,15 @@ class Fig8Result:
         )
 
 
-def run(scale: str = "default", *, deployments=DEPLOYMENTS) -> Fig8Result:
+def run(
+    scale: str = "default",
+    *,
+    backend: str = "dict",
+    workers: int | None = 1,
+    deployments=DEPLOYMENTS,
+) -> ExperimentResult:
     sc = get_scale(scale)
-    ctx = SharedContext.get(sc)
+    ctx = SharedContext.get(sc, backend=backend, workers=workers)
     specs = uniform_matrix(
         ctx.graph,
         TrafficConfig(
@@ -66,4 +73,14 @@ def run(scale: str = "default", *, deployments=DEPLOYMENTS) -> Fig8Result:
     for dep in deployments:
         capable = deployment_sample(ctx.graph, dep)
         results[dep] = run_scheme(ctx, "MIFO", capable, specs)
-    return Fig8Result(scale_name=sc.name, results=results)
+    raw = Fig8Result(scale_name=sc.name, results=results)
+
+    series = {
+        "offload %": [(dep * 100, raw.offload(dep) * 100) for dep in sorted(results)]
+    }
+    meta: dict[str, object] = {"backend": backend}
+    for dep in sorted(results):
+        meta[f"offload[{dep:.0%}]"] = raw.offload(dep)
+    return ExperimentResult(
+        name="fig8", scale=sc.name, series=freeze_series(series), meta=meta, raw=raw
+    )

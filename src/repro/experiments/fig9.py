@@ -14,6 +14,7 @@ from ..metrics.stability import SwitchDistribution, switch_distribution
 from ..traffic.matrix import TrafficConfig, uniform_matrix
 from .common import SharedContext, deployment_sample, get_scale, run_scheme
 from .report import percent, text_table
+from .result import ExperimentResult, freeze_series
 
 __all__ = ["Fig9Result", "run", "PAPER_ONE_SWITCH", "PAPER_AT_MOST_TWO"]
 
@@ -49,9 +50,14 @@ class Fig9Result:
         return table + summary
 
 
-def run(scale: str = "default") -> Fig9Result:
+def run(
+    scale: str = "default",
+    *,
+    backend: str = "dict",
+    workers: int | None = 1,
+) -> ExperimentResult:
     sc = get_scale(scale)
-    ctx = SharedContext.get(sc)
+    ctx = SharedContext.get(sc, backend=backend, workers=workers)
     specs = uniform_matrix(
         ctx.graph,
         TrafficConfig(
@@ -60,8 +66,24 @@ def run(scale: str = "default") -> Fig9Result:
     )
     capable = deployment_sample(ctx.graph, 1.0)
     result = run_scheme(ctx, "MIFO", capable, specs)
-    return Fig9Result(
+    raw = Fig9Result(
         scale_name=sc.name,
         result=result,
         distribution=switch_distribution(result.records),
+    )
+
+    d = raw.distribution
+    series = {
+        "% of switching flows": [
+            (float(k), d.fraction_of_switching(k) * 100) for k in range(1, 6)
+        ]
+    }
+    meta: dict[str, object] = {
+        "backend": backend,
+        "fraction_switching": d.fraction_switching,
+        "fraction_one_switch": d.fraction_of_switching(1),
+        "fraction_at_most_two": d.fraction_at_most(2),
+    }
+    return ExperimentResult(
+        name="fig9", scale=sc.name, series=freeze_series(series), meta=meta, raw=raw
     )

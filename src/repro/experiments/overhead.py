@@ -27,6 +27,7 @@ from ..bgp.speaker import BgpNetwork
 from ..miro.negotiation import MiroRouting
 from .common import SharedContext, get_scale
 from .report import text_table
+from .result import ExperimentResult
 
 __all__ = ["OverheadResult", "run"]
 
@@ -77,13 +78,20 @@ class OverheadResult:
         )
 
 
-def run(scale: str = "default", *, n_destinations: int = 5) -> OverheadResult:
+def run(
+    scale: str = "default",
+    *,
+    backend: str = "dict",
+    workers: int | None = 1,
+    n_destinations: int = 5,
+) -> ExperimentResult:
     sc = get_scale(scale)
-    ctx = SharedContext.get(sc)
+    ctx = SharedContext.get(sc, backend=backend, workers=workers)
     graph = ctx.graph
     rng = np.random.default_rng(sc.seed + 7)
     nodes = np.fromiter(graph.nodes(), dtype=np.int64)
     dests = [int(d) for d in rng.choice(nodes, size=n_destinations, replace=False)]
+    ctx.precompute(dests)
 
     # Baseline: message-level BGP convergence cost.
     net = BgpNetwork(graph)
@@ -106,7 +114,7 @@ def run(scale: str = "default", *, n_destinations: int = 5) -> OverheadResult:
             miro_messages += 2 * n_miro
             mifo_alternatives += len(routing.alternatives(x))
 
-    return OverheadResult(
+    raw = OverheadResult(
         scale_name=sc.name,
         n_destinations=n_destinations,
         bgp_messages=bgp_messages,
@@ -114,4 +122,9 @@ def run(scale: str = "default", *, n_destinations: int = 5) -> OverheadResult:
         mifo_messages=0,
         miro_alternatives=miro_alternatives,
         mifo_alternatives=mifo_alternatives,
+    )
+    meta = {"backend": backend, **dataclasses.asdict(raw)}
+    meta.pop("scale_name")
+    return ExperimentResult(
+        name="overhead", scale=sc.name, series={}, meta=meta, raw=raw
     )

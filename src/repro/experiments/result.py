@@ -1,0 +1,93 @@
+"""The unified experiment result type.
+
+Every experiment module exposes one entry point with one signature::
+
+    run(scale, *, backend="dict", workers=1, **extras) -> ExperimentResult
+
+``backend`` selects the routing implementation (``dict`` oracle or the
+vectorized ``array`` backend) and ``workers`` how many processes the
+parallel routing engine may fork; both flow through
+:class:`~repro.experiments.common.SharedContext` so results are
+backend-independent by construction (the cross-validation suite enforces
+it).
+
+:class:`ExperimentResult` is the common frozen envelope: a ``name``, the
+``scale`` it ran at, plot-ready ``series`` (label -> ``(x, y)`` points),
+scalar ``meta`` headlines, and :meth:`to_json` for machine consumers.
+The figure-specific rich result object rides along as ``raw`` for callers
+that need the full typed API (benchmarks, the gnuplot exporter).
+
+Attribute access that misses on the envelope is forwarded to ``raw`` with
+a :class:`DeprecationWarning` — the thin shim that keeps pre-redesign
+call sites (``result.cdf(...)``, ``result.improvement`` ...) working while
+they migrate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+from typing import Any
+
+__all__ = ["ExperimentResult", "freeze_series"]
+
+
+def freeze_series(series: dict) -> dict[str, tuple[tuple[float, float], ...]]:
+    """Normalize a ``label -> points`` mapping to hashable float tuples."""
+    return {
+        str(label): tuple((float(x), float(y)) for x, y in points)
+        for label, points in series.items()
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """What every experiment's ``run()`` returns."""
+
+    name: str  #: registry name ("fig5", "table1", ...)
+    scale: str  #: scale preset name the run used
+    series: dict[str, tuple[tuple[float, float], ...]]  #: label -> points
+    meta: dict[str, Any]  #: scalar headlines (medians, fractions, timings)
+    raw: Any = dataclasses.field(default=None, repr=False, compare=False)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """JSON of everything except ``raw`` (which is figure-specific)."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "scale": self.scale,
+                "series": {k: [list(p) for p in v] for k, v in self.series.items()},
+                "meta": self.meta,
+            },
+            indent=indent,
+            sort_keys=True,
+            default=str,
+        )
+
+    def render(self) -> str:
+        """Human-readable report (delegates to the rich result)."""
+        raw = self.raw
+        if raw is not None and hasattr(raw, "render"):
+            return raw.render()
+        return self.to_json(indent=2)
+
+    def __getattr__(self, attr: str):
+        # Only called for attributes missing on the envelope itself.
+        # Forward public names to the rich result so pre-redesign call
+        # sites keep working; everything else (dunders, privates) must
+        # fail normally or pickling/copy would break.
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        raw = object.__getattribute__(self, "raw")
+        if raw is None or not hasattr(raw, attr):
+            raise AttributeError(
+                f"{type(self).__name__!s} has no attribute {attr!r}"
+            )
+        warnings.warn(
+            f"accessing {attr!r} through ExperimentResult is deprecated; "
+            f"use result.raw.{attr} (or the series/meta fields)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(raw, attr)

@@ -20,6 +20,7 @@ import numpy as np
 
 from .common import SharedContext, get_scale
 from .report import percent, text_table
+from .result import ExperimentResult
 
 __all__ = ["RibStudyResult", "run"]
 
@@ -70,13 +71,20 @@ class RibStudyResult:
         )
 
 
-def run(scale: str = "default", *, n_destinations: int = 20) -> RibStudyResult:
+def run(
+    scale: str = "default",
+    *,
+    backend: str = "dict",
+    workers: int | None = 1,
+    n_destinations: int = 20,
+) -> ExperimentResult:
     sc = get_scale(scale)
-    ctx = SharedContext.get(sc)
+    ctx = SharedContext.get(sc, backend=backend, workers=workers)
     graph = ctx.graph
     rng = np.random.default_rng(sc.seed + 6)
     nodes = np.fromiter(graph.nodes(), dtype=np.int64)
     dests = rng.choice(nodes, size=min(n_destinations, len(nodes)), replace=False)
+    ctx.precompute(int(d) for d in dests)
 
     sizes: list[int] = []
     degrees: list[int] = []
@@ -87,8 +95,18 @@ def run(scale: str = "default", *, n_destinations: int = 20) -> RibStudyResult:
                 continue
             sizes.append(len(routing.rib(x)))
             degrees.append(graph.degree(x))
-    return RibStudyResult(
+    raw = RibStudyResult(
         scale_name=sc.name,
         rib_sizes=np.asarray(sizes),
         degrees=np.asarray(degrees),
+    )
+    meta: dict[str, object] = {
+        "backend": backend,
+        "n_destinations": int(len(dests)),
+        "fraction_multi_neighbor": raw.fraction_multi_neighbor,
+        "mean_alternatives": raw.mean_alternatives,
+        "degree_correlation": raw.degree_correlation,
+    }
+    return ExperimentResult(
+        name="ribstudy", scale=sc.name, series={}, meta=meta, raw=raw
     )

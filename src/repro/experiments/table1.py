@@ -14,6 +14,7 @@ import dataclasses
 from ..topology.stats import TopologyStats, topology_stats
 from .common import SharedContext, get_scale
 from .report import percent, text_table
+from .result import ExperimentResult
 
 __all__ = ["PAPER_TABLE1", "Table1Result", "run"]
 
@@ -50,6 +51,22 @@ class Table1Result:
         return table + extra
 
 
-def run(scale: str = "default") -> Table1Result:
-    ctx = SharedContext.get(scale)
-    return Table1Result(stats=topology_stats(ctx.graph), scale_name=get_scale(scale).name)
+def run(
+    scale: str = "default",
+    *,
+    backend: str = "dict",
+    workers: int | None = 1,
+) -> ExperimentResult:
+    sc = get_scale(scale)
+    ctx = SharedContext.get(sc, backend=backend, workers=workers)
+    raw = Table1Result(stats=topology_stats(ctx.graph), scale_name=sc.name)
+    meta: dict[str, object] = {
+        "backend": backend,
+        "n_nodes": raw.stats.n_nodes,
+        "n_links": raw.stats.n_links,
+        "p2c_fraction": raw.stats.p2c_fraction,
+        "peering_fraction": raw.stats.peering_fraction,
+    }
+    return ExperimentResult(
+        name="table1", scale=sc.name, series={}, meta=meta, raw=raw
+    )

@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import dataclasses
 import typing
-from collections.abc import Callable, Iterable
+from collections.abc import Iterable
 
 from ..bgp.propagation import DestinationRouting, RoutingCache
 from ..dataplane.network import Network
 from ..dataplane.port import Port
 from ..dataplane.router import Router
-from ..errors import ConfigError, NoRouteError
+from ..errors import ConfigError
 from ..mifo.daemon import AltCandidate, MifoDaemon
 from ..mifo.engine import MifoEngine, MifoEngineConfig, bgp_engine
 from ..topology.asgraph import ASGraph

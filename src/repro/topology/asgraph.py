@@ -15,17 +15,123 @@ never re-derives them.
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Iterable, Iterator
+
+import numpy as np
 
 from ..errors import TopologyError
 from .relationships import Relationship, invert
 
-__all__ = ["ASGraph", "link_key"]
+__all__ = ["ASGraph", "CsrAdjacency", "link_key"]
 
 
 def link_key(u: int, v: int) -> tuple[int, int]:
     """Canonical undirected link identifier (smaller AS number first)."""
     return (u, v) if u <= v else (v, u)
+
+
+@dataclasses.dataclass(frozen=True)
+class CsrAdjacency:
+    """Compact CSR view of a frozen :class:`ASGraph`.
+
+    Nodes get a dense index ``0..n-1`` in **ascending AS-number order**, so
+    index order and AS-number order coincide: a minimum over dense indices
+    is a minimum over AS numbers, which is what BGP tie-breaking needs.
+
+    Three per-relationship adjacency structures (customers, providers,
+    peers) plus one combined structure carrying the relationship code of
+    each neighbor (as seen from the row node).  ``*_rows`` are the repeated
+    row indices aligned with ``*_indices`` — the COO row vector — kept
+    because every per-destination pass needs them for ``np.minimum.at``
+    style scatter reductions.
+
+    Built once per frozen graph (see :meth:`ASGraph.csr`) and shared
+    read-only by every destination computation and, via ``fork``, by every
+    worker process of the parallel routing engine.
+    """
+
+    asns: np.ndarray  #: int64[n] dense index -> AS number (ascending)
+    index: dict[int, int]  #: AS number -> dense index
+    cust_indptr: np.ndarray  #: int64[n+1]
+    cust_indices: np.ndarray  #: int32[sum deg_c] customers of each row
+    cust_rows: np.ndarray  #: int32 aligned row indices
+    prov_indptr: np.ndarray
+    prov_indices: np.ndarray  #: providers of each row
+    prov_rows: np.ndarray
+    peer_indptr: np.ndarray
+    peer_indices: np.ndarray  #: peers of each row
+    peer_rows: np.ndarray
+    nbr_indptr: np.ndarray
+    nbr_indices: np.ndarray  #: all neighbors of each row (ascending)
+    nbr_rel: np.ndarray  #: int8 relationship code of that neighbor
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.asns)
+
+    def neighbors_of(self, idx: int) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbor indices, relationship codes) of one dense index."""
+        lo, hi = self.nbr_indptr[idx], self.nbr_indptr[idx + 1]
+        return self.nbr_indices[lo:hi], self.nbr_rel[lo:hi]
+
+
+def _build_class_csr(
+    n: int, index: dict[int, int], rows_of: dict[int, list[int]]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    counts = np.zeros(n, dtype=np.int64)
+    for asn, nbrs in rows_of.items():
+        counts[index[asn]] = len(nbrs)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.empty(int(indptr[-1]), dtype=np.int32)
+    for asn, nbrs in rows_of.items():
+        i = index[asn]
+        # neighbor lists are sorted by AS number at freeze(); the dense
+        # mapping is monotone, so the mapped slice stays sorted.
+        indices[indptr[i] : indptr[i + 1]] = [index[v] for v in nbrs]
+    rows = np.repeat(np.arange(n, dtype=np.int32), counts)
+    return indptr, indices, rows
+
+
+def _build_csr(graph: "ASGraph") -> CsrAdjacency:
+    asns = np.array(sorted(graph.nodes()), dtype=np.int64)
+    index = {int(a): i for i, a in enumerate(asns)}
+    n = len(asns)
+
+    cust = _build_class_csr(n, index, graph._customers)
+    prov = _build_class_csr(n, index, graph._providers)
+    peer = _build_class_csr(n, index, graph._peers)
+
+    counts = np.zeros(n, dtype=np.int64)
+    for asn, nbrs in graph._nbr.items():
+        counts[index[asn]] = len(nbrs)
+    nbr_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=nbr_indptr[1:])
+    nbr_indices = np.empty(int(nbr_indptr[-1]), dtype=np.int32)
+    nbr_rel = np.empty(int(nbr_indptr[-1]), dtype=np.int8)
+    for asn, nbrs in graph._nbr.items():
+        i = index[asn]
+        lo = int(nbr_indptr[i])
+        for k, (v, rel) in enumerate(sorted((index[v], r) for v, r in nbrs.items())):
+            nbr_indices[lo + k] = v
+            nbr_rel[lo + k] = int(rel)
+    return CsrAdjacency(
+        asns=asns,
+        index=index,
+        cust_indptr=cust[0],
+        cust_indices=cust[1],
+        cust_rows=cust[2],
+        prov_indptr=prov[0],
+        prov_indices=prov[1],
+        prov_rows=prov[2],
+        peer_indptr=peer[0],
+        peer_indices=peer[1],
+        peer_rows=peer[2],
+        nbr_indptr=nbr_indptr,
+        nbr_indices=nbr_indices,
+        nbr_rel=nbr_rel,
+    )
 
 
 class ASGraph:
@@ -46,6 +152,7 @@ class ASGraph:
         self._peers: dict[int, list[int]] = {}
         self._frozen = False
         self._links: list[tuple[int, int, Relationship]] | None = None
+        self._csr: CsrAdjacency | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -139,6 +246,20 @@ class ASGraph:
     @property
     def frozen(self) -> bool:
         return self._frozen
+
+    def csr(self) -> CsrAdjacency:
+        """The compact CSR adjacency of this graph (frozen graphs only).
+
+        Built lazily on first use and cached; the arrays are shared
+        read-only by the array routing backend and — copy-on-write across
+        ``fork`` — by every parallel-engine worker, so paper-scale graphs
+        pay the construction cost exactly once per process tree.
+        """
+        if not self._frozen:
+            raise TopologyError("freeze() the graph before building CSR arrays")
+        if self._csr is None:
+            self._csr = _build_csr(self)
+        return self._csr
 
     def __len__(self) -> int:
         return len(self._nbr)

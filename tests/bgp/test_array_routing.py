@@ -1,0 +1,121 @@
+"""Cross-validation of the array routing backend against the dict oracle.
+
+The acceptance bar for ``repro.bgp.array_routing``: on seeded synthetic
+topologies, every query (``best_path``, ``rib``, ``alternatives``,
+``reachable_count`` and friends) must be **identical** to the dict-based
+:class:`~repro.bgp.propagation.DestinationRouting` — not statistically
+close, equal.
+"""
+
+import pytest
+
+from repro.bgp.array_routing import ArrayDestinationRouting, compute_array_routing
+from repro.bgp.propagation import compute_routing
+from repro.errors import NoRouteError, TopologyError
+from repro.topology.asgraph import ASGraph
+from repro.topology.generator import TopologyConfig, generate_topology
+
+SEEDS = (2014, 7, 99)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def graph_pair(request):
+    graph = generate_topology(TopologyConfig(n_ases=250, seed=request.param))
+    return graph
+
+
+def _destinations(graph):
+    nodes = sorted(graph.nodes())
+    # a spread of destinations: stubs, middle, and the largest providers
+    return nodes[:5] + nodes[len(nodes) // 2 : len(nodes) // 2 + 5] + nodes[-5:]
+
+
+class TestCrossValidation:
+    def test_identical_output_on_seeded_topologies(self, graph_pair):
+        graph = graph_pair
+        for dest in _destinations(graph):
+            array = compute_array_routing(graph, dest)
+            oracle = compute_routing(graph, dest)
+            assert array.reachable_count() == oracle.reachable_count()
+            for x in graph.nodes():
+                assert array.has_route(x) == oracle.has_route(x)
+                if not oracle.has_route(x):
+                    continue
+                assert array.best_class(x) == oracle.best_class(x)
+                assert array.best_len(x) == oracle.best_len(x)
+                assert array.next_hop(x) == oracle.next_hop(x)
+                assert array.best_path(x) == oracle.best_path(x)
+                assert array.rib(x) == oracle.rib(x)
+                assert array.rib(x, loop_filter=False) == oracle.rib(
+                    x, loop_filter=False
+                )
+                assert array.alternatives(x) == oracle.alternatives(x)
+
+    def test_entries_are_plain_python_ints(self, graph_pair):
+        """Byte-identical includes types: no numpy scalars may leak out."""
+        graph = graph_pair
+        dest = sorted(graph.nodes())[0]
+        array = compute_array_routing(graph, dest)
+        src = sorted(graph.nodes())[-1]
+        for hop in array.best_path(src):
+            assert type(hop) is int
+        for entry in array.rib(src):
+            assert type(entry.neighbor) is int
+            assert type(entry.length) is int
+        nh = array.next_hop(src)
+        assert nh is None or type(nh) is int
+        assert type(array.best_len(src)) is int
+
+
+class TestEdgeCases:
+    def test_requires_frozen_graph(self):
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        with pytest.raises(TopologyError, match="freeze"):
+            compute_array_routing(g, 0)
+
+    def test_unknown_destination(self):
+        g = ASGraph.from_links(p2c=[(1, 0)])
+        with pytest.raises(TopologyError):
+            compute_array_routing(g, 99)
+
+    def test_destination_itself(self):
+        g = ASGraph.from_links(p2c=[(1, 0), (2, 0)], peering=[(1, 2)])
+        r = compute_array_routing(g, 0)
+        assert r.next_hop(0) is None
+        assert r.best_class(0) is None
+        assert r.best_path(0) == (0,)
+        assert r.rib(0) == ()
+        assert r.alternatives(0) == ()
+
+    def test_no_route_raises(self):
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        g.add_as(9)  # isolated
+        g.freeze()
+        r = compute_array_routing(g, 0)
+        assert not r.has_route(9)
+        with pytest.raises(NoRouteError):
+            r.next_hop(9)
+        with pytest.raises(NoRouteError):
+            r.best_path(9)
+        with pytest.raises(NoRouteError):
+            r.best_class(9)
+        with pytest.raises(NoRouteError):
+            r.best_len(9)
+
+    def test_unknown_query_node(self):
+        g = ASGraph.from_links(p2c=[(1, 0)])
+        r = compute_array_routing(g, 0)
+        with pytest.raises(TopologyError):
+            r.has_route(42)
+
+    def test_state_roundtrip(self):
+        g = ASGraph.from_links(p2c=[(1, 0), (2, 1), (2, 3)], peering=[(1, 3)])
+        original = compute_array_routing(g, 0)
+        rebuilt = ArrayDestinationRouting.from_state(g, 0, original.state())
+        for x in g.nodes():
+            assert rebuilt.has_route(x) == original.has_route(x)
+            if original.has_route(x):
+                assert rebuilt.best_path(x) == original.best_path(x)
+                assert rebuilt.rib(x) == original.rib(x)

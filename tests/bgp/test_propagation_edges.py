@@ -1,7 +1,6 @@
 """Edge-case tests for route propagation: exotic tie-breaks, deep chains,
 peer-only reachability, disconnected fragments."""
 
-import pytest
 
 from repro.bgp.propagation import compute_routing
 from repro.topology.asgraph import ASGraph

@@ -7,9 +7,7 @@ off (per-packet deflection), on a topology where the default and
 alternative paths have *different* latencies, so path flapping visibly
 reorders."""
 
-import dataclasses
 
-import pytest
 
 from repro.dataplane import Network
 from repro.mifo.engine import MifoEngine, MifoEngineConfig, bgp_engine

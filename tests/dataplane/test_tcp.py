@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dataplane import Network, PeerKind
+from repro.dataplane import Network
 from repro.dataplane.tcp import TcpConfig
 from repro.mifo.engine import bgp_engine
 from repro.topology.relationships import Relationship
@@ -91,7 +91,7 @@ class TestReceiver:
     def test_out_of_order_reassembly(self):
         from repro.dataplane.events import Simulator
         from repro.dataplane.host import Host
-        from repro.dataplane.packet import Packet, PacketKind
+        from repro.dataplane.packet import Packet
         from repro.dataplane.tcp import TcpReceiver
 
         sim = Simulator()

@@ -54,7 +54,7 @@ class TestCommon:
 
 class TestTable1:
     def test_relationship_mix_matches_paper(self):
-        res = table1.run("test")
+        res = table1.run("test").raw
         assert res.stats.p2c_fraction == pytest.approx(0.69, abs=0.04)
         assert res.stats.peering_fraction == pytest.approx(0.31, abs=0.04)
         out = res.render()
@@ -65,7 +65,7 @@ class TestTable1:
 class TestFig7:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig7.run("test")
+        return fig7.run("test").raw
 
     def test_mifo_dominates_miro(self, result):
         for dep in (0.5, 1.0):
@@ -86,7 +86,7 @@ class TestFig7:
 class TestFig5:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig5.run("test", deployments=(1.0, 0.5))
+        return fig5.run("test", deployments=(1.0, 0.5)).raw
 
     def test_mifo_beats_bgp_everywhere(self, result):
         for dep in (1.0, 0.5):
@@ -107,7 +107,7 @@ class TestFig5:
 class TestFig6:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig6.run("test", alphas=(0.8, 1.2))
+        return fig6.run("test", alphas=(0.8, 1.2)).raw
 
     def test_mifo_beats_bgp_under_skew(self, result):
         for alpha in (0.8, 1.2):
@@ -123,7 +123,7 @@ class TestFig6:
 class TestFig8:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig8.run("test", deployments=(0.1, 0.5, 1.0))
+        return fig8.run("test", deployments=(0.1, 0.5, 1.0)).raw
 
     def test_offload_grows_with_deployment(self, result):
         assert result.offload(1.0) >= result.offload(0.1)
@@ -142,7 +142,7 @@ class TestFig8:
 class TestFig9:
     @pytest.fixture(scope="class")
     def result(self):
-        return fig9.run("test")
+        return fig9.run("test").raw
 
     def test_most_switching_flows_switch_once(self, result):
         d = result.distribution

@@ -8,7 +8,7 @@ from repro.experiments import fig12
 
 @pytest.fixture(scope="module")
 def result():
-    return fig12.run("test")
+    return fig12.run("test").raw
 
 
 class TestControlPlane:

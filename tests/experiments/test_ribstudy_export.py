@@ -1,6 +1,5 @@
 """Tests for the Section II-B RIB study and the gnuplot exporter."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import ribstudy
@@ -10,7 +9,7 @@ from repro.experiments.export import write_dat
 class TestRibStudy:
     @pytest.fixture(scope="class")
     def result(self):
-        return ribstudy.run("test")
+        return ribstudy.run("test").raw
 
     def test_most_ases_multi_neighbor(self, result):
         """The paper's Section II-B claim, quantified."""
@@ -60,7 +59,7 @@ class TestOverhead:
     def result(self):
         from repro.experiments import overhead
 
-        return overhead.run("test")
+        return overhead.run("test").raw
 
     def test_mifo_costs_zero_extra_messages(self, result):
         assert result.mifo_messages == 0

@@ -1,6 +1,5 @@
 """Tests for the three tag-bit carriers (paper Section III-A4)."""
 
-import pytest
 
 from repro.dataplane import Network, Packet
 from repro.mifo.carrier import IpOptionCarrier, MplsLabelCarrier, ReservedBitCarrier

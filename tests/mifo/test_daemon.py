@@ -1,6 +1,6 @@
 """Tests for the MIFO daemon's greedy alt-port maintenance."""
 
-from repro.dataplane import Network, Packet, PacketKind
+from repro.dataplane import Network, Packet
 from repro.mifo.daemon import AltCandidate, MifoDaemon
 from repro.mifo.engine import MifoEngine, MifoEngineConfig
 from repro.topology.relationships import Relationship

@@ -9,7 +9,7 @@ IP-in-IP cycle avoidance between iBGP peers.
 import pytest
 
 from repro.dataplane import Network, Packet, PacketKind, PeerKind
-from repro.mifo.engine import MifoEngine, MifoEngineConfig, bgp_engine
+from repro.mifo.engine import MifoEngine, MifoEngineConfig
 from repro.topology.relationships import Relationship
 
 C, P, R = Relationship.CUSTOMER, Relationship.PEER, Relationship.PROVIDER

@@ -1,0 +1,68 @@
+"""The CSR adjacency view frozen graphs expose for the array backend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.asgraph import ASGraph
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.relationships import Relationship
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_topology(TopologyConfig(n_ases=150, seed=11))
+
+
+class TestCsr:
+    def test_requires_frozen(self):
+        g = ASGraph()
+        g.add_p2c(1, 0)
+        with pytest.raises(TopologyError, match="freeze"):
+            g.csr()
+
+    def test_cached_per_graph(self, graph):
+        assert graph.csr() is graph.csr()
+
+    def test_index_is_ascending_asn_order(self, graph):
+        csr = graph.csr()
+        assert np.all(np.diff(csr.asns) > 0)
+        assert all(csr.index[int(a)] == i for i, a in enumerate(csr.asns))
+        assert csr.n_nodes == len(graph)
+
+    def test_per_class_rows_match_graph(self, graph):
+        csr = graph.csr()
+        asns = csr.asns
+        for i in range(csr.n_nodes):
+            asn = int(asns[i])
+            lo, hi = csr.cust_indptr[i], csr.cust_indptr[i + 1]
+            assert [int(asns[j]) for j in csr.cust_indices[lo:hi]] == graph.customers(asn)
+            lo, hi = csr.prov_indptr[i], csr.prov_indptr[i + 1]
+            assert [int(asns[j]) for j in csr.prov_indices[lo:hi]] == graph.providers(asn)
+            lo, hi = csr.peer_indptr[i], csr.peer_indptr[i + 1]
+            assert [int(asns[j]) for j in csr.peer_indices[lo:hi]] == graph.peers(asn)
+
+    def test_combined_rows_carry_relationships(self, graph):
+        csr = graph.csr()
+        asns = csr.asns
+        for i in (0, csr.n_nodes // 2, csr.n_nodes - 1):
+            nbrs, rels = csr.neighbors_of(i)
+            seen = {
+                int(asns[j]): Relationship(int(r)) for j, r in zip(nbrs, rels)
+            }
+            assert seen == graph.neighbors(int(asns[i]))
+
+    def test_row_vectors_align_with_indices(self, graph):
+        csr = graph.csr()
+        assert len(csr.cust_rows) == len(csr.cust_indices)
+        expect = np.repeat(
+            np.arange(csr.n_nodes), np.diff(csr.cust_indptr)
+        )
+        assert np.array_equal(csr.cust_rows, expect)
+
+    def test_edge_counts_consistent(self, graph):
+        csr = graph.csr()
+        assert len(csr.cust_indices) == len(csr.prov_indices)
+        assert len(csr.peer_indices) % 2 == 0
+        total = len(csr.cust_indices) + len(csr.prov_indices) + len(csr.peer_indices)
+        assert total == len(csr.nbr_indices) == 2 * graph.num_links()
