@@ -1,0 +1,98 @@
+"""Micro-benchmark of the static forwarding-state verifier.
+
+The verifier is meant to run as a post-experiment gate, so its cost must
+stay a small fraction of the runs it guards.  This bench times
+``verify_routing`` across growing synthetic topologies (fixed destination
+count, so the x-axis is graph size, not workload size), records wall time
+alongside the explored tagged-deflection-relation size, and writes the
+table to ``results/microbench_verify.txt``.
+"""
+
+import time
+
+import pytest
+
+from repro.bgp.propagation import RoutingCache
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.verify import verify_routing
+
+from .conftest import write_result
+
+N_DESTS = 16
+SIZES = (200, 400, 800, 1600)
+
+
+def _verify_at(n_ases: int):
+    graph = generate_topology(TopologyConfig(n_ases=n_ases))
+    routing = RoutingCache(graph)
+    dests = range(N_DESTS)
+    for d in dests:  # converge outside the timed region
+        routing(d)
+    capable = frozenset(graph.nodes())
+
+    t0 = time.perf_counter()
+    report = verify_routing(graph, routing, dests, capable=capable)
+    elapsed = time.perf_counter() - t0
+    return graph, report, elapsed
+
+
+class TestVerifierScaling:
+    def test_wall_time_vs_graph_size(self, results_dir):
+        rows = []
+        for n in SIZES:
+            graph, report, elapsed = _verify_at(n)
+            assert report.ok, report.render()
+            rows.append((len(graph), report.n_states, report.n_edges, elapsed))
+
+        lines = [
+            f"static verifier scaling, {N_DESTS} destinations per graph",
+            f"  {'ASes':>6} {'states':>9} {'edges':>10} {'wall (s)':>9} "
+            f"{'us/edge':>8}",
+        ]
+        for n_ases, n_states, n_edges, elapsed in rows:
+            lines.append(
+                f"  {n_ases:>6} {n_states:>9} {n_edges:>10} {elapsed:>9.3f} "
+                f"{elapsed / max(n_edges, 1) * 1e6:>8.2f}"
+            )
+        write_result(results_dir, "microbench_verify", "\n".join(lines))
+
+        # The relation is bounded by 2 * |AS| states per destination, so
+        # cost must grow roughly linearly: per-edge time may not blow up
+        # as graphs grow.
+        per_edge = [e / max(m, 1) for _, _, m, e in rows]
+        assert per_edge[-1] < per_edge[0] * 10, per_edge
+
+    def test_single_destination_cost(self, benchmark):
+        graph = generate_topology(TopologyConfig(n_ases=400))
+        routing = RoutingCache(graph)
+        capable = frozenset(graph.nodes())
+        dests = iter(range(len(graph)))
+        for d in range(64):  # pre-converge the destinations we will verify
+            routing(d)
+
+        def run():
+            return verify_routing(
+                graph, routing, [next(dests) % 64], capable=capable
+            )
+
+        report = benchmark(run)
+        assert report.ok
+
+
+@pytest.mark.parametrize("tag_check_enabled", [True, False])
+def test_ablation_cost_comparable(tag_check_enabled):
+    """Verifying with Tag-Check disabled explores a denser relation but
+    must stay the same order of magnitude (it is the ablation gate)."""
+    graph = generate_topology(TopologyConfig(n_ases=200))
+    routing = RoutingCache(graph)
+    for d in range(8):
+        routing(d)
+    t0 = time.perf_counter()
+    verify_routing(
+        graph,
+        routing,
+        range(8),
+        capable=frozenset(graph.nodes()),
+        tag_check_enabled=tag_check_enabled,
+    )
+    assert time.perf_counter() - t0 < 30.0

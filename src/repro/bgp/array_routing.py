@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import NoRouteError, TopologyError
+from ..errors import NoRouteError, RoutingError, TopologyError
 from ..topology.asgraph import ASGraph
 from ..topology.relationships import Relationship, export_allowed, invert
+from .propagation import RibEntry
 
 __all__ = ["ArrayDestinationRouting", "compute_array_routing"]
 
@@ -86,7 +87,7 @@ class ArrayDestinationRouting:
         dest: int,
         *,
         _state: tuple[np.ndarray, ...] | None = None,
-    ):
+    ) -> None:
         if dest not in graph:
             raise TopologyError(f"destination AS {dest} not in graph")
         self.graph = graph
@@ -95,7 +96,7 @@ class ArrayDestinationRouting:
         self._dest_idx = self.csr.index[dest]
         self._inf = np.int32(self.csr.n_nodes + 2)
         self._path_cache: dict[int, tuple[int, ...]] = {}
-        self._rib_cache: dict[int, tuple] = {}
+        self._rib_cache: dict[int, tuple[RibEntry, ...]] = {}
         if _state is not None:
             self._cust, self._peer, self._export, self._class, self._nh = _state
         else:
@@ -236,7 +237,17 @@ class ArrayDestinationRouting:
             raise NoRouteError(x, self.dest)
         if code == _DEST:
             return None
-        return int(self.csr.asns[self._nh[i]])
+        hop = int(self._nh[i])
+        if hop < 0:
+            # A reachable class with the no-hop sentinel means the result
+            # arrays disagree (possible only via a corrupted from_state()
+            # payload).  Without this guard the -1 would silently index
+            # the *last* ASN — a wrong answer instead of an error.
+            raise RoutingError(
+                f"inconsistent routing state: AS {x} is reachable toward "
+                f"{self.dest} but has no next hop"
+            )
+        return int(self.csr.asns[hop])
 
     def best_path(self, x: int) -> tuple[int, ...]:
         """The selected default AS path from ``x`` to the destination,
@@ -253,7 +264,12 @@ class ArrayDestinationRouting:
         cur = i
         limit = self.csr.n_nodes + 1
         while cur != self._dest_idx:
-            cur = nh[cur]
+            cur = int(nh[cur])
+            if cur < 0:  # same corrupted-state guard as next_hop()
+                raise RoutingError(
+                    f"inconsistent routing state: default path from AS {x} "
+                    f"toward {self.dest} dead-ends at AS {hops[-1]}"
+                )
             hops.append(int(asns[cur]))
             if len(hops) > limit:  # impossible by construction; be loud
                 raise AssertionError(f"default-path loop from AS {x}: {hops[:16]}...")
@@ -261,14 +277,12 @@ class ArrayDestinationRouting:
         self._path_cache[x] = path
         return path
 
-    def rib(self, x: int, *, loop_filter: bool = True) -> tuple:
+    def rib(self, x: int, *, loop_filter: bool = True) -> tuple[RibEntry, ...]:
         """The multi-neighbor Adj-RIB-In of ``x`` toward the destination.
 
         Same semantics (and same :class:`~repro.bgp.propagation.RibEntry`
         entries) as the dict backend.
         """
-        from .propagation import RibEntry  # avoid a circular import at load
-
         if x == self.dest:
             return ()
         if loop_filter:
@@ -299,7 +313,7 @@ class ArrayDestinationRouting:
             self._rib_cache[x] = result
         return result
 
-    def alternatives(self, x: int) -> tuple:
+    def alternatives(self, x: int) -> tuple[RibEntry, ...]:
         """RIB entries other than the default route — MIFO's alt candidates."""
         rib = self.rib(x)
         i = self._idx(x)

@@ -33,10 +33,12 @@ import multiprocessing
 import os
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from ..errors import ConfigError, TopologyError
 from ..topology.asgraph import ASGraph
 from .array_routing import ArrayDestinationRouting
-from .propagation import DestinationRouting
+from .propagation import DestinationRouting, RoutingView
 
 __all__ = ["ParallelRoutingEngine", "fork_available", "resolve_workers"]
 
@@ -60,7 +62,7 @@ def resolve_workers(n_workers: int | None) -> int:
     return n_workers
 
 
-def _compute_chunk(chunk: Sequence[int]) -> list[tuple[int, tuple]]:
+def _compute_chunk(chunk: Sequence[int]) -> list[tuple[int, tuple[np.ndarray, ...]]]:
     """Worker body: converge each destination, return compact states."""
     graph = _WORKER_GRAPH
     assert graph is not None, "worker forked before _WORKER_GRAPH was set"
@@ -89,7 +91,7 @@ class ParallelRoutingEngine:
         n_workers: int | None = None,
         backend: str = "array",
         chunk_size: int | None = None,
-    ):
+    ) -> None:
         if backend not in ("array", "dict"):
             raise ConfigError(f"unknown routing backend {backend!r}")
         if not graph.frozen:
@@ -109,13 +111,13 @@ class ParallelRoutingEngine:
             return 1
         return self.n_workers
 
-    def compute(self, dest: int):
+    def compute(self, dest: int) -> RoutingView:
         """One destination, always in-process."""
         if self.backend == "dict":
             return DestinationRouting(self.graph, dest)
         return ArrayDestinationRouting(self.graph, dest)
 
-    def compute_many(self, dests: Iterable[int]) -> dict[int, object]:
+    def compute_many(self, dests: Iterable[int]) -> dict[int, RoutingView]:
         """Converge every destination; returns ``{dest: routing}``.
 
         Duplicate destinations are computed once.  Results are identical
@@ -128,10 +130,19 @@ class ParallelRoutingEngine:
         workers = min(self.effective_workers, len(unique))
         if workers <= 1:
             return {d: self.compute(d) for d in unique}
-        return self._compute_parallel(unique, workers)
+        try:
+            return self._compute_parallel(unique, workers)
+        except OSError:
+            # fork() exists on this platform but pool creation failed —
+            # fd/process limits, a locked-down sandbox, EAGAIN under load.
+            # Parallelism is a wall-clock knob, never a results knob, so
+            # degrade to the serial path instead of failing the run.
+            return {d: self.compute(d) for d in unique}
 
     # ------------------------------------------------------------------
-    def _compute_parallel(self, unique: list[int], workers: int) -> dict[int, object]:
+    def _compute_parallel(
+        self, unique: list[int], workers: int
+    ) -> dict[int, RoutingView]:
         global _WORKER_GRAPH
         graph = self.graph
         # Materialize the CSR arrays *before* forking so children inherit
@@ -146,7 +157,7 @@ class ParallelRoutingEngine:
                 # chunked submission: imap keeps at most a pool's worth of
                 # pending result arrays in flight (vs. map's all-at-once).
                 parts = pool.imap(_compute_chunk, chunks)
-                out: dict[int, object] = {}
+                out: dict[int, RoutingView] = {}
                 for part in parts:
                     for d, state in part:
                         out[d] = ArrayDestinationRouting.from_state(graph, d, state)

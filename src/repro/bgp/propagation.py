@@ -30,13 +30,19 @@ from __future__ import annotations
 import dataclasses
 import heapq
 from collections import deque
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Protocol
 
 from ..errors import NoRouteError, TopologyError
 from ..topology.asgraph import ASGraph
 from ..topology.relationships import Relationship, export_allowed, invert
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .parallel import ParallelRoutingEngine
+
 __all__ = [
     "RibEntry",
+    "RoutingView",
     "DestinationRouting",
     "compute_routing",
     "RoutingCache",
@@ -63,6 +69,35 @@ class RibEntry:
         return (int(self.relationship), self.length, self.neighbor)
 
 
+class RoutingView(Protocol):
+    """Per-destination query interface shared by both routing backends.
+
+    :class:`DestinationRouting` (dict oracle) and
+    :class:`~repro.bgp.array_routing.ArrayDestinationRouting` (CSR) both
+    satisfy it structurally; the cache, the verifier and every metric
+    depend only on this surface, never on a concrete backend.
+    """
+
+    graph: ASGraph
+    dest: int
+
+    def has_route(self, x: int) -> bool: ...
+
+    def best_class(self, x: int) -> Relationship | None: ...
+
+    def best_len(self, x: int) -> int: ...
+
+    def next_hop(self, x: int) -> int | None: ...
+
+    def best_path(self, x: int) -> tuple[int, ...]: ...
+
+    def rib(self, x: int, *, loop_filter: bool = True) -> tuple[RibEntry, ...]: ...
+
+    def alternatives(self, x: int) -> tuple[RibEntry, ...]: ...
+
+    def reachable_count(self) -> int: ...
+
+
 class DestinationRouting:
     """Converged BGP state of the whole AS graph for one destination."""
 
@@ -78,7 +113,7 @@ class DestinationRouting:
         "_rib_cache",
     )
 
-    def __init__(self, graph: ASGraph, dest: int):
+    def __init__(self, graph: ASGraph, dest: int) -> None:
         if dest not in graph:
             raise TopologyError(f"destination AS {dest} not in graph")
         self.graph = graph
@@ -314,7 +349,7 @@ class RoutingCache:
         *,
         max_entries: int | None = None,
         backend: str = "dict",
-    ):
+    ) -> None:
         if backend not in ("dict", "array"):
             from ..errors import ConfigError
 
@@ -324,25 +359,25 @@ class RoutingCache:
         self.backend = backend
         # dicts preserve insertion order; LRU = re-insert on hit, evict the
         # first (= least recently used) key when full.
-        self._cache: dict[int, DestinationRouting] = {}
+        self._cache: dict[int, RoutingView] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
-    def _compute(self, dest: int):
+    def _compute(self, dest: int) -> RoutingView:
         if self.backend == "array":
             from .array_routing import compute_array_routing
 
             return compute_array_routing(self.graph, dest)
         return compute_routing(self.graph, dest)
 
-    def _insert(self, dest: int, routing) -> None:
+    def _insert(self, dest: int, routing: RoutingView) -> None:
         if self.max_entries is not None and len(self._cache) >= self.max_entries:
             self._cache.pop(next(iter(self._cache)))
             self._evictions += 1
         self._cache[dest] = routing
 
-    def __call__(self, dest: int) -> DestinationRouting:
+    def __call__(self, dest: int) -> RoutingView:
         r = self._cache.get(dest)
         if r is not None:
             self._hits += 1
@@ -355,7 +390,9 @@ class RoutingCache:
         self._insert(dest, r)
         return r
 
-    def precompute(self, dests, engine=None) -> int:
+    def precompute(
+        self, dests: Iterable[int], engine: ParallelRoutingEngine | None = None
+    ) -> int:
         """Bulk-fill the cache for ``dests``; returns how many were computed.
 
         ``engine`` is a :class:`~repro.bgp.parallel.ParallelRoutingEngine`
@@ -364,6 +401,19 @@ class RoutingCache:
         skipped without touching the hit/miss counters — precomputation is
         capacity planning, not demand.
         """
+        if engine is not None:
+            engine_backend = getattr(engine, "backend", None)
+            if engine_backend is not None and engine_backend != self.backend:
+                from ..errors import ConfigError
+
+                # A dict cache filled by an array engine (or vice versa)
+                # would silently mix substrates; results agree, but cache
+                # introspection and the cross-validation suite rely on a
+                # cache holding exactly what its backend produces.
+                raise ConfigError(
+                    f"engine backend {engine_backend!r} does not match cache "
+                    f"backend {self.backend!r}"
+                )
         todo = [d for d in dict.fromkeys(dests) if d not in self._cache]
         if not todo:
             return 0
@@ -374,6 +424,11 @@ class RoutingCache:
             for dest in todo:
                 self._insert(dest, self._compute(dest))
         return len(todo)
+
+    def cached_destinations(self) -> tuple[int, ...]:
+        """Destinations currently held, ascending — the verifier's default
+        scope after a run (everything the run could have forwarded along)."""
+        return tuple(sorted(self._cache))
 
     @property
     def stats(self) -> CacheStats:

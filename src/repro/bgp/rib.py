@@ -24,7 +24,7 @@ __all__ = ["AdjRibIn", "LocRib"]
 class AdjRibIn:
     """Per-neighbor routes received by one AS, per destination."""
 
-    def __init__(self, owner: int):
+    def __init__(self, owner: int) -> None:
         self.owner = owner
         # dest -> neighbor -> Route
         self._routes: dict[int, dict[int, Route]] = {}
@@ -63,7 +63,7 @@ class AdjRibIn:
 class LocRib:
     """Selected best route per destination for one AS."""
 
-    def __init__(self, owner: int):
+    def __init__(self, owner: int) -> None:
         self.owner = owner
         self._best: dict[int, Route] = {}
 

@@ -16,6 +16,7 @@ from collections import deque
 
 from ..errors import TopologyError
 from ..topology.asgraph import ASGraph
+from ..topology.relationships import Relationship
 from .policy import can_export
 from .rib import AdjRibIn, LocRib
 from .route import Route
@@ -26,7 +27,7 @@ __all__ = ["Speaker", "BgpNetwork"]
 class Speaker:
     """One AS's BGP state in the message-level model."""
 
-    def __init__(self, asn: int):
+    def __init__(self, asn: int) -> None:
         self.asn = asn
         self.adj_in = AdjRibIn(asn)
         self.loc_rib = LocRib(asn)
@@ -37,7 +38,9 @@ class Speaker:
             return False
         return self.loc_rib.reselect(dest, self.adj_in)
 
-    def exported_route(self, dest: int, to_relationship) -> Route | None:
+    def exported_route(
+        self, dest: int, to_relationship: Relationship
+    ) -> Route | None:
         """What this speaker announces toward a neighbor of the given
         relationship: its best route if export policy allows, else None
         (implicit withdrawal)."""
@@ -50,7 +53,7 @@ class Speaker:
 class BgpNetwork:
     """All speakers of an AS graph plus the propagation engine."""
 
-    def __init__(self, graph: ASGraph):
+    def __init__(self, graph: ASGraph) -> None:
         if not graph.frozen:
             raise TopologyError("freeze() the graph first")
         self.graph = graph

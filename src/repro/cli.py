@@ -4,7 +4,8 @@ Usage::
 
     python -m repro list
     python -m repro run fig5 --scale default
-    python -m repro run all --scale test
+    python -m repro run all --scale test --verify
+    python -m repro verify --scale default
     python -m repro topology --n-ases 2000 --out topo.txt
 
 The ``mifo-repro`` console script (pyproject) maps here too.
@@ -24,7 +25,7 @@ from .topology.stats import topology_stats
 __all__ = ["main"]
 
 
-def _cmd_list(_args) -> int:
+def _cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:")
     for name, mod in REGISTRY.items():
         doc = (mod.__doc__ or "").strip().splitlines()[0]
@@ -33,7 +34,7 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in REGISTRY]
     if unknown:
@@ -57,10 +58,76 @@ def _cmd_run(args) -> int:
             path = out / f"{name}_{args.scale}.json"
             path.write_text(result.to_json(indent=2) + "\n", encoding="utf-8")
             print(f"wrote {path}", file=sys.stderr)
+    if args.verify:
+        from .errors import VerificationError
+        from .experiments.common import SharedContext
+
+        # The run above went through the memoized per-scale context, so
+        # this re-get is the same object — its cache holds exactly the
+        # destinations the experiments forwarded along.
+        ctx = SharedContext.get(
+            args.scale, backend=args.routing_backend, workers=workers
+        )
+        try:
+            report = ctx.verify()
+        except VerificationError as exc:
+            print(f"post-run invariant gate FAILED: {exc}", file=sys.stderr)
+            print(exc.report.render(), file=sys.stderr)  # type: ignore[attr-defined]
+            return 1
+        print(
+            f"post-run invariant gate: {report.render().splitlines()[0]}",
+            file=sys.stderr,
+        )
     return 0
 
 
-def _cmd_topology(args) -> int:
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Statically prove (or refute) the forwarding invariants."""
+    from .bgp.parallel import ParallelRoutingEngine
+    from .bgp.propagation import RoutingCache
+    from .experiments.common import deployment_sample, get_scale
+    from .verify import verify_routing
+
+    sc = get_scale(args.scale)
+    n_ases = args.n_ases or sc.n_ases
+    graph = generate_topology(TopologyConfig(n_ases=n_ases, seed=args.seed))
+    routing = RoutingCache(graph, backend=args.routing_backend)
+
+    nodes = sorted(graph.nodes())
+    if args.dests and args.dests < len(nodes):
+        # Evenly spaced sample: deterministic, covers the whole hierarchy.
+        step = max(1, len(nodes) // args.dests)
+        dests = nodes[::step][: args.dests]
+    else:
+        dests = nodes
+
+    workers = args.workers or None
+    engine = ParallelRoutingEngine(
+        graph, n_workers=workers, backend=args.routing_backend
+    )
+    if engine.effective_workers > 1:
+        routing.precompute(dests, engine=engine)
+
+    capable = deployment_sample(graph, args.deployment)
+    report = verify_routing(
+        graph,
+        routing,
+        dests,
+        capable=capable,
+        tag_check_enabled=not args.no_tag_check,
+    )
+    print(report.render())
+    if args.json:
+        import pathlib
+
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json(indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {path}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
     cfg = TopologyConfig(n_ases=args.n_ases, seed=args.seed)
     graph = generate_topology(cfg)
     stats = topology_stats(graph)
@@ -74,7 +141,7 @@ def _cmd_topology(args) -> int:
     return 0
 
 
-def _cmd_export(args) -> int:
+def _cmd_export(args: argparse.Namespace) -> int:
     from .experiments.export import export_all
 
     written = export_all(
@@ -88,7 +155,7 @@ def _cmd_export(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> int:
+def _cmd_simulate(args: argparse.Namespace) -> int:
     """One-shot scheme comparison on user-chosen parameters."""
     import time
 
@@ -179,7 +246,49 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument(
         "--json", default=None, metavar="DIR", help="also dump ExperimentResult JSON"
     )
+    p_run.add_argument(
+        "--verify",
+        action="store_true",
+        help="statically re-prove the forwarding invariants after the run",
+    )
     p_run.set_defaults(fn=_cmd_run)
+
+    p_ver = sub.add_parser(
+        "verify",
+        help="statically prove or refute MIFO's forwarding invariants",
+    )
+    p_ver.add_argument("--scale", default="test", choices=sorted(SCALES))
+    p_ver.add_argument(
+        "--n-ases", type=int, default=None, help="override the scale's topology size"
+    )
+    p_ver.add_argument("--seed", type=int, default=2014)
+    p_ver.add_argument(
+        "--dests",
+        type=int,
+        default=25,
+        help="destinations to verify, evenly sampled (0 = every AS)",
+    )
+    p_ver.add_argument(
+        "--deployment", type=float, default=1.0, help="MIFO-capable fraction"
+    )
+    p_ver.add_argument(
+        "--no-tag-check",
+        action="store_true",
+        help="ablation: verify with Tag-Check disabled",
+    )
+    p_ver.add_argument(
+        "--routing-backend", choices=("dict", "array"), default="dict"
+    )
+    p_ver.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="routing worker processes (0 = one per CPU)",
+    )
+    p_ver.add_argument(
+        "--json", default=None, metavar="FILE", help="dump the report as JSON"
+    )
+    p_ver.set_defaults(fn=_cmd_verify)
 
     p_topo = sub.add_parser("topology", help="generate a synthetic AS topology")
     p_topo.add_argument("--n-ases", type=int, default=2000)

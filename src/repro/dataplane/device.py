@@ -16,7 +16,7 @@ __all__ = ["Device"]
 class Device:
     """Anything a link can attach to: routers and hosts."""
 
-    def __init__(self, sim: "Simulator", name: str):
+    def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim
         self.name = name
         self.ports: list[Port] = []

@@ -25,7 +25,7 @@ class Host(Device):
     (:meth:`start_flow`).
     """
 
-    def __init__(self, sim: "Simulator", name: str):
+    def __init__(self, sim: "Simulator", name: str) -> None:
         super().__init__(sim, name)
         self.uplink = self.add_port(Port(f"{name}:up", peer_kind=PeerKind.HOST))
         self.senders: dict[int, TcpSender] = {}

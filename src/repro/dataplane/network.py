@@ -124,7 +124,9 @@ class ThroughputSampler:
     goodput — the Fig-12(a) y-axis.
     """
 
-    def __init__(self, network: Network, hosts: list[Host], interval: float = 0.5):
+    def __init__(
+        self, network: Network, hosts: list[Host], interval: float = 0.5
+    ) -> None:
         if interval <= 0:
             raise ConfigError("sampler interval must be positive")
         self.network = network

@@ -241,7 +241,9 @@ class TcpSender:
 class TcpReceiver:
     """Receiving side: cumulative ACKs, out-of-order buffering."""
 
-    def __init__(self, sim: "Simulator", host: "Host", flow_id: int, peer: str):
+    def __init__(
+        self, sim: "Simulator", host: "Host", flow_id: int, peer: str
+    ) -> None:
         self.sim = sim
         self.host = host
         self.flow_id = flow_id

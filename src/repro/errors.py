@@ -16,6 +16,7 @@ __all__ = [
     "LoopDetectedError",
     "SimulationError",
     "ConfigError",
+    "VerificationError",
 ]
 
 
@@ -34,7 +35,7 @@ class RoutingError(ReproError):
 class NoRouteError(RoutingError):
     """No route exists toward the requested destination."""
 
-    def __init__(self, source: int, destination: int):
+    def __init__(self, source: int, destination: int) -> None:
         super().__init__(f"AS {source} has no route toward AS {destination}")
         self.source = source
         self.destination = destination
@@ -51,7 +52,7 @@ class LoopDetectedError(ForwardingError):
     III-A3); the ablation benches disable the check to show it firing.
     """
 
-    def __init__(self, path: list[int]):
+    def __init__(self, path: list[int]) -> None:
         super().__init__(f"forwarding loop detected: {' -> '.join(map(str, path))}")
         self.path = path
 
@@ -62,3 +63,20 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid experiment or simulator configuration."""
+
+
+class VerificationError(ReproError):
+    """The static verifier refuted a forwarding invariant.
+
+    Raised by the post-run gate (:mod:`repro.verify.gate`); ``report``
+    carries the counterexample paths.
+    """
+
+    def __init__(self, report: object) -> None:
+        findings = getattr(report, "findings", ())
+        checks = sorted({f.check for f in findings})
+        super().__init__(
+            f"static verification refuted {', '.join(checks) or 'invariants'} "
+            f"({len(findings)} finding(s))"
+        )
+        self.report = report

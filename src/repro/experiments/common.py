@@ -16,6 +16,8 @@ a bench that regenerates several figures pays for BGP convergence once.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +30,11 @@ from ..flowsim.providers import BgpProvider, MifoProvider, MiroProvider, PathPro
 from ..flowsim.simulator import FluidSimConfig, FluidSimulator
 from ..topology.asgraph import ASGraph
 from ..topology.generator import TopologyConfig, generate_topology
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..flowsim.flow import FlowSpec
+    from ..flowsim.simulator import FluidSimResult
+    from ..verify.report import VerificationReport
 
 __all__ = [
     "ExperimentScale",
@@ -105,7 +112,7 @@ class SharedContext:
         *,
         backend: str = "dict",
         workers: int | None = 1,
-    ):
+    ) -> None:
         self.scale = scale
         self.backend = backend
         self.workers = workers
@@ -137,10 +144,19 @@ class SharedContext:
             )
         return ctx
 
-    def precompute(self, dests) -> int:
+    def precompute(self, dests: Iterable[int]) -> int:
         """Bulk-converge ``dests`` through the parallel engine."""
         engine = self.engine if self.engine.effective_workers > 1 else None
         return self.routing.precompute(dests, engine=engine)
+
+    def verify(self, *, capable: frozenset[int] | None = None) -> "VerificationReport":
+        """Post-run invariant gate: statically re-prove loop-freedom,
+        valley-freedom and FIB/RIB consistency over every destination this
+        context's cache has converged.  Raises
+        :class:`~repro.errors.VerificationError` on refutation."""
+        from ..verify.gate import post_run_gate
+
+        return post_run_gate(self.graph, self.routing, capable=capable)
 
 
 def deployment_sample(
@@ -183,10 +199,10 @@ def run_scheme(
     ctx: SharedContext,
     scheme: str,
     capable: frozenset[int],
-    specs,
+    specs: "list[FlowSpec]",
     *,
     sim_config: FluidSimConfig | None = None,
-):
+) -> "FluidSimResult":
     """Run one (scheme, deployment) fluid simulation over ``specs``."""
     # Converge every destination the workload will touch up front — on a
     # parallel context this shards across workers instead of paying for

@@ -13,8 +13,11 @@ from __future__ import annotations
 
 import os
 import pathlib
+import types
 from collections.abc import Iterable, Sequence
+from typing import Any
 
+from ..metrics.cdf import Cdf
 from . import fig5, fig6, fig7, fig8, fig9, fig12
 
 __all__ = ["write_dat", "export_all"]
@@ -40,7 +43,9 @@ def write_dat(
     p.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
-def _cdf_rows(cdf, *, points: int = 60, hi: float = 1e9):
+def _cdf_rows(
+    cdf: Cdf, *, points: int = 60, hi: float = 1e9
+) -> list[tuple[float, float]]:
     xs, ys = cdf.series(points=points, lo=0.0, hi=hi)
     return [(x / 1e6, y) for x, y in zip(xs, ys)]
 
@@ -56,10 +61,15 @@ def export_all(
     out = pathlib.Path(out_dir)
     written: list[pathlib.Path] = []
 
-    def figure(mod):
+    def figure(mod: types.ModuleType) -> Any:
         return mod.run(scale, backend=backend, workers=workers).raw
 
-    def emit(name, rows, columns, comment):
+    def emit(
+        name: str,
+        rows: Iterable[Sequence[float]],
+        columns: Sequence[str],
+        comment: str,
+    ) -> None:
         path = out / f"{name}.dat"
         write_dat(path, rows, columns=columns, comment=comment)
         written.append(path)

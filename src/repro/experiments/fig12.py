@@ -33,12 +33,15 @@ paper's exact parameters.
 from __future__ import annotations
 
 import dataclasses
+from typing import Any
 
 import numpy as np
 
 from ..bgp.speaker import BgpNetwork
+from ..dataplane.host import Host
 from ..dataplane.network import Network, ThroughputSampler
-from ..dataplane.tcp import TcpConfig
+from ..dataplane.router import Engine
+from ..dataplane.tcp import TcpConfig, TcpSender
 from ..errors import SimulationError
 from ..metrics.cdf import Cdf
 from ..mifo.engine import MifoEngine, MifoEngineConfig, bgp_engine
@@ -119,7 +122,7 @@ class TestbedRun:
 
 def build_testbed(
     cfg: TestbedConfig, *, mifo: bool, tag_check: bool = True, encap: bool = True
-) -> tuple[Network, dict]:
+) -> tuple[Network, dict[str, Any]]:
     """Wire the Fig-11 network; returns (network, handles).
 
     ``mifo=False`` runs every router with plain BGP forwarding (no alt
@@ -129,7 +132,7 @@ def build_testbed(
     net = Network()
     qc = cfg.queue_capacity
 
-    def engine():
+    def engine() -> Engine:
         if not mifo:
             return bgp_engine
         return MifoEngine(
@@ -229,8 +232,8 @@ def _run_one(cfg: TestbedConfig, *, mifo: bool) -> TestbedRun:
     completions: list[float] = []
     expected = 2 * cfg.flows_per_source
 
-    def chain(host, dst, base_flow_id, remaining):
-        def on_complete(sender):
+    def chain(host: Host, dst: str, base_flow_id: int, remaining: int) -> None:
+        def on_complete(sender: TcpSender) -> None:
             completions.append(sender.duration)
             if remaining > 1:
                 chain(host, dst, base_flow_id + 1, remaining - 1)

@@ -11,6 +11,7 @@ visible MIFO gain.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 
 
 from ..flowsim.simulator import FluidSimResult
@@ -72,7 +73,7 @@ class Fig5Result:
         )
         plots = []
         for dep in self.deployments:
-            series = {}
+            series: dict[str, list[tuple[float, float]]] = {}
             for scheme in SCHEMES:
                 key = (dep, scheme)
                 xs, ys = self.cdf(*key).series(points=40, lo=0.0, hi=1e9)
@@ -93,7 +94,7 @@ def run(
     *,
     backend: str = "dict",
     workers: int | None = 1,
-    deployments=DEPLOYMENTS,
+    deployments: Sequence[float] = DEPLOYMENTS,
 ) -> ExperimentResult:
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)
@@ -112,7 +113,7 @@ def run(
             results[(dep, scheme)] = run_scheme(ctx, scheme, capable, specs)
     raw = Fig5Result(scale_name=sc.name, results=results)
 
-    series = {}
+    series: dict[str, list[tuple[float, float]]] = {}
     meta: dict[str, object] = {
         "backend": backend,
         "routing_cache": dataclasses.asdict(ctx.routing.stats),

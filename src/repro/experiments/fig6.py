@@ -11,6 +11,7 @@ forwarding; at α = 1.0 the paper reads 40% / 17% / 7% of flows attaining
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 
 from ..flowsim.simulator import FluidSimResult
 from ..metrics.cdf import Cdf
@@ -68,7 +69,7 @@ class Fig6Result:
         )
         plots = []
         for alpha in self.alphas:
-            series = {}
+            series: dict[str, list[tuple[float, float]]] = {}
             for scheme in SCHEMES:
                 xs, ys = self.cdf(alpha, scheme).series(points=40, lo=0.0, hi=1e9)
                 series[scheme] = list(zip(xs / 1e6, ys))
@@ -88,7 +89,7 @@ def run(
     *,
     backend: str = "dict",
     workers: int | None = 1,
-    alphas=ALPHAS,
+    alphas: Sequence[float] = ALPHAS,
     deployment: float = DEPLOYMENT,
 ) -> ExperimentResult:
     sc = get_scale(scale)
@@ -113,7 +114,7 @@ def run(
             results[(alpha, scheme)] = run_scheme(ctx, scheme, capable, specs)
     raw = Fig6Result(scale_name=sc.name, results=results)
 
-    series = {}
+    series: dict[str, list[tuple[float, float]]] = {}
     meta: dict[str, object] = {"backend": backend, "deployment": deployment}
     for alpha in raw.alphas:
         for scheme in SCHEMES:

@@ -12,6 +12,7 @@ spacing but sit lower; see EXPERIMENTS.md.)
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -27,13 +28,15 @@ __all__ = ["Fig7Result", "run", "sample_pairs"]
 DEPLOYMENTS = (0.5, 1.0)
 
 
-def sample_pairs(ctx: SharedContext, n_pairs: int, *, seed: int, dests: int = 25):
+def sample_pairs(
+    ctx: SharedContext, n_pairs: int, *, seed: int, dests: int = 25
+) -> list[tuple[int, int]]:
     """Random pairs grouped on few destinations (routing-cache reuse)."""
     rng = np.random.default_rng(seed)
     nodes = np.fromiter(ctx.graph.nodes(), dtype=np.int64)
     dsts = rng.choice(nodes, size=min(dests, len(nodes)), replace=False)
     per = max(1, n_pairs // len(dsts))
-    pairs = []
+    pairs: list[tuple[int, int]] = []
     for d in dsts:
         srcs = rng.choice(nodes, size=per)
         pairs.extend((int(s), int(d)) for s in srcs if int(s) != int(d))
@@ -46,8 +49,8 @@ class Fig7Result:
     #: (scheme, deployment) -> per-pair path counts
     counts: dict[tuple[str, float], list[int]]
 
-    def series(self):
-        out = {}
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        out: dict[str, list[tuple[float, float]]] = {}
         for (scheme, dep), c in sorted(self.counts.items()):
             pct, vals = survival_series(c)
             out[f"{dep:.0%} {scheme}"] = list(zip(pct, np.log10(np.maximum(vals, 1))))
@@ -96,7 +99,7 @@ def run(
     *,
     backend: str = "dict",
     workers: int | None = 1,
-    deployments=DEPLOYMENTS,
+    deployments: Sequence[float] = DEPLOYMENTS,
 ) -> ExperimentResult:
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)

@@ -8,6 +8,7 @@ deployment, and even 10% deployment offloads ~9% of traffic.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 
 from ..flowsim.simulator import FluidSimResult
 from ..traffic.matrix import TrafficConfig, uniform_matrix
@@ -59,7 +60,7 @@ def run(
     *,
     backend: str = "dict",
     workers: int | None = 1,
-    deployments=DEPLOYMENTS,
+    deployments: Sequence[float] = DEPLOYMENTS,
 ) -> ExperimentResult:
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)

@@ -43,7 +43,7 @@ class OverheadResult:
     mifo_alternatives: int
 
     def rows(self) -> list[list[object]]:
-        def per_msg(alts, msgs):
+        def per_msg(alts: int, msgs: int) -> str:
             return f"{alts / msgs:.2f}" if msgs else "inf" if alts else "0"
 
         return [

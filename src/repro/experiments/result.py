@@ -30,7 +30,12 @@ import json
 import warnings
 from typing import Any
 
-__all__ = ["ExperimentResult", "freeze_series"]
+__all__ = ["ExperimentResult", "PROVENANCE_KEYS", "freeze_series"]
+
+#: ``meta`` keys that record *how* a result was computed (backend, cache
+#: counters) rather than *what* was computed.  Everything outside this set
+#: is part of the byte-identical cross-backend determinism contract.
+PROVENANCE_KEYS: frozenset[str] = frozenset({"backend", "workers", "routing_cache"})
 
 
 def freeze_series(series: dict) -> dict[str, tuple[tuple[float, float], ...]]:
@@ -51,14 +56,26 @@ class ExperimentResult:
     meta: dict[str, Any]  #: scalar headlines (medians, fractions, timings)
     raw: Any = dataclasses.field(default=None, repr=False, compare=False)
 
-    def to_json(self, *, indent: int | None = None) -> str:
-        """JSON of everything except ``raw`` (which is figure-specific)."""
+    def to_json(
+        self, *, indent: int | None = None, include_provenance: bool = True
+    ) -> str:
+        """JSON of everything except ``raw`` (which is figure-specific).
+
+        ``include_provenance=False`` drops the :data:`PROVENANCE_KEYS`
+        meta entries, leaving exactly the payload the determinism
+        guarantee covers — two runs of one experiment must produce
+        byte-identical output regardless of routing backend or worker
+        count (``tests/experiments/test_determinism.py`` enforces this).
+        """
+        meta = self.meta
+        if not include_provenance:
+            meta = {k: v for k, v in meta.items() if k not in PROVENANCE_KEYS}
         return json.dumps(
             {
                 "name": self.name,
                 "scale": self.scale,
                 "series": {k: [list(p) for p in v] for k, v in self.series.items()},
-                "meta": self.meta,
+                "meta": meta,
             },
             indent=indent,
             sort_keys=True,
@@ -72,7 +89,7 @@ class ExperimentResult:
             return raw.render()
         return self.to_json(indent=2)
 
-    def __getattr__(self, attr: str):
+    def __getattr__(self, attr: str) -> Any:
         # Only called for attributes missing on the envelope itself.
         # Forward public names to the rich result so pre-redesign call
         # sites keep working; everything else (dunders, privates) must

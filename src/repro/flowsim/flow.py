@@ -65,7 +65,9 @@ class ActiveFlow:
         "last_switch_time",
     )
 
-    def __init__(self, spec: FlowSpec, path: tuple[int, ...], link_ids: list[int], on_alt: bool):
+    def __init__(
+        self, spec: FlowSpec, path: tuple[int, ...], link_ids: list[int], on_alt: bool
+    ) -> None:
         self.spec = spec
         self.path = path
         self.link_ids = link_ids

@@ -77,10 +77,12 @@ class BgpProvider(PathProvider):
     name = "BGP"
     supports_reroute = False
 
-    def __init__(self, graph: ASGraph, routing: RoutingCache):
+    def __init__(self, graph: ASGraph, routing: RoutingCache) -> None:
         self.routing = routing
 
-    def initial_path(self, spec, view):
+    def initial_path(
+        self, spec: FlowSpec, view: LinkView
+    ) -> tuple[tuple[int, ...], bool]:
         return self.routing(spec.dst).best_path(spec.src), False
 
 
@@ -97,10 +99,12 @@ class MiroProvider(PathProvider):
     name = "MIRO"
     supports_reroute = False
 
-    def __init__(self, miro: MiroRouting):
+    def __init__(self, miro: MiroRouting) -> None:
         self.miro = miro
 
-    def initial_path(self, spec, view):
+    def initial_path(
+        self, spec: FlowSpec, view: LinkView
+    ) -> tuple[tuple[int, ...], bool]:
         src = spec.src
 
         def congested(u: int, v: int) -> bool:
@@ -129,18 +133,22 @@ class MifoProvider(PathProvider):
     name = "MIFO"
     supports_reroute = True
 
-    def __init__(self, builder: MifoPathBuilder):
+    def __init__(self, builder: MifoPathBuilder) -> None:
         self.builder = builder
         self.capable = builder.capable
         self.routing = builder.routing
 
-    def initial_path(self, spec, view):
+    def initial_path(
+        self, spec: FlowSpec, view: LinkView
+    ) -> tuple[tuple[int, ...], bool]:
         # MIFO consults only live *local* state: congested(u, v) is always
         # u's own directly connected egress link.
         outcome = self.builder.build_path(spec.src, spec.dst, view.congested, view.spare)
         return outcome.path, outcome.used_alternative
 
-    def reroute(self, flow, view):
+    def reroute(
+        self, flow: ActiveFlow, view: LinkView
+    ) -> tuple[tuple[int, ...], bool] | None:
         spec = flow.spec
         congested, spare = view.congested, view.spare
         if flow.on_alt:

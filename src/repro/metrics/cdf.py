@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -16,7 +17,7 @@ class Cdf:
     values: np.ndarray  #: sorted sample
 
     @classmethod
-    def from_samples(cls, samples) -> "Cdf":
+    def from_samples(cls, samples: Iterable[float]) -> "Cdf":
         arr = np.sort(np.asarray(samples, dtype=np.float64))
         return cls(arr)
 
@@ -36,7 +37,9 @@ class Cdf:
         """Value at quantile ``q`` in [0, 100]."""
         return float(np.percentile(self.values, q))
 
-    def series(self, points: int = 50, lo: float | None = None, hi: float | None = None):
+    def series(
+        self, points: int = 50, lo: float | None = None, hi: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """``(x, cdf_percent)`` arrays shaped like the paper's CDF plots."""
         if self.values.size == 0:
             return np.zeros(0), np.zeros(0)
@@ -54,7 +57,7 @@ class Cdf:
         return int(self.values.size)
 
 
-def survival_series(samples) -> tuple[np.ndarray, np.ndarray]:
+def survival_series(samples: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
     """Descending-sorted sample vs. percentage rank — the Fig-7 layout
     ("number of paths per pair" against "percentage of node pairs")."""
     arr = np.sort(np.asarray(samples, dtype=np.float64))[::-1]

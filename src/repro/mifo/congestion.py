@@ -42,7 +42,7 @@ class QueuingRatioDetector:
 
     __slots__ = ("threshold",)
 
-    def __init__(self, threshold: float = 0.8):
+    def __init__(self, threshold: float = 0.8) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold {threshold} outside (0, 1]")
         self.threshold = threshold
@@ -59,7 +59,7 @@ class UtilizationDetector:
 
     __slots__ = ("threshold",)
 
-    def __init__(self, threshold: float = 0.9):
+    def __init__(self, threshold: float = 0.9) -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError(f"threshold {threshold} outside (0, 1]")
         self.threshold = threshold
@@ -78,7 +78,9 @@ class HybridDetector:
 
     __slots__ = ("queue", "utilization")
 
-    def __init__(self, queue_threshold: float = 0.8, utilization_threshold: float = 0.95):
+    def __init__(
+        self, queue_threshold: float = 0.8, utilization_threshold: float = 0.95
+    ) -> None:
         self.queue = QueuingRatioDetector(queue_threshold)
         self.utilization = UtilizationDetector(utilization_threshold)
 

@@ -45,7 +45,9 @@ class AltCandidate:
 class MifoDaemon:
     """Periodically refreshes link measurements and FIB ``alt`` ports."""
 
-    def __init__(self, sim: "Simulator", router: Router, *, interval: float = 0.05):
+    def __init__(
+        self, sim: "Simulator", router: Router, *, interval: float = 0.05
+    ) -> None:
         self.sim = sim
         self.router = router
         self.interval = interval

@@ -29,7 +29,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable
 
-from ..bgp.propagation import RoutingCache
+from ..bgp.propagation import RoutingCache, RoutingView
 from ..errors import LoopDetectedError, NoRouteError
 from ..topology.asgraph import ASGraph
 from ..topology.relationships import Relationship
@@ -140,7 +140,7 @@ class MifoPathBuilder:
 
     def _pick_alternative(
         self,
-        routing,
+        routing: RoutingView,
         u: int,
         upstream: int | None,
         default_nh: int,

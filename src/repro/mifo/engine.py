@@ -102,7 +102,7 @@ class MifoEngineConfig:
 class MifoEngine:
     """Stateful per-router engine instance implementing Algorithm 1."""
 
-    def __init__(self, config: MifoEngineConfig | None = None):
+    def __init__(self, config: MifoEngineConfig | None = None) -> None:
         self.config = config or MifoEngineConfig()
         #: flow_id -> "alt" | "default": the flow-level path pin.
         self._flow_path: dict[int, str] = {}

@@ -28,7 +28,7 @@ from collections.abc import Iterable
 from ..bgp.propagation import DestinationRouting, RoutingCache
 from ..dataplane.network import Network
 from ..dataplane.port import Port
-from ..dataplane.router import Router
+from ..dataplane.router import Engine, Router
 from ..errors import ConfigError
 from ..mifo.daemon import AltCandidate, MifoDaemon
 from ..mifo.engine import MifoEngine, MifoEngineConfig, bgp_engine
@@ -59,7 +59,7 @@ class BuildConfig:
 class RouterLevelNetwork:
     """A built network plus the handles experiments need."""
 
-    def __init__(self, graph: ASGraph, net: Network, config: BuildConfig):
+    def __init__(self, graph: ASGraph, net: Network, config: BuildConfig) -> None:
         self.graph = graph
         self.net = net
         self.config = config
@@ -91,7 +91,7 @@ class RouterLevelNetwork:
     def counters_total(self, field: str) -> int:
         return sum(getattr(r.counters, field) for r in self.all_routers())
 
-    def run(self, **kw) -> float:
+    def run(self, **kw: typing.Any) -> float:
         return self.net.run(**kw)
 
 
@@ -128,7 +128,7 @@ def build_network(
     built = RouterLevelNetwork(graph, Network(), cfg)
     net = built.net
 
-    def make_engine(asn: int):
+    def make_engine(asn: int) -> Engine:
         if asn in mifo_capable:
             return MifoEngine(cfg.mifo_config)
         return bgp_engine

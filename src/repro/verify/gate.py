@@ -1,0 +1,78 @@
+"""Post-run invariant gate for experiments.
+
+Experiments converge a set of destinations through a
+:class:`~repro.bgp.propagation.RoutingCache`; after a run, the gate
+snapshots exactly those destinations' forwarding state and statically
+re-proves the MIFO invariants the run relied on.  A refutation raises
+:class:`~repro.errors.VerificationError` carrying the full
+:class:`~repro.verify.report.VerificationReport` — so a buggy backend or
+a corrupted table fails loudly instead of silently skewing results.
+
+Wired into the CLI as ``mifo-repro run --verify`` and available to any
+experiment code holding a :class:`~repro.experiments.common.SharedContext`
+(which exposes it as ``ctx.verify()``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..bgp.propagation import RoutingCache
+from ..errors import VerificationError
+from ..topology.asgraph import ASGraph
+from .checker import verify_routing
+from .report import VerificationReport
+
+__all__ = ["post_run_gate", "verify_cache"]
+
+
+def verify_cache(
+    graph: ASGraph,
+    routing: RoutingCache,
+    *,
+    dests: Iterable[int] | None = None,
+    capable: frozenset[int] | None = None,
+    tag_check_enabled: bool = True,
+) -> VerificationReport:
+    """Verify the destinations a routing cache has actually computed.
+
+    ``dests`` defaults to every cached destination — i.e. everything the
+    preceding run could have forwarded along.  Snapshot queries go
+    through the cache itself, so already-converged state is reused, not
+    recomputed.
+    """
+    if dests is None:
+        dests = routing.cached_destinations()
+    return verify_routing(
+        graph,
+        routing,
+        dests,
+        capable=capable,
+        tag_check_enabled=tag_check_enabled,
+    )
+
+
+def post_run_gate(
+    graph: ASGraph,
+    routing: RoutingCache,
+    *,
+    dests: Iterable[int] | None = None,
+    capable: frozenset[int] | None = None,
+    tag_check_enabled: bool = True,
+) -> VerificationReport:
+    """Assert the invariants after a run; raise on any refutation.
+
+    ``tag_check_enabled`` should mirror the run's configuration — an
+    ablation run with the check off is *expected* to refute, which is
+    precisely what the raised error documents.
+    """
+    report = verify_cache(
+        graph,
+        routing,
+        dests=dests,
+        capable=capable,
+        tag_check_enabled=tag_check_enabled,
+    )
+    if not report.ok:
+        raise VerificationError(report)
+    return report

@@ -1,0 +1,124 @@
+"""Frozen forwarding-state snapshots — the verifier's input.
+
+The dynamic pipeline proves MIFO's invariants by *running* packets and
+asserting nothing loops (``MifoPathBuilder`` raises
+:class:`~repro.errors.LoopDetectedError` on a repeated directed link).  The
+static verifier instead takes a **snapshot** of everything the data plane
+could ever consult — the frozen :class:`~repro.topology.asgraph.ASGraph`,
+one FIB (default next hop) and one Adj-RIB-In (deflection table) per
+destination, the MIFO-capable set and the Tag-Check switch — and proves or
+refutes the invariants from the tables alone, without enumerating packets
+or congestion patterns.
+
+Snapshots come from two places:
+
+* :meth:`ForwardingState.from_routing` freezes the live control plane (a
+  :class:`~repro.bgp.propagation.RoutingCache` or any per-destination
+  routing callable) — this is what ``mifo-repro verify`` and the post-run
+  experiment gate use;
+* the raw constructors accept hand-built tables, which is how the
+  adversarial test suite injects valleys, deflection cycles and dangling
+  FIB entries the verifier must refute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable, Mapping
+
+from ..bgp.propagation import RibEntry
+from ..errors import TopologyError
+from ..topology.asgraph import ASGraph
+
+__all__ = ["DestinationState", "ForwardingState", "RoutingFn"]
+
+#: Anything that can answer per-destination routing queries the way
+#: :class:`~repro.bgp.propagation.DestinationRouting` does.  Both backends
+#: and the :class:`~repro.bgp.propagation.RoutingCache` qualify.
+RoutingFn = Callable[[int], object]
+
+
+@dataclasses.dataclass(frozen=True)
+class DestinationState:
+    """FIB + Adj-RIB-In of every AS toward one destination.
+
+    ``fib`` maps each AS holding a route (other than the destination) to
+    its default next hop.  ``rib`` maps an AS to its Adj-RIB-In entries in
+    selection-preference order; the deflection table of a MIFO-capable AS
+    is exactly the non-default entries of its RIB (paper Section II-B:
+    alternatives come from the RIB at zero control-plane overhead).
+    Either table may be adversarially inconsistent — detecting that is the
+    verifier's job, so no invariants are enforced here.
+    """
+
+    dest: int
+    fib: Mapping[int, int]
+    rib: Mapping[int, tuple[RibEntry, ...]]
+
+    def deflection_table(self, capable: frozenset[int]) -> dict[int, tuple[int, ...]]:
+        """Non-default RIB neighbors per MIFO-capable AS (diagnostics)."""
+        out: dict[int, tuple[int, ...]] = {}
+        for u, entries in self.rib.items():
+            if u not in capable:
+                continue
+            default = self.fib.get(u)
+            alts = tuple(e.neighbor for e in entries if e.neighbor != default)
+            if alts:
+                out[u] = alts
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class ForwardingState:
+    """Complete data-plane snapshot the static checks run against."""
+
+    graph: ASGraph
+    tables: tuple[DestinationState, ...]
+    capable: frozenset[int]
+    tag_check_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.graph.frozen:
+            raise TopologyError("freeze() the graph before snapshotting state")
+
+    @classmethod
+    def from_routing(
+        cls,
+        graph: ASGraph,
+        routing: RoutingFn,
+        dests: Iterable[int],
+        *,
+        capable: frozenset[int] | None = None,
+        tag_check_enabled: bool = True,
+    ) -> "ForwardingState":
+        """Snapshot converged control-plane state for ``dests``.
+
+        ``capable`` defaults to every AS — the strongest deployment, hence
+        the strongest thing to prove (any subset only removes deflection
+        edges from the relation, never adds one).
+        """
+        if capable is None:
+            capable = frozenset(graph.nodes())
+        tables = []
+        for dest in dict.fromkeys(dests):
+            r = routing(dest)
+            fib: dict[int, int] = {}
+            rib: dict[int, tuple[RibEntry, ...]] = {}
+            for x in graph.nodes():
+                if x == dest or not r.has_route(x):  # type: ignore[attr-defined]
+                    continue
+                nh = r.next_hop(x)  # type: ignore[attr-defined]
+                if nh is not None:
+                    fib[x] = nh
+                rib[x] = tuple(r.rib(x))  # type: ignore[attr-defined]
+            tables.append(DestinationState(dest=dest, fib=fib, rib=rib))
+        return cls(
+            graph=graph,
+            tables=tuple(tables),
+            capable=capable,
+            tag_check_enabled=tag_check_enabled,
+        )
+
+    @property
+    def destinations(self) -> tuple[int, ...]:
+        return tuple(t.dest for t in self.tables)

@@ -1,0 +1,208 @@
+"""Unit tests for the repo-specific AST lint rules (tools/mifolint)."""
+
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from tools.mifolint import RULES, lint_paths, lint_source
+from tools.mifolint.core import _classify
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def _codes(source, **kw):
+    return [v.code for v in lint_source(textwrap.dedent(source), **kw)]
+
+
+class TestMF001UnseededRandomness:
+    def test_module_level_random_flagged(self):
+        src = """
+            import random
+            def f() -> float:
+                return random.random()
+        """
+        assert _codes(src) == ["MF001"]
+
+    def test_seeded_random_instance_allowed(self):
+        src = """
+            import random
+            def f() -> float:
+                rng = random.Random(42)
+                return rng.random()
+        """
+        assert _codes(src) == []
+
+    def test_unseeded_random_constructor_flagged(self):
+        assert _codes("import random\nr = random.Random()\n") == ["MF001"]
+
+    def test_numpy_legacy_global_flagged(self):
+        src = """
+            import numpy as np
+            def f():
+                np.random.seed(0)
+                return np.random.rand(3)
+        """
+        assert _codes(src) == ["MF001", "MF001"]
+
+    def test_seeded_default_rng_allowed_unseeded_flagged(self):
+        src = """
+            from numpy.random import default_rng
+            a = default_rng(7)
+            b = default_rng()
+        """
+        assert _codes(src) == ["MF001"]
+
+    def test_aliased_numpy_random_module_tracked(self):
+        src = """
+            import numpy.random as npr
+            x = npr.normal()
+        """
+        assert _codes(src) == ["MF001"]
+
+    def test_from_import_member_flagged(self):
+        src = """
+            from random import shuffle
+            def f(xs: list) -> None:
+                shuffle(xs)
+        """
+        assert _codes(src) == ["MF001"]
+
+    def test_non_library_code_exempt(self):
+        src = "import random\nx = random.random()\n"
+        assert _codes(src, library=False) == []
+
+
+class TestMF002SetIteration:
+    def test_for_over_set_call_flagged_in_hot_path(self):
+        assert _codes("for x in set(items):\n    pass\n", hot=True) == ["MF002"]
+
+    def test_for_over_set_literal_flagged(self):
+        assert _codes("for x in {1, 2}:\n    pass\n", hot=True) == ["MF002"]
+
+    def test_comprehension_over_keys_union_flagged(self):
+        src = "out = [k for k in a.keys() | b.keys()]\n"
+        assert _codes(src, hot=True) == ["MF002"]
+
+    def test_sorted_set_allowed(self):
+        assert _codes("for x in sorted(set(items)):\n    pass\n", hot=True) == []
+
+    def test_dict_iteration_allowed(self):
+        assert _codes("for k in mapping:\n    pass\n", hot=True) == []
+
+    def test_membership_only_union_allowed(self):
+        # `x in (a.keys() | b.keys())` never iterates in source order.
+        assert _codes("ok = x in (a.keys() | b.keys())\n", hot=True) == []
+
+    def test_cold_paths_exempt(self):
+        assert _codes("for x in set(items):\n    pass\n", hot=False) == []
+
+
+class TestMF003FrozenMutation:
+    def test_mutator_call_flagged_outside_topology(self):
+        assert _codes("graph.add_p2c(1, 2)\n") == ["MF003"]
+
+    def test_mutator_call_allowed_with_exemption(self):
+        assert _codes("g.add_as(1)\n", allow_mutators=True) == []
+
+    def test_self_mutator_call_allowed(self):
+        src = """
+            class ASGraph:
+                def from_links(self) -> None:
+                    self.add_p2c(1, 2)
+        """
+        assert _codes(src) == []
+
+    def test_csr_field_assignment_flagged(self):
+        assert _codes("csr.nbr_indices = arr\n") == ["MF003"]
+
+    def test_csr_element_store_flagged(self):
+        assert _codes("csr.cust_indptr[0] = 5\n") == ["MF003"]
+
+    def test_graph_private_store_flagged(self):
+        assert _codes("graph._frozen = False\n") == ["MF003"]
+
+    def test_self_private_store_allowed(self):
+        src = """
+            class ASGraph:
+                def freeze(self) -> None:
+                    self._frozen = True
+        """
+        assert _codes(src) == []
+
+    def test_read_access_allowed(self):
+        assert _codes("x = csr.nbr_indices[0]\n") == []
+
+
+class TestSuppression:
+    @pytest.mark.parametrize(
+        "comment", ["# mifolint: disable=MF001", "# noqa: MF001"]
+    )
+    def test_inline_suppression(self, comment):
+        src = f"import random\nx = random.random()  {comment}\n"
+        assert _codes(src) == []
+
+    def test_suppressing_wrong_code_does_nothing(self):
+        src = "import random\nx = random.random()  # noqa: MF003\n"
+        assert _codes(src) == ["MF001"]
+
+
+class TestClassification:
+    def test_library_hot_and_topology_flags(self):
+        lib, hot, allow = _classify(pathlib.Path("src/repro/bgp/propagation.py"))
+        assert (lib, hot, allow) == (True, True, False)
+        lib, hot, allow = _classify(pathlib.Path("src/repro/topology/generator.py"))
+        assert (lib, hot, allow) == (True, True, True)
+        lib, hot, allow = _classify(pathlib.Path("src/repro/experiments/fig5.py"))
+        assert (lib, hot, allow) == (True, False, False)
+        lib, hot, allow = _classify(pathlib.Path("tests/bgp/test_parallel.py"))
+        assert lib is False
+
+    def test_select_filters(self, tmp_path):
+        f = tmp_path / "src" / "repro" / "bgp" / "bad.py"
+        f.parent.mkdir(parents=True)
+        f.write_text("import random\nx = random.random()\nfor a in set(x):\n    pass\n")
+        all_codes = {v.code for v in lint_paths([f])}
+        assert all_codes == {"MF001", "MF002"}
+        only = {v.code for v in lint_paths([f], select=frozenset({"MF002"}))}
+        assert only == {"MF002"}
+
+
+class TestRepoIsClean:
+    def test_src_and_tests_pass_the_linter(self):
+        violations = lint_paths([REPO / "src", REPO / "tests"])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_cli_exit_codes(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.mifolint", "src", "tests"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+        bad = tmp_path / "src" / "repro" / "x.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nx = random.random()\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.mifolint", str(bad)],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "MF001" in proc.stdout
+
+    def test_rule_table_listed(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.mifolint", "--list-rules"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        for code in RULES:
+            assert code in proc.stdout

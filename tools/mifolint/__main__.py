@@ -1,0 +1,53 @@
+"""CLI: ``python -m tools.mifolint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import RULES, lint_paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mifolint",
+        description="MIFO repo-specific AST lint rules (MF001-MF003)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"], help="files or directories"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to enforce (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, desc in sorted(RULES.items()):
+            print(f"{code}  {desc}")
+        return 0
+
+    select = None
+    if args.select:
+        select = frozenset(c.strip() for c in args.select.split(",") if c.strip())
+        unknown = select - RULES.keys()
+        if unknown:
+            print(f"unknown rule code(s): {sorted(unknown)}", file=sys.stderr)
+            return 2
+
+    violations = lint_paths(args.paths, select=select)
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,422 @@
+"""The lint rules and the single-pass AST visitor that applies them.
+
+Three rules, each encoding a repo invariant that generic linters cannot
+express because it depends on *this* codebase's semantics:
+
+``MF001`` — **no unseeded randomness in library code.**  Every result in
+``src/repro`` must be reproducible from explicit seeds.  Module-level
+``random.*`` functions draw from interpreter-global state;
+``numpy.random.*`` legacy functions draw from numpy-global state; and a
+bare ``default_rng()`` seeds from the OS.  All are flagged; constructing
+a seeded generator (``random.Random(seed)``, ``default_rng(seed)``) is
+the approved pattern.  Applies to library paths only — tests may use
+whatever their fixtures seed.
+
+``MF002`` — **no iteration over unordered sets in routing hot paths**
+(``repro.bgp``, ``repro.mifo``, ``repro.topology``).  Set iteration
+order depends on insertion history and hash seeding; routing code that
+iterates a set can silently break the determinism the byte-identical
+cross-backend guarantee rests on.  Iterate ``sorted(the_set)`` instead.
+(Dict/dict-view iteration is fine: insertion-ordered by construction.)
+
+``MF003`` — **no mutation of a frozen ASGraph or of shared CSR arrays.**
+Outside ``repro.topology`` every ``ASGraph`` is frozen by contract, so
+calling its mutators is at best a latent ``TopologyError`` and at worst
+state corruption; the :class:`~repro.topology.asgraph.CsrAdjacency`
+arrays are shared read-only across all destinations *and across forked
+parallel-engine workers* (copy-on-write), so writing to them corrupts
+every concurrent reader.  Flags mutator calls outside ``repro.topology``
+and any store into a CSR field or a graph-private structure.
+
+Suppression: append ``# mifolint: disable=MF00X`` (or ``# noqa: MF00X``)
+to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+from collections.abc import Iterable, Sequence
+
+__all__ = ["RULES", "Violation", "lint_file", "lint_paths", "lint_source"]
+
+#: rule code -> one-line description (also shown by ``--list-rules``).
+RULES: dict[str, str] = {
+    "MF001": "unseeded random/numpy.random in library code breaks reproducibility",
+    "MF002": "iteration over an unordered set in a routing hot path breaks determinism",
+    "MF003": "mutation of a frozen ASGraph or of CSR arrays shared with forked workers",
+}
+
+#: routing hot paths for MF002 (module path fragments, POSIX style).
+HOT_PATHS: tuple[str, ...] = ("repro/bgp/", "repro/mifo/", "repro/topology/")
+
+#: ASGraph mutator methods (MF003a) — only repro.topology may call these.
+GRAPH_MUTATORS: frozenset[str] = frozenset(
+    {"add_as", "add_p2c", "add_peering", "_add_link"}
+)
+
+#: CsrAdjacency array fields (MF003b) — never assignment targets, anywhere.
+CSR_FIELDS: frozenset[str] = frozenset(
+    {
+        "asns",
+        "cust_indptr",
+        "cust_indices",
+        "cust_rows",
+        "prov_indptr",
+        "prov_indices",
+        "prov_rows",
+        "peer_indptr",
+        "peer_indices",
+        "peer_rows",
+        "nbr_indptr",
+        "nbr_indices",
+        "nbr_rel",
+    }
+)
+
+#: ASGraph internal structures (MF003b) — writable only through ``self``.
+GRAPH_PRIVATES: frozenset[str] = frozenset(
+    {"_nbr", "_customers", "_providers", "_peers", "_links", "_csr", "_frozen"}
+)
+
+_DISABLE_RE = re.compile(r"#\s*(?:mifolint:\s*disable=|noqa:\s*)([A-Z0-9, ]+)")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule violation at a concrete source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _suppressed(source_lines: Sequence[str], line: int, code: str) -> bool:
+    if not 1 <= line <= len(source_lines):
+        return False
+    m = _DISABLE_RE.search(source_lines[line - 1])
+    return bool(m) and code in {c.strip() for c in m.group(1).split(",")}
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        source_lines: Sequence[str],
+        *,
+        library: bool,
+        hot: bool,
+        allow_mutators: bool = False,
+    ) -> None:
+        self.path = path
+        self.source_lines = source_lines
+        self.library = library  #: under src/ — MF001 + MF003a apply
+        self.hot = hot  #: routing hot path — MF002 applies
+        #: repro.topology builds graphs, so mutator calls are legitimate there
+        self.allow_mutators = allow_mutators
+        self.violations: list[Violation] = []
+        #: names bound to the stdlib ``random`` module
+        self.random_aliases: set[str] = set()
+        #: names bound to the ``numpy`` module
+        self.numpy_aliases: set[str] = set()
+        #: names bound to ``numpy.random`` itself
+        self.nprandom_aliases: set[str] = set()
+        #: name -> member imported from stdlib ``random``
+        self.random_members: dict[str, str] = {}
+        #: name -> member imported from ``numpy.random``
+        self.nprandom_members: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # import tracking (MF001)
+    # ------------------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(bound)
+            elif alias.name in ("numpy", "numpy.random"):
+                # ``import numpy.random as npr`` binds numpy.random itself.
+                if alias.asname and alias.name == "numpy.random":
+                    self.nprandom_aliases.add(bound)
+                else:
+                    self.numpy_aliases.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                self.random_members[alias.asname or alias.name] = alias.name
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                self.nprandom_members[alias.asname or alias.name] = alias.name
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.nprandom_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # calls: MF001 + MF003a
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.library:
+            self._check_random_call(node)
+            self._check_mutator_call(node)
+        self.generic_visit(node)
+
+    def _check_random_call(self, node: ast.Call) -> None:
+        func = node.func
+        seeded = bool(node.args or node.keywords)
+        # random.<fn>(...) / rnd.<fn>(...) on a stdlib-random alias
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.random_aliases
+        ):
+            if func.attr == "Random" and seeded:
+                return
+            self._add(node, "MF001", f"call to random.{func.attr}() uses global or "
+                      f"OS-seeded state; construct random.Random(seed) instead")
+            return
+        # from random import <fn>; <fn>(...)
+        if isinstance(func, ast.Name) and func.id in self.random_members:
+            member = self.random_members[func.id]
+            if member == "Random" and seeded:
+                return
+            self._add(node, "MF001", f"call to random.{member}() uses global or "
+                      f"OS-seeded state; construct random.Random(seed) instead")
+            return
+        # np.random.<fn>(...) / npr.<fn>(...)
+        attr_chain = self._nprandom_attr(func)
+        if attr_chain is not None:
+            if attr_chain in ("default_rng", "Generator", "SeedSequence") and seeded:
+                return
+            self._add(node, "MF001", f"call to numpy.random.{attr_chain}() draws "
+                      f"global or OS-seeded state; use default_rng(seed)")
+            return
+        # from numpy.random import default_rng; default_rng(...)
+        if isinstance(func, ast.Name) and func.id in self.nprandom_members:
+            member = self.nprandom_members[func.id]
+            if member in ("default_rng", "Generator", "SeedSequence") and seeded:
+                return
+            self._add(node, "MF001", f"call to numpy.random.{member}() draws "
+                      f"global or OS-seeded state; use default_rng(seed)")
+
+    def _nprandom_attr(self, func: ast.expr) -> str | None:
+        """``np.random.X`` or ``npr.X`` -> ``"X"``; anything else -> None."""
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        if isinstance(value, ast.Name) and value.id in self.nprandom_aliases:
+            return func.attr
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.numpy_aliases
+        ):
+            return func.attr
+        return None
+
+    def _check_mutator_call(self, node: ast.Call) -> None:
+        if self.allow_mutators:
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in GRAPH_MUTATORS
+            and not self._is_self_call(func)
+        ):
+            self._add(
+                node, "MF003",
+                f"call to ASGraph.{func.attr}() outside repro.topology — graphs "
+                f"are frozen by contract once routing code sees them",
+            )
+
+    @staticmethod
+    def _is_self_call(func: ast.Attribute) -> bool:
+        return isinstance(func.value, ast.Name) and func.value.id in ("self", "cls")
+
+    # ------------------------------------------------------------------
+    # iteration: MF002
+    # ------------------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if self.hot:
+            self._check_set_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        if self.hot:
+            for gen in getattr(node, "generators", ()):
+                self._check_set_iteration(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def _check_set_iteration(self, it: ast.expr) -> None:
+        if self._is_set_expr(it):
+            self._add(
+                it, "MF002",
+                "iteration over an unordered set in a routing hot path; iterate "
+                "sorted(...) (or an insertion-ordered dict) for determinism",
+            )
+
+    def _is_set_expr(self, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset")
+        ):
+            return True
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # ``a.keys() | b.keys()`` and friends produce sets; flag when
+            # either side is set-ish or a dict-view call.
+            return any(
+                self._is_set_expr(side) or self._is_keys_call(side)
+                for side in (expr.left, expr.right)
+            )
+        return False
+
+    @staticmethod
+    def _is_keys_call(expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "keys"
+        )
+
+    # ------------------------------------------------------------------
+    # stores: MF003b
+    # ------------------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store(target)
+        self.generic_visit(node)
+
+    def _check_store(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store(elt)
+            return
+        if isinstance(target, ast.Attribute):
+            if target.attr in CSR_FIELDS:
+                self._add(
+                    target, "MF003",
+                    f"assignment to CSR field .{target.attr} — these arrays are "
+                    f"shared read-only across destinations and forked workers",
+                )
+            elif target.attr in GRAPH_PRIVATES and not self._is_self_call(target):
+                self._add(
+                    target, "MF003",
+                    f"assignment to ASGraph internal .{target.attr} from outside "
+                    f"the class bypasses the freeze() contract",
+                )
+        elif isinstance(target, ast.Subscript):
+            value = target.value
+            if isinstance(value, ast.Attribute) and value.attr in CSR_FIELDS:
+                self._add(
+                    target, "MF003",
+                    f"element store into CSR array .{value.attr} — these arrays "
+                    f"are shared read-only across destinations and forked workers",
+                )
+
+    # ------------------------------------------------------------------
+    def _add(self, node: ast.expr | ast.stmt, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if _suppressed(self.source_lines, line, code):
+            return
+        self.violations.append(
+            Violation(
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+            )
+        )
+
+
+def _classify(path: pathlib.Path) -> tuple[bool, bool, bool]:
+    """(library?, hot path?, mutators allowed?) from the file's POSIX path."""
+    posix = path.as_posix()
+    library = "/src/" in f"/{posix}" or posix.startswith("src/")
+    hot = library and any(fragment in posix for fragment in HOT_PATHS)
+    allow_mutators = "repro/topology/" in posix
+    return library, hot, allow_mutators
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    library: bool = True,
+    hot: bool = True,
+    allow_mutators: bool = False,
+) -> list[Violation]:
+    """Lint one source string (the unit-test entry point)."""
+    tree = ast.parse(source, filename=path)
+    visitor = _Visitor(
+        path,
+        source.splitlines(),
+        library=library,
+        hot=hot,
+        allow_mutators=allow_mutators,
+    )
+    visitor.visit(tree)
+    return sorted(visitor.violations, key=lambda v: (v.line, v.col, v.code))
+
+
+def lint_file(path: pathlib.Path) -> list[Violation]:
+    library, hot, allow_mutators = _classify(path)
+    return lint_source(
+        path.read_text(encoding="utf-8"),
+        str(path),
+        library=library,
+        hot=hot,
+        allow_mutators=allow_mutators,
+    )
+
+
+def lint_paths(
+    paths: Iterable[str | pathlib.Path],
+    *,
+    select: frozenset[str] | None = None,
+) -> list[Violation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    violations: list[Violation] = []
+    for f in files:
+        found = lint_file(f)
+        if select is not None:
+            found = [v for v in found if v.code in select]
+        violations.extend(found)
+    return violations
