@@ -141,7 +141,7 @@ def explain_path(
         deflect_to: int | None = None
         candidates: list[CandidateVerdict] = []
         if is_congested and capable:
-            deflect_to = builder._pick_alternative(
+            deflect_to, _ = builder._pick_alternative(
                 routing, u, upstream, nh, congested, spare
             )
             for entry in routing.rib(u):

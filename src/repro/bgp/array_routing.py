@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..errors import NoRouteError, RoutingError, TopologyError
 from ..topology.asgraph import ASGraph
 from ..topology.relationships import Relationship, export_allowed, invert
@@ -98,9 +99,14 @@ class ArrayDestinationRouting:
         self._path_cache: dict[int, tuple[int, ...]] = {}
         self._rib_cache: dict[int, tuple[RibEntry, ...]] = {}
         if _state is not None:
+            # Re-wrapping a worker's shipped state is not a convergence;
+            # the worker already counted it (snapshot protocol).
             self._cust, self._peer, self._export, self._class, self._nh = _state
         else:
-            self._compute()
+            with tm.span("bgp.propagate"):
+                self._compute()
+            tm.inc("bgp.destinations_converged")
+            tm.inc("bgp.routes_propagated", self.reachable_count())
 
     # ------------------------------------------------------------------
     # the three-stage computation, vectorized

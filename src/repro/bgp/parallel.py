@@ -35,7 +35,9 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..errors import ConfigError, TopologyError
+from ..telemetry import Telemetry, TelemetrySnapshot
 from ..topology.asgraph import ASGraph
 from .array_routing import ArrayDestinationRouting
 from .propagation import DestinationRouting, RoutingView
@@ -62,11 +64,30 @@ def resolve_workers(n_workers: int | None) -> int:
     return n_workers
 
 
-def _compute_chunk(chunk: Sequence[int]) -> list[tuple[int, tuple[np.ndarray, ...]]]:
-    """Worker body: converge each destination, return compact states."""
+def _compute_chunk(
+    chunk: Sequence[int],
+) -> tuple[list[tuple[int, tuple[np.ndarray, ...]]], TelemetrySnapshot | None]:
+    """Worker body: converge each destination, return compact states.
+
+    When the parent forked with telemetry active, the child inherits the
+    parent's registry copy-on-write — recording into it would be invisible
+    to the parent.  Instead each chunk records into a fresh child-local
+    :class:`Telemetry` and ships its snapshot back alongside the results;
+    the parent absorbs snapshots in ``imap`` order, keeping the merged
+    totals (and trace event order) deterministic for any worker count.
+    """
     graph = _WORKER_GRAPH
     assert graph is not None, "worker forked before _WORKER_GRAPH was set"
-    return [(d, ArrayDestinationRouting(graph, d).state()) for d in chunk]
+    inherited = tm.active()
+    if inherited is None:
+        return [(d, ArrayDestinationRouting(graph, d).state()) for d in chunk], None
+    local = Telemetry(trace_capacity=inherited.trace_capacity)
+    tm.activate(local)
+    try:
+        states = [(d, ArrayDestinationRouting(graph, d).state()) for d in chunk]
+    finally:
+        tm.activate(inherited)
+    return states, local.snapshot()
 
 
 class ParallelRoutingEngine:
@@ -129,6 +150,7 @@ class ParallelRoutingEngine:
             return {}
         workers = min(self.effective_workers, len(unique))
         if workers <= 1:
+            tm.set_gauge("parallel.workers_used", 1)
             return {d: self.compute(d) for d in unique}
         try:
             return self._compute_parallel(unique, workers)
@@ -137,6 +159,10 @@ class ParallelRoutingEngine:
             # fd/process limits, a locked-down sandbox, EAGAIN under load.
             # Parallelism is a wall-clock knob, never a results knob, so
             # degrade to the serial path instead of failing the run.
+            # Telemetry must report what actually happened, not what was
+            # requested: one worker, and a fallback on the record.
+            tm.inc("parallel.pool_fallbacks")
+            tm.set_gauge("parallel.workers_used", 1)
             return {d: self.compute(d) for d in unique}
 
     # ------------------------------------------------------------------
@@ -152,15 +178,21 @@ class ParallelRoutingEngine:
         chunks = [unique[i : i + chunk] for i in range(0, len(unique), chunk)]
         ctx = multiprocessing.get_context("fork")
         _WORKER_GRAPH = graph
+        telemetry = tm.active()
         try:
             with ctx.Pool(processes=workers) as pool:
                 # chunked submission: imap keeps at most a pool's worth of
                 # pending result arrays in flight (vs. map's all-at-once).
                 parts = pool.imap(_compute_chunk, chunks)
                 out: dict[int, RoutingView] = {}
-                for part in parts:
+                for part, snap in parts:
                     for d, state in part:
                         out[d] = ArrayDestinationRouting.from_state(graph, d, state)
+                    if telemetry is not None and snap is not None:
+                        telemetry.absorb(snap)
         finally:
             _WORKER_GRAPH = None
+        if telemetry is not None:
+            telemetry.set_gauge("parallel.workers_used", workers)
+            telemetry.inc("parallel.chunks", len(chunks))
         return out

@@ -33,6 +33,7 @@ from collections import deque
 from collections.abc import Iterable
 from typing import TYPE_CHECKING, Protocol
 
+from .. import telemetry as tm
 from ..errors import NoRouteError, TopologyError
 from ..topology.asgraph import ASGraph
 from ..topology.relationships import Relationship, export_allowed, invert
@@ -125,7 +126,10 @@ class DestinationRouting:
         self._next_hop: dict[int, int | None] = {}
         self._path_cache: dict[int, tuple[int, ...]] = {}
         self._rib_cache: dict[int, tuple[RibEntry, ...]] = {}
-        self._compute()
+        with tm.span("bgp.propagate"):
+            self._compute()
+        tm.inc("bgp.destinations_converged")
+        tm.inc("bgp.routes_propagated", len(self._best_class))
 
     # ------------------------------------------------------------------
     # the three-stage computation
@@ -375,17 +379,20 @@ class RoutingCache:
         if self.max_entries is not None and len(self._cache) >= self.max_entries:
             self._cache.pop(next(iter(self._cache)))
             self._evictions += 1
+            tm.inc("cache.evictions")
         self._cache[dest] = routing
 
     def __call__(self, dest: int) -> RoutingView:
         r = self._cache.get(dest)
         if r is not None:
             self._hits += 1
+            tm.inc("cache.hits")
             # refresh recency: move to the back of the insertion order.
             del self._cache[dest]
             self._cache[dest] = r
             return r
         self._misses += 1
+        tm.inc("cache.misses")
         r = self._compute(dest)
         self._insert(dest, r)
         return r

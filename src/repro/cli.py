@@ -5,6 +5,8 @@ Usage::
     python -m repro list
     python -m repro run fig5 --scale default
     python -m repro run all --scale test --verify
+    python -m repro run fig9 --scale test --metrics --trace-out trace.jsonl
+    python -m repro trace summarize trace.jsonl
     python -m repro verify --scale default
     python -m repro topology --n-ases 2000 --out topo.txt
 
@@ -15,9 +17,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from .experiments import REGISTRY, SCALES
+from .telemetry import Stopwatch, Telemetry, TelemetrySnapshot
 from .topology.generator import TopologyConfig, generate_topology
 from .topology.loader import save_caida
 from .topology.stats import topology_stats
@@ -34,6 +36,23 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_phases(delta: TelemetrySnapshot) -> str:
+    """``--profile``: just the wall-time-by-phase table, slowest first."""
+    if not delta.spans:
+        return "profile: no phases recorded"
+    lines = ["profile (wall time by phase):"]
+    width = max(len(n) for n in delta.spans)
+    for name, (total, count) in sorted(
+        delta.spans.items(), key=lambda kv: -kv[1][0]
+    ):
+        mean_ms = total / count * 1e3 if count else 0.0
+        lines.append(
+            f"  {name:<{width}}  {total:9.3f} s  x{count:<7d} "
+            f"({mean_ms:8.3f} ms avg)"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in REGISTRY]
@@ -41,14 +60,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {unknown}; try 'list'", file=sys.stderr)
         return 2
     workers = args.workers or None  # 0 -> one worker per CPU
+    # One registry shared across the whole invocation: per-experiment
+    # deltas come from instrumented_run's session, the trace file and the
+    # verify cross-check see everything that happened.
+    telem: Telemetry | None = None
+    if args.metrics or args.profile or args.trace_out:
+        telem = Telemetry()
     for name in names:
-        t0 = time.time()
+        watch = Stopwatch()
+        base = telem.snapshot() if telem is not None else None
         result = REGISTRY[name].run(
-            args.scale, backend=args.routing_backend, workers=workers
+            args.scale,
+            backend=args.routing_backend,
+            workers=workers,
+            telemetry=telem,
         )
-        elapsed = time.time() - t0
-        print(f"==== {name} (scale={args.scale}, {elapsed:.1f}s) " + "=" * 20)
+        print(
+            f"==== {name} (scale={args.scale}, {watch.elapsed:.1f}s) " + "=" * 20
+        )
         print(result.render())
+        if telem is not None and base is not None:
+            delta = telem.snapshot().subtract(base)
+            if args.metrics:
+                print(delta.render())
+            elif args.profile:
+                print(_render_phases(delta))
         print()
         if args.json:
             import pathlib
@@ -58,6 +94,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             path = out / f"{name}_{args.scale}.json"
             path.write_text(result.to_json(indent=2) + "\n", encoding="utf-8")
             print(f"wrote {path}", file=sys.stderr)
+    if telem is not None and args.trace_out:
+        from .telemetry import trace
+
+        n = trace.write_jsonl(telem.trace_events(), args.trace_out)
+        print(f"wrote {n} trace event(s) to {args.trace_out}", file=sys.stderr)
     if args.verify:
         from .errors import VerificationError
         from .experiments.common import SharedContext
@@ -69,15 +110,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.scale, backend=args.routing_backend, workers=workers
         )
         try:
-            report = ctx.verify()
+            report = ctx.verify(
+                events=telem.trace_events() if telem is not None else None
+            )
         except VerificationError as exc:
             print(f"post-run invariant gate FAILED: {exc}", file=sys.stderr)
-            print(exc.report.render(), file=sys.stderr)  # type: ignore[attr-defined]
+            report_attr = getattr(exc, "report", None)
+            if report_attr is not None:
+                print(report_attr.render(), file=sys.stderr)
             return 1
         print(
             f"post-run invariant gate: {report.render().splitlines()[0]}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Validate and aggregate a recorded JSONL telemetry trace."""
+    import json
+
+    from .telemetry import trace
+
+    try:
+        events = trace.read_jsonl(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    schema: dict[str, object] | None = None
+    if args.schema:
+        import pathlib
+
+        try:
+            loaded = json.loads(
+                pathlib.Path(args.schema).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read schema: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(loaded, dict):
+            print("schema file is not a JSON object", file=sys.stderr)
+            return 2
+        schema = loaded
+    problems = trace.validate_events(events, schema)
+    if problems:
+        for p in problems[:20]:
+            print(f"invalid trace: {p}", file=sys.stderr)
+        if len(problems) > 20:
+            print(f"... and {len(problems) - 20} more", file=sys.stderr)
+        return 1
+    summary = trace.summarize(events, top=args.top)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(trace.render_summary(summary))
     return 0
 
 
@@ -157,8 +243,6 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     """One-shot scheme comparison on user-chosen parameters."""
-    import time
-
     from .bgp.propagation import RoutingCache
     from .experiments.common import deployment_sample, make_provider
     from .experiments.report import text_table
@@ -190,21 +274,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             graph, n_workers=workers, backend=args.routing_backend
         )
         if engine.effective_workers > 1:
-            t0 = time.time()
+            watch = Stopwatch()
             n = routing.precompute({s.dst for s in specs}, engine=engine)
             print(
                 f"precomputed {n} destinations on {engine.effective_workers} "
-                f"workers in {time.time() - t0:.1f}s",
+                f"workers in {watch.elapsed:.1f}s",
                 file=sys.stderr,
             )
 
     results = []
     for scheme in args.schemes:
-        t0 = time.time()
+        watch = Stopwatch()
         provider = make_provider(scheme, graph, routing, capable)
         res = FluidSimulator(graph, provider, FluidSimConfig()).run(specs)
         results.append(res)
-        print(f"ran {scheme} in {time.time() - t0:.1f}s", file=sys.stderr)
+        print(f"ran {scheme} in {watch.elapsed:.1f}s", file=sys.stderr)
     print(
         text_table(
             ["Scheme", "Flows", "Median Mbps", "p10", "p90", ">=500 Mbps", "On alt paths"],
@@ -249,9 +333,46 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument(
         "--verify",
         action="store_true",
-        help="statically re-prove the forwarding invariants after the run",
+        help="statically re-prove the forwarding invariants after the run "
+        "(with --metrics/--trace-out, also cross-checks the recorded trace)",
+    )
+    p_run.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record telemetry and print counters + phase timers per experiment",
+    )
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="record telemetry and print only the phase wall-time breakdown",
+    )
+    p_run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record the structured event trace and write it as JSONL",
     )
     p_run.set_defaults(fn=_cmd_run)
+
+    p_tr = sub.add_parser("trace", help="inspect recorded telemetry traces")
+    tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)
+    p_sum = tr_sub.add_parser(
+        "summarize", help="validate a JSONL trace and aggregate it"
+    )
+    p_sum.add_argument("file", help="JSONL trace written by 'run --trace-out'")
+    p_sum.add_argument(
+        "--schema",
+        default=None,
+        metavar="PATH",
+        help="validate against a JSON-schema file (default: built-in schema)",
+    )
+    p_sum.add_argument(
+        "--top", type=int, default=5, help="rows in the top-N breakdowns"
+    )
+    p_sum.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    p_sum.set_defaults(fn=_cmd_trace)
 
     p_ver = sub.add_parser(
         "verify",

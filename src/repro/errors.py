@@ -73,10 +73,16 @@ class VerificationError(ReproError):
     """
 
     def __init__(self, report: object) -> None:
-        findings = getattr(report, "findings", ())
-        checks = sorted({f.check for f in findings})
-        super().__init__(
-            f"static verification refuted {', '.join(checks) or 'invariants'} "
-            f"({len(findings)} finding(s))"
-        )
+        if isinstance(report, str):
+            # e.g. a trace cross-check failure, where the message carries
+            # the problem list itself rather than a findings report.
+            super().__init__(report)
+        else:
+            findings = getattr(report, "findings", ())
+            checks = sorted({f.check for f in findings})
+            super().__init__(
+                f"static verification refuted "
+                f"{', '.join(checks) or 'invariants'} "
+                f"({len(findings)} finding(s))"
+            )
         self.report = report

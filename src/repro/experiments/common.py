@@ -16,11 +16,13 @@ a bench that regenerates several figures pays for BGP convergence once.
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Iterable
-from typing import TYPE_CHECKING
+import functools
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..bgp.parallel import ParallelRoutingEngine
 from ..bgp.propagation import RoutingCache
 from ..errors import ConfigError
@@ -34,6 +36,7 @@ from ..topology.generator import TopologyConfig, generate_topology
 if TYPE_CHECKING:  # pragma: no cover - types only
     from ..flowsim.flow import FlowSpec
     from ..flowsim.simulator import FluidSimResult
+    from ..telemetry.core import EventValue
     from ..verify.report import VerificationReport
 
 __all__ = [
@@ -42,6 +45,7 @@ __all__ = [
     "get_scale",
     "SharedContext",
     "deployment_sample",
+    "instrumented_run",
     "make_provider",
 ]
 
@@ -116,7 +120,8 @@ class SharedContext:
         self.scale = scale
         self.backend = backend
         self.workers = workers
-        self.graph: ASGraph = generate_topology(scale.topology_config())
+        with tm.span("topology.build"):
+            self.graph: ASGraph = generate_topology(scale.topology_config())
         self.routing = RoutingCache(self.graph, backend=backend)
         self.engine = ParallelRoutingEngine(
             self.graph, n_workers=workers, backend=backend
@@ -149,14 +154,54 @@ class SharedContext:
         engine = self.engine if self.engine.effective_workers > 1 else None
         return self.routing.precompute(dests, engine=engine)
 
-    def verify(self, *, capable: frozenset[int] | None = None) -> "VerificationReport":
+    def verify(
+        self,
+        *,
+        capable: frozenset[int] | None = None,
+        events: "Sequence[dict[str, EventValue]] | None" = None,
+    ) -> "VerificationReport":
         """Post-run invariant gate: statically re-prove loop-freedom,
         valley-freedom and FIB/RIB consistency over every destination this
         context's cache has converged.  Raises
-        :class:`~repro.errors.VerificationError` on refutation."""
+        :class:`~repro.errors.VerificationError` on refutation.
+
+        ``events`` — a recorded telemetry trace (sequence of event dicts);
+        when given, the gate also cross-checks every recorded deflection
+        decision against FIB state (``verify.gate.crosscheck_trace``)."""
         from ..verify.gate import post_run_gate
 
-        return post_run_gate(self.graph, self.routing, capable=capable)
+        return post_run_gate(
+            self.graph, self.routing, capable=capable, events=events
+        )
+
+
+def instrumented_run(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Give an experiment's ``run()`` the unified telemetry keyword.
+
+    The wrapped function accepts ``telemetry=`` (a
+    :class:`~repro.telemetry.Telemetry`, ``True`` for a fresh throwaway
+    registry, or ``None``/``False`` for off — see
+    :func:`repro.telemetry.telemetry_session`), times the whole call under
+    an ``experiment.run`` span, and attaches the session's delta to
+    ``result.meta["telemetry"]``.  The key lives in
+    :data:`~repro.experiments.result.PROVENANCE_KEYS`, so enabling
+    telemetry never perturbs the determinism-checked payload.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(
+        *args: Any,
+        telemetry: "tm.Telemetry | bool | None" = None,
+        **kwargs: Any,
+    ) -> Any:
+        with tm.telemetry_session(telemetry) as session:
+            with tm.span("experiment.run"):
+                result = fn(*args, **kwargs)
+            if session is not None:
+                result.meta["telemetry"] = session.meta()
+        return result
+
+    return wrapper
 
 
 def deployment_sample(

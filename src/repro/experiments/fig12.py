@@ -48,6 +48,8 @@ from ..mifo.engine import MifoEngine, MifoEngineConfig, bgp_engine
 from ..topology.asgraph import ASGraph
 from ..topology.relationships import Relationship
 from .report import ascii_series, text_table
+from .. import telemetry as tm
+from .common import instrumented_run
 from .result import ExperimentResult, freeze_series
 
 __all__ = ["TestbedConfig", "TestbedRun", "Fig12Result", "build_as_graph", "build_testbed", "run"]
@@ -321,6 +323,7 @@ class Fig12Result:
         return table + summary + "\n\n" + plot_a + "\n\n" + plot_b
 
 
+@instrumented_run
 def run(
     scale: str = "default",
     *,
@@ -338,16 +341,17 @@ def run(
     mifo = _run_one(config, mifo=True)
     raw = Fig12Result(bgp=bgp, mifo=mifo, config=config)
 
-    series = {
-        "BGP Gb/s": [(t, v / 1e9) for t, v in raw.bgp.throughput_series],
-        "MIFO Gb/s": [(t, v / 1e9) for t, v in raw.mifo.throughput_series],
-    }
-    meta: dict[str, object] = {
-        "improvement": raw.improvement,
-        "bgp_mean_aggregate_bps": raw.bgp.mean_aggregate_bps,
-        "mifo_mean_aggregate_bps": raw.mifo.mean_aggregate_bps,
-        "mifo_deflected_packets": raw.mifo.deflected_packets,
-    }
+    with tm.span("metrics.compute"):
+        series = {
+            "BGP Gb/s": [(t, v / 1e9) for t, v in raw.bgp.throughput_series],
+            "MIFO Gb/s": [(t, v / 1e9) for t, v in raw.mifo.throughput_series],
+        }
+        meta: dict[str, object] = {
+            "improvement": raw.improvement,
+            "bgp_mean_aggregate_bps": raw.bgp.mean_aggregate_bps,
+            "mifo_mean_aggregate_bps": raw.mifo.mean_aggregate_bps,
+            "mifo_deflected_packets": raw.mifo.deflected_packets,
+        }
     return ExperimentResult(
         name="fig12", scale=scale, series=freeze_series(series), meta=meta, raw=raw
     )

@@ -14,10 +14,17 @@ import dataclasses
 from collections.abc import Sequence
 
 
+from .. import telemetry as tm
 from ..flowsim.simulator import FluidSimResult
 from ..metrics.cdf import Cdf
 from ..traffic.matrix import TrafficConfig, uniform_matrix
-from .common import SharedContext, deployment_sample, get_scale, run_scheme
+from .common import (
+    SharedContext,
+    deployment_sample,
+    get_scale,
+    instrumented_run,
+    run_scheme,
+)
 from .report import ascii_series, percent, text_table
 from .result import ExperimentResult, freeze_series
 
@@ -89,6 +96,7 @@ class Fig5Result:
         return table + "\n\n" + "\n\n".join(plots)
 
 
+@instrumented_run
 def run(
     scale: str = "default",
     *,
@@ -118,13 +126,16 @@ def run(
         "backend": backend,
         "routing_cache": dataclasses.asdict(ctx.routing.stats),
     }
-    for dep in raw.deployments:
-        for scheme in SCHEMES:
-            c = raw.cdf(dep, scheme)
-            xs, ys = c.series(points=40, lo=0.0, hi=1e9)
-            series[f"{dep:.0%} {scheme}"] = list(zip(xs / 1e6, ys))
-            meta[f"median_mbps[{dep:.0%} {scheme}]"] = c.median / 1e6
-            meta[f"frac_ge_500mbps[{dep:.0%} {scheme}]"] = c.fraction_at_least(500e6)
+    with tm.span("metrics.compute"):
+        for dep in raw.deployments:
+            for scheme in SCHEMES:
+                c = raw.cdf(dep, scheme)
+                xs, ys = c.series(points=40, lo=0.0, hi=1e9)
+                series[f"{dep:.0%} {scheme}"] = list(zip(xs / 1e6, ys))
+                meta[f"median_mbps[{dep:.0%} {scheme}]"] = c.median / 1e6
+                meta[f"frac_ge_500mbps[{dep:.0%} {scheme}]"] = c.fraction_at_least(
+                    500e6
+                )
     return ExperimentResult(
         name="fig5", scale=sc.name, series=freeze_series(series), meta=meta, raw=raw
     )

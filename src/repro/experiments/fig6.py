@@ -13,10 +13,17 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Sequence
 
+from .. import telemetry as tm
 from ..flowsim.simulator import FluidSimResult
 from ..metrics.cdf import Cdf
 from ..traffic.matrix import TrafficConfig, powerlaw_matrix
-from .common import SharedContext, deployment_sample, get_scale, run_scheme
+from .common import (
+    SharedContext,
+    deployment_sample,
+    get_scale,
+    instrumented_run,
+    run_scheme,
+)
 from .report import ascii_series, percent, text_table
 from .result import ExperimentResult, freeze_series
 
@@ -84,6 +91,7 @@ class Fig6Result:
         return table + "\n\n" + "\n\n".join(plots)
 
 
+@instrumented_run
 def run(
     scale: str = "default",
     *,
@@ -116,15 +124,16 @@ def run(
 
     series: dict[str, list[tuple[float, float]]] = {}
     meta: dict[str, object] = {"backend": backend, "deployment": deployment}
-    for alpha in raw.alphas:
-        for scheme in SCHEMES:
-            c = raw.cdf(alpha, scheme)
-            xs, ys = c.series(points=40, lo=0.0, hi=1e9)
-            series[f"alpha={alpha:.1f} {scheme}"] = list(zip(xs / 1e6, ys))
-            meta[f"median_mbps[alpha={alpha:.1f} {scheme}]"] = c.median / 1e6
-            meta[f"frac_ge_500mbps[alpha={alpha:.1f} {scheme}]"] = c.fraction_at_least(
-                500e6
-            )
+    with tm.span("metrics.compute"):
+        for alpha in raw.alphas:
+            for scheme in SCHEMES:
+                c = raw.cdf(alpha, scheme)
+                xs, ys = c.series(points=40, lo=0.0, hi=1e9)
+                series[f"alpha={alpha:.1f} {scheme}"] = list(zip(xs / 1e6, ys))
+                meta[f"median_mbps[alpha={alpha:.1f} {scheme}]"] = c.median / 1e6
+                meta[f"frac_ge_500mbps[alpha={alpha:.1f} {scheme}]"] = (
+                    c.fraction_at_least(500e6)
+                )
     return ExperimentResult(
         name="fig6", scale=sc.name, series=freeze_series(series), meta=meta, raw=raw
     )

@@ -16,10 +16,11 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..metrics.cdf import survival_series
 from ..metrics.diversity import diversity_counts
 from ..miro.negotiation import MiroRouting
-from .common import SharedContext, deployment_sample, get_scale
+from .common import SharedContext, deployment_sample, get_scale, instrumented_run
 from .report import ascii_series, percent, text_table
 from .result import ExperimentResult, freeze_series
 
@@ -94,6 +95,7 @@ class Fig7Result:
         return table + "\n\n" + plot
 
 
+@instrumented_run
 def run(
     scale: str = "default",
     *,
@@ -117,11 +119,12 @@ def run(
     raw = Fig7Result(scale_name=sc.name, counts=counts)
 
     meta: dict[str, object] = {"backend": backend, "n_pairs": len(pairs)}
-    for (scheme, dep), c in sorted(raw.counts.items()):
-        meta[f"median_paths[{dep:.0%} {scheme}]"] = raw.median(scheme, dep)
-        meta[f"frac_ge_10_paths[{dep:.0%} {scheme}]"] = raw.fraction_with_at_least(
-            scheme, dep, 10
-        )
+    with tm.span("metrics.compute"):
+        for (scheme, dep), c in sorted(raw.counts.items()):
+            meta[f"median_paths[{dep:.0%} {scheme}]"] = raw.median(scheme, dep)
+            meta[f"frac_ge_10_paths[{dep:.0%} {scheme}]"] = (
+                raw.fraction_with_at_least(scheme, dep, 10)
+            )
     return ExperimentResult(
         name="fig7",
         scale=sc.name,

@@ -10,9 +10,16 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Sequence
 
+from .. import telemetry as tm
 from ..flowsim.simulator import FluidSimResult
 from ..traffic.matrix import TrafficConfig, uniform_matrix
-from .common import SharedContext, deployment_sample, get_scale, run_scheme
+from .common import (
+    SharedContext,
+    deployment_sample,
+    get_scale,
+    instrumented_run,
+    run_scheme,
+)
 from .report import ascii_series, percent, text_table
 from .result import ExperimentResult, freeze_series
 
@@ -55,6 +62,7 @@ class Fig8Result:
         )
 
 
+@instrumented_run
 def run(
     scale: str = "default",
     *,
@@ -76,12 +84,15 @@ def run(
         results[dep] = run_scheme(ctx, "MIFO", capable, specs)
     raw = Fig8Result(scale_name=sc.name, results=results)
 
-    series = {
-        "offload %": [(dep * 100, raw.offload(dep) * 100) for dep in sorted(results)]
-    }
-    meta: dict[str, object] = {"backend": backend}
-    for dep in sorted(results):
-        meta[f"offload[{dep:.0%}]"] = raw.offload(dep)
+    with tm.span("metrics.compute"):
+        series = {
+            "offload %": [
+                (dep * 100, raw.offload(dep) * 100) for dep in sorted(results)
+            ]
+        }
+        meta: dict[str, object] = {"backend": backend}
+        for dep in sorted(results):
+            meta[f"offload[{dep:.0%}]"] = raw.offload(dep)
     return ExperimentResult(
         name="fig8", scale=sc.name, series=freeze_series(series), meta=meta, raw=raw
     )

@@ -9,10 +9,17 @@ from __future__ import annotations
 
 import dataclasses
 
+from .. import telemetry as tm
 from ..flowsim.simulator import FluidSimResult
 from ..metrics.stability import SwitchDistribution, switch_distribution
 from ..traffic.matrix import TrafficConfig, uniform_matrix
-from .common import SharedContext, deployment_sample, get_scale, run_scheme
+from .common import (
+    SharedContext,
+    deployment_sample,
+    get_scale,
+    instrumented_run,
+    run_scheme,
+)
 from .report import percent, text_table
 from .result import ExperimentResult, freeze_series
 
@@ -50,6 +57,7 @@ class Fig9Result:
         return table + summary
 
 
+@instrumented_run
 def run(
     scale: str = "default",
     *,
@@ -72,18 +80,19 @@ def run(
         distribution=switch_distribution(result.records),
     )
 
-    d = raw.distribution
-    series = {
-        "% of switching flows": [
-            (float(k), d.fraction_of_switching(k) * 100) for k in range(1, 6)
-        ]
-    }
-    meta: dict[str, object] = {
-        "backend": backend,
-        "fraction_switching": d.fraction_switching,
-        "fraction_one_switch": d.fraction_of_switching(1),
-        "fraction_at_most_two": d.fraction_at_most(2),
-    }
+    with tm.span("metrics.compute"):
+        d = raw.distribution
+        series = {
+            "% of switching flows": [
+                (float(k), d.fraction_of_switching(k) * 100) for k in range(1, 6)
+            ]
+        }
+        meta: dict[str, object] = {
+            "backend": backend,
+            "fraction_switching": d.fraction_switching,
+            "fraction_one_switch": d.fraction_of_switching(1),
+            "fraction_at_most_two": d.fraction_at_most(2),
+        }
     return ExperimentResult(
         name="fig9", scale=sc.name, series=freeze_series(series), meta=meta, raw=raw
     )

@@ -25,7 +25,8 @@ import numpy as np
 
 from ..bgp.speaker import BgpNetwork
 from ..miro.negotiation import MiroRouting
-from .common import SharedContext, get_scale
+from .. import telemetry as tm
+from .common import SharedContext, get_scale, instrumented_run
 from .report import text_table
 from .result import ExperimentResult
 
@@ -78,6 +79,7 @@ class OverheadResult:
         )
 
 
+@instrumented_run
 def run(
     scale: str = "default",
     *,
@@ -103,16 +105,17 @@ def run(
     miro_messages = 0
     miro_alternatives = 0
     mifo_alternatives = 0
-    for d in dests:
-        routing = ctx.routing(d)
-        for x in graph.nodes():
-            if x == d or not routing.has_route(x):
-                continue
-            n_miro = len(miro.available_paths(x, d)) - 1
-            miro_alternatives += n_miro
-            # Bilateral negotiation: request + response per alternative.
-            miro_messages += 2 * n_miro
-            mifo_alternatives += len(routing.alternatives(x))
+    with tm.span("metrics.compute"):
+        for d in dests:
+            routing = ctx.routing(d)
+            for x in graph.nodes():
+                if x == d or not routing.has_route(x):
+                    continue
+                n_miro = len(miro.available_paths(x, d)) - 1
+                miro_alternatives += n_miro
+                # Bilateral negotiation: request + response per alternative.
+                miro_messages += 2 * n_miro
+                mifo_alternatives += len(routing.alternatives(x))
 
     raw = OverheadResult(
         scale_name=sc.name,

@@ -33,9 +33,12 @@ from typing import Any
 __all__ = ["ExperimentResult", "PROVENANCE_KEYS", "freeze_series"]
 
 #: ``meta`` keys that record *how* a result was computed (backend, cache
-#: counters) rather than *what* was computed.  Everything outside this set
-#: is part of the byte-identical cross-backend determinism contract.
-PROVENANCE_KEYS: frozenset[str] = frozenset({"backend", "workers", "routing_cache"})
+#: counters, telemetry timings) rather than *what* was computed.
+#: Everything outside this set is part of the byte-identical cross-backend
+#: determinism contract.
+PROVENANCE_KEYS: frozenset[str] = frozenset(
+    {"backend", "workers", "routing_cache", "telemetry"}
+)
 
 
 def freeze_series(series: dict) -> dict[str, tuple[tuple[float, float], ...]]:

@@ -18,7 +18,8 @@ import dataclasses
 
 import numpy as np
 
-from .common import SharedContext, get_scale
+from .. import telemetry as tm
+from .common import SharedContext, get_scale, instrumented_run
 from .report import percent, text_table
 from .result import ExperimentResult
 
@@ -71,6 +72,7 @@ class RibStudyResult:
         )
 
 
+@instrumented_run
 def run(
     scale: str = "default",
     *,
@@ -86,27 +88,28 @@ def run(
     dests = rng.choice(nodes, size=min(n_destinations, len(nodes)), replace=False)
     ctx.precompute(int(d) for d in dests)
 
-    sizes: list[int] = []
-    degrees: list[int] = []
-    for d in dests:
-        routing = ctx.routing(int(d))
-        for x in graph.nodes():
-            if x == int(d) or not routing.has_route(x):
-                continue
-            sizes.append(len(routing.rib(x)))
-            degrees.append(graph.degree(x))
-    raw = RibStudyResult(
-        scale_name=sc.name,
-        rib_sizes=np.asarray(sizes),
-        degrees=np.asarray(degrees),
-    )
-    meta: dict[str, object] = {
-        "backend": backend,
-        "n_destinations": int(len(dests)),
-        "fraction_multi_neighbor": raw.fraction_multi_neighbor,
-        "mean_alternatives": raw.mean_alternatives,
-        "degree_correlation": raw.degree_correlation,
-    }
+    with tm.span("metrics.compute"):
+        sizes: list[int] = []
+        degrees: list[int] = []
+        for d in dests:
+            routing = ctx.routing(int(d))
+            for x in graph.nodes():
+                if x == int(d) or not routing.has_route(x):
+                    continue
+                sizes.append(len(routing.rib(x)))
+                degrees.append(graph.degree(x))
+        raw = RibStudyResult(
+            scale_name=sc.name,
+            rib_sizes=np.asarray(sizes),
+            degrees=np.asarray(degrees),
+        )
+        meta: dict[str, object] = {
+            "backend": backend,
+            "n_destinations": int(len(dests)),
+            "fraction_multi_neighbor": raw.fraction_multi_neighbor,
+            "mean_alternatives": raw.mean_alternatives,
+            "degree_correlation": raw.degree_correlation,
+        }
     return ExperimentResult(
         name="ribstudy", scale=sc.name, series={}, meta=meta, raw=raw
     )

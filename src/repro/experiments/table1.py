@@ -12,7 +12,8 @@ from __future__ import annotations
 import dataclasses
 
 from ..topology.stats import TopologyStats, topology_stats
-from .common import SharedContext, get_scale
+from .. import telemetry as tm
+from .common import SharedContext, get_scale, instrumented_run
 from .report import percent, text_table
 from .result import ExperimentResult
 
@@ -51,6 +52,7 @@ class Table1Result:
         return table + extra
 
 
+@instrumented_run
 def run(
     scale: str = "default",
     *,
@@ -59,14 +61,15 @@ def run(
 ) -> ExperimentResult:
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)
-    raw = Table1Result(stats=topology_stats(ctx.graph), scale_name=sc.name)
-    meta: dict[str, object] = {
-        "backend": backend,
-        "n_nodes": raw.stats.n_nodes,
-        "n_links": raw.stats.n_links,
-        "p2c_fraction": raw.stats.p2c_fraction,
-        "peering_fraction": raw.stats.peering_fraction,
-    }
+    with tm.span("metrics.compute"):
+        raw = Table1Result(stats=topology_stats(ctx.graph), scale_name=sc.name)
+        meta: dict[str, object] = {
+            "backend": backend,
+            "n_nodes": raw.stats.n_nodes,
+            "n_links": raw.stats.n_links,
+            "p2c_fraction": raw.stats.p2c_fraction,
+            "peering_fraction": raw.stats.peering_fraction,
+        }
     return ExperimentResult(
         name="table1", scale=sc.name, series={}, meta=meta, raw=raw
     )

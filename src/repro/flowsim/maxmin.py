@@ -20,6 +20,8 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from .. import telemetry as tm
+
 __all__ = ["build_incidence", "maxmin_rates"]
 
 
@@ -85,12 +87,14 @@ def maxmin_rates(
 
     incidence_t = incidence.T.tocsr()  # flow×link, for fast "touched" matvec
 
+    rounds = 0
     for _round in range(n_links + 1):
         unfrozen = (~frozen).astype(np.float64)
         counts = incidence @ unfrozen  # unfrozen flows per link
         active = counts > 0.5
         if not active.any():
             break
+        rounds += 1
         share = np.full(n_links, np.inf)
         share[active] = residual[active] / counts[active]
         bottleneck = share.min()
@@ -109,4 +113,5 @@ def maxmin_rates(
     else:  # pragma: no cover - defensive
         raise AssertionError("progressive filling failed to converge")
 
+    tm.inc("flowsim.maxmin_iterations", rounds)
     return rates

@@ -26,6 +26,7 @@ import math
 
 import numpy as np
 
+from .. import telemetry as tm
 from ..errors import NoRouteError, SimulationError
 from ..topology.asgraph import ASGraph
 from .flow import ActiveFlow, FlowRecord, FlowSpec
@@ -199,63 +200,80 @@ class FluidSimulator:
                     best = min(best, f.remaining / f.rate)
             return best
 
-        while i < len(order) or active:
-            events += 1
-            if cfg.max_events is not None and events > cfg.max_events:
-                raise SimulationError(f"fluid sim exceeded {cfg.max_events} events")
-            t_arr = order[i].start_time if i < len(order) else math.inf
-            dt_fin = next_completion()
-            t_fin = now + dt_fin if math.isfinite(dt_fin) else math.inf
-            t_next = min(t_arr, t_fin)
-            if not math.isfinite(t_next):
-                raise SimulationError(
-                    f"stalled at t={now}: {len(active)} active flows with zero rate"
-                )
-            # Advance all flows to t_next.
-            dt = t_next - now
-            if dt > 0:
+        solve_span = tm.span("flowsim.solve")
+        solve_span.__enter__()
+        try:
+            while i < len(order) or active:
+                events += 1
+                if cfg.max_events is not None and events > cfg.max_events:
+                    raise SimulationError(
+                        f"fluid sim exceeded {cfg.max_events} events"
+                    )
+                t_arr = order[i].start_time if i < len(order) else math.inf
+                dt_fin = next_completion()
+                t_fin = now + dt_fin if math.isfinite(dt_fin) else math.inf
+                t_next = min(t_arr, t_fin)
+                if not math.isfinite(t_next):
+                    raise SimulationError(
+                        f"stalled at t={now}: {len(active)} active flows "
+                        f"with zero rate"
+                    )
+                # Advance all flows to t_next.
+                dt = t_next - now
+                if dt > 0:
+                    for f in active:
+                        f.remaining -= f.rate * dt
+                now = t_next
+
+                # Completions.
+                still = []
                 for f in active:
-                    f.remaining -= f.rate * dt
-            now = t_next
+                    if f.remaining <= cfg.completion_tol_bytes:
+                        records.append(f.finalize(now))
+                    else:
+                        still.append(f)
+                active = still
 
-            # Completions.
-            still = []
-            for f in active:
-                if f.remaining <= cfg.completion_tol_bytes:
-                    records.append(f.finalize(now))
-                else:
-                    still.append(f)
-            active = still
+                # Refresh the control-plane snapshot if its interval elapsed.
+                self._maybe_refresh_control_plane(now)
 
-            # Refresh the control-plane snapshot if its interval elapsed.
-            self._maybe_refresh_control_plane(now)
+                # Arrivals due now.
+                while i < len(order) and order[i].start_time <= now + 1e-12:
+                    spec = order[i]
+                    i += 1
+                    try:
+                        path, on_alt = self.provider.initial_path(spec, view)
+                    except NoRouteError:
+                        if cfg.skip_unroutable:
+                            unroutable += 1
+                            continue
+                        raise
+                    active.append(
+                        ActiveFlow(spec, path, self._intern_path(path), on_alt)
+                    )
 
-            # Arrivals due now.
-            while i < len(order) and order[i].start_time <= now + 1e-12:
-                spec = order[i]
-                i += 1
-                try:
-                    path, on_alt = self.provider.initial_path(spec, view)
-                except NoRouteError:
-                    if cfg.skip_unroutable:
-                        unroutable += 1
-                        continue
-                    raise
-                active.append(ActiveFlow(spec, path, self._intern_path(path), on_alt))
-
-            # Re-solve rates, update congestion, offer reroutes on flips.
-            newly_congested, any_cleared = self._reallocate(active)
-            reallocs += 1
-            if (
-                (newly_congested or any_cleared)
-                and cfg.reroute
-                and self.provider.supports_reroute
-                and active
-            ):
-                if self._offer_reroutes(active, now, view, newly_congested, any_cleared):
-                    self._reallocate(active)
-                    reallocs += 1
-
+                # Re-solve rates, update congestion, offer reroutes on flips.
+                newly_congested, any_cleared = self._reallocate(active)
+                reallocs += 1
+                if (
+                    (newly_congested or any_cleared)
+                    and cfg.reroute
+                    and self.provider.supports_reroute
+                    and active
+                ):
+                    if self._offer_reroutes(
+                        active, now, view, newly_congested, any_cleared
+                    ):
+                        self._reallocate(active)
+                        reallocs += 1
+        finally:
+            solve_span.__exit__(None, None, None)
+        t = tm.active()
+        if t is not None:
+            t.inc("flowsim.events", events)
+            t.inc("flowsim.reallocations", reallocs)
+            t.inc("flowsim.flows_completed", len(records))
+            t.inc("flowsim.unroutable", unroutable)
         return FluidSimResult(
             scheme=self.provider.name,
             records=records,
@@ -340,5 +358,16 @@ class FluidSimulator:
             for idx in new_ids:
                 self._alloc[idx] += rate
             f.switch_to(path, new_ids, on_alt, now)
+            t = tm.active()
+            if t is not None:
+                t.event(
+                    "path_switch",
+                    flow=f.spec.flow_id,
+                    src=f.spec.src,
+                    dst=f.spec.dst,
+                    on_alt=on_alt,
+                    cause="congested_link" if on_alt else "resume",
+                    time_s=now,
+                )
             moved = True
         return moved

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import typing
 
+from .. import telemetry as tm
+
 if typing.TYPE_CHECKING:  # pragma: no cover
     from ..dataplane.port import Port
 
@@ -48,7 +50,10 @@ class QueuingRatioDetector:
         self.threshold = threshold
 
     def __call__(self, port: "Port") -> bool:
-        return port.queuing_ratio >= self.threshold
+        if port.queuing_ratio >= self.threshold:
+            tm.inc("mifo.congestion_signals")
+            return True
+        return False
 
     def __repr__(self) -> str:
         return f"QueuingRatioDetector({self.threshold})"
@@ -67,7 +72,10 @@ class UtilizationDetector:
     def __call__(self, port: "Port") -> bool:
         if port.link is None:
             return False
-        return port.spare_capacity(0.0) <= (1.0 - self.threshold) * port.link.rate_bps
+        if port.spare_capacity(0.0) <= (1.0 - self.threshold) * port.link.rate_bps:
+            tm.inc("mifo.congestion_signals")
+            return True
+        return False
 
     def __repr__(self) -> str:
         return f"UtilizationDetector({self.threshold})"

@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from .. import telemetry as tm
 from ..dataplane.port import Port
 from ..dataplane.router import Router
 
@@ -86,4 +87,5 @@ class MifoDaemon:
             if entry.alt_port is not best.port:
                 entry.alt_port = best.port
                 self.updates += 1
+                tm.inc("mifo.daemon_updates")
         self.sim.schedule(self.interval, self._tick)

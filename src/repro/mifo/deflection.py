@@ -29,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable
 
+from .. import telemetry as tm
 from ..bgp.propagation import RoutingCache, RoutingView
 from ..errors import LoopDetectedError, NoRouteError
 from ..topology.asgraph import ASGraph
@@ -118,24 +119,54 @@ class MifoPathBuilder:
         deflections = 0
         limit = 2 * len(graph) + 2
 
-        while u != dst:
-            nh = routing.next_hop(u)
-            nxt = nh
-            if u in self.capable and congested(u, nh):
-                alt = self._pick_alternative(routing, u, upstream, nh, congested, spare)
-                if alt is not None:
-                    nxt = alt
-                    deflections += 1
-            link = (u, nxt)
-            if link in used_links:
-                # A repeated directed link implies a cycle — impossible
-                # with Tag-Check on (see module docstring).
-                raise LoopDetectedError(path + [nxt])
-            used_links.add(link)
-            upstream, u = u, nxt
-            path.append(u)
-            if len(path) > limit:  # unreachable with Tag-Check on
-                raise LoopDetectedError(path)
+        with tm.span("mifo.deflect"):
+            while u != dst:
+                nh = routing.next_hop(u)
+                nxt = nh
+                if u in self.capable and congested(u, nh):
+                    alt, filtered = self._pick_alternative(
+                        routing, u, upstream, nh, congested, spare
+                    )
+                    if alt is not None:
+                        nxt = alt
+                        deflections += 1
+                        t = tm.active()
+                        if t is not None:
+                            t.inc("mifo.deflections")
+                            t.event(
+                                "deflection",
+                                **{"as": u},
+                                dst=dst,
+                                upstream=upstream,
+                                default_nh=nh,
+                                chosen=alt,
+                                cause="congested_link",
+                                spare_bps=spare(u, alt),
+                            )
+                    elif filtered:
+                        t = tm.active()
+                        if t is not None:
+                            t.inc("mifo.tagcheck_drops")
+                            t.event(
+                                "tagcheck_drop",
+                                **{"as": u},
+                                dst=dst,
+                                upstream=upstream,
+                                default_nh=nh,
+                                cause="tag_check",
+                                tagcheck_filtered=filtered,
+                            )
+                link = (u, nxt)
+                if link in used_links:
+                    # A repeated directed link implies a cycle — impossible
+                    # with Tag-Check on (see module docstring).
+                    raise LoopDetectedError(path + [nxt])
+                used_links.add(link)
+                upstream, u = u, nxt
+                path.append(u)
+                if len(path) > limit:  # unreachable with Tag-Check on
+                    raise LoopDetectedError(path)
+        tm.observe("mifo.path_hops", len(path) - 1)
         return PathOutcome(tuple(path), deflections)
 
     def _pick_alternative(
@@ -146,30 +177,38 @@ class MifoPathBuilder:
         default_nh: int,
         congested: CongestedFn,
         spare: SpareFn,
-    ) -> int | None:
-        """Greedy selection among valley-free-permitted RIB alternatives."""
+    ) -> tuple[int | None, int]:
+        """Greedy selection among valley-free-permitted RIB alternatives.
+
+        Returns ``(chosen, tagcheck_filtered)``: the alternative (or None)
+        plus how many candidates Tag-Check rejected, so the caller can
+        attribute an empty move set to the valley-free guard.
+        """
         graph = self.graph
         bit = tag_for_upstream(
             None if upstream is None else graph.relationship(u, upstream)
         )
         candidates: list[int] = []
+        tagcheck_filtered = 0
         for entry in routing.rib(u):
             v = entry.neighbor
             if v == default_nh:
                 continue
             if self.tag_check_enabled and not check_bit(bit, entry.relationship):
+                tagcheck_filtered += 1
                 continue
             if self.deflect_uncongested_only and congested(u, v):
                 continue
             candidates.append(v)
         if not candidates:
-            return None
+            return None, tagcheck_filtered
         if self.alt_selection == "first":
-            return candidates[0]
+            return candidates[0], tagcheck_filtered
         if self.alt_selection == "random":
             # Deterministic hash pick so runs stay reproducible.
-            return candidates[(u * 2654435761 + default_nh) % len(candidates)]
-        return max(candidates, key=lambda v: (spare(u, v), -v))
+            pick = candidates[(u * 2654435761 + default_nh) % len(candidates)]
+            return pick, tagcheck_filtered
+        return max(candidates, key=lambda v: (spare(u, v), -v)), tagcheck_filtered
 
     def alternatives_allowed(
         self, u: int, upstream: int | None, dst: int

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from .. import telemetry as tm
 from ..dataplane.packet import Packet, PacketKind, flow_hash
 from ..dataplane.port import PeerKind, Port
 from ..dataplane.router import Router
@@ -114,7 +115,10 @@ class MifoEngine:
         detector = self.config.detector
         if detector is not None:
             return bool(detector(port))
-        return port.queuing_ratio >= self.config.congestion_threshold
+        if port.queuing_ratio >= self.config.congestion_threshold:
+            tm.inc("mifo.congestion_signals")
+            return True
+        return False
 
     @staticmethod
     def _next_hop_router_name(port: Port) -> str | None:
@@ -179,17 +183,32 @@ class MifoEngine:
                     peer_name = self._next_hop_router_name(alt_port)
                     packet.encapsulate(router.name, peer_name)
                     router.counters.encapsulated += 1
+                    t = tm.active()
+                    if t is not None:
+                        t.inc("mifo.encap_packets")
+                        t.event("encap", router=router.name, peer=peer_name)
                 router.counters.deflected += 1
+                tm.inc("mifo.deflections")
                 alt_port.send(packet)
                 return
             # Lines 16-21: alternative path exits via eBGP — Tag-Check.
             down_rel = alt_port.neighbor_relationship
             if not cfg.tag_check_enabled or check_bit(carrier.read(packet), down_rel):
                 router.counters.deflected += 1
+                tm.inc("mifo.deflections")
                 carrier.strip(packet)  # AS exit point: pop per-AS state
                 alt_port.send(packet)
             else:
                 router.counters.dropped_valley += 1
+                t = tm.active()
+                if t is not None:
+                    t.inc("mifo.tagcheck_drops")
+                    t.event(
+                        "tagcheck_drop",
+                        router=router.name,
+                        cause="tag_check",
+                        tag_bit=carrier.read(packet),
+                    )
                 self._flow_path.pop(packet.flow_id, None)
             return
 

@@ -1,0 +1,516 @@
+"""Instrument registry, mergeable snapshots, and the module-level sink.
+
+Design constraints (ISSUE 3 tentpole):
+
+* **Near-zero disabled cost.**  The process-wide sink is one module
+  global, ``_active``; every convenience function and every instrumented
+  call site in the pipeline guards on ``_active is None`` — a single
+  load + branch, no string formatting, no allocation.  Disabled spans
+  return one shared no-op handle.
+* **Mergeable snapshots.**  Fork workers cannot mutate the parent's
+  registry, so each ships back a :class:`TelemetrySnapshot` delta;
+  :meth:`TelemetrySnapshot.merge` is associative (and, except for event
+  concatenation order, commutative), which
+  ``tests/telemetry/test_merge.py`` property-tests.  The parent absorbs
+  deltas via :meth:`Telemetry.absorb`.
+* **Only this module touches the clock.**  ``time.perf_counter`` lives
+  here (and in :mod:`repro.telemetry.perf`); everywhere else in
+  ``src/repro`` the ``MF004`` lint rule forbids direct timer calls so
+  every measured interval is span-mergeable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import dataclasses
+import time
+from collections import deque
+from collections.abc import Iterator
+
+__all__ = [
+    "DEFAULT_TRACE_CAPACITY",
+    "EventValue",
+    "SpanHandle",
+    "Stopwatch",
+    "Telemetry",
+    "TelemetrySession",
+    "TelemetrySnapshot",
+    "activate",
+    "active",
+    "event",
+    "inc",
+    "observe",
+    "set_gauge",
+    "span",
+    "telemetry_session",
+]
+
+#: JSON-scalar values an event field may carry.
+EventValue = int | float | str | bool | None
+
+#: default ring-buffer capacity for the structured event trace.
+DEFAULT_TRACE_CAPACITY = 10_000
+
+#: default histogram bucket upper bounds (values above the last bound land
+#: in the overflow bucket); chosen for AS-hop path lengths but serviceable
+#: for any small-count metric.
+DEFAULT_BOUNDS: tuple[float, ...] = (1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0)
+
+
+class Stopwatch:
+    """The sanctioned wall-clock for code outside this package.
+
+    ``MF004`` forbids direct ``time.time()`` / ``perf_counter()`` calls in
+    ``src/repro``; ad-hoc elapsed-time needs (CLI progress lines, the
+    verifier's ``elapsed_s`` field) use a ``Stopwatch`` instead so every
+    timing in the codebase is attributable to one clock implementation.
+    """
+
+    __slots__ = ("_t0",)
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._t0
+
+    def restart(self) -> None:
+        self._t0 = time.perf_counter()
+
+    @staticmethod
+    def wall_time() -> float:
+        """Seconds since the epoch — for report timestamps only."""
+        return time.time()
+
+
+class SpanHandle:
+    """No-op span — the shared handle every disabled ``span()`` returns."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NOOP_SPAN = SpanHandle()
+
+
+class _Span(SpanHandle):
+    """Live span: aggregates elapsed wall-clock into its telemetry's table."""
+
+    __slots__ = ("_telemetry", "_name", "_t0")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._telemetry._stack.append(self._name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        dt = time.perf_counter() - self._t0
+        t = self._telemetry
+        stack = t._stack
+        if stack and stack[-1] == self._name:
+            stack.pop()
+        cell = t.spans.get(self._name)
+        if cell is None:
+            t.spans[self._name] = [dt, 1]
+        else:
+            cell[0] += dt
+            cell[1] += 1
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Immutable aggregate of one telemetry registry (or a delta of two).
+
+    The merge algebra backs the parallel-worker protocol:
+
+    * counters and span totals/counts **add**;
+    * gauges merge by **max** (associative and commutative — "last write
+      wins" would depend on merge order);
+    * histograms add bucket-wise (bounds must agree);
+    * events **concatenate** (associative; order follows merge order,
+      which the parallel engine keeps deterministic via ordered
+      ``imap`` chunks).
+    """
+
+    counters: dict[str, int] = dataclasses.field(default_factory=dict)
+    gauges: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: name -> (bucket upper bounds, per-bucket counts incl. overflow).
+    histograms: dict[str, tuple[tuple[float, ...], tuple[int, ...]]] = dataclasses.field(
+        default_factory=dict
+    )
+    #: name -> (total seconds, completion count).
+    spans: dict[str, tuple[float, int]] = dataclasses.field(default_factory=dict)
+    events: tuple[dict[str, EventValue], ...] = ()
+    events_total: int = 0
+    events_dropped: int = 0
+
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        counters = dict(self.counters)
+        for k, v in other.counters.items():
+            counters[k] = counters.get(k, 0) + v
+        gauges = dict(self.gauges)
+        for k, g in other.gauges.items():
+            gauges[k] = max(gauges.get(k, g), g)
+        spans = dict(self.spans)
+        for k, (total, count) in other.spans.items():
+            mine = spans.get(k)
+            spans[k] = (
+                (total, count) if mine is None else (mine[0] + total, mine[1] + count)
+            )
+        histograms = dict(self.histograms)
+        for k, (bounds, buckets) in other.histograms.items():
+            mine_h = histograms.get(k)
+            if mine_h is None:
+                histograms[k] = (bounds, buckets)
+            else:
+                if mine_h[0] != bounds:
+                    raise ValueError(
+                        f"histogram {k!r}: bucket bounds differ across snapshots"
+                    )
+                histograms[k] = (
+                    bounds,
+                    tuple(a + b for a, b in zip(mine_h[1], buckets)),
+                )
+        return TelemetrySnapshot(
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+            spans=spans,
+            events=self.events + other.events,
+            events_total=self.events_total + other.events_total,
+            events_dropped=self.events_dropped + other.events_dropped,
+        )
+
+    def subtract(self, base: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """This snapshot minus an earlier one of the same registry.
+
+        Gauges keep their current values (levels, not totals).  Events
+        keep only those recorded after the base was taken (identified by
+        their monotone ``seq``), so a delta still carries its trace.
+        """
+        counters = {
+            k: v - base.counters.get(k, 0)
+            for k, v in self.counters.items()
+            if v != base.counters.get(k, 0)
+        }
+        spans = {}
+        for k, (total, count) in self.spans.items():
+            b = base.spans.get(k, (0.0, 0))
+            if count != b[1] or total != b[0]:
+                spans[k] = (total - b[0], count - b[1])
+        histograms = {}
+        for k, (bounds, buckets) in self.histograms.items():
+            b_bounds, b_buckets = base.histograms.get(k, (bounds, (0,) * len(buckets)))
+            if b_bounds != bounds:
+                raise ValueError(f"histogram {k!r}: bucket bounds changed")
+            delta = tuple(a - b for a, b in zip(buckets, b_buckets))
+            if any(delta):
+                histograms[k] = (bounds, delta)
+        first_new = base.events_total
+        events = tuple(
+            e for e in self.events if isinstance(e.get("seq"), int) and e["seq"] >= first_new
+        )
+        return TelemetrySnapshot(
+            counters=counters,
+            gauges=dict(self.gauges),
+            histograms=histograms,
+            spans=spans,
+            events=events,
+            events_total=self.events_total - base.events_total,
+            events_dropped=self.events_dropped - base.events_dropped,
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form for ``ExperimentResult.meta['telemetry']``.
+
+        Raw events are deliberately excluded (the JSONL trace is their
+        export format); only their totals ride along.
+        """
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "spans": {
+                name: {"total_s": total, "count": count}
+                for name, (total, count) in sorted(self.spans.items())
+            },
+            "histograms": {
+                name: {"bounds": list(bounds), "counts": list(buckets)}
+                for name, (bounds, buckets) in sorted(self.histograms.items())
+            },
+            "events_total": self.events_total,
+            "events_dropped": self.events_dropped,
+        }
+
+    def render(self) -> str:
+        """Human-readable phase-timer / counter report (CLI ``--metrics``)."""
+        lines = ["telemetry:"]
+        if self.spans:
+            lines.append("  phases:")
+            width = max(len(n) for n in self.spans)
+            for name, (total, count) in sorted(
+                self.spans.items(), key=lambda kv: -kv[1][0]
+            ):
+                mean_ms = total / count * 1e3 if count else 0.0
+                lines.append(
+                    f"    {name:<{width}}  {total:9.3f} s  x{count:<7d} "
+                    f"({mean_ms:8.3f} ms avg)"
+                )
+        if self.counters:
+            lines.append("  counters:")
+            width = max(len(n) for n in self.counters)
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"    {name:<{width}}  {value}")
+        if self.gauges:
+            lines.append("  gauges:")
+            width = max(len(n) for n in self.gauges)
+            for name, gauge in sorted(self.gauges.items()):
+                lines.append(f"    {name:<{width}}  {gauge:g}")
+        for name, (bounds, buckets) in sorted(self.histograms.items()):
+            lines.append(f"  histogram {name} (bounds {list(bounds)}):")
+            lines.append(f"    counts {list(buckets)}")
+        lines.append(
+            f"  trace: {self.events_total} event(s), {self.events_dropped} dropped"
+        )
+        return "\n".join(lines)
+
+
+class Telemetry:
+    """One live instrument registry.
+
+    Not thread-safe by design: the pipeline is single-threaded per
+    process, and cross-*process* aggregation goes through snapshots.
+    """
+
+    __slots__ = (
+        "counters",
+        "gauges",
+        "spans",
+        "trace_capacity",
+        "_histograms",
+        "_trace",
+        "_events_total",
+        "_stack",
+    )
+
+    def __init__(self, *, trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if trace_capacity < 1:
+            raise ValueError(f"trace_capacity must be >= 1, got {trace_capacity}")
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        #: name -> [bounds tuple, mutable bucket counts]
+        self._histograms: dict[str, tuple[tuple[float, ...], list[int]]] = {}
+        #: name -> [total seconds, completion count]
+        self.spans: dict[str, list[float | int]] = {}
+        self.trace_capacity = trace_capacity
+        self._trace: deque[dict[str, EventValue]] = deque(maxlen=trace_capacity)
+        self._events_total = 0
+        self._stack: list[str] = []
+
+    # -- instruments ----------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(
+        self, name: str, value: float, *, bounds: tuple[float, ...] = DEFAULT_BOUNDS
+    ) -> None:
+        """Record one sample into the named histogram.
+
+        The first observation fixes the bucket bounds; later calls with
+        different ``bounds`` raise (bounds must agree for merging).
+        """
+        cell = self._histograms.get(name)
+        if cell is None:
+            cell = (bounds, [0] * (len(bounds) + 1))
+            self._histograms[name] = cell
+        elif cell[0] != bounds:
+            raise ValueError(f"histogram {name!r}: inconsistent bucket bounds")
+        cell[1][bisect.bisect_left(cell[0], value)] += 1
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def current_phase(self) -> str | None:
+        """Innermost open span name (annotates trace events)."""
+        return self._stack[-1] if self._stack else None
+
+    def event(self, kind: str, /, **fields: EventValue) -> None:
+        """Append one structured event to the bounded ring buffer."""
+        record: dict[str, EventValue] = {"kind": kind, "seq": self._events_total}
+        phase = self.current_phase()
+        if phase is not None:
+            record["phase"] = phase
+        record.update(fields)
+        self._trace.append(record)
+        self._events_total += 1
+
+    # -- snapshot protocol ----------------------------------------------
+    def trace_events(self) -> tuple[dict[str, EventValue], ...]:
+        """The retained events, oldest first."""
+        return tuple(self._trace)
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot(
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            histograms={
+                name: (bounds, tuple(buckets))
+                for name, (bounds, buckets) in self._histograms.items()
+            },
+            spans={
+                name: (float(cell[0]), int(cell[1]))
+                for name, cell in self.spans.items()
+            },
+            events=self.trace_events(),
+            events_total=self._events_total,
+            events_dropped=self._events_total - len(self._trace),
+        )
+
+    def absorb(self, snap: TelemetrySnapshot) -> None:
+        """Merge a worker's snapshot delta into this live registry."""
+        for k, v in snap.counters.items():
+            self.counters[k] = self.counters.get(k, 0) + v
+        for k, g in snap.gauges.items():
+            self.gauges[k] = max(self.gauges.get(k, g), g)
+        for k, (total, count) in snap.spans.items():
+            cell = self.spans.get(k)
+            if cell is None:
+                self.spans[k] = [total, count]
+            else:
+                cell[0] += total
+                cell[1] += count
+        for k, (bounds, buckets) in snap.histograms.items():
+            mine = self._histograms.get(k)
+            if mine is None:
+                self._histograms[k] = (bounds, list(buckets))
+            else:
+                if mine[0] != bounds:
+                    raise ValueError(f"histogram {k!r}: bucket bounds differ")
+                for i, b in enumerate(buckets):
+                    mine[1][i] += b
+        dropped_here = 0
+        for e in snap.events:
+            rebased = dict(e)
+            seq = rebased.get("seq")
+            rebased["seq"] = self._events_total + (seq if isinstance(seq, int) else 0)
+            if len(self._trace) == self.trace_capacity:
+                dropped_here += 1
+            self._trace.append(rebased)
+        self._events_total += snap.events_total
+        # Events the *worker* already dropped stay dropped; events this
+        # absorb pushed out of our own ring are accounted implicitly by
+        # events_total - len(_trace) in the next snapshot.
+        _ = dropped_here
+
+
+# ----------------------------------------------------------------------
+# the process-wide sink
+# ----------------------------------------------------------------------
+
+_active: Telemetry | None = None
+
+
+def active() -> Telemetry | None:
+    """The process-wide registry, or None when telemetry is disabled."""
+    return _active
+
+
+def activate(telemetry: Telemetry | None) -> None:
+    """Install (or, with None, remove) the process-wide registry."""
+    global _active
+    _active = telemetry
+
+
+def inc(name: str, n: int = 1) -> None:
+    t = _active
+    if t is not None:
+        t.inc(name, n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    t = _active
+    if t is not None:
+        t.set_gauge(name, value)
+
+
+def observe(
+    name: str, value: float, *, bounds: tuple[float, ...] = DEFAULT_BOUNDS
+) -> None:
+    t = _active
+    if t is not None:
+        t.observe(name, value, bounds=bounds)
+
+
+def span(name: str) -> SpanHandle:
+    t = _active
+    if t is None:
+        return _NOOP_SPAN
+    return t.span(name)
+
+
+def event(kind: str, /, **fields: EventValue) -> None:
+    t = _active
+    if t is not None:
+        t.event(kind, **fields)
+
+
+class TelemetrySession:
+    """Handle a ``telemetry_session`` yields: the registry + a base mark.
+
+    ``delta()`` / ``meta()`` report only what happened *inside* the
+    session, so an already-warm registry (CLI ``run all`` reusing one
+    :class:`Telemetry` across experiments) still attributes counters to
+    the right experiment.
+    """
+
+    __slots__ = ("telemetry", "_base")
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        self._base = telemetry.snapshot()
+
+    def delta(self) -> TelemetrySnapshot:
+        return self.telemetry.snapshot().subtract(self._base)
+
+    def meta(self) -> dict[str, object]:
+        """The delta in ``ExperimentResult.meta['telemetry']`` form."""
+        return self.delta().to_dict()
+
+
+@contextlib.contextmanager
+def telemetry_session(
+    spec: "Telemetry | bool | None",
+) -> Iterator[TelemetrySession | None]:
+    """Scoped activation used by every experiment's ``run(telemetry=...)``.
+
+    ``None``/``False`` — disabled, yields None (and leaves any
+    already-active registry untouched so nested runs keep recording);
+    ``True`` — activate a fresh :class:`Telemetry` for the scope;
+    a :class:`Telemetry` — activate that instance (idempotent when it is
+    already the active one).  The previous sink is restored on exit.
+    """
+    if spec is None or spec is False:
+        yield None
+        return
+    t = spec if isinstance(spec, Telemetry) else Telemetry()
+    prev = active()
+    activate(t)
+    try:
+        yield TelemetrySession(t)
+    finally:
+        activate(prev)

@@ -1,0 +1,49 @@
+"""Machine-readable perf reports: the ``results/BENCH_*.json`` trajectory.
+
+Benchmarks call :func:`append_bench_record` so every run leaves one
+timestamped record behind; the file is a JSON list that grows in place,
+giving the repo a queryable performance trajectory instead of throwaway
+terminal output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+__all__ = ["append_bench_record", "read_bench_records"]
+
+
+def read_bench_records(path: str | os.PathLike[str]) -> list[dict[str, object]]:
+    """Existing records at ``path`` (empty list if absent or unreadable)."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        return []
+    try:
+        data = json.loads(p.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError):
+        return []
+    if not isinstance(data, list):
+        return []
+    return [r for r in data if isinstance(r, dict)]
+
+
+def append_bench_record(
+    path: str | os.PathLike[str], record: dict[str, object]
+) -> list[dict[str, object]]:
+    """Append one record (stamped with ``wall_time_s``) to a JSON list file.
+
+    Returns the full list after the append.  Creates parent directories
+    as needed; a corrupt existing file is replaced rather than crashing
+    the benchmark that reports into it.
+    """
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    records = read_bench_records(p)
+    stamped = dict(record)
+    stamped.setdefault("wall_time_s", time.time())
+    records.append(stamped)
+    p.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return records

@@ -1,0 +1,248 @@
+"""Structured event trace: JSONL export, schema validation, summaries.
+
+Every event is one flat JSON object per line.  The schema below is the
+single source of truth; ``docs/trace.schema.json`` is its checked-in copy
+(``tests/telemetry/test_trace.py`` asserts they stay identical) so CI and
+external consumers can validate traces without importing this package.
+
+Validation implements the JSON-Schema subset the trace schema actually
+uses (``type``, ``required``, ``properties``, ``enum``,
+``additionalProperties``) rather than depending on a ``jsonschema``
+package the runtime image may not carry.
+
+Event kinds:
+
+``deflection``
+    One AS-level deflection decision (``repro.mifo.deflection``): the
+    deciding AS, its congested default next hop, the chosen alternative,
+    the spare capacity that won it, and how the packet entered the AS.
+``tagcheck_drop``
+    Tag-Check refused every candidate (AS level) or dropped a deflected
+    packet (packet level) — the valley-free guard firing.
+``path_switch``
+    A mid-flow reroute in the fluid simulator (deflect or resume).
+``encap``
+    An IP-in-IP encapsulation toward an iBGP peer (packet engine).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from .core import EventValue
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "read_jsonl",
+    "summarize",
+    "validate_event",
+    "validate_events",
+    "write_jsonl",
+]
+
+#: The JSONL trace schema (mirrored at ``docs/trace.schema.json``).
+TRACE_SCHEMA: dict[str, object] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "MIFO telemetry trace event",
+    "description": (
+        "One structured pipeline event per JSONL line, as emitted by "
+        "`python -m repro run --trace-out` (repro.telemetry.trace)."
+    ),
+    "type": "object",
+    "required": ["kind", "seq"],
+    "additionalProperties": False,
+    "properties": {
+        "kind": {
+            "type": "string",
+            "enum": ["deflection", "tagcheck_drop", "path_switch", "encap"],
+        },
+        "seq": {"type": "integer"},
+        "phase": {"type": "string"},
+        "as": {"type": "integer"},
+        "dst": {"type": "integer"},
+        "src": {"type": "integer"},
+        "flow": {"type": "integer"},
+        "upstream": {"type": ["integer", "null"]},
+        "default_nh": {"type": "integer"},
+        "chosen": {"type": "integer"},
+        "cause": {
+            "type": "string",
+            "enum": ["congested_link", "deflected_to_us", "resume", "tag_check"],
+        },
+        "spare_bps": {"type": "number"},
+        "candidates": {"type": "integer"},
+        "tagcheck_filtered": {"type": "integer"},
+        "tag_bit": {"type": "boolean"},
+        "on_alt": {"type": "boolean"},
+        "time_s": {"type": "number"},
+        "router": {"type": "string"},
+        "peer": {"type": "string"},
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _type_ok(value: object, expected: object) -> bool:
+    names = expected if isinstance(expected, list) else [expected]
+    return any(
+        isinstance(n, str) and n in _TYPE_CHECKS and _TYPE_CHECKS[n](value)
+        for n in names
+    )
+
+
+def validate_event(
+    event: object, schema: dict[str, object] | None = None
+) -> list[str]:
+    """Problems (empty = valid) of one event against the trace schema."""
+    schema = schema if schema is not None else TRACE_SCHEMA
+    problems: list[str] = []
+    if not _type_ok(event, schema.get("type", "object")):
+        return [f"event is not an object: {event!r}"]
+    assert isinstance(event, dict)
+    required = schema.get("required", [])
+    if isinstance(required, list):
+        for key in required:
+            if key not in event:
+                problems.append(f"missing required field {key!r}")
+    properties = schema.get("properties", {})
+    if not isinstance(properties, dict):
+        properties = {}
+    for key, value in event.items():
+        sub = properties.get(key)
+        if sub is None:
+            if schema.get("additionalProperties", True) is False:
+                problems.append(f"unknown field {key!r}")
+            continue
+        if not isinstance(sub, dict):
+            continue
+        if "type" in sub and not _type_ok(value, sub["type"]):
+            problems.append(
+                f"field {key!r}: {value!r} is not of type {sub['type']}"
+            )
+        enum = sub.get("enum")
+        if isinstance(enum, list) and value not in enum:
+            problems.append(f"field {key!r}: {value!r} not in {enum}")
+    return problems
+
+
+def validate_events(
+    events: Iterable[object], schema: dict[str, object] | None = None
+) -> list[str]:
+    """Flat problem list over a whole trace, prefixed with event indices."""
+    problems: list[str] = []
+    for i, ev in enumerate(events):
+        problems.extend(f"event {i}: {p}" for p in validate_event(ev, schema))
+    return problems
+
+
+def write_jsonl(
+    events: Iterable[dict[str, EventValue]], path: str | os.PathLike[str]
+) -> int:
+    """Write events one-per-line; returns the number written."""
+    p = pathlib.Path(path)
+    if p.parent != pathlib.Path("."):
+        p.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with p.open("w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev, sort_keys=True, default=str))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str | os.PathLike[str]) -> list[dict[str, EventValue]]:
+    """Parse a JSONL trace file (blank lines ignored)."""
+    events: list[dict[str, EventValue]] = []
+    with pathlib.Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+            if not isinstance(obj, dict):
+                raise ValueError(f"{path}:{lineno}: event is not a JSON object")
+            events.append(obj)
+    return events
+
+
+def summarize(
+    events: Sequence[dict[str, EventValue]], *, top: int = 5
+) -> dict[str, object]:
+    """Aggregate a trace into the ``trace summarize`` report payload."""
+    by_kind = Counter(str(e.get("kind")) for e in events)
+    causes = Counter(
+        str(e["cause"]) for e in events if isinstance(e.get("cause"), str)
+    )
+    deflectors = Counter(
+        int(e["as"])
+        for e in events
+        if e.get("kind") == "deflection" and isinstance(e.get("as"), int)
+    )
+    dests = Counter(
+        int(e["dst"]) for e in events if isinstance(e.get("dst"), int)
+    )
+    spares = [
+        float(e["spare_bps"])
+        for e in events
+        if isinstance(e.get("spare_bps"), (int, float))
+    ]
+    summary: dict[str, object] = {
+        "events": len(events),
+        "by_kind": dict(sorted(by_kind.items())),
+        "by_cause": dict(sorted(causes.items())),
+        "top_deflecting_ases": deflectors.most_common(top),
+        "top_destinations": dests.most_common(top),
+    }
+    if spares:
+        summary["spare_bps"] = {
+            "min": min(spares),
+            "mean": sum(spares) / len(spares),
+            "max": max(spares),
+        }
+    seqs = [int(e["seq"]) for e in events if isinstance(e.get("seq"), int)]
+    if seqs:
+        summary["seq_range"] = [min(seqs), max(seqs)]
+    return summary
+
+
+def render_summary(summary: dict[str, object]) -> str:
+    """Human-readable form of :func:`summarize` output."""
+    lines = [f"trace: {summary['events']} event(s)"]
+    by_kind = summary.get("by_kind")
+    if isinstance(by_kind, dict) and by_kind:
+        lines.append("  by kind:")
+        for kind, n in by_kind.items():
+            lines.append(f"    {kind:<15} {n}")
+    by_cause = summary.get("by_cause")
+    if isinstance(by_cause, dict) and by_cause:
+        lines.append("  by cause:")
+        for cause, n in by_cause.items():
+            lines.append(f"    {cause:<15} {n}")
+    tops = summary.get("top_deflecting_ases")
+    if isinstance(tops, list) and tops:
+        pretty = ", ".join(f"AS{a} (x{n})" for a, n in tops)
+        lines.append(f"  top deflecting ASes: {pretty}")
+    spare = summary.get("spare_bps")
+    if isinstance(spare, dict):
+        lines.append(
+            f"  spare capacity at deflection: min {spare['min']:.3g} bps, "
+            f"mean {spare['mean']:.3g} bps, max {spare['max']:.3g} bps"
+        )
+    return "\n".join(lines)

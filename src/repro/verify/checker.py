@@ -36,11 +36,11 @@ test configurations assert on.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from collections.abc import Iterable, Iterator
 
 from ..mifo.tag import check_bit
+from ..telemetry import Stopwatch
 from ..topology.asgraph import ASGraph
 from ..topology.relationships import Relationship
 from .report import Finding, VerificationReport
@@ -281,7 +281,7 @@ class _DestinationChecker:
 
 def verify_forwarding_state(fs: ForwardingState) -> VerificationReport:
     """Run every check on every destination table of a snapshot."""
-    t0 = time.perf_counter()
+    watch = Stopwatch()
     findings: list[Finding] = []
     n_states = 0
     n_edges = 0
@@ -298,7 +298,7 @@ def verify_forwarding_state(fs: ForwardingState) -> VerificationReport:
         n_states=n_states,
         n_edges=n_edges,
         tag_check_enabled=fs.tag_check_enabled,
-        elapsed_s=time.perf_counter() - t0,
+        elapsed_s=watch.elapsed,
     )
 
 

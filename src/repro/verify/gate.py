@@ -8,6 +8,12 @@ re-proves the MIFO invariants the run relied on.  A refutation raises
 :class:`~repro.verify.report.VerificationReport` — so a buggy backend or
 a corrupted table fails loudly instead of silently skewing results.
 
+With telemetry enabled the gate additionally consumes the structured
+event trace: every *recorded* deflection decision is cross-checked
+against the FIB state that supposedly justified it
+(:func:`crosscheck_trace`) — the static invariants prove the tables are
+sound, the trace check proves the run actually obeyed them.
+
 Wired into the CLI as ``mifo-repro run --verify`` and available to any
 experiment code holding a :class:`~repro.experiments.common.SharedContext`
 (which exposes it as ``ctx.verify()``).
@@ -15,15 +21,81 @@ experiment code holding a :class:`~repro.experiments.common.SharedContext`
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from ..bgp.propagation import RoutingCache
 from ..errors import VerificationError
+from ..mifo.tag import transit_allowed
+from ..telemetry.core import EventValue
 from ..topology.asgraph import ASGraph
 from .checker import verify_routing
 from .report import VerificationReport
 
-__all__ = ["post_run_gate", "verify_cache"]
+__all__ = ["crosscheck_trace", "post_run_gate", "verify_cache"]
+
+
+def crosscheck_trace(
+    graph: ASGraph,
+    routing: RoutingCache,
+    events: Sequence[dict[str, EventValue]],
+    *,
+    capable: frozenset[int] | None = None,
+) -> list[str]:
+    """Validate recorded deflection events against current FIB state.
+
+    For every ``deflection`` event, checks that (a) the recorded default
+    next hop matches the routing view's, (b) the chosen alternative is a
+    genuine RIB alternative distinct from the default, (c) the move
+    passes the AS-level Tag-Check given the recorded upstream, and
+    (d) the deflecting AS is MIFO-capable when ``capable`` is given.
+    Returns a list of problem strings (empty = trace consistent).
+    Non-deflection events pass through unexamined.
+    """
+    problems: list[str] = []
+    for i, ev in enumerate(events):
+        if ev.get("kind") != "deflection":
+            continue
+        u, dst = ev.get("as"), ev.get("dst")
+        chosen, default_nh = ev.get("chosen"), ev.get("default_nh")
+        if not (
+            isinstance(u, int)
+            and isinstance(dst, int)
+            and isinstance(chosen, int)
+            and isinstance(default_nh, int)
+        ):
+            problems.append(f"event {i}: deflection record missing int fields")
+            continue
+        upstream = ev.get("upstream")
+        if upstream is not None and not isinstance(upstream, int):
+            problems.append(f"event {i}: upstream {upstream!r} is not an AS")
+            continue
+        if capable is not None and u not in capable:
+            problems.append(
+                f"event {i}: AS {u} deflected but is not MIFO-capable"
+            )
+        view = routing(dst)
+        actual_nh = view.next_hop(u)
+        if actual_nh != default_nh:
+            problems.append(
+                f"event {i}: AS {u} -> {dst} recorded default next hop "
+                f"{default_nh}, FIB says {actual_nh}"
+            )
+        if chosen == default_nh:
+            problems.append(
+                f"event {i}: AS {u} 'deflected' to its default next hop "
+                f"{default_nh}"
+            )
+        if all(e.neighbor != chosen for e in view.rib(u)):
+            problems.append(
+                f"event {i}: AS {u} deflected to {chosen}, which is not in "
+                f"its RIB toward {dst}"
+            )
+        elif not transit_allowed(graph, upstream, u, chosen):
+            problems.append(
+                f"event {i}: deflection {upstream} -> {u} -> {chosen} "
+                f"violates the valley-free Tag-Check"
+            )
+    return problems
 
 
 def verify_cache(
@@ -59,12 +131,17 @@ def post_run_gate(
     dests: Iterable[int] | None = None,
     capable: frozenset[int] | None = None,
     tag_check_enabled: bool = True,
+    events: Sequence[dict[str, EventValue]] | None = None,
 ) -> VerificationReport:
     """Assert the invariants after a run; raise on any refutation.
 
     ``tag_check_enabled`` should mirror the run's configuration — an
     ablation run with the check off is *expected* to refute, which is
     precisely what the raised error documents.
+
+    ``events`` (a recorded telemetry trace) additionally runs
+    :func:`crosscheck_trace`; an inconsistent trace raises just like a
+    refuted invariant.
     """
     report = verify_cache(
         graph,
@@ -75,4 +152,11 @@ def post_run_gate(
     )
     if not report.ok:
         raise VerificationError(report)
+    if events:
+        problems = crosscheck_trace(graph, routing, events, capable=capable)
+        if problems:
+            raise VerificationError(
+                "recorded trace disagrees with FIB state:\n  "
+                + "\n  ".join(problems)
+            )
     return report

@@ -1,0 +1,98 @@
+"""Telemetry wired through the unified experiment API, end to end.
+
+Acceptance criteria of the observability layer: a figure run with
+telemetry on records the named pipeline phases (merged across fork
+workers when there are several), attaches the session delta under the
+provenance key ``meta["telemetry"]``, and — because telemetry is
+provenance, not physics — leaves ``to_json(include_provenance=False)``
+byte-identical to a run with telemetry off.
+"""
+
+import pytest
+
+from repro import telemetry as tm
+from repro.bgp.parallel import fork_available
+from repro.experiments import fig7, fig8, fig9
+from repro.experiments.common import SharedContext
+from repro.experiments.result import PROVENANCE_KEYS
+from repro.telemetry import Telemetry
+
+PIPELINE_PHASES = {
+    "experiment.run",
+    "topology.build",
+    "bgp.propagate",
+    "mifo.deflect",
+    "flowsim.solve",
+    "metrics.compute",
+}
+
+
+@pytest.fixture(autouse=True)
+def fresh_contexts():
+    saved = dict(SharedContext._cache)
+    SharedContext._cache.clear()
+    tm.activate(None)
+    yield
+    SharedContext._cache.clear()
+    SharedContext._cache.update(saved)
+    tm.activate(None)
+
+
+def test_fig9_records_the_pipeline_phases():
+    result = fig9.run("test", telemetry=True)
+    telemetry = result.meta["telemetry"]
+    phases = set(telemetry["spans"])
+    assert PIPELINE_PHASES <= phases, phases
+    assert len(phases) >= 5
+    counters = telemetry["counters"]
+    assert counters["bgp.destinations_converged"] > 0
+    assert counters["flowsim.maxmin_iterations"] > 0
+
+
+def test_telemetry_key_is_provenance():
+    assert "telemetry" in PROVENANCE_KEYS
+    result = fig7.run("test", telemetry=True)
+    assert "telemetry" in result.meta
+    assert "telemetry" not in result.to_json(include_provenance=False)
+
+
+def test_disabled_run_attaches_nothing():
+    result = fig7.run("test")
+    assert "telemetry" not in result.meta
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_phases_merge_across_workers():
+    t = Telemetry()
+    result = fig8.run("test", backend="array", workers=2, telemetry=t)
+    telemetry = result.meta["telemetry"]
+    assert telemetry["gauges"].get("parallel.workers_used") == 2.0
+    # bgp.propagate ran in the workers; its merged completion count must
+    # cover every destination the run converged.
+    count = telemetry["spans"]["bgp.propagate"]["count"]
+    converged = telemetry["counters"]["bgp.destinations_converged"]
+    assert count == converged > 0
+    assert len(telemetry["spans"]) >= 5
+
+
+@pytest.mark.parametrize("backend,workers", [("dict", 1), ("array", 2)])
+def test_telemetry_does_not_perturb_results(backend, workers):
+    if workers > 1 and not fork_available():
+        pytest.skip("needs fork start method")
+    SharedContext._cache.clear()
+    plain = fig7.run("test", backend=backend, workers=workers)
+    SharedContext._cache.clear()
+    instrumented = fig7.run("test", backend=backend, workers=workers, telemetry=True)
+    assert plain.to_json(include_provenance=False) == instrumented.to_json(
+        include_provenance=False
+    )
+
+
+def test_cross_backend_determinism_with_telemetry_on():
+    SharedContext._cache.clear()
+    via_dict = fig7.run("test", backend="dict", telemetry=True)
+    SharedContext._cache.clear()
+    via_array = fig7.run("test", backend="array", telemetry=True)
+    assert via_dict.to_json(include_provenance=False) == via_array.to_json(
+        include_provenance=False
+    )

@@ -1,0 +1,14 @@
+"""Telemetry tests share one hygiene rule: never leak the active sink."""
+
+import pytest
+
+from repro import telemetry as tm
+
+
+@pytest.fixture(autouse=True)
+def _clean_sink():
+    """Whatever a test activates, the next test starts disabled."""
+    prev = tm.active()
+    tm.activate(None)
+    yield
+    tm.activate(prev)

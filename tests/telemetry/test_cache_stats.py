@@ -1,0 +1,47 @@
+"""Satellite: RoutingCache hit/miss counters agree with its own stats()."""
+
+import pytest
+
+from repro import telemetry as tm
+from repro.bgp.propagation import RoutingCache
+from repro.telemetry import Telemetry
+from repro.topology.generator import TopologyConfig, generate_topology
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_topology(TopologyConfig(n_ases=120, seed=3))
+
+
+@pytest.mark.parametrize("backend", ["dict", "array"])
+def test_counters_agree_with_stats(graph, backend):
+    t = Telemetry()
+    tm.activate(t)
+    cache = RoutingCache(graph, backend=backend)
+    for dest in (1, 2, 1, 1, 3, 2):
+        cache(dest)
+    stats = cache.stats
+    assert stats.hits == 3
+    assert stats.misses == 3
+    assert t.counters["cache.hits"] == stats.hits
+    assert t.counters["cache.misses"] == stats.misses
+
+
+def test_evictions_counted(graph):
+    t = Telemetry()
+    tm.activate(t)
+    cache = RoutingCache(graph, backend="array", max_entries=2)
+    for dest in (1, 2, 3, 4):
+        cache(dest)
+    stats = cache.stats
+    assert t.counters.get("cache.evictions", 0) == stats.evictions
+    assert stats.evictions == 2
+
+
+def test_disabled_telemetry_leaves_stats_untouched(graph):
+    assert tm.active() is None
+    cache = RoutingCache(graph, backend="dict")
+    cache(1)
+    cache(1)
+    stats = cache.stats
+    assert (stats.hits, stats.misses) == (1, 1)

@@ -1,0 +1,101 @@
+"""Telemetry under the parallel routing engine.
+
+Two guarantees: fork workers' counters land in the parent registry, and
+the degraded paths (serial, pool-creation failure) report what actually
+happened — one worker, a fallback on the record — not what was asked.
+"""
+
+import pytest
+
+from repro import telemetry as tm
+from repro.bgp import parallel
+from repro.bgp.parallel import ParallelRoutingEngine, fork_available
+from repro.telemetry import Telemetry
+from repro.topology.generator import TopologyConfig, generate_topology
+
+DESTS = list(range(0, 12))
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_topology(TopologyConfig(n_ases=150, seed=9))
+
+
+def test_serial_path_reports_one_worker(graph):
+    t = Telemetry()
+    tm.activate(t)
+    ParallelRoutingEngine(graph, n_workers=1).compute_many(DESTS)
+    assert t.gauges["parallel.workers_used"] == 1.0
+    assert t.counters["bgp.destinations_converged"] == len(DESTS)
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_worker_counters_merge_into_parent(graph):
+    t = Telemetry()
+    tm.activate(t)
+    engine = ParallelRoutingEngine(graph, n_workers=2)
+    result = engine.compute_many(DESTS)
+    assert sorted(result) == DESTS
+    # Each destination converged exactly once, in some worker; the
+    # merged total must equal the serial total regardless of scheduling.
+    assert t.counters["bgp.destinations_converged"] == len(DESTS)
+    assert t.counters["bgp.routes_propagated"] == sum(
+        r.reachable_count() for r in result.values()
+    )
+    assert t.gauges["parallel.workers_used"] == 2.0
+    assert t.counters["parallel.chunks"] >= 2
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_parallel_counters_equal_serial_counters(graph):
+    t1 = Telemetry()
+    tm.activate(t1)
+    ParallelRoutingEngine(graph, n_workers=1).compute_many(DESTS)
+    serial = t1.snapshot()
+
+    t2 = Telemetry()
+    tm.activate(t2)
+    ParallelRoutingEngine(graph, n_workers=2).compute_many(DESTS)
+    par = t2.snapshot()
+
+    for key in ("bgp.destinations_converged", "bgp.routes_propagated"):
+        assert par.counters[key] == serial.counters[key]
+
+
+def test_pool_failure_reports_fallback(graph, monkeypatch):
+    if not fork_available():
+        pytest.skip("needs fork start method")
+
+    def boom(self, unique, workers):
+        raise OSError("Resource temporarily unavailable")
+
+    monkeypatch.setattr(ParallelRoutingEngine, "_compute_parallel", boom)
+    t = Telemetry()
+    tm.activate(t)
+    engine = ParallelRoutingEngine(graph, n_workers=4)
+    result = engine.compute_many(DESTS)
+    assert sorted(result) == DESTS
+    assert t.counters["parallel.pool_fallbacks"] == 1
+    assert t.gauges["parallel.workers_used"] == 1.0
+    assert t.counters["bgp.destinations_converged"] == len(DESTS)
+
+
+def test_disabled_telemetry_ships_no_snapshots(graph, monkeypatch):
+    assert tm.active() is None
+    monkeypatch.setattr(parallel, "_WORKER_GRAPH", graph)
+    chunk_states, snap = parallel._compute_chunk(DESTS[:2])
+    assert snap is None
+    assert [d for d, _ in chunk_states] == DESTS[:2]
+
+
+def test_enabled_telemetry_ships_chunk_snapshot(graph, monkeypatch):
+    monkeypatch.setattr(parallel, "_WORKER_GRAPH", graph)
+    t = Telemetry()
+    tm.activate(t)
+    chunk_states, snap = parallel._compute_chunk(DESTS[:3])
+    # The chunk recorded into its own registry, not the inherited one...
+    assert tm.active() is t
+    assert t.counters == {}
+    # ...and shipped the work as a snapshot.
+    assert snap is not None
+    assert snap.counters["bgp.destinations_converged"] == 3

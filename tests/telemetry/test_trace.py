@@ -1,0 +1,136 @@
+"""Trace schema validation, JSONL round-trips and the summarizer."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.telemetry import trace
+from repro.telemetry.trace import (
+    TRACE_SCHEMA,
+    read_jsonl,
+    render_summary,
+    summarize,
+    validate_event,
+    validate_events,
+    write_jsonl,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+
+GOOD_DEFLECTION = {
+    "kind": "deflection",
+    "seq": 0,
+    "phase": "mifo.deflect",
+    "as": 5,
+    "dst": 9,
+    "upstream": 2,
+    "default_nh": 3,
+    "chosen": 4,
+    "cause": "congested_link",
+    "spare_bps": 2.5e8,
+}
+
+
+def test_schema_file_matches_module_constant():
+    on_disk = json.loads(
+        (REPO / "docs" / "trace.schema.json").read_text(encoding="utf-8")
+    )
+    assert on_disk == TRACE_SCHEMA
+
+
+class TestValidateEvent:
+    def test_good_deflection_passes(self):
+        assert validate_event(GOOD_DEFLECTION) == []
+
+    def test_minimal_event_passes(self):
+        assert validate_event({"kind": "encap", "seq": 3}) == []
+
+    def test_unknown_kind_rejected(self):
+        problems = validate_event({"kind": "teleport", "seq": 0})
+        assert problems and any("kind" in p for p in problems)
+
+    def test_missing_required_rejected(self):
+        assert validate_event({"kind": "deflection"})  # no seq
+
+    def test_unknown_field_rejected(self):
+        assert validate_event({"kind": "encap", "seq": 0, "wat": 1})
+
+    def test_wrong_type_rejected(self):
+        assert validate_event({"kind": "deflection", "seq": "zero"})
+        assert validate_event({**GOOD_DEFLECTION, "dst": 1.5})
+
+    def test_bool_is_not_an_integer(self):
+        assert validate_event({**GOOD_DEFLECTION, "dst": True})
+
+    def test_null_upstream_allowed(self):
+        assert validate_event({**GOOD_DEFLECTION, "upstream": None}) == []
+
+    def test_non_dict_rejected(self):
+        assert validate_event([1, 2, 3])
+
+    def test_validate_events_prefixes_indices(self):
+        problems = validate_events([GOOD_DEFLECTION, {"kind": "nope", "seq": 1}])
+        assert all(p.startswith("event 1:") for p in problems)
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        events = [GOOD_DEFLECTION, {"kind": "encap", "seq": 1, "router": "r2"}]
+        path = tmp_path / "deep" / "trace.jsonl"
+        assert write_jsonl(events, path) == 2
+        assert read_jsonl(path) == events
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "encap", "seq": 0}\n\n\n', encoding="utf-8")
+        assert len(read_jsonl(path)) == 1
+
+    def test_bad_json_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "encap", "seq": 0}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ValueError, match=":2:"):
+            read_jsonl(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2]\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_jsonl(path)
+
+
+class TestSummarize:
+    def _events(self):
+        evs = []
+        for i in range(6):
+            evs.append({**GOOD_DEFLECTION, "seq": i, "as": 5 if i < 4 else 6})
+        evs.append({"kind": "tagcheck_drop", "seq": 6, "cause": "tag_check"})
+        return evs
+
+    def test_counts_and_tops(self):
+        s = summarize(self._events(), top=1)
+        assert s["events"] == 7
+        assert s["by_kind"] == {"deflection": 6, "tagcheck_drop": 1}
+        assert s["by_cause"] == {"congested_link": 6, "tag_check": 1}
+        assert s["top_deflecting_ases"] == [(5, 4)]
+        assert s["seq_range"] == [0, 6]
+        assert s["spare_bps"]["min"] == pytest.approx(2.5e8)
+
+    def test_empty_trace(self):
+        s = summarize([])
+        assert s["events"] == 0
+        assert "spare_bps" not in s
+
+    def test_render_mentions_kinds_and_ases(self):
+        text = render_summary(summarize(self._events()))
+        assert "deflection" in text
+        assert "AS5" in text
+
+    def test_summary_is_json_serializable(self):
+        json.dumps(summarize(self._events()))
+
+
+def test_cli_level_schema_override(tmp_path):
+    """validate_events accepts an external schema dict (the --schema path)."""
+    schema = json.loads(json.dumps(TRACE_SCHEMA))  # a detached copy
+    assert trace.validate_events([GOOD_DEFLECTION], schema) == []

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -33,6 +35,109 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+@pytest.fixture()
+def fresh_contexts():
+    """Isolate from memoized SharedContexts: a warm routing cache means
+    no ``bgp.propagate`` spans fire, so these assertions are
+    order-dependent without it."""
+    from repro.experiments.common import SharedContext
+
+    saved = dict(SharedContext._cache)
+    SharedContext._cache.clear()
+    yield
+    SharedContext._cache.clear()
+    SharedContext._cache.update(saved)
+
+
+class TestTelemetryFlags:
+    def test_metrics_prints_report(self, capsys, fresh_contexts):
+        assert main(["run", "fig9", "--scale", "test", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "bgp.propagate" in out
+        assert "mifo.deflections" in out
+
+    def test_profile_prints_phases_only(self, capsys):
+        assert main(["run", "table1", "--scale", "test", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (wall time by phase):" in out
+        assert "experiment.run" in out
+        assert "counters:" not in out
+
+    def test_plain_run_prints_no_telemetry(self, capsys):
+        assert main(["run", "table1", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" not in out
+
+    def test_trace_out_writes_valid_jsonl(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "run", "fig9",
+                    "--scale", "test",
+                    "--trace-out", str(trace_file),
+                    "--verify",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "trace event(s)" in captured.err
+        assert "post-run invariant gate" in captured.err
+        from repro.telemetry.trace import read_jsonl, validate_events
+
+        events = read_jsonl(trace_file)
+        assert events
+        assert validate_events(events) == []
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert (
+            main(["run", "fig9", "--scale", "test", "--trace-out", str(path)])
+            == 0
+        )
+        return path
+
+    def test_summarize(self, trace_file, capsys):
+        assert main(["trace", "summarize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "event(s)" in out
+        assert "deflection" in out
+
+    def test_summarize_json(self, trace_file, capsys):
+        assert main(["trace", "summarize", str(trace_file), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"] > 0
+        assert "deflection" in summary["by_kind"]
+
+    def test_summarize_against_schema_file(self, trace_file, capsys):
+        import pathlib
+
+        schema = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "docs"
+            / "trace.schema.json"
+        )
+        assert (
+            main(["trace", "summarize", str(trace_file), "--schema", str(schema)])
+            == 0
+        )
+
+    def test_invalid_trace_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "teleport", "seq": 0}\n', encoding="utf-8")
+        assert main(["trace", "summarize", str(bad)]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_missing_file_rejected(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
 
 
 class TestSimulateCommand:

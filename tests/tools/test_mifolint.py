@@ -136,6 +136,51 @@ class TestMF003FrozenMutation:
         assert _codes("x = csr.nbr_indices[0]\n") == []
 
 
+class TestMF004AdHocClocks:
+    def test_time_time_flagged(self):
+        src = """
+            import time
+            def f() -> float:
+                return time.time()
+        """
+        assert _codes(src) == ["MF004"]
+
+    def test_perf_counter_attribute_flagged(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert _codes(src) == ["MF004"]
+
+    def test_from_import_member_flagged(self):
+        src = """
+            from time import monotonic
+            def f() -> float:
+                return monotonic()
+        """
+        assert _codes(src) == ["MF004"]
+
+    def test_aliased_module_tracked(self):
+        src = "import time as t\nx = t.process_time_ns()\n"
+        assert _codes(src) == ["MF004"]
+
+    def test_sleep_is_not_a_clock_read(self):
+        assert _codes("import time\ntime.sleep(0.1)\n") == []
+
+    def test_telemetry_package_exempt(self):
+        src = "import time\nx = time.perf_counter()\n"
+        assert _codes(src, allow_timers=True) == []
+
+    def test_non_library_code_exempt(self):
+        src = "import time\nx = time.time()\n"
+        assert _codes(src, library=False) == []
+
+    def test_inline_suppression(self):
+        src = "import time\nx = time.time()  # mifolint: disable=MF004\n"
+        assert _codes(src) == []
+
+    def test_unrelated_attribute_named_time_allowed(self):
+        # `self.time()` or `clock.time()` is not the stdlib module.
+        assert _codes("x = clock.time()\n") == []
+
+
 class TestSuppression:
     @pytest.mark.parametrize(
         "comment", ["# mifolint: disable=MF001", "# noqa: MF001"]
@@ -151,14 +196,16 @@ class TestSuppression:
 
 class TestClassification:
     def test_library_hot_and_topology_flags(self):
-        lib, hot, allow = _classify(pathlib.Path("src/repro/bgp/propagation.py"))
-        assert (lib, hot, allow) == (True, True, False)
-        lib, hot, allow = _classify(pathlib.Path("src/repro/topology/generator.py"))
-        assert (lib, hot, allow) == (True, True, True)
-        lib, hot, allow = _classify(pathlib.Path("src/repro/experiments/fig5.py"))
-        assert (lib, hot, allow) == (True, False, False)
-        lib, hot, allow = _classify(pathlib.Path("tests/bgp/test_parallel.py"))
-        assert lib is False
+        flags = _classify(pathlib.Path("src/repro/bgp/propagation.py"))
+        assert flags == (True, True, False, False)
+        flags = _classify(pathlib.Path("src/repro/topology/generator.py"))
+        assert flags == (True, True, True, False)
+        flags = _classify(pathlib.Path("src/repro/experiments/fig5.py"))
+        assert flags == (True, False, False, False)
+        flags = _classify(pathlib.Path("src/repro/telemetry/core.py"))
+        assert flags == (True, False, False, True)
+        flags = _classify(pathlib.Path("tests/bgp/test_parallel.py"))
+        assert flags[0] is False
 
     def test_select_filters(self, tmp_path):
         f = tmp_path / "src" / "repro" / "bgp" / "bad.py"

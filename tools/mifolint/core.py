@@ -28,6 +28,16 @@ parallel-engine workers* (copy-on-write), so writing to them corrupts
 every concurrent reader.  Flags mutator calls outside ``repro.topology``
 and any store into a CSR field or a graph-private structure.
 
+``MF004`` — **no ad-hoc clocks in library code.**  Every timing in
+``src/repro`` must flow through ``repro.telemetry`` (spans for phase
+timing, :class:`~repro.telemetry.Stopwatch` for ad-hoc elapsed time) so
+the zero-overhead guarantee is auditable and all measurements share one
+clock discipline.  Direct ``time.time()`` / ``time.perf_counter()`` /
+``time.monotonic()`` (and their ``_ns`` / ``process_time`` variants)
+calls are flagged everywhere in the library except inside
+``repro.telemetry`` itself.  ``time.sleep()`` is not a clock read and is
+not flagged.
+
 Suppression: append ``# mifolint: disable=MF00X`` (or ``# noqa: MF00X``)
 to the offending line.
 """
@@ -47,7 +57,22 @@ RULES: dict[str, str] = {
     "MF001": "unseeded random/numpy.random in library code breaks reproducibility",
     "MF002": "iteration over an unordered set in a routing hot path breaks determinism",
     "MF003": "mutation of a frozen ASGraph or of CSR arrays shared with forked workers",
+    "MF004": "direct time.time()/perf_counter() in library code; use repro.telemetry",
 }
+
+#: clock-reading functions of the stdlib ``time`` module (MF004).
+TIMER_FUNCS: frozenset[str] = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
 
 #: routing hot paths for MF002 (module path fragments, POSIX style).
 HOT_PATHS: tuple[str, ...] = ("repro/bgp/", "repro/mifo/", "repro/topology/")
@@ -114,13 +139,16 @@ class _Visitor(ast.NodeVisitor):
         library: bool,
         hot: bool,
         allow_mutators: bool = False,
+        allow_timers: bool = False,
     ) -> None:
         self.path = path
         self.source_lines = source_lines
-        self.library = library  #: under src/ — MF001 + MF003a apply
+        self.library = library  #: under src/ — MF001 + MF003a + MF004 apply
         self.hot = hot  #: routing hot path — MF002 applies
         #: repro.topology builds graphs, so mutator calls are legitimate there
         self.allow_mutators = allow_mutators
+        #: repro.telemetry owns the clocks, so raw time.* reads are fine there
+        self.allow_timers = allow_timers
         self.violations: list[Violation] = []
         #: names bound to the stdlib ``random`` module
         self.random_aliases: set[str] = set()
@@ -132,6 +160,10 @@ class _Visitor(ast.NodeVisitor):
         self.random_members: dict[str, str] = {}
         #: name -> member imported from ``numpy.random``
         self.nprandom_members: dict[str, str] = {}
+        #: names bound to the stdlib ``time`` module
+        self.time_aliases: set[str] = set()
+        #: name -> member imported from stdlib ``time``
+        self.time_members: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # import tracking (MF001)
@@ -141,6 +173,8 @@ class _Visitor(ast.NodeVisitor):
             bound = alias.asname or alias.name.split(".")[0]
             if alias.name == "random":
                 self.random_aliases.add(bound)
+            elif alias.name == "time":
+                self.time_aliases.add(bound)
             elif alias.name in ("numpy", "numpy.random"):
                 # ``import numpy.random as npr`` binds numpy.random itself.
                 if alias.asname and alias.name == "numpy.random":
@@ -153,6 +187,9 @@ class _Visitor(ast.NodeVisitor):
         if node.module == "random":
             for alias in node.names:
                 self.random_members[alias.asname or alias.name] = alias.name
+        elif node.module == "time":
+            for alias in node.names:
+                self.time_members[alias.asname or alias.name] = alias.name
         elif node.module == "numpy.random":
             for alias in node.names:
                 self.nprandom_members[alias.asname or alias.name] = alias.name
@@ -169,7 +206,35 @@ class _Visitor(ast.NodeVisitor):
         if self.library:
             self._check_random_call(node)
             self._check_mutator_call(node)
+            self._check_timer_call(node)
         self.generic_visit(node)
+
+    def _check_timer_call(self, node: ast.Call) -> None:
+        if self.allow_timers:
+            return
+        func = node.func
+        # time.<fn>(...) on a stdlib-time alias
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.time_aliases
+            and func.attr in TIMER_FUNCS
+        ):
+            self._add(
+                node, "MF004",
+                f"direct time.{func.attr}() call; use a repro.telemetry span "
+                f"(phase timing) or telemetry.Stopwatch (ad-hoc elapsed time)",
+            )
+            return
+        # from time import <fn>; <fn>(...)
+        if isinstance(func, ast.Name) and func.id in self.time_members:
+            member = self.time_members[func.id]
+            if member in TIMER_FUNCS:
+                self._add(
+                    node, "MF004",
+                    f"direct time.{member}() call; use a repro.telemetry span "
+                    f"(phase timing) or telemetry.Stopwatch (ad-hoc elapsed time)",
+                )
 
     def _check_random_call(self, node: ast.Call) -> None:
         func = node.func
@@ -359,13 +424,14 @@ class _Visitor(ast.NodeVisitor):
         )
 
 
-def _classify(path: pathlib.Path) -> tuple[bool, bool, bool]:
-    """(library?, hot path?, mutators allowed?) from the file's POSIX path."""
+def _classify(path: pathlib.Path) -> tuple[bool, bool, bool, bool]:
+    """(library?, hot?, mutators ok?, timers ok?) from the POSIX path."""
     posix = path.as_posix()
     library = "/src/" in f"/{posix}" or posix.startswith("src/")
     hot = library and any(fragment in posix for fragment in HOT_PATHS)
     allow_mutators = "repro/topology/" in posix
-    return library, hot, allow_mutators
+    allow_timers = "repro/telemetry/" in posix
+    return library, hot, allow_mutators, allow_timers
 
 
 def lint_source(
@@ -375,6 +441,7 @@ def lint_source(
     library: bool = True,
     hot: bool = True,
     allow_mutators: bool = False,
+    allow_timers: bool = False,
 ) -> list[Violation]:
     """Lint one source string (the unit-test entry point)."""
     tree = ast.parse(source, filename=path)
@@ -384,19 +451,21 @@ def lint_source(
         library=library,
         hot=hot,
         allow_mutators=allow_mutators,
+        allow_timers=allow_timers,
     )
     visitor.visit(tree)
     return sorted(visitor.violations, key=lambda v: (v.line, v.col, v.code))
 
 
 def lint_file(path: pathlib.Path) -> list[Violation]:
-    library, hot, allow_mutators = _classify(path)
+    library, hot, allow_mutators, allow_timers = _classify(path)
     return lint_source(
         path.read_text(encoding="utf-8"),
         str(path),
         library=library,
         hot=hot,
         allow_mutators=allow_mutators,
+        allow_timers=allow_timers,
     )
 
 
