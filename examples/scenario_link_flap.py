@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Dynamic scenario walkthrough: a link flaps, MIFO adapts, and the
+incremental control plane does almost no work.
+
+Plays the built-in ``link_flap`` timeline (the busiest link fails,
+recovers, fails and recovers again) over a persistent flow population on
+a 300-AS synthetic Internet, twice — once with the recompute-everything
+control plane and once with incremental dirty-set re-propagation — then
+shows that both produced *identical* per-event dynamics.  The busiest
+link dirties most destinations, so the epilogue replays the ``edge_flap``
+timeline — a small peering link, where real interdomain churn
+concentrates — to show the incremental engine rebasing nearly every
+destination instead of re-converging it.
+
+Run:  python examples/scenario_link_flap.py
+"""
+
+from repro.experiments import scenario
+
+
+def main() -> None:
+    runs = {}
+    for mode in ("full", "incremental"):
+        result = scenario.run(
+            "test", scenario="link_flap", mode=mode, crosscheck=True
+        )
+        runs[mode] = result
+        print(result.render())
+        print()
+
+    # The cross-validation contract: modes only differ in provenance.
+    payloads = {
+        mode: r.to_json(include_provenance=False) for mode, r in runs.items()
+    }
+    assert payloads["full"] == payloads["incremental"]
+    print("determinism-checked payloads are byte-identical across modes")
+
+    # Where incrementality pays: churn at the network *edge* leaves most
+    # destinations provably untouched, so their converged views are
+    # rebased onto the new graph with zero convergence work.
+    print()
+    edge = scenario.run("test", scenario="edge_flap", mode="incremental")
+    print(edge.render())
+    eng = edge.meta["scenario_engine"]
+    assert isinstance(eng, dict)
+    print(
+        f"\nedge_flap, incremental mode: {eng['dests_recomputed']} "
+        f"destination(s) re-converged vs {eng['dests_rebased']} rebased "
+        f"unchanged ({eng['warm_hits']} memoized max-min solve(s))"
+    )
+
+
+if __name__ == "__main__":
+    main()

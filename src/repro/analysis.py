@@ -42,6 +42,7 @@ class CandidateVerdict:
     chosen: bool
 
     def describe(self) -> str:
+        """How this candidate fared in the greedy selection."""
         if self.chosen:
             state = "CHOSEN (greedy max spare)"
         elif not self.tag_check_passed:
@@ -70,6 +71,7 @@ class HopExplanation:
     candidates: tuple[CandidateVerdict, ...]
 
     def describe(self) -> str:
+        """One-line story of the decision taken at this AS."""
         lines = [
             f"AS {self.asn} (tag bit={'1' if self.tag_bit else '0'}"
             + ("" if self.upstream is None else f", entered from AS {self.upstream}")
@@ -102,6 +104,7 @@ class PathExplanation:
     hops: tuple[HopExplanation, ...]
 
     def describe(self) -> str:
+        """Full narrative of the walk, hop by hop."""
         head = (
             f"MIFO path {self.src} -> {self.dst}: "
             f"{' -> '.join(map(str, self.path))}\n"

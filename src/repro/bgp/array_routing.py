@@ -206,6 +206,24 @@ class ArrayDestinationRouting:
         """Rebuild a result object around a parent-process graph."""
         return cls(graph, dest, _state=state)
 
+    def rebind(self, graph: ASGraph) -> "ArrayDestinationRouting":
+        """Re-wrap this converged state around a different graph object.
+
+        The scenario-engine counterpart of the dict backend's
+        :meth:`~repro.bgp.propagation.DestinationRouting.rebind`: after a
+        link event proved inert for this destination, the five result
+        arrays (and the lazy path/RIB caches) are carried to the new
+        epoch's graph unchanged.  Requires the new graph to have the same
+        node set (scenario derivatives guarantee it — see
+        :mod:`repro.topology.dynamics`), so the dense index mapping is
+        identical.  Only sound when the topology delta is inert for this
+        destination.
+        """
+        clone = ArrayDestinationRouting(graph, self.dest, _state=self.state())
+        clone._path_cache = self._path_cache
+        clone._rib_cache = self._rib_cache
+        return clone
+
     # ------------------------------------------------------------------
     # queries — mirror DestinationRouting exactly
     # ------------------------------------------------------------------

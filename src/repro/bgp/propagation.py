@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 __all__ = [
     "RibEntry",
     "RoutingView",
+    "RoutingSource",
     "DestinationRouting",
     "compute_routing",
     "RoutingCache",
@@ -67,6 +68,7 @@ class RibEntry:
 
     @property
     def selection_key(self) -> tuple[int, int, int]:
+        """Sort key implementing Gao-Rexford route preference."""
         return (int(self.relationship), self.length, self.neighbor)
 
 
@@ -97,6 +99,18 @@ class RoutingView(Protocol):
     def alternatives(self, x: int) -> tuple[RibEntry, ...]: ...
 
     def reachable_count(self) -> int: ...
+
+
+class RoutingSource(Protocol):
+    """Anything that yields a per-destination :class:`RoutingView` on call.
+
+    :class:`RoutingCache` is the canonical implementation; the scenario
+    engine's :class:`~repro.scenario.incremental.IncrementalRouting`
+    satisfies it too, which is how :class:`~repro.mifo.deflection.MifoPathBuilder`
+    stays oblivious to whether its routing state is static or evolving.
+    """
+
+    def __call__(self, dest: int) -> RoutingView: ...
 
 
 class DestinationRouting:
@@ -307,6 +321,31 @@ class DestinationRouting:
         """Number of ASes holding a route (connectivity sanity metric)."""
         return len(self._best_class)
 
+    def rebind(self, graph: ASGraph) -> "DestinationRouting":
+        """Re-wrap this converged state around a different graph object.
+
+        Used by the scenario engine's incremental re-propagation: after a
+        link event proved *inert* for this destination (the changed link
+        carried no export in either direction — see
+        :class:`repro.scenario.incremental.IncrementalRouting`), the
+        converged state on the new graph is identical to this one, so the
+        distance/class/next-hop tables and the lazy path/RIB caches are
+        shared rather than recomputed.  **Only sound under that inertness
+        condition**; rebasing past a relevant change silently serves stale
+        routes (which the scenario cross-validation suite would refute).
+        """
+        clone = object.__new__(DestinationRouting)
+        clone.graph = graph
+        clone.dest = self.dest
+        clone._cust_dist = self._cust_dist
+        clone._peer_dist = self._peer_dist
+        clone._export_len = self._export_len
+        clone._best_class = self._best_class
+        clone._next_hop = self._next_hop
+        clone._path_cache = self._path_cache
+        clone._rib_cache = self._rib_cache
+        return clone
+
 
 def compute_routing(graph: ASGraph, dest: int) -> DestinationRouting:
     """Compute converged BGP state for one destination.
@@ -328,6 +367,7 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
+        """Cache hits as a fraction of all lookups."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -439,6 +479,7 @@ class RoutingCache:
 
     @property
     def stats(self) -> CacheStats:
+        """Current hit/miss/eviction counters."""
         return CacheStats(self._hits, self._misses, self._evictions)
 
     def __contains__(self, dest: int) -> bool:

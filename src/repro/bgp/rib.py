@@ -50,9 +50,11 @@ class AdjRibIn:
         return True
 
     def candidates(self, dest: int) -> list[Route]:
+        """All routes held for ``dest``, one per neighbor."""
         return list(self._routes.get(dest, {}).values())
 
     def route_from(self, dest: int, neighbor: int) -> Route | None:
+        """The route ``neighbor`` announced for ``dest``, if any."""
         return self._routes.get(dest, {}).get(neighbor)
 
     def neighbors_offering(self, dest: int) -> list[int]:
@@ -86,15 +88,19 @@ class LocRib:
         return True
 
     def best(self, dest: int) -> Route | None:
+        """The selected best route for ``dest``, if any."""
         return self._best.get(dest)
 
     def destinations(self) -> list[int]:
+        """Destinations with a selected route, ascending."""
         return sorted(self._best)
 
     def next_hop(self, dest: int) -> int | None:
+        """Next hop of the best route for ``dest``, if any."""
         r = self._best.get(dest)
         return r.next_hop if r is not None else None
 
     def best_relationship(self, dest: int) -> Relationship | None:
+        """Class (learned-from) of the best route, if any."""
         r = self._best.get(dest)
         return r.learned_from if r is not None else None

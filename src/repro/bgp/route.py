@@ -42,10 +42,12 @@ class Route:
 
     @property
     def length(self) -> int:
+        """AS-path length in hops (0 for a local route)."""
         return len(self.as_path)
 
     @property
     def is_local(self) -> bool:
+        """True if locally originated (empty AS path)."""
         return not self.as_path
 
     def contains(self, asn: int) -> bool:

@@ -151,12 +151,15 @@ class BgpNetwork:
     # converged-state queries (mirror DestinationRouting's API)
     # ------------------------------------------------------------------
     def best(self, x: int, dest: int) -> Route | None:
+        """Best route of AS ``x`` toward ``dest``, if any."""
         return self.speakers[x].loc_rib.best(dest)
 
     def next_hop(self, x: int, dest: int) -> int | None:
+        """Next hop of AS ``x`` toward ``dest``, if any."""
         return self.speakers[x].loc_rib.next_hop(dest)
 
     def best_path(self, x: int, dest: int) -> tuple[int, ...] | None:
+        """Full best AS path from ``x`` to ``dest``, if any."""
         r = self.speakers[x].loc_rib.best(dest)
         if r is None:
             return None

@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig5 --scale default
     python -m repro run all --scale test --verify
     python -m repro run fig9 --scale test --metrics --trace-out trace.jsonl
+    python -m repro scenario list
+    python -m repro scenario run link_flap --scale test --mode incremental
     python -m repro trace summarize trace.jsonl
     python -m repro verify --scale default
     python -m repro topology --n-ases 2000 --out topo.txt
@@ -123,6 +125,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"post-run invariant gate: {report.render().splitlines()[0]}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_scenario_list(_args: argparse.Namespace) -> int:
+    """List the built-in dynamic scenarios."""
+    from .scenario import SCENARIOS
+
+    print("scenarios:")
+    for name, spec in SCENARIOS.items():
+        print(f"  {name:16s} {spec.description}")
+        for when, ev in spec.timeline:
+            print(f"    t={when:g}s  {ev!r}")
+    print("\nscales:", ", ".join(SCALES))
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    """Play one scenario timeline through the experiment API."""
+    from .experiments import scenario as scenario_mod
+
+    telem: Telemetry | None = None
+    if args.metrics or args.trace_out:
+        telem = Telemetry()
+    watch = Stopwatch()
+    result = scenario_mod.run(
+        args.scale,
+        backend=args.routing_backend,
+        workers=args.workers or None,
+        scenario=args.name,
+        mode=args.mode,
+        n_flows=args.n_flows,
+        verify=not args.no_verify,
+        crosscheck=args.crosscheck,
+        telemetry=telem,
+    )
+    print(
+        f"==== scenario {args.name} (scale={args.scale}, mode={args.mode}, "
+        f"{watch.elapsed:.1f}s) " + "=" * 12
+    )
+    print(result.render())
+    if telem is not None and args.metrics:
+        print(telem.snapshot().render())
+    if telem is not None and args.trace_out:
+        from .telemetry import trace
+
+        n = trace.write_jsonl(telem.trace_events(), args.trace_out)
+        print(f"wrote {n} trace event(s) to {args.trace_out}", file=sys.stderr)
+    if args.json:
+        import pathlib
+
+        out = pathlib.Path(args.json)
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"scenario_{args.name}_{args.scale}.json"
+        path.write_text(result.to_json(indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -304,6 +361,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch; returns the exit code."""
     parser = argparse.ArgumentParser(
         prog="mifo-repro",
         description="Reproduction of 'MIFO: Multi-Path Interdomain Forwarding' (ICPP 2015)",
@@ -353,6 +411,56 @@ def main(argv: list[str] | None = None) -> int:
         help="record the structured event trace and write it as JSONL",
     )
     p_run.set_defaults(fn=_cmd_run)
+
+    p_sc = sub.add_parser(
+        "scenario", help="event-driven dynamic scenarios (link flaps, ...)"
+    )
+    sc_sub = p_sc.add_subparsers(dest="scenario_command", required=True)
+    sc_sub.add_parser("list", help="list built-in scenarios").set_defaults(
+        fn=_cmd_scenario_list
+    )
+    p_sc_run = sc_sub.add_parser("run", help="play one scenario timeline")
+    p_sc_run.add_argument("name", help="scenario name from 'scenario list'")
+    p_sc_run.add_argument("--scale", default="test", choices=sorted(SCALES))
+    p_sc_run.add_argument(
+        "--mode",
+        choices=("incremental", "full"),
+        default="incremental",
+        help="control-plane update policy (results are byte-identical; "
+        "'full' recomputes everything each event)",
+    )
+    p_sc_run.add_argument(
+        "--routing-backend", choices=("dict", "array"), default="dict"
+    )
+    p_sc_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="routing worker processes for the shared topology context",
+    )
+    p_sc_run.add_argument(
+        "--n-flows", type=int, default=None, help="base demand population size"
+    )
+    p_sc_run.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the per-event invariant re-certification",
+    )
+    p_sc_run.add_argument(
+        "--crosscheck",
+        action="store_true",
+        help="diff incremental state against full recomputation every event",
+    )
+    p_sc_run.add_argument(
+        "--metrics", action="store_true", help="record and print telemetry"
+    )
+    p_sc_run.add_argument(
+        "--trace-out", default=None, metavar="FILE", help="write the event trace JSONL"
+    )
+    p_sc_run.add_argument(
+        "--json", default=None, metavar="DIR", help="also dump ExperimentResult JSON"
+    )
+    p_sc_run.set_defaults(fn=_cmd_scenario_run)
 
     p_tr = sub.add_parser("trace", help="inspect recorded telemetry traces")
     tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)

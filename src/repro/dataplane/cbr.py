@@ -51,16 +51,19 @@ class CbrSender:
         self._seq = 0
 
     def start(self) -> None:
+        """Begin emitting packets (idempotent)."""
         if self._running:
             return
         self._running = True
         self._emit()
 
     def stop(self) -> None:
+        """Stop emitting after the current packet."""
         self._running = False
 
     @property
     def running(self) -> bool:
+        """Whether the source is currently emitting."""
         return self._running
 
     def _emit(self) -> None:

@@ -22,10 +22,12 @@ class Device:
         self.ports: list[Port] = []
 
     def add_port(self, port: Port) -> Port:
+        """Attach ``port`` to this device and return it."""
         self.ports.append(port)
         return port
 
     def receive(self, packet: Packet, in_port: Port) -> None:  # pragma: no cover
+        """Handle a packet arriving on ``in_port`` (subclasses)."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -26,14 +26,17 @@ class EventQueue:
         self._seq = 0
 
     def push(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at ``time`` (FIFO within a tick)."""
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, callback))
 
     def pop(self) -> tuple[float, Callable[[], None]]:
+        """Remove and return the earliest (time, callback)."""
         time, _seq, cb = heapq.heappop(self._heap)
         return time, cb
 
     def peek_time(self) -> float | None:
+        """Time of the next event, or None when empty."""
         return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
@@ -60,6 +63,7 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
+        """Events executed so far."""
         return self._events_processed
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
@@ -69,6 +73,7 @@ class Simulator:
         self._queue.push(self.now + delay, callback)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule at an absolute time (must not be in the past)."""
         if time < self.now:
             raise SimulationError(f"cannot schedule in the past ({time} < {self.now})")
         self._queue.push(time, callback)

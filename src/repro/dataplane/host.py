@@ -41,6 +41,7 @@ class Host(Device):
         self.cbr_inversions: dict[int, int] = {}
 
     def transmit(self, packet: Packet) -> bool:
+        """Send ``packet`` up the access link."""
         return self.uplink.send(packet)
 
     def start_flow(
@@ -92,6 +93,7 @@ class Host(Device):
         return sender
 
     def receive(self, packet: Packet, in_port: Port) -> None:
+        """Deliver a packet to the right flow or CBR counter."""
         if packet.kind is PacketKind.CBR:
             fid = packet.flow_id
             self.cbr_received[fid] = self.cbr_received.get(fid, 0) + packet.size

@@ -54,6 +54,7 @@ class Link:
     # reconvergence (cf. R-BGP's motivation, paper Section VI).
     # ------------------------------------------------------------------
     def fail(self) -> None:
+        """Take the link down."""
         self.up = False
 
     def restore(self) -> None:

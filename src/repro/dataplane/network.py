@@ -31,6 +31,7 @@ class Network:
 
     # ------------------------------------------------------------------
     def add_router(self, name: str, asn: int, engine: Engine) -> Router:
+        """Create and register a router named ``name``."""
         if name in self.devices:
             raise ConfigError(f"duplicate device name {name!r}")
         r = Router(self.sim, name, asn, engine)
@@ -38,6 +39,7 @@ class Network:
         return r
 
     def add_host(self, name: str) -> Host:
+        """Create and register a host named ``name``."""
         if name in self.devices:
             raise ConfigError(f"duplicate device name {name!r}")
         h = Host(self.sim, name)
@@ -45,12 +47,14 @@ class Network:
         return h
 
     def router(self, name: str) -> Router:
+        """Look up a router by name (type-checked)."""
         d = self.devices[name]
         if not isinstance(d, Router):
             raise ConfigError(f"{name!r} is not a router")
         return d
 
     def host(self, name: str) -> Host:
+        """Look up a host by name (type-checked)."""
         d = self.devices[name]
         if not isinstance(d, Host):
             raise ConfigError(f"{name!r} is not a host")
@@ -114,6 +118,7 @@ class Network:
 
     # ------------------------------------------------------------------
     def run(self, *, until: float | None = None, max_events: int | None = None) -> float:
+        """Run the discrete-event loop; returns the final time."""
         return self.sim.run(until=until, max_events=max_events)
 
 
@@ -138,6 +143,7 @@ class ThroughputSampler:
         self._stopped = False
 
     def start(self) -> None:
+        """Begin sampling delivered bytes every interval."""
         if self._armed:
             return
         self._armed = True

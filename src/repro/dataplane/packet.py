@@ -22,6 +22,7 @@ __all__ = ["PacketKind", "OuterHeader", "Packet", "flow_hash"]
 
 
 class PacketKind(enum.Enum):
+    """Wire kinds a simulated packet can be."""
     DATA = "data"
     ACK = "ack"
     PROBE = "probe"  #: link-capacity measurement traffic (MIFO daemon)
@@ -71,6 +72,7 @@ class Packet:
 
     @property
     def is_encapsulated(self) -> bool:
+        """True while IP-in-IP encapsulated (outer header set)."""
         return self.outer is not None
 
     def encapsulate(self, src_router: str, dst_router: str) -> None:
@@ -90,6 +92,7 @@ class Packet:
         return outer
 
     def record_as(self, asn: int) -> None:
+        """Append ``asn`` to the packet's AS-level trace."""
         self.as_trace.append(asn)
 
 

@@ -88,6 +88,7 @@ class Port:
     # ------------------------------------------------------------------
     @property
     def queue_length(self) -> int:
+        """Packets queued plus any in transmission."""
         return len(self._queue) + (1 if self._transmitting else 0)
 
     @property
@@ -99,6 +100,7 @@ class Port:
 
     @property
     def rate_bps(self) -> float:
+        """Line rate of the attached link (0 when detached)."""
         return self.link.rate_bps if self.link is not None else 0.0
 
     def spare_capacity(self, now: float) -> float:

@@ -48,6 +48,7 @@ class Fib:
         self._entries: dict[str, FibEntry] = {}
 
     def install(self, dst: str, out_port: Port, alt_port: Port | None = None) -> None:
+        """Install or replace the FIB entry for ``dst``."""
         self._entries[dst] = FibEntry(out_port, alt_port)
 
     def set_alt(self, dst: str, alt_port: Port | None) -> None:
@@ -66,6 +67,7 @@ class Fib:
             raise ForwardingError(f"no FIB entry for {dst!r}") from None
 
     def destinations(self) -> list[str]:
+        """Installed FIB destinations, ascending."""
         return sorted(self._entries)
 
     def __contains__(self, dst: str) -> bool:
@@ -129,6 +131,7 @@ class Router(Device):
         peer_kind: PeerKind,
         queue_capacity: int = 64,
     ) -> Port:
+        """Create, attach, and return a new port."""
         port = Port(
             f"{self.name}:{suffix}",
             peer_kind=peer_kind,
@@ -137,6 +140,7 @@ class Router(Device):
         return self.add_port(port)
 
     def receive(self, packet: Packet, in_port: Port) -> None:
+        """Forward an arriving packet through the FIB."""
         packet.ttl -= 1
         if packet.ttl <= 0:
             self.counters.dropped_ttl += 1

@@ -105,13 +105,16 @@ class TcpSender:
     # ------------------------------------------------------------------
     @property
     def completed(self) -> bool:
+        """Whether the flow has finished."""
         return self.finish_time is not None
 
     @property
     def inflight(self) -> int:
+        """Unacknowledged segments outstanding."""
         return self.snd_nxt - self.snd_una
 
     def start(self) -> None:
+        """Record the start time and begin transmitting."""
         self.start_time = self.sim.now
         self._pump()
         self._arm_timer()
@@ -229,12 +232,14 @@ class TcpSender:
 
     @property
     def duration(self) -> float:
+        """Completion time minus start time (flow must be done)."""
         if self.start_time is None or self.finish_time is None:
             raise RuntimeError("flow has not completed")
         return self.finish_time - self.start_time
 
     @property
     def goodput_bps(self) -> float:
+        """Application-level throughput over the flow's lifetime."""
         return self.total_segments * self.config.mss * 8.0 / self.duration
 
 
@@ -260,6 +265,7 @@ class TcpReceiver:
         return self.next_expected * self.segment_payload
 
     def on_data(self, packet: Packet) -> None:
+        """Receiver side: count a data segment and ACK it."""
         self.segments_received += 1
         payload = packet.size - _HEADER_BYTES
         self.bytes_received += payload

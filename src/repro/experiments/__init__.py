@@ -8,7 +8,19 @@ Registry keys match the DESIGN.md experiment index: ``table1``, ``fig5``,
 ``fig6``, ``fig7``, ``fig8``, ``fig9``, ``fig12``.
 """
 
-from . import export, fig5, fig6, fig7, fig8, fig9, fig12, overhead, ribstudy, table1
+from . import (
+    export,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig12,
+    overhead,
+    ribstudy,
+    scenario,
+    table1,
+)
 from .common import SCALES, ExperimentScale, SharedContext, deployment_sample, get_scale
 from .result import ExperimentResult
 
@@ -23,6 +35,7 @@ REGISTRY = {
     "fig12": fig12,
     "ribstudy": ribstudy,
     "overhead": overhead,
+    "scenario": scenario,
 }
 
 __all__ = [
@@ -42,5 +55,6 @@ __all__ = [
     "fig12",
     "ribstudy",
     "overhead",
+    "scenario",
     "export",
 ]

@@ -47,6 +47,7 @@ __all__ = [
     "deployment_sample",
     "instrumented_run",
     "make_provider",
+    "provenance_meta",
 ]
 
 
@@ -62,6 +63,7 @@ class ExperimentScale:
     seed: int = 2014
 
     def topology_config(self) -> TopologyConfig:
+        """The TopologyConfig this scale generates."""
         return TopologyConfig(n_ases=self.n_ases, seed=self.seed)
 
 
@@ -84,6 +86,7 @@ SCALES: dict[str, ExperimentScale] = {
 
 
 def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale name (or pass an ExperimentScale through)."""
     if isinstance(scale, ExperimentScale):
         return scale
     try:
@@ -135,6 +138,7 @@ class SharedContext:
         backend: str = "dict",
         workers: int | None = 1,
     ) -> "SharedContext":
+        """The memoized context for ``scale`` (built on first use)."""
         sc = get_scale(scale)
         key = (sc, backend)
         ctx = cls._cache.get(key)
@@ -173,6 +177,25 @@ class SharedContext:
         return post_run_gate(
             self.graph, self.routing, capable=capable, events=events
         )
+
+
+def provenance_meta(ctx: SharedContext) -> dict[str, Any]:
+    """Standard provenance entries for an experiment's ``meta``.
+
+    Records what the run *actually used*, not what was requested: the
+    parallel routing engine silently degrades to serial when the backend
+    cannot fork-share its state (the ``dict`` backend) or the platform
+    lacks ``fork``, so ``workers`` here is
+    :attr:`~repro.bgp.parallel.ParallelRoutingEngine.effective_workers`,
+    which may be 1 even though ``run(..., workers=8)`` was asked for.
+    All keys live in :data:`~repro.experiments.result.PROVENANCE_KEYS`
+    and therefore stay outside the determinism-checked payload.
+    """
+    return {
+        "backend": ctx.backend,
+        "workers": ctx.engine.effective_workers,
+        "routing_cache": dataclasses.asdict(ctx.routing.stats),
+    }
 
 
 def instrumented_run(fn: Callable[..., Any]) -> Callable[..., Any]:

@@ -119,6 +119,7 @@ class TestbedRun:
     valley_drops: int
 
     def fct_cdf(self) -> Cdf:
+        """CDF of flow completion times."""
         return Cdf.from_samples(self.completion_times)
 
 
@@ -269,6 +270,7 @@ def _run_one(cfg: TestbedConfig, *, mifo: bool) -> TestbedRun:
 
 @dataclasses.dataclass
 class Fig12Result:
+    """Paper Fig. 12: BGP vs MIFO on the six-AS testbed."""
     bgp: TestbedRun
     mifo: TestbedRun
     config: TestbedConfig
@@ -281,6 +283,7 @@ class Fig12Result:
         return self.mifo.mean_aggregate_bps / self.bgp.mean_aggregate_bps - 1.0
 
     def rows(self) -> list[list[object]]:
+        """Table rows: one per scheme."""
         rows = []
         for run_ in (self.bgp, self.mifo):
             fct = np.asarray(run_.completion_times)
@@ -297,6 +300,7 @@ class Fig12Result:
         return rows
 
     def render(self) -> str:
+        """Human-readable report table."""
         table = text_table(
             ["Scheme", "Aggregate Gb/s", "Makespan s", "Median FCT s", "Max FCT s", "Deflected pkts"],
             self.rows(),
@@ -334,6 +338,7 @@ def run(
     # The testbed is an 11-router packet simulation; its control plane is
     # the message-level BgpNetwork, so the routing backend/worker knobs are
     # accepted (uniform API) but have nothing to accelerate here.
+    """Reproduce paper Fig. 12 (testbed FCT comparison)."""
     del backend, workers
     if config is None:
         config = TestbedConfig.test_scale() if scale == "test" else TestbedConfig()

@@ -23,6 +23,7 @@ from .common import (
     deployment_sample,
     get_scale,
     instrumented_run,
+    provenance_meta,
     run_scheme,
 )
 from .report import ascii_series, percent, text_table
@@ -43,18 +44,22 @@ class Fig5Result:
     results: dict[tuple[float, str], FluidSimResult]
 
     def cdf(self, deployment: float, scheme: str) -> Cdf:
+        """Throughput CDF for one (deployment, scheme) cell."""
         return Cdf.from_samples(self.results[(deployment, scheme)].throughputs_bps())
 
     def fraction_at_least(
         self, deployment: float, scheme: str, mbps: float = 500.0
     ) -> float:
+        """Fraction of flows at or above ``mbps``."""
         return self.cdf(deployment, scheme).fraction_at_least(mbps * 1e6)
 
     @property
     def deployments(self) -> list[float]:
+        """Deployment ratios present, descending."""
         return sorted({dep for dep, _s in self.results}, reverse=True)
 
     def rows(self) -> list[list[object]]:
+        """Table rows: one per (deployment, scheme)."""
         rows = []
         for dep in self.deployments:
             for scheme in SCHEMES:
@@ -73,6 +78,7 @@ class Fig5Result:
         return rows
 
     def render(self) -> str:
+        """Human-readable report table."""
         table = text_table(
             ["Deployment", "Scheme", "Median Mbps", ">=500 Mbps", ">=100 Mbps"],
             self.rows(),
@@ -104,6 +110,7 @@ def run(
     workers: int | None = 1,
     deployments: Sequence[float] = DEPLOYMENTS,
 ) -> ExperimentResult:
+    """Reproduce paper Fig. 5 (throughput vs deployment)."""
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)
     specs = uniform_matrix(
@@ -122,10 +129,7 @@ def run(
     raw = Fig5Result(scale_name=sc.name, results=results)
 
     series: dict[str, list[tuple[float, float]]] = {}
-    meta: dict[str, object] = {
-        "backend": backend,
-        "routing_cache": dataclasses.asdict(ctx.routing.stats),
-    }
+    meta: dict[str, object] = dict(provenance_meta(ctx))
     with tm.span("metrics.compute"):
         for dep in raw.deployments:
             for scheme in SCHEMES:

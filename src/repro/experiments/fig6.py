@@ -22,6 +22,7 @@ from .common import (
     deployment_sample,
     get_scale,
     instrumented_run,
+    provenance_meta,
     run_scheme,
 )
 from .report import ascii_series, percent, text_table
@@ -36,21 +37,26 @@ DEPLOYMENT = 0.5
 
 @dataclasses.dataclass
 class Fig6Result:
+    """Paper Fig. 6: throughput under power-law traffic."""
     scale_name: str
     #: (alpha, scheme) -> fluid result
     results: dict[tuple[float, str], FluidSimResult]
 
     def cdf(self, alpha: float, scheme: str) -> Cdf:
+        """Throughput CDF for one (alpha, scheme) cell."""
         return Cdf.from_samples(self.results[(alpha, scheme)].throughputs_bps())
 
     def fraction_at_least(self, alpha: float, scheme: str, mbps: float = 500.0) -> float:
+        """Fraction of flows at or above ``mbps``."""
         return self.cdf(alpha, scheme).fraction_at_least(mbps * 1e6)
 
     @property
     def alphas(self) -> list[float]:
+        """Power-law exponents present, ascending."""
         return sorted({a for a, _s in self.results})
 
     def rows(self) -> list[list[object]]:
+        """Table rows: one per (alpha, scheme)."""
         rows = []
         for alpha in self.alphas:
             for scheme in SCHEMES:
@@ -66,6 +72,7 @@ class Fig6Result:
         return rows
 
     def render(self) -> str:
+        """Human-readable report table."""
         table = text_table(
             ["alpha", "Scheme", "Median Mbps", ">=500 Mbps"],
             self.rows(),
@@ -100,6 +107,7 @@ def run(
     alphas: Sequence[float] = ALPHAS,
     deployment: float = DEPLOYMENT,
 ) -> ExperimentResult:
+    """Reproduce paper Fig. 6 (power-law traffic matrices)."""
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)
     capable = deployment_sample(ctx.graph, deployment)
@@ -123,7 +131,7 @@ def run(
     raw = Fig6Result(scale_name=sc.name, results=results)
 
     series: dict[str, list[tuple[float, float]]] = {}
-    meta: dict[str, object] = {"backend": backend, "deployment": deployment}
+    meta: dict[str, object] = {**provenance_meta(ctx), "deployment": deployment}
     with tm.span("metrics.compute"):
         for alpha in raw.alphas:
             for scheme in SCHEMES:

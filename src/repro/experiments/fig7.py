@@ -20,7 +20,13 @@ from .. import telemetry as tm
 from ..metrics.cdf import survival_series
 from ..metrics.diversity import diversity_counts
 from ..miro.negotiation import MiroRouting
-from .common import SharedContext, deployment_sample, get_scale, instrumented_run
+from .common import (
+    SharedContext,
+    deployment_sample,
+    get_scale,
+    instrumented_run,
+    provenance_meta,
+)
 from .report import ascii_series, percent, text_table
 from .result import ExperimentResult, freeze_series
 
@@ -46,11 +52,13 @@ def sample_pairs(
 
 @dataclasses.dataclass
 class Fig7Result:
+    """Paper Fig. 7: path diversity under partial deployment."""
     scale_name: str
     #: (scheme, deployment) -> per-pair path counts
     counts: dict[tuple[str, float], list[int]]
 
     def series(self) -> dict[str, list[tuple[float, float]]]:
+        """Survival curves keyed by scheme/deployment label."""
         out: dict[str, list[tuple[float, float]]] = {}
         for (scheme, dep), c in sorted(self.counts.items()):
             pct, vals = survival_series(c)
@@ -58,13 +66,16 @@ class Fig7Result:
         return out
 
     def median(self, scheme: str, deployment: float) -> float:
+        """Median path count for one cell."""
         return float(np.median(self.counts[(scheme, deployment)]))
 
     def fraction_with_at_least(self, scheme: str, deployment: float, k: int) -> float:
+        """Fraction of pairs with >= ``k`` usable paths."""
         c = self.counts[(scheme, deployment)]
         return sum(x >= k for x in c) / len(c) if c else 0.0
 
     def rows(self) -> list[list[object]]:
+        """Table rows: one per (scheme, deployment)."""
         rows = []
         for (scheme, dep), c in sorted(self.counts.items()):
             arr = np.asarray(c)
@@ -81,6 +92,7 @@ class Fig7Result:
         return rows
 
     def render(self) -> str:
+        """Human-readable report table."""
         table = text_table(
             ["Scheme", "Deployed", "Median paths", "p90", "Max", ">=10 paths"],
             self.rows(),
@@ -103,6 +115,7 @@ def run(
     workers: int | None = 1,
     deployments: Sequence[float] = DEPLOYMENTS,
 ) -> ExperimentResult:
+    """Reproduce paper Fig. 7 (path diversity)."""
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)
     pairs = sample_pairs(ctx, sc.n_pairs, seed=sc.seed + 3)
@@ -118,7 +131,7 @@ def run(
         counts[("MIRO", dep)] = miro_counts
     raw = Fig7Result(scale_name=sc.name, counts=counts)
 
-    meta: dict[str, object] = {"backend": backend, "n_pairs": len(pairs)}
+    meta: dict[str, object] = {**provenance_meta(ctx), "n_pairs": len(pairs)}
     with tm.span("metrics.compute"):
         for (scheme, dep), c in sorted(raw.counts.items()):
             meta[f"median_paths[{dep:.0%} {scheme}]"] = raw.median(scheme, dep)

@@ -18,6 +18,7 @@ from .common import (
     deployment_sample,
     get_scale,
     instrumented_run,
+    provenance_meta,
     run_scheme,
 )
 from .report import ascii_series, percent, text_table
@@ -30,20 +31,24 @@ DEPLOYMENTS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
 @dataclasses.dataclass
 class Fig8Result:
+    """Paper Fig. 8: traffic offloaded to alternative paths."""
     scale_name: str
     #: deployment ratio -> fluid result (MIFO)
     results: dict[float, FluidSimResult]
 
     def offload(self, deployment: float) -> float:
+        """Fraction of traffic on alternatives at ``deployment``."""
         return self.results[deployment].fraction_on_alternative()
 
     def rows(self) -> list[list[object]]:
+        """Table rows: one per deployment ratio."""
         return [
             [f"{dep:.0%}", percent(self.offload(dep))]
             for dep in sorted(self.results)
         ]
 
     def render(self) -> str:
+        """Human-readable report table."""
         table = text_table(
             ["MIFO deployment", "Traffic on alternative paths"],
             self.rows(),
@@ -70,6 +75,7 @@ def run(
     workers: int | None = 1,
     deployments: Sequence[float] = DEPLOYMENTS,
 ) -> ExperimentResult:
+    """Reproduce paper Fig. 8 (offload vs deployment)."""
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)
     specs = uniform_matrix(
@@ -90,7 +96,7 @@ def run(
                 (dep * 100, raw.offload(dep) * 100) for dep in sorted(results)
             ]
         }
-        meta: dict[str, object] = {"backend": backend}
+        meta: dict[str, object] = dict(provenance_meta(ctx))
         for dep in sorted(results):
             meta[f"offload[{dep:.0%}]"] = raw.offload(dep)
     return ExperimentResult(

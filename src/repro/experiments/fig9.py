@@ -18,6 +18,7 @@ from .common import (
     deployment_sample,
     get_scale,
     instrumented_run,
+    provenance_meta,
     run_scheme,
 )
 from .report import percent, text_table
@@ -31,11 +32,13 @@ PAPER_AT_MOST_TWO = 0.975
 
 @dataclasses.dataclass
 class Fig9Result:
+    """Paper Fig. 9: path-switch stability distribution."""
     scale_name: str
     result: FluidSimResult
     distribution: SwitchDistribution
 
     def rows(self) -> list[list[object]]:
+        """Table rows: switch-count buckets."""
         rows = []
         for k in range(1, 6):
             label = f"{k}" if k < 5 else ">=5"
@@ -43,6 +46,7 @@ class Fig9Result:
         return rows
 
     def render(self) -> str:
+        """Human-readable report table."""
         d = self.distribution
         table = text_table(
             ["# of path switches", "% of switching flows"],
@@ -64,6 +68,7 @@ def run(
     backend: str = "dict",
     workers: int | None = 1,
 ) -> ExperimentResult:
+    """Reproduce paper Fig. 9 (path-switch stability)."""
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)
     specs = uniform_matrix(
@@ -88,7 +93,7 @@ def run(
             ]
         }
         meta: dict[str, object] = {
-            "backend": backend,
+            **provenance_meta(ctx),
             "fraction_switching": d.fraction_switching,
             "fraction_one_switch": d.fraction_of_switching(1),
             "fraction_at_most_two": d.fraction_at_most(2),

@@ -26,7 +26,7 @@ import numpy as np
 from ..bgp.speaker import BgpNetwork
 from ..miro.negotiation import MiroRouting
 from .. import telemetry as tm
-from .common import SharedContext, get_scale, instrumented_run
+from .common import SharedContext, get_scale, instrumented_run, provenance_meta
 from .report import text_table
 from .result import ExperimentResult
 
@@ -35,6 +35,7 @@ __all__ = ["OverheadResult", "run"]
 
 @dataclasses.dataclass
 class OverheadResult:
+    """Control-plane overhead comparison across schemes."""
     scale_name: str
     n_destinations: int
     bgp_messages: int  #: baseline convergence UPDATEs (all schemes pay)
@@ -44,6 +45,7 @@ class OverheadResult:
     mifo_alternatives: int
 
     def rows(self) -> list[list[object]]:
+        """Table rows: one per scheme."""
         def per_msg(alts: int, msgs: int) -> str:
             return f"{alts / msgs:.2f}" if msgs else "inf" if alts else "0"
 
@@ -64,6 +66,7 @@ class OverheadResult:
         ]
 
     def render(self) -> str:
+        """Human-readable report table."""
         table = text_table(
             ["Scheme", "Control messages", "Alternatives gained", "Alts per extra msg"],
             self.rows(),
@@ -87,6 +90,7 @@ def run(
     workers: int | None = 1,
     n_destinations: int = 5,
 ) -> ExperimentResult:
+    """Run the control-plane overhead comparison."""
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)
     graph = ctx.graph
@@ -126,7 +130,7 @@ def run(
         miro_alternatives=miro_alternatives,
         mifo_alternatives=mifo_alternatives,
     )
-    meta = {"backend": backend, **dataclasses.asdict(raw)}
+    meta = {**provenance_meta(ctx), **dataclasses.asdict(raw)}
     meta.pop("scale_name")
     return ExperimentResult(
         name="overhead", scale=sc.name, series={}, meta=meta, raw=raw

@@ -13,6 +13,7 @@ __all__ = ["text_table", "ascii_series", "percent"]
 
 
 def percent(x: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
     return f"{100.0 * x:.{digits}f}%"
 
 

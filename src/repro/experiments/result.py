@@ -37,7 +37,7 @@ __all__ = ["ExperimentResult", "PROVENANCE_KEYS", "freeze_series"]
 #: Everything outside this set is part of the byte-identical cross-backend
 #: determinism contract.
 PROVENANCE_KEYS: frozenset[str] = frozenset(
-    {"backend", "workers", "routing_cache", "telemetry"}
+    {"backend", "workers", "routing_cache", "telemetry", "scenario_engine"}
 )
 
 

@@ -19,7 +19,7 @@ import dataclasses
 import numpy as np
 
 from .. import telemetry as tm
-from .common import SharedContext, get_scale, instrumented_run
+from .common import SharedContext, get_scale, instrumented_run, provenance_meta
 from .report import percent, text_table
 from .result import ExperimentResult
 
@@ -28,6 +28,7 @@ __all__ = ["RibStudyResult", "run"]
 
 @dataclasses.dataclass
 class RibStudyResult:
+    """RIB alternative-route study over all (AS, dest) pairs."""
     scale_name: str
     #: per-(AS, destination) RIB sizes (including the default route)
     rib_sizes: np.ndarray
@@ -41,6 +42,7 @@ class RibStudyResult:
 
     @property
     def mean_alternatives(self) -> float:
+        """Mean alternatives per (AS, destination) pair."""
         return float((self.rib_sizes - 1).mean())
 
     @property
@@ -51,6 +53,7 @@ class RibStudyResult:
         return float(np.corrcoef(self.degrees, self.rib_sizes)[0, 1])
 
     def rows(self) -> list[list[object]]:
+        """Table rows of the summary statistics."""
         qs = np.percentile(self.rib_sizes, [50, 90, 99])
         return [
             ["ASes with >=1 alternative", percent(self.fraction_multi_neighbor)],
@@ -62,6 +65,7 @@ class RibStudyResult:
         ]
 
     def render(self) -> str:
+        """Human-readable report table."""
         return text_table(
             ["Metric", "Value"],
             self.rows(),
@@ -80,6 +84,7 @@ def run(
     workers: int | None = 1,
     n_destinations: int = 20,
 ) -> ExperimentResult:
+    """Run the RIB alternative-route study."""
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)
     graph = ctx.graph
@@ -104,7 +109,7 @@ def run(
             degrees=np.asarray(degrees),
         )
         meta: dict[str, object] = {
-            "backend": backend,
+            **provenance_meta(ctx),
             "n_destinations": int(len(dests)),
             "fraction_multi_neighbor": raw.fraction_multi_neighbor,
             "mean_alternatives": raw.mean_alternatives,

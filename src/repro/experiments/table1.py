@@ -13,7 +13,7 @@ import dataclasses
 
 from ..topology.stats import TopologyStats, topology_stats
 from .. import telemetry as tm
-from .common import SharedContext, get_scale, instrumented_run
+from .common import SharedContext, get_scale, instrumented_run, provenance_meta
 from .report import percent, text_table
 from .result import ExperimentResult
 
@@ -30,10 +30,12 @@ PAPER_TABLE1 = {
 
 @dataclasses.dataclass(frozen=True)
 class Table1Result:
+    """Paper Table I: topology attributes vs the paper's data."""
     stats: TopologyStats
     scale_name: str
 
     def rows(self) -> list[list[object]]:
+        """Two rows: the paper's data-set and ours."""
         ours = self.stats.as_table_row()
         return [
             ["paper (11/2014)"] + [PAPER_TABLE1[k] for k in PAPER_TABLE1],
@@ -41,6 +43,7 @@ class Table1Result:
         ]
 
     def render(self) -> str:
+        """Human-readable report table."""
         table = text_table(
             ["Data-set"] + list(PAPER_TABLE1), self.rows(), title="Table I: Attributes of Data-set"
         )
@@ -59,12 +62,13 @@ def run(
     backend: str = "dict",
     workers: int | None = 1,
 ) -> ExperimentResult:
+    """Reproduce paper Table I (topology attributes)."""
     sc = get_scale(scale)
     ctx = SharedContext.get(sc, backend=backend, workers=workers)
     with tm.span("metrics.compute"):
         raw = Table1Result(stats=topology_stats(ctx.graph), scale_name=sc.name)
         meta: dict[str, object] = {
-            "backend": backend,
+            **provenance_meta(ctx),
             "n_nodes": raw.stats.n_nodes,
             "n_links": raw.stats.n_links,
             "p2c_fraction": raw.stats.p2c_fraction,

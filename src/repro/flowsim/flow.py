@@ -39,6 +39,7 @@ class FlowRecord:
 
     @property
     def duration(self) -> float:
+        """Finish time minus start time."""
         return self.finish_time - self.start_time
 
     @property
@@ -96,6 +97,7 @@ class ActiveFlow:
             self.used_alternative = True
 
     def finalize(self, finish_time: float) -> FlowRecord:
+        """Freeze this flow into its immutable FlowRecord."""
         return FlowRecord(
             flow_id=self.spec.flow_id,
             src=self.spec.src,

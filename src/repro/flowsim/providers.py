@@ -83,6 +83,7 @@ class BgpProvider(PathProvider):
     def initial_path(
         self, spec: FlowSpec, view: LinkView
     ) -> tuple[tuple[int, ...], bool]:
+        """The converged BGP best path; never an alternative."""
         return self.routing(spec.dst).best_path(spec.src), False
 
 
@@ -105,6 +106,7 @@ class MiroProvider(PathProvider):
     def initial_path(
         self, spec: FlowSpec, view: LinkView
     ) -> tuple[tuple[int, ...], bool]:
+        """One control-plane path choice under MIRO observability."""
         src = spec.src
 
         def congested(u: int, v: int) -> bool:
@@ -143,12 +145,14 @@ class MifoProvider(PathProvider):
     ) -> tuple[tuple[int, ...], bool]:
         # MIFO consults only live *local* state: congested(u, v) is always
         # u's own directly connected egress link.
+        """A MIFO walk under live local congestion state."""
         outcome = self.builder.build_path(spec.src, spec.dst, view.congested, view.spare)
         return outcome.path, outcome.used_alternative
 
     def reroute(
         self, flow: ActiveFlow, view: LinkView
     ) -> tuple[tuple[int, ...], bool] | None:
+        """Deflect or resume after a congestion transition."""
         spec = flow.spec
         congested, spare = view.congested, view.spare
         if flow.on_alt:

@@ -63,6 +63,7 @@ class FluidSimConfig:
     max_events: int | None = None
 
     def validate(self) -> None:
+        """Reject inconsistent configuration values."""
         if self.link_capacity_bps <= 0:
             raise SimulationError("link capacity must be positive")
         if not 0.0 < self.clear_threshold <= self.congest_threshold <= 1.0:
@@ -83,6 +84,7 @@ class FluidSimResult:
     unroutable: int
 
     def throughputs_bps(self) -> np.ndarray:
+        """Per-flow throughputs as an array (bps)."""
         return np.array([r.throughput_bps for r in self.records])
 
     def fraction_on_alternative(self) -> float:
@@ -177,6 +179,7 @@ class FluidSimulator:
     # main loop
     # ------------------------------------------------------------------
     def run(self, specs: list[FlowSpec]) -> FluidSimResult:
+        """Simulate ``specs`` to completion and collect records."""
         cfg = self.config
         order = sorted(specs, key=lambda s: (s.start_time, s.flow_id))
         view = LinkView(

@@ -18,6 +18,7 @@ class Cdf:
 
     @classmethod
     def from_samples(cls, samples: Iterable[float]) -> "Cdf":
+        """Build a CDF from unsorted samples."""
         arr = np.sort(np.asarray(samples, dtype=np.float64))
         return cls(arr)
 
@@ -51,6 +52,7 @@ class Cdf:
 
     @property
     def median(self) -> float:
+        """The 50th percentile."""
         return self.percentile(50.0)
 
     def __len__(self) -> int:

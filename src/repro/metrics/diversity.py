@@ -105,6 +105,7 @@ class DiversityResult:
     counts: list[int]
 
     def fraction_with_at_least(self, k: int) -> float:
+        """Fraction of pairs with at least ``k`` paths."""
         if not self.counts:
             return 0.0
         return sum(c >= k for c in self.counts) / len(self.counts)

@@ -42,6 +42,7 @@ class SwitchDistribution:
 
     @property
     def fraction_switching(self) -> float:
+        """Switching flows as a fraction of all flows."""
         if self.total_flows == 0:
             return 0.0
         return self.switching_flows / self.total_flows

@@ -33,6 +33,7 @@ class StretchStats:
 
     @classmethod
     def from_ratios(cls, ratios: np.ndarray) -> "StretchStats":
+        """Summary statistics of per-flow stretch ratios."""
         if ratios.size == 0:
             return cls(0.0, 0.0, 0.0, 0.0, 0.0)
         return cls(

@@ -34,6 +34,7 @@ class SchemeSummary:
 
     @classmethod
     def empty(cls, scheme: str) -> "SchemeSummary":
+        """An all-zero summary for ``scheme``."""
         return cls(scheme, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
 

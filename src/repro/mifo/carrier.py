@@ -59,9 +59,11 @@ class ReservedBitCarrier:
     wire_overhead = 0
 
     def tag(self, packet: Packet, bit: bool) -> None:
+        """Write the deflection bit directly on the packet."""
         packet.tag_bit = bit
 
     def read(self, packet: Packet) -> bool:
+        """Read the deflection bit."""
         return packet.tag_bit
 
     def strip(self, packet: Packet) -> None:
@@ -74,6 +76,7 @@ class MplsLabelCarrier:
     wire_overhead = 4
 
     def tag(self, packet: Packet, bit: bool) -> None:
+        """Set the bit on the top MPLS label (push or re-tag)."""
         label = _MIFO_LABEL | (_TAG_BIT if bit else 0)
         if packet.mpls_stack:
             packet.mpls_stack[-1] = label  # re-tag within the same AS
@@ -83,11 +86,13 @@ class MplsLabelCarrier:
         packet.tag_bit = bit  # keep the logical view coherent
 
     def read(self, packet: Packet) -> bool:
+        """Read the bit from the top MPLS label."""
         if packet.mpls_stack:
             return bool(packet.mpls_stack[-1] & _TAG_BIT)
         return packet.tag_bit
 
     def strip(self, packet: Packet) -> None:
+        """Pop the MPLS label and its wire overhead."""
         if packet.mpls_stack:
             packet.mpls_stack.pop()
             packet.size -= self.wire_overhead
@@ -99,12 +104,14 @@ class IpOptionCarrier:
     wire_overhead = 4
 
     def tag(self, packet: Packet, bit: bool) -> None:
+        """Set the bit in an IP option (adds overhead once)."""
         if not packet.has_tag_option:
             packet.has_tag_option = True
             packet.size += self.wire_overhead
         packet.tag_bit = bit
 
     def read(self, packet: Packet) -> bool:
+        """Read the bit from the IP option."""
         return packet.tag_bit
 
     def strip(self, packet: Packet) -> None:

@@ -68,6 +68,7 @@ class MifoDaemon:
         self._candidates[dst] = list(candidates)
 
     def start(self) -> None:
+        """Start the periodic probe tick (idempotent)."""
         if self._started:
             return
         self._started = True

@@ -30,7 +30,7 @@ import dataclasses
 from collections.abc import Callable
 
 from .. import telemetry as tm
-from ..bgp.propagation import RoutingCache, RoutingView
+from ..bgp.propagation import RoutingSource, RoutingView
 from ..errors import LoopDetectedError, NoRouteError
 from ..topology.asgraph import ASGraph
 from ..topology.relationships import Relationship
@@ -54,6 +54,7 @@ class PathOutcome:
 
     @property
     def used_alternative(self) -> bool:
+        """True when at least one deflection occurred."""
         return self.deflections > 0
 
 
@@ -65,17 +66,22 @@ class MifoPathBuilder:
     ``deflect_uncongested_only``: when True, an alternative whose own
     direct link is congested is never chosen (there is no point moving
     congestion sideways); the flow stays on the default.
+    ``event_fields`` is merged into every telemetry event this builder
+    records — the scenario engine stamps its epoch number here so trace
+    consumers can match each deflection against the routing state that
+    justified it (a FIB from a *previous* epoch would refute it).
     """
 
     def __init__(
         self,
         graph: ASGraph,
-        routing: RoutingCache,
+        routing: RoutingSource,
         capable: frozenset[int],
         *,
         tag_check_enabled: bool = True,
         deflect_uncongested_only: bool = True,
         alt_selection: str = "greedy",
+        event_fields: "dict[str, tm.EventValue] | None" = None,
     ) -> None:
         if alt_selection not in ("greedy", "first", "random"):
             raise ValueError(f"unknown alt_selection {alt_selection!r}")
@@ -89,6 +95,7 @@ class MifoPathBuilder:
         #: deterministic pseudo-random pick.  The non-greedy modes exist
         #: for the alternative-selection ablation bench.
         self.alt_selection = alt_selection
+        self.event_fields: dict[str, tm.EventValue] = dict(event_fields or {})
 
     def default_path(self, src: int, dst: int) -> tuple[int, ...]:
         """The plain BGP path (used by the BGP baseline and as fallback)."""
@@ -142,6 +149,7 @@ class MifoPathBuilder:
                                 chosen=alt,
                                 cause="congested_link",
                                 spare_bps=spare(u, alt),
+                                **self.event_fields,
                             )
                     elif filtered:
                         t = tm.active()
@@ -155,6 +163,7 @@ class MifoPathBuilder:
                                 default_nh=nh,
                                 cause="tag_check",
                                 tagcheck_filtered=filtered,
+                                **self.event_fields,
                             )
                 link = (u, nxt)
                 if link in used_links:

@@ -83,15 +83,19 @@ class RouterLevelNetwork:
         return self.border[asn][neighbor]
 
     def ebgp_port(self, router: Router, neighbor: int) -> Port:
+        """The port of ``router`` facing eBGP ``neighbor``."""
         return self.ebgp_ports[(router.name, neighbor)]
 
     def all_routers(self) -> list[Router]:
+        """Every router across all ASes."""
         return [r for rs in self.routers.values() for r in rs]
 
     def counters_total(self, field: str) -> int:
+        """Sum of one counter field over all routers."""
         return sum(getattr(r.counters, field) for r in self.all_routers())
 
     def run(self, **kw: typing.Any) -> float:
+        """Run the underlying network simulation."""
         return self.net.run(**kw)
 
 

@@ -1,0 +1,716 @@
+"""The dynamic-scenario driver: timelines over a live MIFO simulation.
+
+:class:`ScenarioEngine` holds a persistent flow population on an evolving
+topology and advances it through a :class:`~repro.scenario.events.ScenarioSpec`
+timeline.  Each event runs the same eight-step procedure:
+
+1. **apply** the event (topology derivative, capacity/exogenous-load
+   update, or new flows) through an engine primitive;
+2. **re-propagate** routing incrementally — only destinations the change
+   can affect are re-converged (:class:`~repro.scenario.incremental
+   .IncrementalRouting`), the rest are rebased;
+3. **select the affected flows**: those crossing a removed link, those
+   whose destination went dirty, those crossing a capacity-changed link,
+   the event's new flows, and previously unroutable flows whose
+   destination went dirty;
+4. **re-route** exactly those flows through a fresh
+   :class:`~repro.mifo.deflection.MifoPathBuilder` walk under the current
+   congestion state;
+5. **re-solve** max-min rates through the warm-started
+   :class:`~repro.flowsim.warmstart.WarmStartSolver`;
+6. **update congestion** bits with the fluid simulator's hysteresis and
+   run one congestion-response pass (deflect flows newly congested,
+   offer resumes when something cleared) — mirroring
+   ``FluidSimulator._offer_reroutes`` so dynamic behavior matches the
+   static experiments';
+7. **re-certify**: the verifier statically re-proves loop-freedom,
+   valley-freedom and FIB/RIB consistency over the dirty and
+   newly-converged destinations, and cross-checks the deflection events
+   this epoch recorded against the epoch's own FIB state;
+8. **record** a per-event metrics row and a ``scenario_event`` telemetry
+   trace entry.
+
+The ``mode`` knob selects ``"incremental"`` (dirty-set re-propagation +
+memoized solves) or ``"full"`` (every cached destination re-converged,
+solver cold every event).  Both modes share steps 3–8 verbatim and both
+key their decisions on the *same* dirty set, so their results are
+byte-identical — ``tests/scenario/test_crossvalidation.py`` asserts the
+serialized results agree on every built-in scenario, and the
+``benchmarks`` micro-bench measures how much wall-clock the incremental
+path saves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .. import telemetry as tm
+from ..errors import ConfigError, NoRouteError, SimulationError, VerificationError
+from ..flowsim.warmstart import WarmStartSolver
+from ..mifo.deflection import MifoPathBuilder
+from ..topology.asgraph import ASGraph
+from ..topology.dynamics import with_link, without_link
+from ..topology.relationships import Relationship
+from ..traffic.matrix import uniform_pairs
+from ..verify.checker import verify_routing
+from ..verify.gate import crosscheck_trace
+from .events import ScenarioEvent, ScenarioSpec
+from .incremental import IncrementalRouting
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..flowsim.flow import FlowSpec
+
+__all__ = ["EventEffect", "EventRecord", "ScenarioConfig", "ScenarioEngine", "ScenarioRun"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of the scenario engine (data-plane defaults match
+    :class:`~repro.flowsim.simulator.FluidSimConfig`)."""
+
+    link_capacity_bps: float = 1e9
+    congest_threshold: float = 0.95
+    clear_threshold: float = 0.70
+    #: ``"incremental"`` (dirty-set + warm start) or ``"full"`` (recompute
+    #: everything every event — the cross-validation / benchmark baseline).
+    mode: str = "incremental"
+    #: statically re-certify invariants over dirty destinations after
+    #: every event (step 7).
+    verify: bool = True
+    #: additionally diff the incremental state against a from-scratch
+    #: recomputation after every event (slow; tests and CI only).
+    crosscheck: bool = False
+    #: salt for the per-event RNG streams of traffic events.
+    seed_salt: int = 7919
+
+    def validate(self) -> None:
+        """Reject inconsistent knob combinations."""
+        if self.link_capacity_bps <= 0:
+            raise SimulationError("link capacity must be positive")
+        if not 0.0 < self.clear_threshold <= self.congest_threshold <= 1.0:
+            raise SimulationError(
+                "need 0 < clear_threshold <= congest_threshold <= 1"
+            )
+        if self.mode not in ("incremental", "full"):
+            raise ConfigError(
+                f"scenario mode {self.mode!r} not in ('incremental', 'full')"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class EventEffect:
+    """What one applied event changed — drives affected-flow selection."""
+
+    #: undirected links removed, as ``(min, max)`` pairs.
+    removed: tuple[tuple[int, int], ...] = ()
+    #: destinations whose routing state may have changed (sorted).
+    dirty: tuple[int, ...] = ()
+    #: dense directed-link indices whose capacity or exogenous load moved.
+    capacity_changed: tuple[int, ...] = ()
+    #: flow ids registered by this event.
+    new_flows: tuple[int, ...] = ()
+    #: human-readable target, e.g. ``"link 12-48"`` (for records/trace).
+    target: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class EventRecord:
+    """Per-event metrics row of a scenario run.
+
+    Every field is a pure function of simulation state, never of
+    wall-clock or update policy, so rows are byte-identical between the
+    incremental and full modes.
+    """
+
+    index: int
+    time_s: float
+    kind: str
+    target: str
+    dirty_dests: int
+    flows_rerouted: int
+    flows_unroutable: int
+    flows_total: int
+    deflected_flows: int
+    congested_links: int
+    verified_dests: int
+    mean_rate_mbps: float
+    total_throughput_gbps: float
+
+
+@dataclasses.dataclass
+class ScenarioRun:
+    """Outcome of one scenario timeline."""
+
+    scenario: str
+    mode: str
+    backend: str
+    records: list[EventRecord]
+    #: cumulative control-plane work — wall-clock provenance, *not* part
+    #: of the determinism-checked payload (differs between modes).
+    dests_recomputed: int
+    dests_rebased: int
+    warm_solves: int
+    warm_hits: int
+
+    @property
+    def n_events(self) -> int:
+        """Timeline events applied (the initial routing row excluded)."""
+        return max(0, len(self.records) - 1)
+
+
+class _SimFlow:
+    """One persistent demand in the engine's flow population."""
+
+    __slots__ = ("flow_id", "src", "dst", "path", "link_ids", "on_alt", "switches", "rate")
+
+    def __init__(self, flow_id: int, src: int, dst: int) -> None:
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.path: tuple[int, ...] | None = None
+        self.link_ids: list[int] = []
+        self.on_alt = False
+        self.switches = 0
+        self.rate = 0.0
+
+
+class ScenarioEngine:
+    """Advances a MIFO simulation through a scenario timeline.
+
+    ``demands`` is the base (persistent) flow population; traffic events
+    size themselves relative to it.  ``capable`` defaults to full MIFO
+    deployment.  ``seed`` feeds the deterministic per-event RNG streams
+    of :class:`~repro.scenario.events.TrafficRamp` /
+    :class:`~repro.scenario.events.FlashCrowd`.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        demands: "Sequence[FlowSpec]",
+        spec: ScenarioSpec,
+        *,
+        backend: str = "dict",
+        capable: frozenset[int] | None = None,
+        seed: int = 2014,
+        config: ScenarioConfig | None = None,
+    ) -> None:
+        spec.validate()
+        self.config = config or ScenarioConfig()
+        self.config.validate()
+        self.graph = graph
+        self.spec = spec
+        self.seed = seed
+        self.capable = capable if capable is not None else frozenset(graph.nodes())
+        self.routing = IncrementalRouting(
+            graph,
+            backend=backend,
+            recompute="dirty" if self.config.mode == "incremental" else "all",
+        )
+        self.solver = WarmStartSolver(
+            unconstrained_rate=self.config.link_capacity_bps
+        )
+        #: flow id -> flow, insertion order == ascending flow id.
+        self._flows: dict[int, _SimFlow] = {}
+        for d in demands:
+            if d.flow_id in self._flows:
+                raise ConfigError(f"duplicate flow id {d.flow_id} in demands")
+            self._flows[d.flow_id] = _SimFlow(d.flow_id, d.src, d.dst)
+        self._base_demand = max(1, len(demands))
+        self._next_flow_id = 1 + max((d.flow_id for d in demands), default=-1)
+        # Directed-link interning (same discipline as FluidSimulator).
+        self._link_idx: dict[tuple[int, int], int] = {}
+        self._alloc = np.zeros(0)
+        self._congested = np.zeros(0, dtype=bool)
+        self._cap_factor = np.ones(0)
+        self._exo_frac = np.zeros(0)
+        #: failed links, most recent last: (u, v, relationship of v from u).
+        self._failed: list[tuple[int, int, Relationship]] = []
+        self._event_no = -1  # the initial routing pass is epoch 0
+        self.records: list[EventRecord] = []
+
+    # ------------------------------------------------------------------
+    # link interning & data-plane state
+    # ------------------------------------------------------------------
+    def _intern_link(self, u: int, v: int) -> int:
+        key = (u, v)
+        idx = self._link_idx.get(key)
+        if idx is None:
+            idx = len(self._link_idx)
+            self._link_idx[key] = idx
+            if idx >= self._alloc.shape[0]:
+                grow = max(64, self._alloc.shape[0])
+                self._alloc = np.concatenate([self._alloc, np.zeros(grow)])
+                self._congested = np.concatenate(
+                    [self._congested, np.zeros(grow, dtype=bool)]
+                )
+                self._cap_factor = np.concatenate(
+                    [self._cap_factor, np.ones(grow)]
+                )
+                self._exo_frac = np.concatenate(
+                    [self._exo_frac, np.zeros(grow)]
+                )
+        return idx
+
+    def _intern_path(self, path: tuple[int, ...]) -> list[int]:
+        return [
+            self._intern_link(path[i], path[i + 1]) for i in range(len(path) - 1)
+        ]
+
+    def _capacity_of(self, idx: int) -> float:
+        return self.config.link_capacity_bps * float(self._cap_factor[idx])
+
+    def _residual_capacity(self) -> np.ndarray:
+        """Per-link capacity left for simulated flows (dense, bps)."""
+        n = len(self._link_idx)
+        cap = self.config.link_capacity_bps * self._cap_factor[:n]
+        return cap * (1.0 - self._exo_frac[:n])
+
+    def _congested_fn(self, u: int, v: int) -> bool:
+        idx = self._link_idx.get((u, v))
+        return bool(self._congested[idx]) if idx is not None else False
+
+    def _spare_fn(self, u: int, v: int) -> float:
+        idx = self._link_idx.get((u, v))
+        if idx is None:
+            return self.config.link_capacity_bps
+        cap = self._capacity_of(idx)
+        used = float(self._alloc[idx]) + float(self._exo_frac[idx]) * cap
+        return max(0.0, cap - used)
+
+    # ------------------------------------------------------------------
+    # symbolic target resolution (deterministic)
+    # ------------------------------------------------------------------
+    def pick_link(self, strategy: str) -> tuple[int, int]:
+        """Resolve a symbolic link target against live simulation state.
+
+        ``"busiest"`` — the link crossed by the most currently routed
+        flows; ties break toward the smallest ``(u, v)`` pair; with no
+        routed flows, falls back to the link with the highest endpoint
+        degree sum.  ``"edge-peering"`` — the peering link with the
+        smallest endpoint degree sum (edge links churn most in practice,
+        and a peering between small ASes carries exports only for their
+        customer cones, so its dirty set is tiny — the incremental
+        engine's best case).  Resolution depends only on simulation
+        state, so both update modes pick identical targets.
+        """
+        if strategy == "edge-peering":
+            links = self.graph.links()
+            if not links:
+                raise ConfigError("graph has no links to pick from")
+            deg = {n: len(self.graph.neighbors(n)) for n in self.graph.nodes()}
+            pool = [
+                (u, v) for u, v, rel in links if rel is Relationship.PEER
+            ] or [(u, v) for u, v, _ in links]
+            return min(pool, key=lambda lk: (deg[lk[0]] + deg[lk[1]], lk))
+        if strategy != "busiest":
+            raise ConfigError(f"unknown link pick strategy {strategy!r}")
+        counts: dict[tuple[int, int], int] = {}
+        for f in self._flows.values():
+            if f.path is None:
+                continue
+            for a, b in zip(f.path, f.path[1:]):
+                key = (a, b) if a <= b else (b, a)
+                counts[key] = counts.get(key, 0) + 1
+        if counts:
+            best = min(counts, key=lambda k: (-counts[k], k))
+            return best
+        links = self.graph.links()
+        if not links:
+            raise ConfigError("graph has no links to pick from")
+        deg = {n: len(self.graph.neighbors(n)) for n in self.graph.nodes()}
+        u, v, _ = min(links, key=lambda lk: (-(deg[lk[0]] + deg[lk[1]]), lk[:2]))
+        return u, v
+
+    def pick_popular_dst(self) -> int:
+        """The destination currently attracting the most flows (ties break
+        toward the smallest ASN)."""
+        counts: dict[int, int] = {}
+        for f in self._flows.values():
+            counts[f.dst] = counts.get(f.dst, 0) + 1
+        if not counts:
+            return min(self.graph.nodes())
+        return min(counts, key=lambda d: (-counts[d], d))
+
+    def frac_to_count(self, frac: float) -> int:
+        """Flow count for a traffic event sized as a fraction of the base
+        demand population."""
+        return max(1, int(round(self._base_demand * frac)))
+
+    def _event_rng(self) -> np.random.Generator:
+        # One independent, deterministic stream per timeline position.
+        return np.random.default_rng(
+            self.seed + self.config.seed_salt * (self._event_no + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # event primitives (called by ScenarioEvent.apply)
+    # ------------------------------------------------------------------
+    def fail_link(self, u: int, v: int) -> EventEffect:
+        """Remove link ``u``–``v``; remembers it for later recovery."""
+        rel = self.graph.relationship(u, v)
+        new_graph = without_link(self.graph, u, v)
+        dirty = self.routing.advance(new_graph, u, v)
+        self.graph = new_graph
+        self._failed.append((u, v, rel))
+        lo, hi = (u, v) if u <= v else (v, u)
+        return EventEffect(
+            removed=((lo, hi),), dirty=dirty, target=f"link {lo}-{hi}"
+        )
+
+    def recover_link(self, u: int | None = None, v: int | None = None) -> EventEffect:
+        """Restore a failed link with its original relationship.
+
+        With explicit endpoints, restores that specific link (it must be
+        on the failed stack); otherwise restores the most recent failure.
+        """
+        if not self._failed:
+            raise ConfigError("no failed link to recover")
+        if u is None or v is None:
+            fu, fv, rel = self._failed.pop()
+        else:
+            want = {u, v}
+            pos = next(
+                (
+                    i
+                    for i in range(len(self._failed) - 1, -1, -1)
+                    if {self._failed[i][0], self._failed[i][1]} == want
+                ),
+                None,
+            )
+            if pos is None:
+                raise ConfigError(f"link {u}-{v} is not currently failed")
+            fu, fv, rel = self._failed.pop(pos)
+        new_graph = with_link(self.graph, fu, fv, rel)
+        dirty = self.routing.advance(new_graph, fu, fv)
+        self.graph = new_graph
+        lo, hi = (fu, fv) if fu <= fv else (fv, fu)
+        return EventEffect(dirty=dirty, target=f"link {lo}-{hi}")
+
+    def scale_capacity(self, u: int, v: int, factor: float) -> EventEffect:
+        """Set both directions of ``u``–``v`` to ``factor`` × base capacity."""
+        changed = []
+        for a, b in ((u, v), (v, u)):
+            idx = self._intern_link(a, b)
+            if self._cap_factor[idx] != factor:
+                self._cap_factor[idx] = factor
+                changed.append(idx)
+        lo, hi = (u, v) if u <= v else (v, u)
+        return EventEffect(
+            capacity_changed=tuple(changed), target=f"link {lo}-{hi} x{factor:g}"
+        )
+
+    def set_exogenous_load(self, u: int, v: int, utilization: float) -> EventEffect:
+        """Set scripted cross-traffic on both directions of ``u``–``v``."""
+        changed = []
+        for a, b in ((u, v), (v, u)):
+            idx = self._intern_link(a, b)
+            if self._exo_frac[idx] != utilization:
+                self._exo_frac[idx] = utilization
+                changed.append(idx)
+        lo, hi = (u, v) if u <= v else (v, u)
+        return EventEffect(
+            capacity_changed=tuple(changed),
+            target=f"link {lo}-{hi} @{utilization:g}",
+        )
+
+    def _register_flows(self, pairs: list[tuple[int, int]]) -> tuple[int, ...]:
+        ids = []
+        for src, dst in pairs:
+            fid = self._next_flow_id
+            self._next_flow_id += 1
+            self._flows[fid] = _SimFlow(fid, src, dst)
+            ids.append(fid)
+        return tuple(ids)
+
+    def add_uniform_flows(self, n: int) -> EventEffect:
+        """Register ``n`` uniformly sampled persistent flows."""
+        rng = self._event_rng()
+        ids = self._register_flows(uniform_pairs(self.graph, n, rng))
+        return EventEffect(new_flows=ids, target=f"{n} flows")
+
+    def add_crowd_flows(self, n: int, dst: int) -> EventEffect:
+        """Register ``n`` flows from random sources toward one destination."""
+        if dst not in self.graph:
+            raise ConfigError(f"flash crowd destination AS {dst} not in graph")
+        rng = self._event_rng()
+        nodes = np.fromiter(
+            (x for x in self.graph.nodes() if x != dst), dtype=np.int64
+        )
+        srcs = rng.choice(nodes, size=n)
+        ids = self._register_flows([(int(s), dst) for s in srcs])
+        return EventEffect(new_flows=ids, target=f"{n} flows -> AS {dst}")
+
+    # ------------------------------------------------------------------
+    # the per-event procedure
+    # ------------------------------------------------------------------
+    def _affected_flows(self, effect: EventEffect) -> list[_SimFlow]:
+        dirty = set(effect.dirty)
+        removed = set(effect.removed)
+        changed = set(effect.capacity_changed)
+        new = set(effect.new_flows)
+        out = []
+        for f in self._flows.values():
+            if f.flow_id in new:
+                out.append(f)
+            elif f.path is None:
+                # Previously unroutable: retry only when its destination's
+                # routing state may have changed.
+                if f.dst in dirty:
+                    out.append(f)
+            elif removed and any(
+                ((a, b) if a <= b else (b, a)) in removed
+                for a, b in zip(f.path, f.path[1:])
+            ):
+                out.append(f)
+            elif f.dst in dirty:
+                out.append(f)
+            elif changed and not changed.isdisjoint(f.link_ids):
+                out.append(f)
+        return out
+
+    def _builder(self) -> MifoPathBuilder:
+        return MifoPathBuilder(
+            self.graph,
+            self.routing,
+            self.capable,
+            event_fields={"epoch": self._event_no},
+        )
+
+    def _route_flow(self, f: _SimFlow, builder: MifoPathBuilder) -> bool:
+        """(Re-)walk one flow; returns True if its path changed."""
+        old = f.path
+        try:
+            outcome = builder.build_path(
+                f.src, f.dst, self._congested_fn, self._spare_fn
+            )
+        except NoRouteError:
+            f.path = None
+            f.link_ids = []
+            f.on_alt = False
+            f.rate = 0.0
+            self.solver.remove_flow(f.flow_id)
+            return old is not None
+        f.path = outcome.path
+        f.link_ids = self._intern_path(outcome.path)
+        f.on_alt = outcome.used_alternative
+        if old != outcome.path:
+            self.solver.set_flow(f.flow_id, f.link_ids)
+            if old is not None:
+                f.switches += 1
+            return True
+        return False
+
+    def _solve(self) -> dict[int, float]:
+        self.solver.set_capacity(self._residual_capacity())
+        if self.config.mode == "full":
+            self.solver.invalidate()
+        rates = self.solver.solve()
+        for f in self._flows.values():
+            f.rate = rates.get(f.flow_id, 0.0)
+        self._alloc = np.zeros(self._congested.shape[0])
+        n = len(self._link_idx)
+        self._alloc[:n] = self.solver.allocation()[:n]
+        return rates
+
+    def _update_congestion(self) -> tuple[set[int], bool]:
+        """Hysteresis congestion update (same thresholds as the fluid sim);
+        load counts both allocated and exogenous traffic."""
+        cfg = self.config
+        n = len(self._link_idx)
+        cap = cfg.link_capacity_bps * self._cap_factor[:n]
+        load = self._alloc[:n] + self._exo_frac[:n] * cap
+        old = self._congested[:n].copy()
+        view = self._congested[:n]
+        view[load >= cfg.congest_threshold * cap] = True
+        view[load <= cfg.clear_threshold * cap] = False
+        newly = set(np.flatnonzero(view & ~old).tolist())
+        any_cleared = bool((old & ~view).any())
+        return newly, any_cleared
+
+    def _respond_to_congestion(
+        self,
+        builder: MifoPathBuilder,
+        newly_congested: set[int],
+        any_cleared: bool,
+    ) -> int:
+        """One congestion-response pass mirroring the fluid simulator's
+        ``_offer_reroutes``: flows on their default path react to links
+        that just congested on their own path; deflected flows reconsider
+        (and possibly resume) when something cleared.  Moved flows shift
+        the allocation estimate immediately."""
+        moved = 0
+        for f in self._flows.values():  # insertion order == flow-id order
+            if f.path is None:
+                continue
+            if f.on_alt:
+                if not any_cleared:
+                    continue
+            elif newly_congested.isdisjoint(f.link_ids):
+                continue
+            old_ids = list(f.link_ids)
+            rate = f.rate
+            if self._route_flow(f, builder):
+                moved += 1
+                for idx in old_ids:
+                    self._alloc[idx] = max(0.0, self._alloc[idx] - rate)
+                for idx in f.link_ids:
+                    self._alloc[idx] += rate
+                tm.event(
+                    "path_switch",
+                    flow=f.flow_id,
+                    src=f.src,
+                    dst=f.dst,
+                    on_alt=f.on_alt,
+                    cause="congested_link" if f.on_alt else "resume",
+                    epoch=self._event_no,
+                )
+        return moved
+
+    def _certify(
+        self,
+        dirty: tuple[int, ...],
+        converged_before: frozenset[int],
+        trace_mark: int,
+    ) -> int:
+        """Step 7: re-prove invariants over destinations this event could
+        have perturbed, and cross-check the epoch's recorded deflections
+        against the epoch's own FIB state."""
+        scope = set(dirty)
+        scope.update(
+            d for d in self.routing.cached_destinations() if d not in converged_before
+        )
+        if scope:
+            with tm.span("scenario.verify"):
+                report = verify_routing(
+                    self.graph,
+                    self.routing,
+                    sorted(scope),
+                    capable=self.capable,
+                )
+            if not report.ok:
+                raise VerificationError(report)
+        t = tm.active()
+        if t is not None:
+            epoch_events = [
+                e
+                for e in t.trace_events()
+                if isinstance(e.get("seq"), int) and e["seq"] >= trace_mark
+            ]
+            problems = crosscheck_trace(
+                self.graph,
+                self.routing,
+                epoch_events,
+                capable=self.capable,
+                skip_epoch_tagged=False,
+            )
+            if problems:
+                raise VerificationError(
+                    "scenario epoch trace disagrees with FIB state:\n  "
+                    + "\n  ".join(problems)
+                )
+        return len(scope)
+
+    def step(self, when: float, event: ScenarioEvent | None = None) -> None:
+        """Apply one timeline event (``None`` = the epoch-0 initial
+        routing of the base population) and run the full per-event
+        procedure.  :meth:`run` drives this; benchmarks call it directly
+        to time event processing separately from the initial routing."""
+        self._event_no += 1
+        t = tm.active()
+        trace_mark = t.events_total if t is not None else 0
+        with tm.span("scenario.event"):
+            if event is None:  # epoch 0: route the base population
+                effect = EventEffect(
+                    new_flows=tuple(self._flows), target="initial routing"
+                )
+                kind = "initial"
+            else:
+                effect = event.apply(self)
+                kind = event.kind
+            converged_before = frozenset(self.routing.cached_destinations())
+
+            builder = self._builder()
+            affected = self._affected_flows(effect)
+            rerouted = 0
+            for f in affected:
+                if self._route_flow(f, builder):
+                    rerouted += 1
+            self._solve()
+            newly_congested, any_cleared = self._update_congestion()
+            if newly_congested or any_cleared:
+                if self._respond_to_congestion(
+                    builder, newly_congested, any_cleared
+                ):
+                    self._solve()
+                    self._update_congestion()
+
+            verified = 0
+            if self.config.verify:
+                verified = self._certify(effect.dirty, converged_before, trace_mark)
+            if self.config.crosscheck:
+                self.routing.crosscheck()
+
+            self._record(when, kind, effect, rerouted, verified)
+
+    def _record(
+        self,
+        when: float,
+        kind: str,
+        effect: EventEffect,
+        rerouted: int,
+        verified: int,
+    ) -> None:
+        routed = [f for f in self._flows.values() if f.path is not None]
+        unroutable = len(self._flows) - len(routed)
+        n = len(self._link_idx)
+        total_bps = float(sum(f.rate for f in routed))
+        record = EventRecord(
+            index=self._event_no,
+            time_s=when,
+            kind=kind,
+            target=effect.target,
+            dirty_dests=len(effect.dirty),
+            flows_rerouted=rerouted,
+            flows_unroutable=unroutable,
+            flows_total=len(self._flows),
+            deflected_flows=sum(f.on_alt for f in routed),
+            congested_links=int(self._congested[:n].sum()),
+            verified_dests=verified,
+            mean_rate_mbps=(total_bps / len(routed) / 1e6) if routed else 0.0,
+            total_throughput_gbps=total_bps / 1e9,
+        )
+        self.records.append(record)
+        tm.inc("scenario.events")
+        tm.event(
+            "scenario_event",
+            time_s=when,
+            event=kind,
+            target=effect.target,
+            epoch=self._event_no,
+            dirty=len(effect.dirty),
+            rerouted=rerouted,
+            unroutable=unroutable,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioRun:
+        """Route the base population, then play the whole timeline."""
+        with tm.span("scenario.run"):
+            self.step(0.0, None)
+            for when, ev in self.spec.timeline:
+                self.step(when, ev)
+        return ScenarioRun(
+            scenario=self.spec.name,
+            mode=self.config.mode,
+            backend=self.routing.backend,
+            records=list(self.records),
+            dests_recomputed=self.routing.dests_recomputed,
+            dests_rebased=self.routing.dests_rebased,
+            warm_solves=self.solver.solves,
+            warm_hits=self.solver.hits,
+        )

@@ -29,6 +29,7 @@ lint rule stay sound.
 
 from .core import (
     DEFAULT_TRACE_CAPACITY,
+    EventValue,
     Stopwatch,
     Telemetry,
     TelemetrySession,
@@ -45,6 +46,7 @@ from .core import (
 
 __all__ = [
     "DEFAULT_TRACE_CAPACITY",
+    "EventValue",
     "Stopwatch",
     "Telemetry",
     "TelemetrySession",

@@ -78,6 +78,7 @@ class Stopwatch:
         return time.perf_counter() - self._t0
 
     def restart(self) -> None:
+        """Reset the reference instant to now."""
         self._t0 = time.perf_counter()
 
     @staticmethod
@@ -158,6 +159,7 @@ class TelemetrySnapshot:
     events_dropped: int = 0
 
     def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Element-wise sum of two snapshots."""
         counters = dict(self.counters)
         for k, v in other.counters.items():
             counters[k] = counters.get(k, 0) + v
@@ -321,9 +323,11 @@ class Telemetry:
 
     # -- instruments ----------------------------------------------------
     def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name``."""
         self.counters[name] = self.counters.get(name, 0) + n
 
     def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
         self.gauges[name] = float(value)
 
     def observe(
@@ -343,11 +347,21 @@ class Telemetry:
         cell[1][bisect.bisect_left(cell[0], value)] += 1
 
     def span(self, name: str) -> _Span:
+        """Context manager timing the phase ``name``."""
         return _Span(self, name)
 
     def current_phase(self) -> str | None:
         """Innermost open span name (annotates trace events)."""
         return self._stack[-1] if self._stack else None
+
+    @property
+    def events_total(self) -> int:
+        """Events recorded so far (monotone; equals the next ``seq``).
+
+        Callers use it as a *mark*: events recorded after the mark are
+        exactly those with ``seq >= mark`` — how the scenario engine
+        scopes its per-epoch trace cross-check."""
+        return self._events_total
 
     def event(self, kind: str, /, **fields: EventValue) -> None:
         """Append one structured event to the bounded ring buffer."""
@@ -365,6 +379,7 @@ class Telemetry:
         return tuple(self._trace)
 
     def snapshot(self) -> TelemetrySnapshot:
+        """An immutable copy of all current measurements."""
         return TelemetrySnapshot(
             counters=dict(self.counters),
             gauges=dict(self.gauges),
@@ -437,12 +452,14 @@ def activate(telemetry: Telemetry | None) -> None:
 
 
 def inc(name: str, n: int = 1) -> None:
+    """Add ``n`` to a counter on the active telemetry, if any."""
     t = _active
     if t is not None:
         t.inc(name, n)
 
 
 def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active telemetry, if any."""
     t = _active
     if t is not None:
         t.set_gauge(name, value)
@@ -451,12 +468,14 @@ def set_gauge(name: str, value: float) -> None:
 def observe(
     name: str, value: float, *, bounds: tuple[float, ...] = DEFAULT_BOUNDS
 ) -> None:
+    """Record a histogram sample on the active telemetry."""
     t = _active
     if t is not None:
         t.observe(name, value, bounds=bounds)
 
 
 def span(name: str) -> SpanHandle:
+    """Time a phase on the active telemetry (no-op when off)."""
     t = _active
     if t is None:
         return _NOOP_SPAN
@@ -464,6 +483,7 @@ def span(name: str) -> SpanHandle:
 
 
 def event(kind: str, /, **fields: EventValue) -> None:
+    """Record a trace event on the active telemetry, if any."""
     t = _active
     if t is not None:
         t.event(kind, **fields)
@@ -485,6 +505,7 @@ class TelemetrySession:
         self._base = telemetry.snapshot()
 
     def delta(self) -> TelemetrySnapshot:
+        """Measurements accumulated since construction."""
         return self.telemetry.snapshot().subtract(self._base)
 
     def meta(self) -> dict[str, object]:

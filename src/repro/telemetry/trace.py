@@ -23,6 +23,10 @@ Event kinds:
     A mid-flow reroute in the fluid simulator (deflect or resume).
 ``encap``
     An IP-in-IP encapsulation toward an iBGP peer (packet engine).
+``scenario_event``
+    One timeline event processed by the dynamic-scenario engine
+    (``repro.scenario``): what happened, what it hit, how many
+    destinations went dirty and flows moved.
 """
 
 from __future__ import annotations
@@ -58,7 +62,13 @@ TRACE_SCHEMA: dict[str, object] = {
     "properties": {
         "kind": {
             "type": "string",
-            "enum": ["deflection", "tagcheck_drop", "path_switch", "encap"],
+            "enum": [
+                "deflection",
+                "tagcheck_drop",
+                "path_switch",
+                "encap",
+                "scenario_event",
+            ],
         },
         "seq": {"type": "integer"},
         "phase": {"type": "string"},
@@ -79,6 +89,27 @@ TRACE_SCHEMA: dict[str, object] = {
         "tag_bit": {"type": "boolean"},
         "on_alt": {"type": "boolean"},
         "time_s": {"type": "number"},
+        "epoch": {
+            "type": "integer",
+            "description": (
+                "Scenario-engine epoch (timeline event index) the event "
+                "was recorded under; the end-of-run trace gate skips "
+                "epoch-tagged deflections because each epoch is "
+                "cross-checked against its own FIB state."
+            ),
+        },
+        "event": {
+            "type": "string",
+            "description": (
+                "Scenario event kind (link_fail, link_recover, "
+                "capacity_scale, traffic_ramp, flash_crowd, "
+                "congestion_onset, initial)."
+            ),
+        },
+        "target": {"type": "string"},
+        "dirty": {"type": "integer"},
+        "rerouted": {"type": "integer"},
+        "unroutable": {"type": "integer"},
         "router": {"type": "string"},
         "peer": {"type": "string"},
     },

@@ -68,6 +68,7 @@ class CsrAdjacency:
 
     @property
     def n_nodes(self) -> int:
+        """Number of ASes in the dense index."""
         return len(self.asns)
 
     def neighbors_of(self, idx: int) -> tuple[np.ndarray, np.ndarray]:
@@ -245,6 +246,7 @@ class ASGraph:
     # ------------------------------------------------------------------
     @property
     def frozen(self) -> bool:
+        """Whether freeze() has been called."""
         return self._frozen
 
     def csr(self) -> CsrAdjacency:
@@ -268,6 +270,7 @@ class ASGraph:
         return asn in self._nbr
 
     def nodes(self) -> Iterator[int]:
+        """Iterate ASNs in insertion order."""
         return iter(self._nbr)
 
     def links(self) -> list[tuple[int, int, Relationship]]:
@@ -282,6 +285,7 @@ class ASGraph:
         )
 
     def num_links(self) -> int:
+        """Number of undirected links."""
         return sum(len(n) for n in self._nbr.values()) // 2
 
     def neighbors(self, asn: int) -> dict[int, Relationship]:
@@ -299,18 +303,23 @@ class ASGraph:
             raise TopologyError(f"no link between AS {u} and AS {v}") from None
 
     def are_adjacent(self, u: int, v: int) -> bool:
+        """Whether a link ``u``-``v`` exists."""
         return v in self._nbr.get(u, ())
 
     def customers(self, asn: int) -> list[int]:
+        """Customer ASNs of ``asn`` (sorted at freeze)."""
         return self._customers[asn]
 
     def providers(self, asn: int) -> list[int]:
+        """Provider ASNs of ``asn`` (sorted at freeze)."""
         return self._providers[asn]
 
     def peers(self, asn: int) -> list[int]:
+        """Peer ASNs of ``asn`` (sorted at freeze)."""
         return self._peers[asn]
 
     def degree(self, asn: int) -> int:
+        """Number of neighbors of ``asn``."""
         return len(self._nbr[asn])
 
     def stub_ases(self) -> list[int]:

@@ -52,6 +52,7 @@ class TopologyConfig:
     seed: int = 2014
 
     def validate(self) -> None:
+        """Reject inconsistent topology parameters."""
         if self.n_tier1 < 2:
             raise ConfigError("need at least 2 tier-1 ASes")
         if self.n_ases < self.n_tier1 + 2:

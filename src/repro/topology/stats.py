@@ -36,10 +36,12 @@ class TopologyStats:
 
     @property
     def p2c_fraction(self) -> float:
+        """p2c links as a fraction of all links."""
         return self.n_p2c_links / self.n_links if self.n_links else 0.0
 
     @property
     def peering_fraction(self) -> float:
+        """Peering links as a fraction of all links."""
         return self.n_peering_links / self.n_links if self.n_links else 0.0
 
     def as_table_row(self) -> dict[str, int]:

@@ -56,6 +56,7 @@ class TrafficConfig:
     size_shape: float = 1.5  #: Pareto shape (must be > 1 for finite mean)
 
     def validate(self) -> None:
+        """Reject inconsistent workload parameters."""
         if self.n_flows <= 0:
             raise ConfigError("n_flows must be positive")
         if self.arrival_rate <= 0:

@@ -117,6 +117,7 @@ class _DestinationChecker:
     # check 1: FIB/RIB consistency
     # ------------------------------------------------------------------
     def check_consistency(self) -> None:
+        """Prove every FIB entry is backed by the RIB state."""
         graph = self.graph
         table = self.table
         for u in sorted(table.fib):
@@ -270,12 +271,14 @@ class _DestinationChecker:
         )
 
     def run(self) -> None:
+        """Run all three static checks in order."""
         self.check_consistency()
         self.check_valley_freedom()
         self.check_loop_freedom()
 
     @property
     def n_states(self) -> int:
+        """States explored by the loop-freedom search."""
         return len(self._parent)
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from ..bgp.propagation import RoutingCache
+from ..bgp.propagation import RoutingCache, RoutingSource
 from ..errors import VerificationError
 from ..mifo.tag import transit_allowed
 from ..telemetry.core import EventValue
@@ -36,10 +36,11 @@ __all__ = ["crosscheck_trace", "post_run_gate", "verify_cache"]
 
 def crosscheck_trace(
     graph: ASGraph,
-    routing: RoutingCache,
+    routing: RoutingSource,
     events: Sequence[dict[str, EventValue]],
     *,
     capable: frozenset[int] | None = None,
+    skip_epoch_tagged: bool = True,
 ) -> list[str]:
     """Validate recorded deflection events against current FIB state.
 
@@ -50,10 +51,20 @@ def crosscheck_trace(
     (d) the deflecting AS is MIFO-capable when ``capable`` is given.
     Returns a list of problem strings (empty = trace consistent).
     Non-deflection events pass through unexamined.
+
+    ``skip_epoch_tagged`` — events carrying an ``epoch`` field were
+    recorded against an *evolving* topology by the scenario engine, which
+    cross-checks each epoch against its own FIB state before moving on;
+    the end-of-run gate (whose routing snapshot is the final epoch's, or
+    a different context's entirely) must not re-judge them.  Pass False
+    to check such events against ``routing`` anyway (what the scenario
+    engine's per-epoch gate does).
     """
     problems: list[str] = []
     for i, ev in enumerate(events):
         if ev.get("kind") != "deflection":
+            continue
+        if skip_epoch_tagged and "epoch" in ev:
             continue
         u, dst = ev.get("as"), ev.get("dst")
         chosen, default_nh = ev.get("chosen"), ev.get("default_nh")

@@ -36,6 +36,7 @@ class Finding:
     cycle_start: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict of this finding."""
         d: dict[str, Any] = {
             "check": self.check,
             "dest": self.dest,
@@ -66,9 +67,11 @@ class VerificationReport:
     elapsed_s: float
 
     def findings_for(self, check: str) -> tuple[Finding, ...]:
+        """Findings produced by one named check."""
         return tuple(f for f in self.findings if f.check == check)
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dict of the whole report."""
         return {
             "ok": self.ok,
             "findings": [f.to_dict() for f in self.findings],
@@ -80,6 +83,7 @@ class VerificationReport:
         }
 
     def to_json(self, *, indent: int | None = None) -> str:
+        """JSON string of :meth:`to_dict`."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def render(self) -> str:

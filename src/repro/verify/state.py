@@ -121,4 +121,5 @@ class ForwardingState:
 
     @property
     def destinations(self) -> tuple[int, ...]:
+        """Destinations covered, in table order."""
         return tuple(t.dest for t in self.tables)

@@ -7,7 +7,11 @@ import pytest
 
 from repro.experiments import ribstudy, table1
 from repro.experiments.common import SCALES, ExperimentScale, SharedContext
-from repro.experiments.result import ExperimentResult, freeze_series
+from repro.experiments.result import (
+    PROVENANCE_KEYS,
+    ExperimentResult,
+    freeze_series,
+)
 
 
 class TestExperimentResult:
@@ -49,10 +53,18 @@ class TestExperimentResult:
         assert frozen == {"a": ((1.0, 2.0), (3.5, 4.0))}
 
     def test_backends_produce_identical_meta(self):
+        # Strip the whole provenance set, not just "backend": cache stats
+        # and effective worker counts legitimately differ across backends
+        # (and with test execution order) — that is exactly why they are
+        # excluded from the determinism-checked payload.
         dict_result = ribstudy.run("test", backend="dict")
         array_result = ribstudy.run("test", backend="array")
-        dmeta = {k: v for k, v in dict_result.meta.items() if k != "backend"}
-        ameta = {k: v for k, v in array_result.meta.items() if k != "backend"}
+        dmeta = {
+            k: v for k, v in dict_result.meta.items() if k not in PROVENANCE_KEYS
+        }
+        ameta = {
+            k: v for k, v in array_result.meta.items() if k not in PROVENANCE_KEYS
+        }
         assert dmeta == ameta
 
 

@@ -1,0 +1,101 @@
+"""Unit tests for the scenario event vocabulary and timeline specs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenario.events import (
+    SCENARIOS,
+    CapacityScale,
+    CongestionOnset,
+    FlashCrowd,
+    LinkFail,
+    LinkRecover,
+    ScenarioSpec,
+    TrafficRamp,
+    get_scenario,
+    _resolve_link,
+)
+
+
+class TestBuiltins:
+    def test_all_builtin_timelines_validate(self):
+        for name, spec in SCENARIOS.items():
+            assert spec.name == name
+            spec.validate()  # must not raise
+            assert spec.timeline, name
+            assert spec.description
+
+    def test_get_scenario(self):
+        assert get_scenario("link_flap") is SCENARIOS["link_flap"]
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_events_are_frozen(self):
+        ev = LinkFail(u=1, v=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ev.u = 3  # type: ignore[misc]
+
+    def test_event_kinds_unique(self):
+        kinds = {
+            LinkFail.kind,
+            LinkRecover.kind,
+            CapacityScale.kind,
+            TrafficRamp.kind,
+            FlashCrowd.kind,
+            CongestionOnset.kind,
+        }
+        assert len(kinds) == 6
+
+
+class TestSpecValidation:
+    def test_decreasing_times_rejected(self):
+        spec = ScenarioSpec(
+            "bad", "times go backwards", ((2.0, LinkFail()), (1.0, LinkRecover()))
+        )
+        with pytest.raises(ConfigError, match="non-decreasing"):
+            spec.validate()
+
+    def test_negative_time_rejected(self):
+        spec = ScenarioSpec("bad", "negative start", ((-1.0, LinkFail()),))
+        with pytest.raises(ConfigError):
+            spec.validate()
+
+    def test_equal_times_allowed(self):
+        ScenarioSpec(
+            "ok", "simultaneous", ((1.0, LinkFail()), (1.0, TrafficRamp()))
+        ).validate()
+
+
+class TestEventValidation:
+    """Parameter validation happens at apply() time; none of these need a
+    live engine because validation fires before any engine call."""
+
+    def test_capacity_scale_negative_factor(self):
+        with pytest.raises(ConfigError, match="must be >= 0"):
+            CapacityScale(factor=-0.5, u=1, v=2).apply(None)  # type: ignore[arg-type]
+
+    def test_traffic_ramp_nonpositive_frac(self):
+        with pytest.raises(ConfigError, match="must be > 0"):
+            TrafficRamp(frac=0.0).apply(None)  # type: ignore[arg-type]
+
+    def test_flash_crowd_nonpositive_frac(self):
+        with pytest.raises(ConfigError, match="must be > 0"):
+            FlashCrowd(frac=-1.0).apply(None)  # type: ignore[arg-type]
+
+    def test_congestion_onset_out_of_range(self):
+        with pytest.raises(ConfigError, match="outside"):
+            CongestionOnset(utilization=1.5, u=1, v=2).apply(None)  # type: ignore[arg-type]
+
+    def test_resolve_link_needs_target_or_pick(self):
+        with pytest.raises(ConfigError, match="pick strategy"):
+            _resolve_link(None, None, None, None)  # type: ignore[arg-type]
+
+    def test_resolve_link_explicit_endpoints_win(self):
+        # With explicit endpoints the engine is never consulted.
+        assert _resolve_link(None, 3, 7, "busiest") == (3, 7)  # type: ignore[arg-type]

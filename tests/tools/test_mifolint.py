@@ -21,7 +21,7 @@ class TestMF001UnseededRandomness:
     def test_module_level_random_flagged(self):
         src = """
             import random
-            def f() -> float:
+            def _f() -> float:
                 return random.random()
         """
         assert _codes(src) == ["MF001"]
@@ -29,7 +29,7 @@ class TestMF001UnseededRandomness:
     def test_seeded_random_instance_allowed(self):
         src = """
             import random
-            def f() -> float:
+            def _f() -> float:
                 rng = random.Random(42)
                 return rng.random()
         """
@@ -41,7 +41,7 @@ class TestMF001UnseededRandomness:
     def test_numpy_legacy_global_flagged(self):
         src = """
             import numpy as np
-            def f():
+            def _f():
                 np.random.seed(0)
                 return np.random.rand(3)
         """
@@ -65,7 +65,7 @@ class TestMF001UnseededRandomness:
     def test_from_import_member_flagged(self):
         src = """
             from random import shuffle
-            def f(xs: list) -> None:
+            def _f(xs: list) -> None:
                 shuffle(xs)
         """
         assert _codes(src) == ["MF001"]
@@ -109,8 +109,8 @@ class TestMF003FrozenMutation:
 
     def test_self_mutator_call_allowed(self):
         src = """
-            class ASGraph:
-                def from_links(self) -> None:
+            class _ASGraph:
+                def _from_links(self) -> None:
                     self.add_p2c(1, 2)
         """
         assert _codes(src) == []
@@ -126,8 +126,8 @@ class TestMF003FrozenMutation:
 
     def test_self_private_store_allowed(self):
         src = """
-            class ASGraph:
-                def freeze(self) -> None:
+            class _ASGraph:
+                def _freeze(self) -> None:
                     self._frozen = True
         """
         assert _codes(src) == []
@@ -140,7 +140,7 @@ class TestMF004AdHocClocks:
     def test_time_time_flagged(self):
         src = """
             import time
-            def f() -> float:
+            def _f() -> float:
                 return time.time()
         """
         assert _codes(src) == ["MF004"]
@@ -152,7 +152,7 @@ class TestMF004AdHocClocks:
     def test_from_import_member_flagged(self):
         src = """
             from time import monotonic
-            def f() -> float:
+            def _f() -> float:
                 return monotonic()
         """
         assert _codes(src) == ["MF004"]
@@ -179,6 +179,96 @@ class TestMF004AdHocClocks:
     def test_unrelated_attribute_named_time_allowed(self):
         # `self.time()` or `clock.time()` is not the stdlib module.
         assert _codes("x = clock.time()\n") == []
+
+
+class TestMF005Docstrings:
+    def test_public_function_without_docstring_flagged(self):
+        assert _codes("def pub() -> int:\n    return 1\n") == ["MF005"]
+
+    def test_public_class_without_docstring_flagged(self):
+        src = """
+            class Pub:
+                x: int = 1
+        """
+        assert _codes(src) == ["MF005"]
+
+    def test_docstring_satisfies(self):
+        src = '''
+            def pub() -> int:
+                """Returns one."""
+                return 1
+        '''
+        assert _codes(src) == []
+
+    def test_private_and_dunder_exempt(self):
+        src = """
+            class _Hidden:
+                def __init__(self) -> None:
+                    self.x = 1
+                def _helper(self) -> None:
+                    return None
+        """
+        assert _codes(src) == []
+
+    def test_public_method_flagged(self):
+        src = '''
+            class Pub:
+                """Documented."""
+                def undocumented(self) -> None:
+                    return None
+        '''
+        assert _codes(src) == ["MF005"]
+
+    def test_overload_stub_exempt(self):
+        src = """
+            from typing import overload
+            @overload
+            def pub(x: int) -> int: ...
+            @overload
+            def pub(x: str) -> str: ...
+        """
+        assert _codes(src) == []
+
+    def test_property_setter_exempt(self):
+        src = '''
+            class Pub:
+                """Documented."""
+                @property
+                def value(self) -> int:
+                    """The value."""
+                    return self._v
+                @value.setter
+                def value(self, v: int) -> None:
+                    self._v = v
+        '''
+        assert _codes(src) == []
+
+    def test_stub_bodies_exempt(self):
+        src = """
+            class Proto:
+                '''A protocol.'''
+                def member(self) -> int: ...
+                def other(self) -> None:
+                    pass
+        """
+        assert _codes(src) == []
+
+    def test_nested_functions_exempt(self):
+        src = '''
+            def pub() -> int:
+                """Documented."""
+                def inner() -> int:
+                    return 1
+                return inner()
+        '''
+        assert _codes(src) == []
+
+    def test_non_library_code_exempt(self):
+        assert _codes("def pub() -> None:\n    return None\n", library=False) == []
+
+    def test_inline_suppression(self):
+        src = "def pub() -> None:  # mifolint: disable=MF005\n    return None\n"
+        assert _codes(src) == []
 
 
 class TestSuppression:

@@ -1,0 +1,91 @@
+"""Tests for the derived-topology helpers (``repro.topology.dynamics``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.asgraph import ASGraph
+from repro.topology.dynamics import with_link, without_link
+from repro.topology.relationships import Relationship
+
+
+def _link_set(g: ASGraph) -> set[tuple[int, int, Relationship]]:
+    return set(g.links())
+
+
+class TestWithoutLink:
+    def test_removes_exactly_one_link(self, fig2a_graph):
+        g = without_link(fig2a_graph, 2, 3)
+        assert not g.are_adjacent(2, 3)
+        assert _link_set(g) == _link_set(fig2a_graph) - {
+            (2, 3, fig2a_graph.relationship(2, 3))
+        }
+
+    def test_preserves_node_set_even_when_isolating(self):
+        g0 = ASGraph.from_links(p2c=[(1, 0)])
+        g = without_link(g0, 0, 1)
+        assert sorted(g.nodes()) == [0, 1]
+        assert g.degree(0) == 0
+
+    def test_preserves_relationship_orientation(self, fig2a_graph):
+        """Regression: ``links()`` orders endpoints by ASN, so a p2c link
+        whose provider has the higher ASN is reported as PROVIDER — the
+        copy must not degrade it to a peering."""
+        # In fig2a, 1/2/3 are providers of 0; links() reports (0, 1,
+        # PROVIDER) etc.  Removing the unrelated peering must keep them p2c.
+        g = without_link(fig2a_graph, 2, 3)
+        for provider in (1, 2, 3):
+            assert g.relationship(0, provider) is Relationship.PROVIDER
+            assert g.relationship(provider, 0) is Relationship.CUSTOMER
+
+    def test_missing_link_rejected(self, fig2a_graph):
+        with pytest.raises(TopologyError, match="no link"):
+            without_link(fig2a_graph, 0, 99)
+
+    def test_original_untouched(self, fig2a_graph):
+        before = _link_set(fig2a_graph)
+        without_link(fig2a_graph, 2, 3)
+        assert _link_set(fig2a_graph) == before
+
+
+class TestWithLink:
+    def test_round_trip_restores_graph(self, fig2a_graph):
+        for u, v, _ in list(fig2a_graph.links()):
+            rel = fig2a_graph.relationship(u, v)
+            again = with_link(without_link(fig2a_graph, u, v), u, v, rel)
+            assert _link_set(again) == _link_set(fig2a_graph), (u, v)
+
+    def test_rel_of_v_customer_makes_u_provider(self, fig2a_graph):
+        g = without_link(fig2a_graph, 1, 0)
+        g2 = with_link(g, 1, 0, Relationship.CUSTOMER)  # 0 is 1's customer
+        assert g2.relationship(1, 0) is Relationship.CUSTOMER
+
+    def test_rel_of_v_provider_makes_v_provider(self, fig2a_graph):
+        g = without_link(fig2a_graph, 1, 0)
+        g2 = with_link(g, 0, 1, Relationship.PROVIDER)  # 1 is 0's provider
+        assert g2.relationship(0, 1) is Relationship.PROVIDER
+
+    def test_peer_addition(self, chain_graph):
+        g = with_link(chain_graph, 0, 2, Relationship.PEER)
+        assert g.relationship(0, 2) is Relationship.PEER
+
+    def test_unknown_endpoint_rejected(self, fig2a_graph):
+        with pytest.raises(TopologyError, match="cannot add ASes"):
+            with_link(fig2a_graph, 0, 99, Relationship.PEER)
+
+    def test_duplicate_link_rejected(self, fig2a_graph):
+        with pytest.raises(TopologyError, match="already exists"):
+            with_link(fig2a_graph, 1, 2, Relationship.PEER)
+
+    def test_provider_cycle_rejected(self, chain_graph):
+        # 0 <- 1 <- 2; making 0 a provider of 2 closes a customer cycle.
+        with pytest.raises(TopologyError):
+            with_link(chain_graph, 2, 0, Relationship.PROVIDER)
+
+    def test_synthetic_round_trip(self, small_internet):
+        links = sorted((u, v) for u, v, _ in small_internet.links())
+        for u, v in links[:: max(1, len(links) // 8)]:
+            rel = small_internet.relationship(u, v)
+            again = with_link(without_link(small_internet, u, v), u, v, rel)
+            assert _link_set(again) == _link_set(small_internet), (u, v)

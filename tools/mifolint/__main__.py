@@ -11,7 +11,7 @@ from .core import RULES, lint_paths
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mifolint",
-        description="MIFO repo-specific AST lint rules (MF001-MF003)",
+        description="MIFO repo-specific AST lint rules (MF001-MF005)",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src", "tests"], help="files or directories"

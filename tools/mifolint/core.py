@@ -38,6 +38,14 @@ calls are flagged everywhere in the library except inside
 ``repro.telemetry`` itself.  ``time.sleep()`` is not a clock read and is
 not flagged.
 
+``MF005`` — **every public class and function in library code carries a
+docstring.**  ``src/repro`` is grown across many sessions by authors with
+no shared memory; the docstring is the only durable statement of intent a
+public surface gets.  Names with a leading underscore (which covers
+dunders), ``@overload`` stubs, property ``setter``/``deleter``/``getter``
+companions, ellipsis/``pass`` stub bodies (Protocol members, abstract
+declarations), and functions nested inside other functions are exempt.
+
 Suppression: append ``# mifolint: disable=MF00X`` (or ``# noqa: MF00X``)
 to the offending line.
 """
@@ -58,6 +66,7 @@ RULES: dict[str, str] = {
     "MF002": "iteration over an unordered set in a routing hot path breaks determinism",
     "MF003": "mutation of a frozen ASGraph or of CSR arrays shared with forked workers",
     "MF004": "direct time.time()/perf_counter() in library code; use repro.telemetry",
+    "MF005": "public class/function in library code without a docstring",
 }
 
 #: clock-reading functions of the stdlib ``time`` module (MF004).
@@ -164,6 +173,8 @@ class _Visitor(ast.NodeVisitor):
         self.time_aliases: set[str] = set()
         #: name -> member imported from stdlib ``time``
         self.time_members: dict[str, str] = {}
+        #: current function nesting depth (MF005 skips nested functions)
+        self._func_depth = 0
 
     # ------------------------------------------------------------------
     # import tracking (MF001)
@@ -363,6 +374,71 @@ class _Visitor(ast.NodeVisitor):
             and isinstance(expr.func, ast.Attribute)
             and expr.func.attr == "keys"
         )
+
+    # ------------------------------------------------------------------
+    # docstrings: MF005
+    # ------------------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if (
+            self.library
+            and self._func_depth == 0
+            and not node.name.startswith("_")
+            and ast.get_docstring(node) is None
+        ):
+            self._add(
+                node, "MF005",
+                f"public class {node.name!r} has no docstring",
+            )
+        self.generic_visit(node)
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        if (
+            self.library
+            and self._func_depth == 0
+            and not node.name.startswith("_")
+            and ast.get_docstring(node) is None
+            and not self._docstring_exempt(node)
+        ):
+            self._add(
+                node, "MF005",
+                f"public function {node.name!r} has no docstring",
+            )
+        self._func_depth += 1
+        self.generic_visit(node)
+        self._func_depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    @staticmethod
+    def _docstring_exempt(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        """Overload stubs, property companions, and stub bodies need no
+        docstring of their own — the canonical definition carries it."""
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if isinstance(target, ast.Name) and target.id == "overload":
+                return True
+            if isinstance(target, ast.Attribute) and target.attr in (
+                "overload",
+                "setter",
+                "deleter",
+                "getter",
+            ):
+                return True
+        body = node.body
+        if len(body) == 1:
+            only = body[0]
+            if isinstance(only, ast.Pass):
+                return True
+            if (
+                isinstance(only, ast.Expr)
+                and isinstance(only.value, ast.Constant)
+                and only.value.value is Ellipsis
+            ):
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # stores: MF003b
