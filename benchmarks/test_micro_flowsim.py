@@ -1,0 +1,179 @@
+"""Micro-benchmark of the incremental path-pooled max-min solver.
+
+The ISSUE acceptance gate: on a fig5-scale event stream (thousands of
+links, hundreds of concurrent flows, one arrival/completion/reroute per
+event) the stateful :class:`~repro.flowsim.incremental.IncrementalMaxMin`
+must re-solve the allocation at least **3x** faster than rebuilding the
+incidence and running the cold :func:`~repro.flowsim.maxmin.maxmin_rates`
+after every event — while producing the bit-identical per-link allocation
+(summed into a checksum here; the exhaustive equality lives in
+``tests/flowsim``).
+
+Both sides are timed over several interleaved repetitions and the gate is
+the **ratio of minima**: this machine class shows ±20% run-to-run noise,
+and min-of-reps is the standard way to compare the undisturbed cost of
+two deterministic loops.  Numbers land in
+``results/microbench_flowsim.txt`` and ``results/BENCH_suite.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.flowsim.incremental import IncrementalMaxMin
+from repro.flowsim.maxmin import build_incidence, maxmin_rates
+
+from .conftest import write_result
+
+N_LINKS = 4000  # directed inter-AS links at the default (fig5) scale
+N_FLOWS = 2500
+CONCURRENCY = 700  # steady-state live flows
+PATH_LEN = (2, 6)  # AS-hops per paper-scale interdomain path
+REPS = 3
+SPEEDUP_FLOOR = 3.0  # gate on the arrival-heavy (fig5-like) mix
+SPEEDUP_FLOOR_REROUTE = 2.0
+
+
+N_ROUTES = 900  # distinct routes flows draw from (same src/dst -> same path)
+
+
+def _workload(seed: int, *, reroute_every: int = 0):
+    """A (op, flow_id, path) event stream: Poisson-ish arrivals at a
+    steady concurrency with FIFO completions; optionally one reroute
+    (``move``) every ``reroute_every`` arrivals.  Paths come from a
+    finite route set — concurrent flows between the same endpoints share
+    an identical path, which is exactly what the solver pools."""
+    rng = np.random.default_rng(seed)
+    routes = [
+        rng.choice(
+            N_LINKS,
+            size=int(rng.integers(PATH_LEN[0], PATH_LEN[1] + 1)),
+            replace=False,
+        ).tolist()
+        for _ in range(N_ROUTES)
+    ]
+
+    def path():
+        return routes[int(rng.integers(N_ROUTES))]
+
+    events = []
+    alive: deque[int] = deque()
+    for fid in range(N_FLOWS):
+        events.append(("add", fid, path()))
+        alive.append(fid)
+        if reroute_every and fid % reroute_every == 0:
+            events.append(("move", alive[int(rng.integers(len(alive)))], path()))
+        if len(alive) > CONCURRENCY:
+            events.append(("remove", alive.popleft(), None))
+    while alive:
+        events.append(("remove", alive.popleft(), None))
+    return events
+
+
+def _capacity() -> np.ndarray:
+    # The fluid simulator models every inter-AS link at one uniform
+    # capacity (FluidSimConfig.link_capacity_bps); a spread would only
+    # multiply the filling rounds both sides pay identically.
+    return np.full(N_LINKS, 1000.0)
+
+
+def _run_full(events, caps) -> tuple[float, float]:
+    """Cold rebuild + solve after every event (the ``solver="full"`` cost
+    pattern); returns (seconds, allocation checksum)."""
+    live: dict[int, list[int]] = {}
+    load = np.zeros(N_LINKS)
+    checksum = 0.0
+    t0 = time.perf_counter()
+    for op, fid, p in events:
+        if op == "remove":
+            del live[fid]
+        else:
+            live[fid] = p
+        incidence = build_incidence(list(live.values()), N_LINKS)
+        maxmin_rates(incidence, caps, load_out=load)
+        checksum += float(load.sum())
+    return time.perf_counter() - t0, checksum
+
+
+def _run_incremental(events, caps) -> tuple[float, float, IncrementalMaxMin]:
+    solver = IncrementalMaxMin()
+    solver.set_capacity(caps)
+    checksum = 0.0
+    t0 = time.perf_counter()
+    for op, fid, p in events:
+        if op == "add":
+            solver.add_flow(fid, p)
+        elif op == "move":
+            solver.move_flow(fid, p)
+        else:
+            solver.remove_flow(fid)
+        solver.solve()
+        checksum += float(solver.link_load()[:N_LINKS].sum())
+    return time.perf_counter() - t0, checksum, solver
+
+
+def _bench(events, caps) -> tuple[float, float, IncrementalMaxMin]:
+    """Min-of-reps seconds for (full, incremental), interleaved."""
+    t_full = []
+    t_inc = []
+    solver = None
+    for _ in range(REPS):
+        tf, c_full = _run_full(events, caps)
+        ti, c_inc, solver = _run_incremental(events, caps)
+        assert c_inc == c_full, "allocation checksums diverged"
+        t_full.append(tf)
+        t_inc.append(ti)
+    assert solver is not None
+    return min(t_full), min(t_inc), solver
+
+
+def test_incremental_beats_cold_rebuild(results_dir, bench_report):
+    caps = _capacity()
+    arr_events = _workload(7)
+    rr_events = _workload(7, reroute_every=4)
+
+    full_a, inc_a, solver_a = _bench(arr_events, caps)
+    full_r, inc_r, solver_r = _bench(rr_events, caps)
+    speedup_a = full_a / inc_a
+    speedup_r = full_r / inc_r
+
+    stats_a = solver_a.stats()
+    stats_r = solver_r.stats()
+    lines = [
+        "Fluid max-min solver micro-benchmark (fig5-scale event stream)",
+        f"  links / flows / concurrency: {N_LINKS} / {N_FLOWS} / ~{CONCURRENCY}",
+        f"  reps: {REPS} (interleaved; ratio of minima)",
+        "",
+        f"  arrival-heavy mix ({len(arr_events)} events):",
+        f"    full rebuild:   {full_a * 1e3:9.1f} ms",
+        f"    incremental:    {inc_a * 1e3:9.1f} ms "
+        f"({stats_a['pool_hits']} pool hits, "
+        f"{stats_a['cols_reused']} columns reused)",
+        f"    speedup:        {speedup_a:9.2f}x (floor {SPEEDUP_FLOOR:g}x)",
+        "",
+        f"  reroute-heavy mix ({len(rr_events)} events):",
+        f"    full rebuild:   {full_r * 1e3:9.1f} ms",
+        f"    incremental:    {inc_r * 1e3:9.1f} ms "
+        f"({stats_r['pool_hits']} pool hits, "
+        f"{stats_r['cols_reused']} columns reused)",
+        f"    speedup:        {speedup_r:9.2f}x (floor {SPEEDUP_FLOOR_REROUTE:g}x)",
+    ]
+    write_result(results_dir, "microbench_flowsim", "\n".join(lines))
+    bench_report(
+        "micro_flowsim",
+        speedup_arrival=speedup_a,
+        speedup_reroute=speedup_r,
+        full_arrival_ms=full_a * 1e3,
+        incremental_arrival_ms=inc_a * 1e3,
+        full_reroute_ms=full_r * 1e3,
+        incremental_reroute_ms=inc_r * 1e3,
+        pool_hits=stats_a["pool_hits"],
+        cols_reused=stats_a["cols_reused"],
+    )
+
+    assert stats_a["pool_hits"] > 0, "route set produced no pooling"
+    assert speedup_a >= SPEEDUP_FLOOR, "\n".join(lines)
+    assert speedup_r >= SPEEDUP_FLOOR_REROUTE, "\n".join(lines)

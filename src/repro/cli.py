@@ -68,15 +68,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     telem: Telemetry | None = None
     if args.metrics or args.profile or args.trace_out:
         telem = Telemetry()
+    import inspect
+
     for name in names:
         watch = Stopwatch()
         base = telem.snapshot() if telem is not None else None
-        result = REGISTRY[name].run(
-            args.scale,
-            backend=args.routing_backend,
-            workers=workers,
-            telemetry=telem,
-        )
+        kwargs: dict[str, object] = {
+            "backend": args.routing_backend,
+            "workers": workers,
+            "telemetry": telem,
+        }
+        # Only the fluid-simulator experiments take a solver knob.
+        if "solver" in inspect.signature(REGISTRY[name].run).parameters:
+            kwargs["solver"] = args.solver
+        result = REGISTRY[name].run(args.scale, **kwargs)
         print(
             f"==== {name} (scale={args.scale}, {watch.elapsed:.1f}s) " + "=" * 20
         )
@@ -343,7 +348,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     for scheme in args.schemes:
         watch = Stopwatch()
         provider = make_provider(scheme, graph, routing, capable)
-        res = FluidSimulator(graph, provider, FluidSimConfig()).run(specs)
+        res = FluidSimulator(
+            graph, provider, FluidSimConfig(solver=args.solver)
+        ).run(specs)
         results.append(res)
         print(f"ran {scheme} in {watch.elapsed:.1f}s", file=sys.stderr)
     print(
@@ -384,6 +391,13 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         help="routing worker processes (0 = one per CPU)",
+    )
+    p_run.add_argument(
+        "--solver",
+        choices=("incremental", "full"),
+        default="incremental",
+        help="fluid max-min solver (results are byte-identical; "
+        "'full' rebuilds the incidence cold every event)",
     )
     p_run.add_argument(
         "--json", default=None, metavar="DIR", help="also dump ExperimentResult JSON"
@@ -558,6 +572,12 @@ def main(argv: list[str] | None = None) -> int:
         choices=("dict", "array"),
         default="dict",
         help="BGP convergence implementation",
+    )
+    p_sim.add_argument(
+        "--solver",
+        choices=("incremental", "full"),
+        default="incremental",
+        help="fluid max-min solver (byte-identical results)",
     )
     p_sim.add_argument(
         "--workers",

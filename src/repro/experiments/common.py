@@ -270,12 +270,21 @@ def run_scheme(
     specs: "list[FlowSpec]",
     *,
     sim_config: FluidSimConfig | None = None,
+    solver: str | None = None,
 ) -> "FluidSimResult":
-    """Run one (scheme, deployment) fluid simulation over ``specs``."""
+    """Run one (scheme, deployment) fluid simulation over ``specs``.
+
+    ``solver`` overrides :attr:`FluidSimConfig.solver` (``"incremental"``
+    or ``"full"``) without the caller building a whole config; results are
+    byte-identical either way.
+    """
     # Converge every destination the workload will touch up front — on a
     # parallel context this shards across workers instead of paying for
     # each destination at first use inside the (serial) simulator loop.
     ctx.precompute({spec.dst for spec in specs})
     provider = make_provider(scheme, ctx.graph, ctx.routing, capable)
-    sim = FluidSimulator(ctx.graph, provider, sim_config or FluidSimConfig())
+    config = sim_config or FluidSimConfig()
+    if solver is not None:
+        config = dataclasses.replace(config, solver=solver)
+    sim = FluidSimulator(ctx.graph, provider, config)
     return sim.run(specs)

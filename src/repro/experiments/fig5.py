@@ -109,6 +109,7 @@ def run(
     backend: str = "dict",
     workers: int | None = 1,
     deployments: Sequence[float] = DEPLOYMENTS,
+    solver: str = "incremental",
 ) -> ExperimentResult:
     """Reproduce paper Fig. 5 (throughput vs deployment)."""
     sc = get_scale(scale)
@@ -120,12 +121,14 @@ def run(
         ),
     )
     results: dict[tuple[float, str], FluidSimResult] = {}
-    bgp_result = run_scheme(ctx, "BGP", frozenset(), specs)
+    bgp_result = run_scheme(ctx, "BGP", frozenset(), specs, solver=solver)
     for dep in deployments:
         capable = deployment_sample(ctx.graph, dep)
         results[(dep, "BGP")] = bgp_result
         for scheme in ("MIRO", "MIFO"):
-            results[(dep, scheme)] = run_scheme(ctx, scheme, capable, specs)
+            results[(dep, scheme)] = run_scheme(
+                ctx, scheme, capable, specs, solver=solver
+            )
     raw = Fig5Result(scale_name=sc.name, results=results)
 
     series: dict[str, list[tuple[float, float]]] = {}

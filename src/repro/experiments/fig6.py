@@ -106,6 +106,7 @@ def run(
     workers: int | None = 1,
     alphas: Sequence[float] = ALPHAS,
     deployment: float = DEPLOYMENT,
+    solver: str = "incremental",
 ) -> ExperimentResult:
     """Reproduce paper Fig. 6 (power-law traffic matrices)."""
     sc = get_scale(scale)
@@ -127,7 +128,9 @@ def run(
             n_providers=n_providers,
         )
         for scheme in SCHEMES:
-            results[(alpha, scheme)] = run_scheme(ctx, scheme, capable, specs)
+            results[(alpha, scheme)] = run_scheme(
+                ctx, scheme, capable, specs, solver=solver
+            )
     raw = Fig6Result(scale_name=sc.name, results=results)
 
     series: dict[str, list[tuple[float, float]]] = {}

@@ -74,6 +74,7 @@ def run(
     backend: str = "dict",
     workers: int | None = 1,
     deployments: Sequence[float] = DEPLOYMENTS,
+    solver: str = "incremental",
 ) -> ExperimentResult:
     """Reproduce paper Fig. 8 (offload vs deployment)."""
     sc = get_scale(scale)
@@ -87,7 +88,7 @@ def run(
     results: dict[float, FluidSimResult] = {}
     for dep in deployments:
         capable = deployment_sample(ctx.graph, dep)
-        results[dep] = run_scheme(ctx, "MIFO", capable, specs)
+        results[dep] = run_scheme(ctx, "MIFO", capable, specs, solver=solver)
     raw = Fig8Result(scale_name=sc.name, results=results)
 
     with tm.span("metrics.compute"):

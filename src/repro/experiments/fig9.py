@@ -67,6 +67,7 @@ def run(
     *,
     backend: str = "dict",
     workers: int | None = 1,
+    solver: str = "incremental",
 ) -> ExperimentResult:
     """Reproduce paper Fig. 9 (path-switch stability)."""
     sc = get_scale(scale)
@@ -78,7 +79,7 @@ def run(
         ),
     )
     capable = deployment_sample(ctx.graph, 1.0)
-    result = run_scheme(ctx, "MIFO", capable, specs)
+    result = run_scheme(ctx, "MIFO", capable, specs, solver=solver)
     raw = Fig9Result(
         scale_name=sc.name,
         result=result,

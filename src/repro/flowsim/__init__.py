@@ -2,6 +2,7 @@
 substitute behind Figures 5, 6, 8 and 9."""
 
 from .flow import ActiveFlow, FlowRecord, FlowSpec
+from .incremental import IncrementalMaxMin
 from .maxmin import build_incidence, maxmin_rates
 from .providers import (
     BgpProvider,
@@ -18,6 +19,7 @@ __all__ = [
     "ActiveFlow",
     "build_incidence",
     "maxmin_rates",
+    "IncrementalMaxMin",
     "PathProvider",
     "LinkView",
     "BgpProvider",

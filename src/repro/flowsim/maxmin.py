@@ -51,6 +51,7 @@ def maxmin_rates(
     unconstrained_rate: float = np.inf,
     tol: float = 1e-9,
     group_rtol: float = 1e-3,
+    load_out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Max-min fair rates for every flow.
 
@@ -62,6 +63,14 @@ def maxmin_rates(
     error bounded by the same factor (exactness restored with
     ``group_rtol=0``).
 
+    ``load_out``, when given, must be a float64 array of ``n_links``; it is
+    zeroed and then accumulates each round's frozen bandwidth, so on return
+    it holds the per-link allocation under the final rates.  Every round's
+    contribution is ``freeze_count * rate`` — an exact integer times a
+    scalar — and the per-round accumulation order is fixed, which is what
+    lets :class:`~repro.flowsim.incremental.IncrementalMaxMin` reproduce
+    the same allocation bit for bit from pooled columns.
+
     Postconditions (hypothesis-tested in ``tests/flowsim``):
 
     * feasibility — no link carries more than its capacity (+tol);
@@ -69,6 +78,10 @@ def maxmin_rates(
       on which it has a maximal rate (the definition of max-min fairness).
     """
     n_links, n_flows = incidence.shape
+    if load_out is not None:
+        if load_out.shape != (n_links,):
+            raise ValueError(f"load_out shape {load_out.shape} != ({n_links},)")
+        load_out.fill(0.0)
     if n_flows == 0:
         return np.zeros(0)
     capacity = np.asarray(capacity, dtype=np.float64)
@@ -105,11 +118,17 @@ def maxmin_rates(
         # Flows (still unfrozen) crossing any saturated link freeze now.
         touched = incidence_t @ saturated
         to_freeze = (~frozen) & (touched > 0.5)
-        rates[to_freeze] = max(bottleneck, 0.0)
+        rate = max(bottleneck, 0.0)
+        rates[to_freeze] = rate
         frozen |= to_freeze
         # Subtract the newly frozen bandwidth from every link they cross.
-        delta = incidence @ (rates * to_freeze)
+        # Computed as (exact integer freeze count per link) * rate — not as
+        # a per-flow summation — so a pooled solver that knows only path
+        # multiplicities produces the identical float64 delta.
+        delta = (incidence @ to_freeze.astype(np.float64)) * rate
         residual = np.maximum(residual - delta, 0.0)
+        if load_out is not None:
+            load_out += delta
     else:  # pragma: no cover - defensive
         raise AssertionError("progressive filling failed to converge")
 

@@ -21,6 +21,7 @@ load (routers react packet-by-packet, not in synchronized rounds).
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import math
 
@@ -30,6 +31,7 @@ from .. import telemetry as tm
 from ..errors import NoRouteError, SimulationError
 from ..topology.asgraph import ASGraph
 from .flow import ActiveFlow, FlowRecord, FlowSpec
+from .incremental import IncrementalMaxMin
 from .maxmin import build_incidence, maxmin_rates
 from .providers import LinkView, PathProvider
 
@@ -61,6 +63,13 @@ class FluidSimConfig:
     #: skips them instead.
     skip_unroutable: bool = False
     max_events: int | None = None
+    #: ``"incremental"`` — the stateful path-pooled solver
+    #: (:class:`~repro.flowsim.incremental.IncrementalMaxMin`), updated by
+    #: per-event deltas; ``"full"`` — rebuild the link×flow incidence and
+    #: run :func:`~repro.flowsim.maxmin.maxmin_rates` cold every event.
+    #: The two are byte-identical in every result (cross-validated in
+    #: ``tests/flowsim/test_crossvalidation.py``); incremental is faster.
+    solver: str = "incremental"
 
     def validate(self) -> None:
         """Reject inconsistent configuration values."""
@@ -69,6 +78,10 @@ class FluidSimConfig:
         if not 0.0 < self.clear_threshold <= self.congest_threshold <= 1.0:
             raise SimulationError(
                 "need 0 < clear_threshold <= congest_threshold <= 1"
+            )
+        if self.solver not in ("incremental", "full"):
+            raise SimulationError(
+                f"solver {self.solver!r} not in ('incremental', 'full')"
             )
 
 
@@ -122,10 +135,18 @@ class FluidSimulator:
         self._link_idx: dict[tuple[int, int], int] = {}
         self._alloc = np.zeros(0)  # allocated bps per directed link
         self._congested = np.zeros(0, dtype=bool)
+        self._cap = np.zeros(0)  # per-link capacity, reused across events
         # Stale control-plane snapshot (see control_plane_interval).
         self._stale_congested = np.zeros(0, dtype=bool)
         self._stale_alloc = np.zeros(0)
         self._next_cp_refresh = 0.0
+        #: the stateful pooled solver (None under solver="full").
+        self._pool: IncrementalMaxMin | None = None
+        if self.config.solver == "incremental":
+            self._pool = IncrementalMaxMin(
+                unconstrained_rate=self.config.link_capacity_bps
+            )
+        self._pool_cap_len = -1  # links covered by the pool's capacity
 
     # ------------------------------------------------------------------
     # congestion callbacks handed to providers
@@ -172,6 +193,12 @@ class FluidSimulator:
                     self._congested = np.concatenate(
                         [self._congested, np.zeros(grow, dtype=bool)]
                     )
+                    self._cap = np.concatenate(
+                        [
+                            self._cap,
+                            np.full(grow, self.config.link_capacity_bps),
+                        ]
+                    )
             ids.append(idx)
         return ids
 
@@ -195,6 +222,13 @@ class FluidSimulator:
         now = 0.0
         events = 0
         reallocs = 0
+        t0 = tm.active()
+        iters_before = (
+            t0.counters.get("flowsim.maxmin_iterations", 0)
+            if t0 is not None
+            else 0
+        )
+        pool_before = self._pool.stats() if self._pool is not None else None
 
         def next_completion() -> float:
             best = math.inf
@@ -228,11 +262,14 @@ class FluidSimulator:
                         f.remaining -= f.rate * dt
                 now = t_next
 
-                # Completions.
+                # Completions (``active`` stays flow-id ordered: filtering
+                # preserves order).
                 still = []
                 for f in active:
                     if f.remaining <= cfg.completion_tol_bytes:
                         records.append(f.finalize(now))
+                        if self._pool is not None:
+                            self._pool.remove_flow(f.spec.flow_id)
                     else:
                         still.append(f)
                 active = still
@@ -251,9 +288,14 @@ class FluidSimulator:
                             unroutable += 1
                             continue
                         raise
-                    active.append(
-                        ActiveFlow(spec, path, self._intern_path(path), on_alt)
+                    flow = ActiveFlow(
+                        spec, path, self._intern_path(path), on_alt
                     )
+                    # Keep ``active`` ordered by flow id at insertion so
+                    # the reroute pass never re-sorts it.
+                    bisect.insort(active, flow, key=lambda f: f.spec.flow_id)
+                    if self._pool is not None:
+                        self._pool.add_flow(spec.flow_id, flow.link_ids)
 
                 # Re-solve rates, update congestion, offer reroutes on flips.
                 newly_congested, any_cleared = self._reallocate(active)
@@ -277,6 +319,31 @@ class FluidSimulator:
             t.inc("flowsim.reallocations", reallocs)
             t.inc("flowsim.flows_completed", len(records))
             t.inc("flowsim.unroutable", unroutable)
+            if self._pool is not None and pool_before is not None:
+                after = self._pool.stats()
+                t.event(
+                    "solver_stats",
+                    solver="incremental",
+                    maxmin_iterations=after["maxmin_iterations"]
+                    - pool_before["maxmin_iterations"],
+                    pool_hits=after["pool_hits"] - pool_before["pool_hits"],
+                    cols_reused=after["cols_reused"]
+                    - pool_before["cols_reused"],
+                    warm_rounds_saved=after["warm_rounds_saved"]
+                    - pool_before["warm_rounds_saved"],
+                )
+            elif t is t0:
+                t.event(
+                    "solver_stats",
+                    solver="full",
+                    maxmin_iterations=t.counters.get(
+                        "flowsim.maxmin_iterations", 0
+                    )
+                    - iters_before,
+                    pool_hits=0,
+                    cols_reused=0,
+                    warm_rounds_saved=0,
+                )
         return FluidSimResult(
             scheme=self.provider.name,
             records=records,
@@ -292,24 +359,41 @@ class FluidSimulator:
 
         Returns ``(newly_congested_link_ids, any_link_cleared)`` so the
         reroute pass can target only the flows a transition affects.
+
+        Both solver modes produce bit-identical rates and allocation: the
+        pooled solver and :func:`~repro.flowsim.maxmin.maxmin_rates`
+        accumulate the same round-ordered ``freeze_count * rate`` deltas
+        (see ``repro.flowsim.incremental``).
         """
         cfg = self.config
         n_links = len(self._link_idx)
-        alloc = np.zeros(self._alloc.shape[0])
+        alloc = self._alloc  # persistent buffer, zeroed and refilled
+        alloc.fill(0.0)
         if active and n_links:
-            incidence = build_incidence([f.link_ids for f in active], n_links)
-            cap = np.full(n_links, cfg.link_capacity_bps)
-            rates = maxmin_rates(
-                incidence, cap, unconstrained_rate=cfg.link_capacity_bps
-            )
-            rates_bytes = rates / 8.0
-            for f, r in zip(active, rates_bytes):
-                f.rate = float(r)
-            alloc[:n_links] = incidence @ rates
+            if self._pool is not None:
+                if self._pool_cap_len != n_links:
+                    self._pool.set_capacity(self._cap[:n_links])
+                    self._pool_cap_len = n_links
+                self._pool.solve()
+                alloc[:n_links] = self._pool.link_load()[:n_links]
+                for f in active:
+                    f.rate = self._pool.rate_of(f.spec.flow_id) / 8.0
+            else:
+                incidence = build_incidence(
+                    [f.link_ids for f in active], n_links
+                )
+                rates = maxmin_rates(
+                    incidence,
+                    self._cap[:n_links],
+                    unconstrained_rate=cfg.link_capacity_bps,
+                    load_out=alloc[:n_links],
+                )
+                rates_bytes = rates / 8.0
+                for f, r in zip(active, rates_bytes):
+                    f.rate = float(r)
         else:
             for f in active:
                 f.rate = cfg.link_capacity_bps / 8.0
-        self._alloc = alloc
         # Hysteresis congestion update.
         hi = cfg.congest_threshold * cfg.link_capacity_bps
         lo = cfg.clear_threshold * cfg.link_capacity_bps
@@ -337,10 +421,13 @@ class FluidSimulator:
         path*; a deflected flow reconsiders only when some link cleared
         (its resume test re-checks the whole default path anyway).  The
         per-flow switch cooldown models the router's reaction interval.
+
+        ``active`` is maintained in flow-id order by the main loop, so the
+        deterministic consult order costs no per-pass sort.
         """
         interval = self.config.min_switch_interval
         moved = False
-        for f in sorted(active, key=lambda f: f.spec.flow_id):
+        for f in active:
             if now - f.last_switch_time < interval:
                 continue
             if f.on_alt:
@@ -361,6 +448,8 @@ class FluidSimulator:
             for idx in new_ids:
                 self._alloc[idx] += rate
             f.switch_to(path, new_ids, on_alt, now)
+            if self._pool is not None:
+                self._pool.move_flow(f.spec.flow_id, new_ids)
             t = tm.active()
             if t is not None:
                 t.event(

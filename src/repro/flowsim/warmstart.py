@@ -1,64 +1,58 @@
 """Warm-started max-min re-solves for event-driven scenarios.
 
 The scenario engine re-solves the max-min allocation after every timeline
-event.  Two observations make that cheap without giving up the exactness
-(and hence bitwise reproducibility) of :func:`~repro.flowsim.maxmin.maxmin_rates`:
+event.  :class:`WarmStartSolver` is the engine-facing facade over
+:class:`~repro.flowsim.incremental.IncrementalMaxMin`: the pooled solver
+maintains the link×path incidence incrementally across ``set_flow`` /
+``remove_flow`` deltas, memoizes on a change tick (an event that touches
+no flow's path and no capacity skips the fill entirely), and produces
+rates bit-identical to a cold :func:`~repro.flowsim.maxmin.maxmin_rates`
+over the same flows — the property that keeps the incremental and full
+scenario modes byte-identical.
 
-* **Most events touch few flows.**  The link×flow incidence matrix is
-  assembled from *cached per-flow link-index arrays*, concatenated in flow
-  order — the same COO triplets, in the same order, as a cold
-  :func:`~repro.flowsim.maxmin.build_incidence` over the full flow list,
-  so the resulting CSR matrix is element-for-element identical, just built
-  by one ``np.concatenate`` instead of a Python loop over every flow.
-* **Some events touch no flows at all.**  A link failure nothing crossed,
-  or a recovery nobody reroutes onto, leaves both the incidence and the
-  capacity vector unchanged.  Progressive filling is deterministic, so the
-  previous rate vector *is* what a re-solve would return — the solver
-  memoizes on a change tick and skips the fill entirely.
-
-Exactness is never traded: whenever any input changed, the solver runs the
-full progressive filling with ``group_rtol=0``.  Max-min allocations are
-unique, but two different *arithmetic paths* to them need not agree in the
-last float bit — recomputing on unchanged inputs is the only warm start
-that keeps the incremental and full scenario modes byte-identical.
+Exactness is never traded: whenever any input changed, the pooled fill
+runs with ``group_rtol=0`` and reproduces the cold solver's floats exactly
+(same integer freeze counts, same ``count * rate`` deltas, same
+round-ordered load accumulation — see ``repro.flowsim.incremental``).
+With ``crosscheck=True`` every fresh solve additionally replays the cold
+per-flow oracle and asserts bitwise agreement on rates and allocation —
+the scenario engine's ``--crosscheck`` mode wires this through.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
 
 from .. import telemetry as tm
 from ..errors import SimulationError
-from .maxmin import maxmin_rates
+from .incremental import IncrementalMaxMin
+from .maxmin import build_incidence, maxmin_rates
 
 __all__ = ["WarmStartSolver"]
 
 
 class WarmStartSolver:
-    """Maintains per-flow incidence columns and memoizes max-min solves.
+    """Engine-facing facade over the pooled incremental solver.
 
     Flows are identified by integer ids; :meth:`set_flow` installs or
     replaces a flow's link-index array, :meth:`remove_flow` drops it.  Any
-    mutation (including :meth:`set_capacity`) bumps an internal change
+    mutation (including :meth:`set_capacity`) bumps the pool's change
     tick; :meth:`solve` re-runs progressive filling only when the tick
     moved since the last solve, and otherwise returns the cached rate
     vector (bitwise identical to what a re-solve would produce, because
     the inputs are unchanged and the algorithm is deterministic).
     """
 
-    def __init__(self, unconstrained_rate: float = 1e9) -> None:
+    def __init__(
+        self, unconstrained_rate: float = 1e9, *, crosscheck: bool = False
+    ) -> None:
         self.unconstrained_rate = unconstrained_rate
-        #: flow id -> int64 array of directed-link indices (insertion order
-        #: is solve order, so results are independent of *when* a flow's
-        #: path last changed).
-        self._columns: dict[int, np.ndarray] = {}
+        self.crosscheck = crosscheck
+        self._pool = IncrementalMaxMin(
+            unconstrained_rate=unconstrained_rate, group_rtol=0.0
+        )
+        self._cap_len = 0
         self._capacity: np.ndarray = np.zeros(0)
-        self._tick = 0
-        self._solved_tick = -1
-        self._rates: np.ndarray = np.zeros(0)
-        self._flow_order: tuple[int, ...] = ()
-        self._incidence: sparse.csr_matrix | None = None
         #: memo hits / actual fills — run provenance (wall-clock facts).
         self.hits = 0
         self.solves = 0
@@ -68,22 +62,21 @@ class WarmStartSolver:
     # ------------------------------------------------------------------
     def set_flow(self, flow_id: int, link_ids: list[int]) -> None:
         """Install or replace one flow's path (as directed-link indices)."""
-        self._columns[flow_id] = np.asarray(link_ids, dtype=np.int64)
-        self._tick += 1
+        if self._pool.has_flow(flow_id):
+            self._pool.move_flow(flow_id, link_ids)
+        else:
+            self._pool.add_flow(flow_id, link_ids)
 
     def remove_flow(self, flow_id: int) -> None:
         """Drop a flow from the allocation problem."""
-        if self._columns.pop(flow_id, None) is not None:
-            self._tick += 1
+        self._pool.remove_flow(flow_id)
 
     def set_capacity(self, capacity: np.ndarray) -> None:
         """Replace the per-link capacity vector (bps, dense link index)."""
-        if (
-            capacity.shape != self._capacity.shape
-            or not np.array_equal(capacity, self._capacity)
-        ):
-            self._capacity = capacity.copy()
-            self._tick += 1
+        self._cap_len = capacity.shape[0]
+        if self.crosscheck:
+            self._capacity = np.asarray(capacity, dtype=np.float64).copy()
+        self._pool.set_capacity(capacity)
 
     def invalidate(self) -> None:
         """Force the next :meth:`solve` to re-run the fill.
@@ -92,52 +85,55 @@ class WarmStartSolver:
         baseline genuinely pays for a cold solve; the memoized path then
         only ever fires in incremental mode.
         """
-        self._tick += 1
+        self._pool.invalidate()
 
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
-    def _assemble(self) -> sparse.csr_matrix:
-        """The link×flow incidence — identical to a cold ``build_incidence``."""
-        n_links = self._capacity.shape[0]
-        order = tuple(self._columns)
-        cols_per_flow = [self._columns[f] for f in order]
-        lens = np.array([c.shape[0] for c in cols_per_flow], dtype=np.int64)
-        if cols_per_flow:
-            rows = np.concatenate(cols_per_flow)
-        else:
-            rows = np.zeros(0, dtype=np.int64)
-        cols = np.repeat(np.arange(len(order), dtype=np.int64), lens)
-        data = np.ones(rows.shape[0], dtype=np.float64)
-        self._flow_order = order
-        return sparse.csr_matrix(
-            (data, (rows, cols)), shape=(n_links, len(order))
-        )
-
     def solve(self) -> dict[int, float]:
         """Max-min rates per flow id; skips the fill when nothing changed."""
-        if self._solved_tick == self._tick:
+        pool = self._pool
+        if pool.pending:
+            self.solves += 1
+            tm.inc("flowsim.warm_solves")
+            with tm.span("flowsim.solve"):
+                pool.solve()
+            if self.crosscheck:
+                self._run_crosscheck()
+        else:
+            pool.solve()  # memo-hit bookkeeping (warm_rounds_saved)
             self.hits += 1
             tm.inc("flowsim.warm_hits")
-            return {f: float(r) for f, r in zip(self._flow_order, self._rates)}
-        self.solves += 1
-        tm.inc("flowsim.warm_solves")
-        incidence = self._assemble()
-        if incidence.shape[1] and incidence.nnz:
-            if int(incidence.indices.max(initial=0)) >= self._capacity.shape[0]:
+        return {fid: pool.rate_of(fid) for fid, _path in pool.flows()}
+
+    def _run_crosscheck(self) -> None:
+        """Replay the cold per-flow oracle; bitwise mismatch is a bug."""
+        pool = self._pool
+        pairs = list(pool.flows())
+        incidence = build_incidence(
+            [list(path) for _fid, path in pairs], self._cap_len
+        )
+        oracle_load = np.zeros(self._cap_len)
+        oracle = maxmin_rates(
+            incidence,
+            self._capacity,
+            unconstrained_rate=self.unconstrained_rate,
+            group_rtol=0.0,
+            load_out=oracle_load,
+        )
+        for i, (fid, _path) in enumerate(pairs):
+            if pool.rate_of(fid) != oracle[i]:
                 raise SimulationError(
-                    "flow path references a link outside the capacity vector"
+                    f"incremental solver crosscheck failed: flow {fid} rate "
+                    f"{pool.rate_of(fid)!r} != oracle {oracle[i]!r}"
                 )
-        with tm.span("flowsim.solve"):
-            self._rates = maxmin_rates(
-                incidence,
-                self._capacity,
-                unconstrained_rate=self.unconstrained_rate,
-                group_rtol=0.0,
+        if not np.array_equal(
+            pool.link_load()[: self._cap_len], oracle_load
+        ):
+            raise SimulationError(
+                "incremental solver crosscheck failed: link allocation "
+                "diverged from the cold per-flow oracle"
             )
-        self._incidence = incidence
-        self._solved_tick = self._tick
-        return {f: float(r) for f, r in zip(self._flow_order, self._rates)}
 
     def allocation(self) -> np.ndarray:
         """Per-link allocated bps under the last solved rates.
@@ -145,14 +141,18 @@ class WarmStartSolver:
         Padded (with zeros) to the current capacity-vector length, so
         links interned after the last solve read as unloaded.
         """
-        n_links = self._capacity.shape[0]
-        alloc = np.zeros(n_links)
-        if self._incidence is not None and self._rates.shape[0]:
-            partial = self._incidence @ self._rates
-            alloc[: partial.shape[0]] = partial
+        alloc = np.zeros(self._cap_len)
+        load = self._pool.link_load()
+        n = min(self._cap_len, load.shape[0])
+        alloc[:n] = load[:n]
         return alloc
 
     @property
     def n_flows(self) -> int:
         """Flows currently in the allocation problem."""
-        return len(self._columns)
+        return self._pool.n_flows
+
+    @property
+    def pool(self) -> IncrementalMaxMin:
+        """The underlying pooled solver (telemetry and tests)."""
+        return self._pool

@@ -81,8 +81,9 @@ class ScenarioConfig:
     #: statically re-certify invariants over dirty destinations after
     #: every event (step 7).
     verify: bool = True
-    #: additionally diff the incremental state against a from-scratch
-    #: recomputation after every event (slow; tests and CI only).
+    #: additionally diff the incremental state (routing *and* the pooled
+    #: max-min solver) against a from-scratch recomputation after every
+    #: event (slow; tests and CI only).
     crosscheck: bool = False
     #: salt for the per-event RNG streams of traffic events.
     seed_salt: int = 7919
@@ -212,7 +213,8 @@ class ScenarioEngine:
             recompute="dirty" if self.config.mode == "incremental" else "all",
         )
         self.solver = WarmStartSolver(
-            unconstrained_rate=self.config.link_capacity_bps
+            unconstrained_rate=self.config.link_capacity_bps,
+            crosscheck=self.config.crosscheck,
         )
         #: flow id -> flow, insertion order == ascending flow id.
         self._flows: dict[int, _SimFlow] = {}

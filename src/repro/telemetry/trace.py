@@ -27,6 +27,11 @@ Event kinds:
     One timeline event processed by the dynamic-scenario engine
     (``repro.scenario``): what happened, what it hit, how many
     destinations went dirty and flows moved.
+``solver_stats``
+    End-of-run summary of one fluid simulation's max-min solver
+    (``repro.flowsim``): which solver ran, the progressive-filling rounds
+    it executed, and — for the incremental solver — how much work the
+    path pool and the warm-start memo avoided.
 """
 
 from __future__ import annotations
@@ -68,6 +73,7 @@ TRACE_SCHEMA: dict[str, object] = {
                 "path_switch",
                 "encap",
                 "scenario_event",
+                "solver_stats",
             ],
         },
         "seq": {"type": "integer"},
@@ -112,6 +118,22 @@ TRACE_SCHEMA: dict[str, object] = {
         "unroutable": {"type": "integer"},
         "router": {"type": "string"},
         "peer": {"type": "string"},
+        "solver": {
+            "type": "string",
+            "enum": ["incremental", "full"],
+            "description": "Fluid max-min solver mode of a solver_stats event.",
+        },
+        "maxmin_iterations": {
+            "type": "integer",
+            "description": (
+                "Progressive-filling rounds the run actually executed; the "
+                "incremental solver's count never exceeds the full "
+                "solver's on the same event stream (memo hits skip rounds)."
+            ),
+        },
+        "pool_hits": {"type": "integer"},
+        "cols_reused": {"type": "integer"},
+        "warm_rounds_saved": {"type": "integer"},
     },
 }
 
@@ -234,6 +256,32 @@ def summarize(
         for e in events
         if isinstance(e.get("spare_bps"), (int, float))
     ]
+    solvers: dict[str, dict[str, int]] = {}
+    for e in events:
+        if e.get("kind") != "solver_stats" or not isinstance(
+            e.get("solver"), str
+        ):
+            continue
+        agg = solvers.setdefault(
+            str(e["solver"]),
+            {
+                "runs": 0,
+                "maxmin_iterations": 0,
+                "pool_hits": 0,
+                "cols_reused": 0,
+                "warm_rounds_saved": 0,
+            },
+        )
+        agg["runs"] += 1
+        for field in (
+            "maxmin_iterations",
+            "pool_hits",
+            "cols_reused",
+            "warm_rounds_saved",
+        ):
+            value = e.get(field)
+            if isinstance(value, int):
+                agg[field] += value
     summary: dict[str, object] = {
         "events": len(events),
         "by_kind": dict(sorted(by_kind.items())),
@@ -241,6 +289,8 @@ def summarize(
         "top_deflecting_ases": deflectors.most_common(top),
         "top_destinations": dests.most_common(top),
     }
+    if solvers:
+        summary["solver_stats"] = dict(sorted(solvers.items()))
     if spares:
         summary["spare_bps"] = {
             "min": min(spares),
@@ -270,6 +320,16 @@ def render_summary(summary: dict[str, object]) -> str:
     if isinstance(tops, list) and tops:
         pretty = ", ".join(f"AS{a} (x{n})" for a, n in tops)
         lines.append(f"  top deflecting ASes: {pretty}")
+    solver_stats = summary.get("solver_stats")
+    if isinstance(solver_stats, dict) and solver_stats:
+        lines.append("  max-min solver:")
+        for mode, agg in solver_stats.items():
+            lines.append(
+                f"    {mode:<12} {agg['maxmin_iterations']} filling round(s) "
+                f"over {agg['runs']} run(s); pool hits {agg['pool_hits']}, "
+                f"columns reused {agg['cols_reused']}, "
+                f"rounds memoized away {agg['warm_rounds_saved']}"
+            )
     spare = summary.get("spare_bps")
     if isinstance(spare, dict):
         lines.append(

@@ -194,3 +194,61 @@ class TestControlPlaneStaleness:
         sim = bgp_sim(fig11_graph)
         assert not sim._stale_congested_fn(1, 3)
         assert sim._stale_spare_fn(1, 3) == sim.config.link_capacity_bps
+
+
+class TestSolverModes:
+    """The incremental pooled solver is a drop-in for the full solver."""
+
+    def _records(self, graph, specs, **cfg):
+        return mifo_sim(graph, **cfg).run(specs).records
+
+    def test_modes_agree_bitwise_on_real_workload(self, small_internet):
+        from repro.traffic.matrix import TrafficConfig, uniform_matrix
+
+        specs = uniform_matrix(
+            small_internet, TrafficConfig(n_flows=120, arrival_rate=800.0, seed=9)
+        )
+        inc = self._records(small_internet, specs, solver="incremental")
+        full = self._records(small_internet, specs, solver="full")
+        assert inc == full  # FlowRecord dataclass equality is exact floats
+
+    def test_modes_agree_with_out_of_order_flow_ids(self, fig11_graph):
+        """Arrival order opposite to flow-id order: the active list's
+        insertion-ordered invariant (bisect.insort by flow id) must keep
+        the reroute consult order — and hence the records — identical."""
+        specs = [
+            FlowSpec(flow_id=9, src=1, dst=5, size_bytes=4e6, start_time=0.0),
+            FlowSpec(flow_id=5, src=2, dst=5, size_bytes=4e6, start_time=0.002),
+            FlowSpec(flow_id=1, src=1, dst=5, size_bytes=4e6, start_time=0.004),
+        ]
+        inc = self._records(fig11_graph, specs, solver="incremental")
+        full = self._records(fig11_graph, specs, solver="full")
+        assert inc == full
+
+    def test_spec_order_does_not_matter(self, fig11_graph):
+        specs = [
+            FlowSpec(flow_id=i, src=1 + (i % 2), dst=5, size_bytes=2e6,
+                     start_time=0.001 * (i % 3))
+            for i in range(6)
+        ]
+        forward = self._records(fig11_graph, specs, solver="incremental")
+        backward = self._records(fig11_graph, list(reversed(specs)),
+                                 solver="incremental")
+        assert forward == backward
+
+    def test_simulator_instance_is_reusable(self, fig11_graph):
+        """Back-to-back runs on one simulator reuse the persistent alloc
+        buffer and the pooled solver; state from run one must not leak."""
+        specs = [
+            FlowSpec(flow_id=1, src=1, dst=5, size_bytes=4e6, start_time=0.0),
+            FlowSpec(flow_id=2, src=2, dst=5, size_bytes=4e6, start_time=0.004),
+        ]
+        sim = mifo_sim(fig11_graph)
+        first = sim.run(specs).records
+        second = sim.run(specs).records
+        fresh = mifo_sim(fig11_graph).run(specs).records
+        assert first == second == fresh
+
+    def test_bad_solver_rejected(self):
+        with pytest.raises(SimulationError, match="solver"):
+            FluidSimConfig(solver="magic").validate()

@@ -136,6 +136,39 @@ class TestMF003FrozenMutation:
         assert _codes("x = csr.nbr_indices[0]\n") == []
 
 
+class TestMF003SlabFields:
+    def test_slab_field_assignment_flagged(self):
+        assert _codes("solver._slab_rows = arr\n") == ["MF003"]
+
+    def test_slab_element_store_flagged(self):
+        assert _codes("solver._base_counts[3] = 0.0\n") == ["MF003"]
+
+    def test_multiplicity_augmented_store_flagged(self):
+        assert _codes("solver._mult[col] += 1.0\n") == ["MF003"]
+
+    def test_incremental_module_exempt(self):
+        src = """
+            class _IncrementalMaxMin:
+                def _intern(self) -> None:
+                    self._slab_used = 0
+                    self._mult[0] = 1.0
+        """
+        assert _codes(src, allow_slab=True) == []
+
+    def test_self_store_still_flagged_without_exemption(self):
+        # Unlike graph privates, the slab is single-owner: even a class's
+        # own stores are flagged outside repro.flowsim.incremental.
+        src = """
+            class _Wrapper:
+                def _poke(self) -> None:
+                    self._slab_used = 0
+        """
+        assert _codes(src) == ["MF003"]
+
+    def test_read_access_allowed(self):
+        assert _codes("x = solver._base_counts[0]\n") == []
+
+
 class TestMF004AdHocClocks:
     def test_time_time_flagged(self):
         src = """
@@ -287,13 +320,17 @@ class TestSuppression:
 class TestClassification:
     def test_library_hot_and_topology_flags(self):
         flags = _classify(pathlib.Path("src/repro/bgp/propagation.py"))
-        assert flags == (True, True, False, False)
+        assert flags == (True, True, False, False, False)
         flags = _classify(pathlib.Path("src/repro/topology/generator.py"))
-        assert flags == (True, True, True, False)
+        assert flags == (True, True, True, False, False)
         flags = _classify(pathlib.Path("src/repro/experiments/fig5.py"))
-        assert flags == (True, False, False, False)
+        assert flags == (True, False, False, False, False)
         flags = _classify(pathlib.Path("src/repro/telemetry/core.py"))
-        assert flags == (True, False, False, True)
+        assert flags == (True, False, False, True, False)
+        flags = _classify(pathlib.Path("src/repro/flowsim/simulator.py"))
+        assert flags == (True, True, False, False, False)
+        flags = _classify(pathlib.Path("src/repro/flowsim/incremental.py"))
+        assert flags == (True, True, False, False, True)
         flags = _classify(pathlib.Path("tests/bgp/test_parallel.py"))
         assert flags[0] is False
 

@@ -12,21 +12,28 @@ a seeded generator (``random.Random(seed)``, ``default_rng(seed)``) is
 the approved pattern.  Applies to library paths only — tests may use
 whatever their fixtures seed.
 
-``MF002`` — **no iteration over unordered sets in routing hot paths**
-(``repro.bgp``, ``repro.mifo``, ``repro.topology``).  Set iteration
-order depends on insertion history and hash seeding; routing code that
-iterates a set can silently break the determinism the byte-identical
-cross-backend guarantee rests on.  Iterate ``sorted(the_set)`` instead.
-(Dict/dict-view iteration is fine: insertion-ordered by construction.)
+``MF002`` — **no iteration over unordered sets in determinism-critical
+hot paths** (``repro.bgp``, ``repro.mifo``, ``repro.topology``,
+``repro.flowsim``).  Set iteration order depends on insertion history
+and hash seeding; routing code that iterates a set can silently break
+the determinism the byte-identical cross-backend guarantee rests on, and
+in the fluid solver the iteration order decides float accumulation order
+— the incremental-vs-full bitwise contract.  Iterate ``sorted(the_set)``
+instead.  (Dict/dict-view iteration is fine: insertion-ordered by
+construction.)
 
-``MF003`` — **no mutation of a frozen ASGraph or of shared CSR arrays.**
-Outside ``repro.topology`` every ``ASGraph`` is frozen by contract, so
-calling its mutators is at best a latent ``TopologyError`` and at worst
-state corruption; the :class:`~repro.topology.asgraph.CsrAdjacency`
-arrays are shared read-only across all destinations *and across forked
-parallel-engine workers* (copy-on-write), so writing to them corrupts
-every concurrent reader.  Flags mutator calls outside ``repro.topology``
-and any store into a CSR field or a graph-private structure.
+``MF003`` — **no mutation of a frozen ASGraph, of shared CSR arrays, or
+of the incremental solver's slab state.**  Outside ``repro.topology``
+every ``ASGraph`` is frozen by contract, so calling its mutators is at
+best a latent ``TopologyError`` and at worst state corruption; the
+:class:`~repro.topology.asgraph.CsrAdjacency` arrays are shared
+read-only across all destinations *and across forked parallel-engine
+workers* (copy-on-write), so writing to them corrupts every concurrent
+reader.  Likewise the :class:`~repro.flowsim.incremental.IncrementalMaxMin`
+slab/extent/multiplicity arrays persist across simulator events; only
+``repro.flowsim.incremental`` itself may store into them.  Flags mutator
+calls outside ``repro.topology`` and any store into a CSR field, a
+graph-private structure, or a solver slab field.
 
 ``MF004`` — **no ad-hoc clocks in library code.**  Every timing in
 ``src/repro`` must flow through ``repro.telemetry`` (spans for phase
@@ -63,8 +70,8 @@ __all__ = ["RULES", "Violation", "lint_file", "lint_paths", "lint_source"]
 #: rule code -> one-line description (also shown by ``--list-rules``).
 RULES: dict[str, str] = {
     "MF001": "unseeded random/numpy.random in library code breaks reproducibility",
-    "MF002": "iteration over an unordered set in a routing hot path breaks determinism",
-    "MF003": "mutation of a frozen ASGraph or of CSR arrays shared with forked workers",
+    "MF002": "iteration over an unordered set in a determinism-critical hot path",
+    "MF003": "mutation of a frozen ASGraph, shared CSR arrays, or solver slab state",
     "MF004": "direct time.time()/perf_counter() in library code; use repro.telemetry",
     "MF005": "public class/function in library code without a docstring",
 }
@@ -84,7 +91,15 @@ TIMER_FUNCS: frozenset[str] = frozenset(
 )
 
 #: routing hot paths for MF002 (module path fragments, POSIX style).
-HOT_PATHS: tuple[str, ...] = ("repro/bgp/", "repro/mifo/", "repro/topology/")
+#: ``repro/flowsim`` joined when the incremental solver landed: flow and
+#: link iteration order there decides float accumulation order, which the
+#: byte-identical incremental-vs-full solver contract depends on.
+HOT_PATHS: tuple[str, ...] = (
+    "repro/bgp/",
+    "repro/mifo/",
+    "repro/topology/",
+    "repro/flowsim/",
+)
 
 #: ASGraph mutator methods (MF003a) — only repro.topology may call these.
 GRAPH_MUTATORS: frozenset[str] = frozenset(
@@ -113,6 +128,23 @@ CSR_FIELDS: frozenset[str] = frozenset(
 #: ASGraph internal structures (MF003b) — writable only through ``self``.
 GRAPH_PRIVATES: frozenset[str] = frozenset(
     {"_nbr", "_customers", "_providers", "_peers", "_links", "_csr", "_frozen"}
+)
+
+#: IncrementalMaxMin slab bookkeeping (MF003c) — the column slab, extent
+#: and multiplicity arrays encode the live link×path incidence; a write
+#: from anywhere but ``repro/flowsim/incremental.py`` silently corrupts
+#: every later allocation (the solver reuses them across events).
+SLAB_FIELDS: frozenset[str] = frozenset(
+    {
+        "_slab_rows",
+        "_slab_cols",
+        "_slab_used",
+        "_col_start",
+        "_col_len",
+        "_mult",
+        "_col_maxlink",
+        "_base_counts",
+    }
 )
 
 _DISABLE_RE = re.compile(r"#\s*(?:mifolint:\s*disable=|noqa:\s*)([A-Z0-9, ]+)")
@@ -149,6 +181,7 @@ class _Visitor(ast.NodeVisitor):
         hot: bool,
         allow_mutators: bool = False,
         allow_timers: bool = False,
+        allow_slab: bool = False,
     ) -> None:
         self.path = path
         self.source_lines = source_lines
@@ -158,6 +191,8 @@ class _Visitor(ast.NodeVisitor):
         self.allow_mutators = allow_mutators
         #: repro.telemetry owns the clocks, so raw time.* reads are fine there
         self.allow_timers = allow_timers
+        #: repro.flowsim.incremental owns the slab, so its stores are fine
+        self.allow_slab = allow_slab
         self.violations: list[Violation] = []
         #: names bound to the stdlib ``random`` module
         self.random_aliases: set[str] = set()
@@ -475,6 +510,13 @@ class _Visitor(ast.NodeVisitor):
                     f"assignment to ASGraph internal .{target.attr} from outside "
                     f"the class bypasses the freeze() contract",
                 )
+            elif target.attr in SLAB_FIELDS and not self.allow_slab:
+                self._add(
+                    target, "MF003",
+                    f"assignment to solver slab field .{target.attr} — only "
+                    f"repro.flowsim.incremental may mutate the pooled "
+                    f"incidence state it reuses across events",
+                )
         elif isinstance(target, ast.Subscript):
             value = target.value
             if isinstance(value, ast.Attribute) and value.attr in CSR_FIELDS:
@@ -482,6 +524,17 @@ class _Visitor(ast.NodeVisitor):
                     target, "MF003",
                     f"element store into CSR array .{value.attr} — these arrays "
                     f"are shared read-only across destinations and forked workers",
+                )
+            elif (
+                isinstance(value, ast.Attribute)
+                and value.attr in SLAB_FIELDS
+                and not self.allow_slab
+            ):
+                self._add(
+                    target, "MF003",
+                    f"element store into solver slab array .{value.attr} — only "
+                    f"repro.flowsim.incremental may mutate the pooled "
+                    f"incidence state it reuses across events",
                 )
 
     # ------------------------------------------------------------------
@@ -500,14 +553,15 @@ class _Visitor(ast.NodeVisitor):
         )
 
 
-def _classify(path: pathlib.Path) -> tuple[bool, bool, bool, bool]:
-    """(library?, hot?, mutators ok?, timers ok?) from the POSIX path."""
+def _classify(path: pathlib.Path) -> tuple[bool, bool, bool, bool, bool]:
+    """(library?, hot?, mutators ok?, timers ok?, slab ok?) from the path."""
     posix = path.as_posix()
     library = "/src/" in f"/{posix}" or posix.startswith("src/")
     hot = library and any(fragment in posix for fragment in HOT_PATHS)
     allow_mutators = "repro/topology/" in posix
     allow_timers = "repro/telemetry/" in posix
-    return library, hot, allow_mutators, allow_timers
+    allow_slab = "repro/flowsim/incremental" in posix
+    return library, hot, allow_mutators, allow_timers, allow_slab
 
 
 def lint_source(
@@ -518,6 +572,7 @@ def lint_source(
     hot: bool = True,
     allow_mutators: bool = False,
     allow_timers: bool = False,
+    allow_slab: bool = False,
 ) -> list[Violation]:
     """Lint one source string (the unit-test entry point)."""
     tree = ast.parse(source, filename=path)
@@ -528,13 +583,14 @@ def lint_source(
         hot=hot,
         allow_mutators=allow_mutators,
         allow_timers=allow_timers,
+        allow_slab=allow_slab,
     )
     visitor.visit(tree)
     return sorted(visitor.violations, key=lambda v: (v.line, v.col, v.code))
 
 
 def lint_file(path: pathlib.Path) -> list[Violation]:
-    library, hot, allow_mutators, allow_timers = _classify(path)
+    library, hot, allow_mutators, allow_timers, allow_slab = _classify(path)
     return lint_source(
         path.read_text(encoding="utf-8"),
         str(path),
@@ -542,6 +598,7 @@ def lint_file(path: pathlib.Path) -> list[Violation]:
         hot=hot,
         allow_mutators=allow_mutators,
         allow_timers=allow_timers,
+        allow_slab=allow_slab,
     )
 
 
