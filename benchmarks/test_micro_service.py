@@ -1,0 +1,99 @@
+"""Bounded-memory soak of the streaming service mode.
+
+The ISSUE acceptance gate for ``repro.service``: the session must ingest
+an *unbounded* interleaved stream without unbounded growth.  This soak
+drives ≥100k events through one :class:`ServiceSession` on a small
+topology with short flow lifetimes, then asserts
+
+* the resident-set high-water mark grew by less than ``RSS_CEILING_MB``
+  after warm-up (stdlib ``resource.getrusage`` — ``ru_maxrss`` is KB on
+  Linux, so a genuine leak of even a few MB per 10k events trips it),
+* the record ring and live-flow population stayed bounded, and
+* steady-state throughput clears ``EVENTS_PER_SEC_FLOOR``.
+
+Throughput lands in ``results/BENCH_suite.json`` via ``bench_report`` so
+repeated runs accumulate a queryable trajectory.
+"""
+
+import resource
+import sys
+import time
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceSession
+from repro.topology.generator import TopologyConfig
+
+from .conftest import write_result
+
+N_EVENTS = 100_000
+WARMUP_EVENTS = 2_000
+RSS_CEILING_MB = 64.0
+EVENTS_PER_SEC_FLOOR = 300.0
+LIVE_FLOW_CEILING = 500
+
+CFG = ServiceConfig(
+    seed=2014,
+    arrival_rate=400.0,
+    mean_lifetime_events=10.0,
+    p_link_event=0.002,
+    p_capacity_event=0.002,
+    record_capacity=256,
+)
+TOPO = TopologyConfig(n_ases=120, seed=2014)
+
+
+def _rss_mb() -> float:
+    """Peak RSS in MB.  ``ru_maxrss`` is KB on Linux, bytes on macOS."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak / 1024.0 if sys.platform != "darwin" else peak / (1024.0**2)
+
+
+class TestServiceSoak:
+    @pytest.mark.slow
+    def test_soak_bounded_memory_and_throughput(self, results_dir, bench_report):
+        session = ServiceSession(CFG, topology=TOPO)
+
+        session.drain(WARMUP_EVENTS)
+        rss_warm = _rss_mb()
+
+        t0 = time.perf_counter()
+        session.drain(N_EVENTS - WARMUP_EVENTS)
+        elapsed = time.perf_counter() - t0
+        rss_end = _rss_mb()
+
+        rss_delta = rss_end - rss_warm
+        events_per_sec = (N_EVENTS - WARMUP_EVENTS) / elapsed
+
+        lines = [
+            "Service-mode soak (bounded memory + throughput)",
+            f"  topology:        {TOPO.n_ases} ASes",
+            f"  events:          {session.events_processed:,} "
+            f"({session.arrivals_total:,} arrivals, "
+            f"{session.retired_total:,} retired)",
+            f"  live flows:      {session.engine.n_flows} at exit "
+            f"(ceiling {LIVE_FLOW_CEILING})",
+            f"  record ring:     {len(session.engine.records)} "
+            f"(capacity {CFG.record_capacity})",
+            f"  rss:             {rss_warm:.1f} MB warm -> {rss_end:.1f} MB "
+            f"(delta {rss_delta:.2f} MB, ceiling {RSS_CEILING_MB:g} MB)",
+            f"  throughput:      {events_per_sec:,.0f} events/s "
+            f"(floor {EVENTS_PER_SEC_FLOOR:g})",
+        ]
+        write_result(results_dir, "microbench_service", "\n".join(lines))
+        bench_report(
+            "service_soak",
+            n_events=N_EVENTS,
+            events_per_sec=round(events_per_sec, 1),
+            rss_delta_mb=round(rss_delta, 2),
+            live_flows=session.engine.n_flows,
+        )
+
+        assert session.events_processed == N_EVENTS
+        # Memory: the whole point of the service mode.
+        assert rss_delta < RSS_CEILING_MB, "\n".join(lines)
+        assert len(session.engine.records) == CFG.record_capacity
+        assert session.engine.n_flows < LIVE_FLOW_CEILING
+        # The population turned over many times; nothing accumulated.
+        assert session.retired_total > session.engine.n_flows * 50
+        assert events_per_sec >= EVENTS_PER_SEC_FLOOR, "\n".join(lines)

@@ -8,6 +8,8 @@ Usage::
     python -m repro run fig9 --scale test --metrics --trace-out trace.jsonl
     python -m repro scenario list
     python -m repro scenario run link_flap --scale test --mode incremental
+    python -m repro serve --events 5000 --checkpoint-every 1000
+    python -m repro serve --events 5000 --restore-from service.ckpt.json
     python -m repro trace summarize trace.jsonl
     python -m repro verify --scale default
     python -m repro topology --n-ases 2000 --out topo.txt
@@ -185,6 +187,67 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         path = out / f"scenario_{args.name}_{args.scale}.json"
         path.write_text(result.to_json(indent=2) + "\n", encoding="utf-8")
         print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the streaming service session from the command line."""
+    import json
+
+    from .service import ServiceConfig, ServiceSession
+
+    if args.restore_from:
+        session = ServiceSession.restore(
+            args.restore_from, backend=args.routing_backend
+        )
+        print(
+            f"restored session at event {session.events_processed} "
+            f"({session.engine.n_flows} live flows, "
+            f"clock {session.clock_s:.2f}s)",
+            file=sys.stderr,
+        )
+    else:
+        cfg = ServiceConfig(
+            seed=args.seed,
+            arrival_rate=args.arrival_rate,
+            traffic=args.traffic,
+            record_capacity=args.record_capacity,
+            checkpoint_every=args.checkpoint_every or 0,
+        )
+        session = ServiceSession(
+            cfg,
+            topology=TopologyConfig(n_ases=args.n_ases, seed=args.seed),
+            backend=args.routing_backend or "dict",
+            telemetry=args.metrics,
+        )
+    interval = (
+        args.checkpoint_every
+        if args.checkpoint_every is not None
+        else session.config.checkpoint_every
+    )
+    watch = Stopwatch()
+    done = 0
+    while done < args.events:
+        batch = (
+            args.events - done
+            if interval <= 0
+            else min(interval, args.events - done)
+        )
+        report = session.drain(batch)
+        done += batch
+        print(
+            f"[{session.events_processed}] +{batch} events: "
+            f"{report.arrivals} arrivals, {report.retired} retired, "
+            f"{report.flows_live} live, clock {report.clock_s:.2f}s",
+            file=sys.stderr,
+        )
+        if interval > 0:
+            session.save_checkpoint(args.checkpoint_out)
+            print(f"checkpointed to {args.checkpoint_out}", file=sys.stderr)
+    rate = done / watch.elapsed if watch.elapsed > 0 else float("inf")
+    print(f"processed {done} events in {watch.elapsed:.1f}s "
+          f"({rate:.0f} events/s)", file=sys.stderr)
+    print(json.dumps(session.snapshot(), indent=2, sort_keys=True))
     return 0
 
 
@@ -475,6 +538,62 @@ def main(argv: list[str] | None = None) -> int:
         "--json", default=None, metavar="DIR", help="also dump ExperimentResult JSON"
     )
     p_sc_run.set_defaults(fn=_cmd_scenario_run)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the streaming service (checkpointable long-lived session)",
+    )
+    p_srv.add_argument(
+        "--events", type=int, default=1000, help="stream events to process"
+    )
+    p_srv.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="checkpoint every K events (default: the config's setting; "
+        "0 = never)",
+    )
+    p_srv.add_argument(
+        "--checkpoint-out",
+        default="service.ckpt.json",
+        metavar="PATH",
+        help="where periodic checkpoints are written",
+    )
+    p_srv.add_argument(
+        "--restore-from",
+        default=None,
+        metavar="PATH",
+        help="resume from a checkpoint file instead of starting fresh",
+    )
+    p_srv.add_argument(
+        "--n-ases", type=int, default=300, help="topology size (fresh start)"
+    )
+    p_srv.add_argument("--seed", type=int, default=2014)
+    p_srv.add_argument(
+        "--arrival-rate", type=float, default=200.0, help="flow arrivals/s"
+    )
+    p_srv.add_argument(
+        "--traffic", choices=("zipf", "uniform"), default="zipf"
+    )
+    p_srv.add_argument(
+        "--record-capacity",
+        type=int,
+        default=1024,
+        help="per-event records retained (the bounded ring)",
+    )
+    p_srv.add_argument(
+        "--routing-backend",
+        choices=("dict", "array"),
+        default=None,
+        help="routing implementation (restore default: the checkpoint's)",
+    )
+    p_srv.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach a telemetry registry (counters land in the snapshot)",
+    )
+    p_srv.set_defaults(fn=_cmd_serve)
 
     p_tr = sub.add_parser("trace", help="inspect recorded telemetry traces")
     tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)

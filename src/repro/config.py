@@ -1,0 +1,120 @@
+"""The unified configuration surface.
+
+Every layer of the pipeline is configured by one frozen dataclass —
+:class:`TopologyConfig` (graph synthesis), :class:`MifoEngineConfig`
+(the forwarding engine), :class:`FluidSimConfig` (the fluid simulator),
+:class:`ScenarioConfig` (the dynamic-scenario engine), and
+:class:`ServiceConfig` (the streaming service).  This module re-exports
+all five and provides the **single** dict round-trip used everywhere a
+config crosses a serialization boundary (CLI JSON input, service
+checkpoints, result provenance):
+
+* :func:`config_to_dict` — JSON-primitive fields only, sorted layout;
+  fields holding live objects (e.g. ``MifoEngineConfig.carrier``) are
+  omitted rather than guessed at;
+* :func:`config_from_dict` — strict inverse: unknown keys are an error
+  (catching typos at the boundary), omitted keys keep their defaults,
+  and the instance's own ``validate()`` runs before it is returned.
+
+``tests/test_config.py`` property-tests the round-trip:
+``from_dict(cls, to_dict(c))`` reproduces every serializable field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, TypeVar
+
+from .errors import ConfigError
+from .flowsim.simulator import FluidSimConfig
+from .mifo.engine import MifoEngineConfig
+from .scenario.engine import ScenarioConfig
+from .service.config import ServiceConfig
+from .topology.generator import TopologyConfig
+
+__all__ = [
+    "CONFIG_TYPES",
+    "FluidSimConfig",
+    "MifoEngineConfig",
+    "ScenarioConfig",
+    "ServiceConfig",
+    "TopologyConfig",
+    "config_from_dict",
+    "config_to_dict",
+]
+
+#: registry name -> config class (CLI/JSON consumers select by name).
+CONFIG_TYPES: dict[str, type] = {
+    "topology": TopologyConfig,
+    "mifo": MifoEngineConfig,
+    "flowsim": FluidSimConfig,
+    "scenario": ScenarioConfig,
+    "service": ServiceConfig,
+}
+
+_C = TypeVar("_C")
+
+#: JSON-scalar types a serializable config field may hold.
+_SCALARS = (bool, int, float, str, type(None))
+
+
+def _is_serializable(value: Any) -> bool:
+    if isinstance(value, _SCALARS):
+        return True
+    if isinstance(value, (tuple, list)):
+        return all(isinstance(v, _SCALARS) for v in value)
+    return False
+
+
+def config_to_dict(config: Any) -> dict[str, Any]:
+    """One config instance -> a JSON-primitive dict.
+
+    Only fields whose values are JSON scalars (or flat lists/tuples of
+    them) are emitted; object-valued fields (custom detectors, carrier
+    strategies) have no faithful JSON form and are deliberately dropped —
+    :func:`config_from_dict` restores their defaults.
+    """
+    if not dataclasses.is_dataclass(config) or isinstance(config, type):
+        raise ConfigError(
+            f"config_to_dict needs a config dataclass instance, got "
+            f"{type(config).__name__}"
+        )
+    out: dict[str, Any] = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if not _is_serializable(value):
+            continue
+        out[field.name] = list(value) if isinstance(value, tuple) else value
+    return out
+
+
+def config_from_dict(cls: type[_C], data: dict[str, Any]) -> _C:
+    """The strict inverse of :func:`config_to_dict`.
+
+    Unknown keys raise :class:`~repro.errors.ConfigError` (a silently
+    ignored typo in a checkpoint or CLI file would be a debugging trap);
+    missing keys keep the dataclass defaults; tuple-typed fields accept
+    the JSON list form.  The instance's ``validate()`` (when defined)
+    runs before returning.
+    """
+    if not dataclasses.is_dataclass(cls) or not isinstance(cls, type):
+        raise ConfigError(
+            f"config_from_dict needs a config dataclass type, got {cls!r}"
+        )
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - set(fields))
+    if unknown:
+        raise ConfigError(
+            f"{cls.__name__} has no field(s) {', '.join(map(repr, unknown))}"
+        )
+    kwargs: dict[str, Any] = {}
+    for name, value in data.items():
+        default = fields[name].default
+        if isinstance(value, list) and isinstance(default, tuple):
+            value = tuple(value)
+        kwargs[name] = value
+    instance = cls(**kwargs)
+    validate = getattr(instance, "validate", None)
+    if callable(validate):
+        validate()
+    return instance

@@ -19,6 +19,7 @@ from . import (
     overhead,
     ribstudy,
     scenario,
+    service,
     table1,
 )
 from .common import SCALES, ExperimentScale, SharedContext, deployment_sample, get_scale
@@ -36,6 +37,7 @@ REGISTRY = {
     "ribstudy": ribstudy,
     "overhead": overhead,
     "scenario": scenario,
+    "service": service,
 }
 
 __all__ = [
@@ -56,5 +58,6 @@ __all__ = [
     "ribstudy",
     "overhead",
     "scenario",
+    "service",
     "export",
 ]

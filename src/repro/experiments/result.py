@@ -15,19 +15,18 @@ it).
 ``scale`` it ran at, plot-ready ``series`` (label -> ``(x, y)`` points),
 scalar ``meta`` headlines, and :meth:`to_json` for machine consumers.
 The figure-specific rich result object rides along as ``raw`` for callers
-that need the full typed API (benchmarks, the gnuplot exporter).
-
-Attribute access that misses on the envelope is forwarded to ``raw`` with
-a :class:`DeprecationWarning` — the thin shim that keeps pre-redesign
-call sites (``result.cdf(...)``, ``result.improvement`` ...) working while
-they migrate.
+that need the full typed API (benchmarks, the gnuplot exporter) —
+``result.raw.cdf(...)``, ``result.raw.improvement`` and friends.  The
+deprecated ``__getattr__`` forwarding shim that used to bridge
+pre-redesign call sites (``result.cdf(...)`` warning then delegating) is
+gone: attribute access that misses on the envelope now raises
+:class:`AttributeError` like any frozen dataclass.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-import warnings
 from typing import Any
 
 __all__ = ["ExperimentResult", "PROVENANCE_KEYS", "freeze_series"]
@@ -91,23 +90,3 @@ class ExperimentResult:
         if raw is not None and hasattr(raw, "render"):
             return raw.render()
         return self.to_json(indent=2)
-
-    def __getattr__(self, attr: str) -> Any:
-        # Only called for attributes missing on the envelope itself.
-        # Forward public names to the rich result so pre-redesign call
-        # sites keep working; everything else (dunders, privates) must
-        # fail normally or pickling/copy would break.
-        if attr.startswith("_"):
-            raise AttributeError(attr)
-        raw = object.__getattribute__(self, "raw")
-        if raw is None or not hasattr(raw, attr):
-            raise AttributeError(
-                f"{type(self).__name__!s} has no attribute {attr!r}"
-            )
-        warnings.warn(
-            f"accessing {attr!r} through ExperimentResult is deprecated; "
-            f"use result.raw.{attr} (or the series/meta fields)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(raw, attr)

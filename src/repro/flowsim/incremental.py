@@ -203,6 +203,59 @@ class IncrementalMaxMin:
         return self._slab_rows[start : start + int(self._col_len[col])]
 
     # ------------------------------------------------------------------
+    # free-list serialization (service checkpoints)
+    # ------------------------------------------------------------------
+    def free_segments(self) -> dict[int, int]:
+        """Free-list occupancy: path length -> recyclable column count.
+
+        Dead columns never perturb a fill (zero multiplicity, pre-frozen),
+        but they *do* decide whether a future :meth:`_intern` recycles a
+        segment or allocates a fresh one — so a checkpoint that wants the
+        restored solver to replay with identical ``flowsim.cols_reused``
+        behavior must carry this occupancy map.
+        """
+        return {n: len(cols) for n, cols in sorted(self._free.items()) if cols}
+
+    def seed_free_segments(self, lengths: dict[int, int]) -> None:
+        """Pre-populate the free-list with inert dead columns.
+
+        The restore path calls this *after* re-adding the live flow table:
+        each seeded column gets a real slab segment (rows are overwritten
+        on reuse, so their content is immaterial) and zero multiplicity,
+        reproducing the uninterrupted pool's recycling capacity without
+        touching any value a fill computes.
+        """
+        for n, count in sorted(lengths.items()):
+            if n < 0 or count < 0:
+                raise SimulationError(
+                    f"invalid free-segment entry ({n}: {count})"
+                )
+            for _ in range(count):
+                col = self._n_cols
+                self._n_cols += 1
+                self._col_start = _grow_to(self._col_start, self._n_cols)
+                self._col_len = _grow_to(self._col_len, self._n_cols)
+                self._mult = _grow_to(self._mult, self._n_cols)
+                self._col_maxlink = _grow_to(self._col_maxlink, self._n_cols)
+                start = self._slab_used
+                self._slab_used = start + n
+                self._slab_rows = _grow_to(self._slab_rows, self._slab_used)
+                self._slab_cols = _grow_to(self._slab_cols, self._slab_used)
+                self._slab_rows[start : start + n] = 0
+                self._slab_cols[start : start + n] = col
+                self._col_start[col] = start
+                self._col_len[col] = n
+                self._mult[col] = 0.0
+                if n:
+                    self._col_maxlink[col] = 0
+                    if self._max_link < 0:
+                        self._max_link = 0
+                        self._base_counts = _grow_to(self._base_counts, 1)
+                else:
+                    self._col_maxlink[col] = -1
+                self._free.setdefault(n, []).append(col)
+
+    # ------------------------------------------------------------------
     # mutations
     # ------------------------------------------------------------------
     def add_flow(self, flow_id: int, link_ids: Sequence[int]) -> None:

@@ -42,6 +42,7 @@ path saves.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
@@ -58,7 +59,7 @@ from ..topology.relationships import Relationship
 from ..traffic.matrix import uniform_pairs
 from ..verify.checker import verify_routing
 from ..verify.gate import crosscheck_trace
-from .events import ScenarioEvent, ScenarioSpec
+from .events import EngineEvent, ScenarioSpec
 from .incremental import IncrementalRouting
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -87,6 +88,10 @@ class ScenarioConfig:
     crosscheck: bool = False
     #: salt for the per-event RNG streams of traffic events.
     seed_salt: int = 7919
+    #: bound on retained :class:`EventRecord` rows (``None`` = unbounded,
+    #: the batch default).  Service mode sets a finite ring so an
+    #: unbounded stream holds steady memory.
+    record_capacity: int | None = None
 
     def validate(self) -> None:
         """Reject inconsistent knob combinations."""
@@ -100,6 +105,8 @@ class ScenarioConfig:
             raise ConfigError(
                 f"scenario mode {self.mode!r} not in ('incremental', 'full')"
             )
+        if self.record_capacity is not None and self.record_capacity < 1:
+            raise ConfigError("record_capacity must be >= 1 when set")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -233,7 +240,10 @@ class ScenarioEngine:
         #: failed links, most recent last: (u, v, relationship of v from u).
         self._failed: list[tuple[int, int, Relationship]] = []
         self._event_no = -1  # the initial routing pass is epoch 0
-        self.records: list[EventRecord] = []
+        #: per-event metrics rows; a bounded ring when the config caps it.
+        self.records: collections.deque[EventRecord] = collections.deque(
+            maxlen=self.config.record_capacity
+        )
 
     # ------------------------------------------------------------------
     # link interning & data-plane state
@@ -447,6 +457,63 @@ class ScenarioEngine:
         ids = self._register_flows([(int(s), dst) for s in srcs])
         return EventEffect(new_flows=ids, target=f"{n} flows -> AS {dst}")
 
+    def add_explicit_flows(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> EventEffect:
+        """Register explicit ``(src, dst)`` persistent flows.
+
+        The streaming service's arrival path: the caller (not a seeded
+        engine stream) supplies the endpoints, so replay after a restore
+        reproduces the identical population.
+        """
+        for src, dst in pairs:
+            if src == dst:
+                raise ConfigError(f"flow endpoints coincide (AS {src})")
+            if src not in self.graph or dst not in self.graph:
+                raise ConfigError(f"flow {src}->{dst} references unknown AS")
+        ids = self._register_flows(list(pairs))
+        return EventEffect(new_flows=ids, target=f"{len(ids)} flows")
+
+    def retire_flows(self, flow_ids: Sequence[int]) -> EventEffect:
+        """Drop completed flows from the population and the solver.
+
+        The freed capacity is reflected by the unconditional re-solve in
+        the same step; surviving flows keep their paths (max-min rates
+        only grow when competitors leave, so nothing needs re-routing).
+        """
+        for fid in flow_ids:
+            f = self._flows.pop(fid, None)
+            if f is None:
+                raise ConfigError(f"cannot retire unknown flow {fid}")
+            if f.path is not None:
+                self.solver.remove_flow(fid)
+        return EventEffect(target=f"retired {len(flow_ids)} flows")
+
+    # ------------------------------------------------------------------
+    # state accessors (service checkpointing)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Index of the last processed event (-1 before epoch 0)."""
+        return self._event_no
+
+    @property
+    def next_flow_id(self) -> int:
+        """The id the next registered flow will receive."""
+        return self._next_flow_id
+
+    @property
+    def n_flows(self) -> int:
+        """Flows currently in the population (routable or not)."""
+        return len(self._flows)
+
+    @property
+    def failed_links(self) -> tuple[tuple[int, int, Relationship], ...]:
+        """Currently failed links, oldest first, with their original
+        relationships — replaying these against the base topology
+        reconstructs the live graph exactly."""
+        return tuple(self._failed)
+
     # ------------------------------------------------------------------
     # the per-event procedure
     # ------------------------------------------------------------------
@@ -617,11 +684,19 @@ class ScenarioEngine:
                 )
         return len(scope)
 
-    def step(self, when: float, event: ScenarioEvent | None = None) -> None:
+    def step(
+        self,
+        when: float,
+        event: EngineEvent | None = None,
+        *,
+        verify: bool | None = None,
+    ) -> None:
         """Apply one timeline event (``None`` = the epoch-0 initial
         routing of the base population) and run the full per-event
         procedure.  :meth:`run` drives this; benchmarks call it directly
-        to time event processing separately from the initial routing."""
+        to time event processing separately from the initial routing.
+        ``verify`` overrides the config's re-certification knob for this
+        one event (the service certifies on a sampling cadence)."""
         self._event_no += 1
         t = tm.active()
         trace_mark = t.events_total if t is not None else 0
@@ -652,7 +727,8 @@ class ScenarioEngine:
                     self._update_congestion()
 
             verified = 0
-            if self.config.verify:
+            do_verify = self.config.verify if verify is None else verify
+            if do_verify:
                 verified = self._certify(effect.dirty, converged_before, trace_mark)
             if self.config.crosscheck:
                 self.routing.crosscheck()

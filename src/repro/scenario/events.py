@@ -19,7 +19,7 @@ are meaningful at every scale.  Flow-count events size themselves as a
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Protocol, Union
 
 from ..errors import ConfigError
 
@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .engine import EventEffect, ScenarioEngine
 
 __all__ = [
+    "EngineEvent",
     "LinkFail",
     "LinkRecover",
     "CapacityScale",
@@ -38,6 +39,27 @@ __all__ = [
     "SCENARIOS",
     "get_scenario",
 ]
+
+
+class EngineEvent(Protocol):
+    """Structural type of anything the scenario engine can apply.
+
+    An event carries a ``kind`` label (for records and the telemetry
+    trace) and an ``apply`` that mutates simulation state exclusively
+    through engine primitives, returning the :class:`EventEffect` that
+    drives affected-flow selection.  The built-in scenario vocabulary
+    below satisfies it, as do the streaming events of
+    :mod:`repro.service.stream`.
+    """
+
+    @property
+    def kind(self) -> str:
+        """Event-kind label recorded per event."""
+        ...
+
+    def apply(self, engine: "ScenarioEngine") -> "EventEffect":
+        """Apply the event through engine primitives."""
+        ...
 
 
 def _resolve_link(

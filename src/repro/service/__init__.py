@@ -1,0 +1,41 @@
+"""Streaming service mode: a long-lived MIFO routing process.
+
+The batch experiments answer "what does MIFO do to this workload?"; this
+package answers "can MIFO *run* — indefinitely, restartably, under an
+unbounded interleaved stream of flow arrivals/departures and link
+events?"  :class:`ServiceSession` is the unified front door:
+
+>>> from repro.service import ServiceConfig, ServiceSession
+>>> from repro.topology import TopologyConfig
+>>> s = ServiceSession(ServiceConfig(seed=7), topology=TopologyConfig(n_ases=120))
+>>> report = s.drain(200)          # 200 stream events
+>>> blob = s.checkpoint_json()     # deterministic bytes
+>>> s2 = ServiceSession.restore({"..." : "..."})  # doctest: +SKIP
+
+Checkpoint → restore → replay is byte-identical to never having stopped
+(``tests/service/test_checkpoint.py`` proves it at hypothesis-chosen
+kill points, across routing backends).
+"""
+
+from .config import ServiceConfig
+from .session import DrainReport, ServiceSession
+from .stream import (
+    CapacityJitter,
+    EventStream,
+    FlowArrival,
+    LinkFlap,
+    ServiceTick,
+    StreamEvent,
+)
+
+__all__ = [
+    "CapacityJitter",
+    "DrainReport",
+    "EventStream",
+    "FlowArrival",
+    "LinkFlap",
+    "ServiceConfig",
+    "ServiceSession",
+    "ServiceTick",
+    "StreamEvent",
+]

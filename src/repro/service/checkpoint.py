@@ -1,0 +1,298 @@
+"""Deterministic checkpoint / restore of a running service session.
+
+Design rule: **serialize only what cannot be re-derived, re-derive the
+rest.**  The checkpoint stores configs, the failed-link stack, the flow
+table, the dense data-plane arrays, the record ring, counters, and the
+stream cursor — all JSON scalars (Python floats round-trip exactly
+through ``repr``, so JSON is lossless here).  It does *not* store
+routing views, solver slabs, or RNG internals:
+
+* the topology regenerates from its config and the failed stack replays
+  over it (same frozen-graph derivative chain as live operation);
+* routing views recompute per cached destination — sound because
+  ``IncrementalRouting.crosscheck`` proves live views always equal a
+  fresh recompute;
+* the pooled max-min solver rebuilds by re-adding the flow table and
+  running one priming fill — bitwise-safe because fill results are
+  independent of column numbering (the warm-start crosscheck asserts
+  exactly this against a fresh cold build); the only pool state that is
+  *not* derivable from the live flows is the free-list occupancy (dead
+  columns waiting to be recycled), so that small map is checkpointed and
+  re-seeded to keep ``flowsim.cols_reused`` identical under replay;
+* stream event ``i`` is a pure function of ``(seed, i)``, so the cursor
+  *is* the generator state.
+
+Rebuild work runs with telemetry deactivated, then the checkpointed
+counter values are re-applied — so restored telemetry counters match an
+uninterrupted run's exactly.  ``to_json`` emits sorted-key JSON: one
+state, one byte sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import json
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from .. import telemetry as tm
+from ..errors import ConfigError
+from ..scenario.engine import EventRecord, _SimFlow
+from ..scenario.incremental import IncrementalRouting
+from ..telemetry import Telemetry
+from ..topology.dynamics import without_link
+from ..topology.relationships import Relationship
+from .stream import STREAM_EVENT_TYPES, StreamEvent
+
+__all__ = ["CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "capture", "restore", "to_json"]
+
+CHECKPOINT_FORMAT = "mifo-service-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def capture(session: Any) -> dict[str, Any]:
+    """Serialize a :class:`~repro.service.session.ServiceSession`.
+
+    Must be called between steps (the session API cannot observe a
+    mid-step state, so this holds by construction for API users).
+    """
+    eng = session.engine
+    n = len(eng._link_idx)
+    flows = [
+        [
+            f.flow_id,
+            f.src,
+            f.dst,
+            list(f.path) if f.path is not None else None,
+            bool(f.on_alt),
+            f.switches,
+            float(f.rate),
+        ]
+        for f in eng._flows.values()
+    ]
+    telemetry_state: dict[str, Any] | None = None
+    if session.telemetry is not None:
+        telemetry_state = {
+            "counters": dict(sorted(session.telemetry.counters.items()))
+        }
+    from ..config import config_to_dict
+
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "config": config_to_dict(session.config),
+        "topology": config_to_dict(session.topology),
+        "backend": eng.routing.backend,
+        "session": {
+            "tick": session._tick,
+            "clock_s": float(session._clock),
+            "stream_index": session._stream_index,
+            "arrivals_total": session.arrivals_total,
+            "retired_total": session.retired_total,
+            "expiry": [list(entry) for entry in sorted(session._expiry)],
+            "fed": [
+                [float(dt), ev.kind, dataclasses.asdict(ev)]
+                for dt, ev in session._fed
+            ],
+        },
+        "engine": {
+            "event_no": eng.epoch,
+            "next_flow_id": eng.next_flow_id,
+            "failed": [[u, v, rel.name] for u, v, rel in eng.failed_links],
+            "links": [[int(u), int(v)] for u, v in eng._link_idx],
+            "cap_factor": [float(x) for x in eng._cap_factor[:n]],
+            "exo_frac": [float(x) for x in eng._exo_frac[:n]],
+            "congested": [int(x) for x in eng._congested[:n]],
+            "alloc": [float(x) for x in eng._alloc[:n]],
+            "flows": flows,
+            "records": [dataclasses.asdict(r) for r in eng.records],
+            "routing_dests": sorted(eng.routing.cached_destinations()),
+            "free_segments": {
+                str(n): count
+                for n, count in eng.solver.pool.free_segments().items()
+            },
+            "counters": {
+                "dests_recomputed": eng.routing.dests_recomputed,
+                "dests_rebased": eng.routing.dests_rebased,
+                "solver_solves": eng.solver.solves,
+                "solver_hits": eng.solver.hits,
+                "pool": {
+                    "pool_hits": eng.solver.pool.pool_hits,
+                    "cols_reused": eng.solver.pool.cols_reused,
+                    "warm_rounds_saved": eng.solver.pool.warm_rounds_saved,
+                    "rounds_total": eng.solver.pool.rounds_total,
+                    "solves": eng.solver.pool.solves,
+                    "hits": eng.solver.pool.hits,
+                },
+            },
+        },
+        "telemetry": telemetry_state,
+    }
+
+
+def to_json(state: dict[str, Any]) -> str:
+    """Canonical checkpoint bytes: sorted keys, no whitespace games."""
+    return json.dumps(state, sort_keys=True)
+
+
+def _load(source: dict[str, Any] | str) -> dict[str, Any]:
+    if isinstance(source, dict):
+        state = source
+    else:
+        with open(source, encoding="utf-8") as fh:
+            state = json.load(fh)
+    if state.get("format") != CHECKPOINT_FORMAT:
+        raise ConfigError(
+            f"not a {CHECKPOINT_FORMAT} document: format="
+            f"{state.get('format')!r}"
+        )
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise ConfigError(
+            f"unsupported checkpoint version {state.get('version')!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    return state
+
+
+def restore(
+    source: dict[str, Any] | str,
+    *,
+    backend: str | None = None,
+    telemetry: Telemetry | bool | None = None,
+) -> Any:
+    """Reconstruct a live session from a checkpoint dict or file path."""
+    from ..config import config_from_dict
+    from .config import ServiceConfig
+    from .session import ServiceSession
+    from ..topology.generator import TopologyConfig
+
+    state = _load(source)
+    cfg = config_from_dict(ServiceConfig, state["config"])
+    topo = config_from_dict(TopologyConfig, state["topology"])
+    use_backend = backend if backend is not None else str(state["backend"])
+    if telemetry is None and state.get("telemetry") is not None:
+        telemetry = True
+    # All rebuild work happens under a deactivated telemetry sink, so the
+    # restored counters come exclusively from the checkpoint.
+    prev = tm.active()
+    tm.activate(None)
+    try:
+        session = ServiceSession(
+            cfg,
+            topology=topo,
+            backend=use_backend,
+            telemetry=telemetry,
+            bootstrap=False,
+        )
+        _restore_engine(session, state["engine"], cfg, use_backend)
+        _restore_session_state(session, state["session"])
+    finally:
+        tm.activate(prev)
+    if session.telemetry is not None and state.get("telemetry") is not None:
+        for name, value in state["telemetry"]["counters"].items():
+            session.telemetry.inc(name, int(value))
+    return session
+
+
+def _restore_engine(
+    session: Any, es: dict[str, Any], cfg: Any, backend: str
+) -> None:
+    eng = session.engine
+    # 1. Topology: replay the failed-link stack over the base graph.
+    graph = session._base_graph
+    failed: list[tuple[int, int, Relationship]] = []
+    for u, v, rel_name in es["failed"]:
+        rel = Relationship[rel_name]
+        graph = without_link(graph, int(u), int(v))
+        failed.append((int(u), int(v), rel))
+    eng.graph = graph
+    eng._failed = failed
+    # 2. Routing: a fresh cache over the live graph, views recomputed for
+    # every checkpointed destination (live views provably equal a fresh
+    # recompute — the crosscheck contract), counters restored verbatim.
+    eng.routing = IncrementalRouting(
+        graph,
+        backend=backend,
+        recompute="dirty" if cfg.mode == "incremental" else "all",
+    )
+    for dest in es["routing_dests"]:
+        eng.routing(int(dest))
+    counters = es["counters"]
+    eng.routing.dests_recomputed = int(counters["dests_recomputed"])
+    eng.routing.dests_rebased = int(counters["dests_rebased"])
+    # 3. Directed-link interning, in checkpointed order, then the dense
+    # data-plane arrays verbatim (hysteresis bits must NOT be recomputed
+    # — they are state, not a function of current load).
+    for u, v in es["links"]:
+        eng._intern_link(int(u), int(v))
+    n = len(es["links"])
+    eng._cap_factor[:n] = np.asarray(es["cap_factor"], dtype=np.float64)
+    eng._exo_frac[:n] = np.asarray(es["exo_frac"], dtype=np.float64)
+    eng._congested[:n] = np.asarray(es["congested"], dtype=bool)
+    eng._alloc = np.zeros(eng._congested.shape[0])
+    eng._alloc[:n] = np.asarray(es["alloc"], dtype=np.float64)
+    # 4. The flow population (insertion order == checkpoint order ==
+    # ascending registration order).
+    eng._flows = {}
+    for fid, src, dst, path, on_alt, switches, rate in es["flows"]:
+        f = _SimFlow(int(fid), int(src), int(dst))
+        if path is not None:
+            f.path = tuple(int(x) for x in path)
+            f.link_ids = eng._intern_path(f.path)
+            f.on_alt = bool(on_alt)
+        f.switches = int(switches)
+        f.rate = float(rate)
+        eng._flows[f.flow_id] = f
+    eng._next_flow_id = int(es["next_flow_id"])
+    eng._event_no = int(es["event_no"])
+    # 5. Solver: re-add the flow table, then one priming fill.  Fill
+    # results are independent of column numbering, so the rebuilt pool's
+    # rates, memo tick and last-round count land exactly where the
+    # uninterrupted solver's were; lifetime counters then restore on top.
+    for f in eng._flows.values():
+        if f.path is not None:
+            eng.solver.set_flow(f.flow_id, f.link_ids)
+    eng.solver.set_capacity(eng._residual_capacity())
+    eng.solver.pool.solve()
+    pool = eng.solver.pool
+    # Seed the free-list *after* the live flows (so they don't consume
+    # the recycled segments) — replay then recycles columns exactly as
+    # the uninterrupted pool would, keeping ``flowsim.cols_reused`` in
+    # lockstep.
+    pool.seed_free_segments(
+        {int(n): int(c) for n, c in es.get("free_segments", {}).items()}
+    )
+    pc = counters["pool"]
+    pool.pool_hits = int(pc["pool_hits"])
+    pool.cols_reused = int(pc["cols_reused"])
+    pool.warm_rounds_saved = int(pc["warm_rounds_saved"])
+    pool.rounds_total = int(pc["rounds_total"])
+    pool.solves = int(pc["solves"])
+    pool.hits = int(pc["hits"])
+    eng.solver.solves = int(counters["solver_solves"])
+    eng.solver.hits = int(counters["solver_hits"])
+    # 6. The record ring.
+    eng.records.clear()
+    for row in es["records"]:
+        eng.records.append(EventRecord(**row))
+
+
+def _restore_session_state(session: Any, ss: dict[str, Any]) -> None:
+    session._tick = int(ss["tick"])
+    session._clock = float(ss["clock_s"])
+    session._stream_index = int(ss["stream_index"])
+    session.arrivals_total = int(ss["arrivals_total"])
+    session.retired_total = int(ss["retired_total"])
+    expiry = [(int(t), int(fid)) for t, fid in ss["expiry"]]
+    heapq.heapify(expiry)
+    session._expiry = expiry
+    fed: deque[tuple[float, StreamEvent]] = deque()
+    for dt, kind, fields in ss["fed"]:
+        event_cls = STREAM_EVENT_TYPES.get(kind)
+        if event_cls is None:
+            raise ConfigError(f"unknown fed event kind {kind!r} in checkpoint")
+        fed.append((float(dt), event_cls(**fields)))
+    session._fed = fed

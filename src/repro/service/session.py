@@ -1,0 +1,323 @@
+"""The unified session API fronting the streaming service.
+
+:class:`ServiceSession` owns one long-lived
+:class:`~repro.scenario.engine.ScenarioEngine` and advances it through
+the unbounded event stream one :class:`~repro.service.stream.ServiceTick`
+at a time:
+
+* :meth:`step` — pull the next event (fed events first, then the
+  generated stream), retire flows whose lifetime expired, and run the
+  engine's full eight-step per-event procedure;
+* :meth:`feed` — enqueue an externally supplied event ahead of the
+  generated stream (operator interventions, replayed traces);
+* :meth:`drain` — step ``n`` times and summarize;
+* :meth:`checkpoint` / :meth:`restore` — serialize / reconstruct the
+  complete service state (see :mod:`repro.service.checkpoint`); a
+  restored session replays **byte-identically** to one that never
+  stopped;
+* :meth:`snapshot` — live telemetry/gauge export for monitoring;
+* :meth:`result` — package the retained window as the standard
+  :class:`~repro.experiments.result.ExperimentResult` envelope.
+
+Memory stays bounded no matter how long the stream runs: retired flows
+leave the population and the solver, per-event records live in a ring
+(``ServiceConfig.record_capacity``), and the telemetry trace ring is
+bounded by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from .. import telemetry as tm
+from ..errors import ConfigError
+from ..scenario.engine import EventRecord, ScenarioEngine
+from ..scenario.events import ScenarioSpec
+from ..telemetry import Telemetry
+from ..topology.generator import TopologyConfig, generate_topology
+from .config import ServiceConfig
+from .stream import EventStream, FlowArrival, ServiceTick, StreamEvent
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..experiments.result import ExperimentResult
+
+__all__ = ["DrainReport", "ServiceSession"]
+
+#: the empty timeline the service engine is constructed around — events
+#: come from the stream, not a spec.
+_SERVICE_SPEC = ScenarioSpec(
+    "service", "unbounded event stream (repro.service)", ()
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DrainReport:
+    """Summary of one :meth:`ServiceSession.drain` batch."""
+
+    events: int
+    arrivals: int
+    retired: int
+    flows_live: int
+    clock_s: float
+    last_record: EventRecord | None
+
+
+class ServiceSession:
+    """A long-lived streaming MIFO routing service.
+
+    ``telemetry`` accepts a :class:`~repro.telemetry.Telemetry` instance,
+    ``True`` (construct a fresh one), or ``None`` (don't measure).  The
+    session activates its registry only for the duration of each step,
+    so concurrent sessions never cross-count.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        topology: TopologyConfig | None = None,
+        backend: str = "dict",
+        telemetry: Telemetry | bool | None = None,
+        bootstrap: bool = True,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.config.validate()
+        self.topology = topology if topology is not None else TopologyConfig()
+        self.backend = backend
+        if telemetry is True:
+            self.telemetry: Telemetry | None = Telemetry()
+        elif telemetry is False or telemetry is None:
+            self.telemetry = None
+        else:
+            self.telemetry = telemetry
+        self._base_graph = generate_topology(self.topology)
+        self._stream = EventStream(self._base_graph, self.config)
+        self.engine = ScenarioEngine(
+            self._base_graph,
+            [],
+            _SERVICE_SPEC,
+            backend=backend,
+            seed=self.config.seed,
+            config=self.config.scenario_config(),
+        )
+        #: externally fed events, consumed before the generated stream.
+        self._fed: deque[tuple[float, StreamEvent]] = deque()
+        #: min-heap of (due_tick, flow_id) retirements.
+        self._expiry: list[tuple[int, int]] = []
+        self._stream_index = 0
+        self._clock = 0.0
+        self._tick = 0
+        self.arrivals_total = 0
+        self.retired_total = 0
+        if bootstrap:
+            # Epoch 0: the engine's initial-routing pass over the (empty)
+            # base population.  A restored session skips this — its epoch
+            # counter and records come from the checkpoint.
+            self.engine.step(0.0, None)
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def step(self) -> EventRecord:
+        """Process one service tick and return its metrics record."""
+        if self._fed:
+            dt, event = self._fed.popleft()
+        else:
+            dt, event = self._stream.event_at(self._stream_index)
+            self._stream_index += 1
+        self._clock += dt
+        t = self._tick
+        due: list[int] = []
+        while self._expiry and self._expiry[0][0] <= t:
+            due.append(heapq.heappop(self._expiry)[1])
+        arrival_id = (
+            self.engine.next_flow_id if isinstance(event, FlowArrival) else None
+        )
+        tick = ServiceTick(retire=tuple(due), event=event)
+        verify = (
+            self.config.verify_every > 0
+            and (t + 1) % self.config.verify_every == 0
+        )
+        prev = tm.active()
+        if self.telemetry is not None:
+            tm.activate(self.telemetry)
+        try:
+            self.engine.step(self._clock, tick, verify=verify)
+        finally:
+            if self.telemetry is not None:
+                tm.activate(prev)
+        self._tick = t + 1
+        if arrival_id is not None and isinstance(event, FlowArrival):
+            heapq.heappush(self._expiry, (t + event.lifetime, arrival_id))
+            self.arrivals_total += 1
+        self.retired_total += len(due)
+        return self.engine.records[-1]
+
+    def feed(self, event: StreamEvent, *, dt: float = 0.0) -> None:
+        """Enqueue an external event ahead of the generated stream.
+
+        ``dt`` is the virtual-clock gap the event carries (default: it
+        happens "immediately", advancing the clock by nothing).  Fed
+        events are part of the checkpointed state, so kill-and-restore
+        around them stays exact.
+        """
+        if dt < 0.0:
+            raise ConfigError("fed event dt must be >= 0")
+        self._fed.append((float(dt), event))
+
+    def drain(self, n: int) -> DrainReport:
+        """Step ``n`` times; return a summary of the batch."""
+        if n < 0:
+            raise ConfigError("drain count must be >= 0")
+        arrivals0, retired0 = self.arrivals_total, self.retired_total
+        last: EventRecord | None = None
+        for _ in range(n):
+            last = self.step()
+        return DrainReport(
+            events=n,
+            arrivals=self.arrivals_total - arrivals0,
+            retired=self.retired_total - retired0,
+            flows_live=self.engine.n_flows,
+            clock_s=self._clock,
+            last_record=last,
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        """Service ticks completed (the epoch-0 bootstrap excluded)."""
+        return self._tick
+
+    @property
+    def clock_s(self) -> float:
+        """The virtual Poisson clock (seconds of simulated stream time)."""
+        return self._clock
+
+    def snapshot(self) -> dict[str, Any]:
+        """Live state export for monitoring: gauges + telemetry counters."""
+        records = self.engine.records
+        last = records[-1] if records else None
+        return {
+            "events": self._tick,
+            "clock_s": self._clock,
+            "flows_live": self.engine.n_flows,
+            "arrivals_total": self.arrivals_total,
+            "retired_total": self.retired_total,
+            "failed_links": len(self.engine.failed_links),
+            "congested_links": last.congested_links if last else 0,
+            "flows_unroutable": last.flows_unroutable if last else 0,
+            "total_throughput_gbps": (
+                last.total_throughput_gbps if last else 0.0
+            ),
+            "telemetry": (
+                self.telemetry.snapshot().to_dict()
+                if self.telemetry is not None
+                else None
+            ),
+        }
+
+    def result(self, *, scale: str = "stream") -> "ExperimentResult":
+        """The retained record window as the unified result envelope.
+
+        The payload (series + non-provenance meta) is a pure function of
+        simulation state, so a restored session's ``result()`` is
+        byte-identical to an uninterrupted one's — the checkpoint test's
+        oracle.
+        """
+        from ..experiments.result import ExperimentResult, freeze_series
+
+        records = list(self.engine.records)
+        series = {
+            "dirty destinations": [
+                (r.time_s, float(r.dirty_dests)) for r in records
+            ],
+            "flows rerouted": [
+                (r.time_s, float(r.flows_rerouted)) for r in records
+            ],
+            "live flows": [(r.time_s, float(r.flows_total)) for r in records],
+            "congested links": [
+                (r.time_s, float(r.congested_links)) for r in records
+            ],
+            "deflected flows": [
+                (r.time_s, float(r.deflected_flows)) for r in records
+            ],
+            "mean rate (Mbps)": [(r.time_s, r.mean_rate_mbps) for r in records],
+            "total throughput (Gbps)": [
+                (r.time_s, r.total_throughput_gbps) for r in records
+            ],
+        }
+        last = records[-1] if records else None
+        meta: dict[str, Any] = {
+            "backend": self.engine.routing.backend,
+            "workers": 1,
+            "routing_cache": {
+                "cached_destinations": len(
+                    self.engine.routing.cached_destinations()
+                )
+            },
+            "scenario_engine": {
+                "mode": self.config.mode,
+                "dests_recomputed": self.engine.routing.dests_recomputed,
+                "dests_rebased": self.engine.routing.dests_rebased,
+                "warm_solves": self.engine.solver.solves,
+                "warm_hits": self.engine.solver.hits,
+            },
+            "events": self._tick,
+            "arrivals": self.arrivals_total,
+            "retired": self.retired_total,
+            "flows_live": self.engine.n_flows,
+            "final_unroutable": last.flows_unroutable if last else 0,
+            "clock_s": self._clock,
+            "stream_index": self._stream_index,
+        }
+        return ExperimentResult(
+            name="service",
+            scale=scale,
+            series=freeze_series(series),
+            meta=meta,
+            raw=self,
+        )
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict[str, Any]:
+        """The complete service state as a JSON-safe dict."""
+        from .checkpoint import capture
+
+        return capture(self)
+
+    def checkpoint_json(self) -> str:
+        """Deterministic JSON bytes of :meth:`checkpoint`."""
+        from .checkpoint import to_json
+
+        return to_json(self.checkpoint())
+
+    def save_checkpoint(self, path: str) -> None:
+        """Write :meth:`checkpoint_json` to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.checkpoint_json())
+
+    @classmethod
+    def restore(
+        cls,
+        source: "dict[str, Any] | str",
+        *,
+        backend: str | None = None,
+        telemetry: Telemetry | bool | None = None,
+    ) -> "ServiceSession":
+        """Reconstruct a session from a checkpoint dict or file path.
+
+        ``backend`` overrides the checkpointed routing backend (replay is
+        byte-identical either way — the cross-backend contract).  When
+        ``telemetry`` is unspecified and the checkpoint carries counters,
+        a fresh registry is created and the counters re-applied.
+        """
+        from .checkpoint import restore
+
+        return restore(source, backend=backend, telemetry=telemetry)

@@ -32,7 +32,24 @@ __all__ = [
     "uniform_matrix",
     "powerlaw_matrix",
     "content_provider_ranking",
+    "zipf_weights",
 ]
+
+
+def zipf_weights(k: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf probabilities ``i^-alpha`` over ranks ``1..k``.
+
+    The shared popularity law behind the power-law matrix (Fig. 6) and
+    the streaming service's arrival sampler — one definition so both
+    workloads skew identically.
+    """
+    if k <= 0:
+        raise ConfigError("zipf_weights needs at least one rank")
+    if alpha <= 0:
+        raise ConfigError("zipf alpha must be positive")
+    weights = np.arange(1, k + 1, dtype=np.float64) ** -alpha
+    weights /= weights.sum()
+    return weights
 
 
 @dataclasses.dataclass(frozen=True)
@@ -134,9 +151,7 @@ def powerlaw_pairs(
     ranked = content_provider_ranking(graph)
     if n_providers is not None:
         ranked = ranked[:n_providers]
-    k = len(ranked)
-    weights = np.arange(1, k + 1, dtype=np.float64) ** -alpha
-    weights /= weights.sum()
+    weights = zipf_weights(len(ranked), alpha)
     providers = np.asarray(ranked, dtype=np.int64)
     stubs = np.asarray(graph.stub_ases(), dtype=np.int64)
     if stubs.size == 0:

@@ -68,6 +68,7 @@ class TestCommon:
             "ribstudy",
             "overhead",
             "scenario",
+            "service",
         }
 
 

@@ -40,9 +40,13 @@ class TestExperimentResult:
     def test_render_delegates_to_raw(self, result):
         assert result.render() == result.raw.render()
 
-    def test_deprecated_attribute_shim(self, result):
-        with pytest.warns(DeprecationWarning, match="stats"):
-            assert result.stats is result.raw.stats
+    def test_attribute_shim_removed(self, result):
+        # The PR-1 deprecation is complete: the envelope no longer
+        # forwards missing attributes to ``raw`` — rich-result access
+        # must spell out ``result.raw.<attr>``.
+        with pytest.raises(AttributeError):
+            result.stats
+        assert result.raw.stats is not None
 
     def test_missing_attribute_raises(self, result):
         with pytest.raises(AttributeError):

@@ -1,0 +1,1 @@
+"""Tests for the streaming service mode (repro.service)."""

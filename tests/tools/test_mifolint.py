@@ -317,20 +317,54 @@ class TestSuppression:
         assert _codes(src) == ["MF001"]
 
 
+class TestMF003ServiceState:
+    def test_session_state_assignment_flagged(self):
+        assert _codes("session._tick = 5\n") == ["MF003"]
+
+    def test_engine_state_element_store_flagged(self):
+        assert _codes("eng._congested[3] = True\n") == ["MF003"]
+
+    def test_flow_table_store_flagged(self):
+        assert _codes("eng._flows[fid] = flow\n") == ["MF003"]
+
+    def test_self_store_allowed(self):
+        # The owning class (scenario engine, service session) mutates its
+        # own state freely — only external writers desynchronize it from
+        # what the checkpoint would capture.
+        src = """
+            class _Engine:
+                def _advance(self) -> None:
+                    self._event_no += 1
+                    self._congested[0] = True
+        """
+        assert _codes(src) == []
+
+    def test_service_restore_path_exempt(self):
+        src = "session._stream_index = 7\neng._alloc[:n] = values\n"
+        assert _codes(src, allow_service=True) == []
+
+    def test_read_access_allowed(self):
+        assert _codes("x = session._tick\n") == []
+
+
 class TestClassification:
     def test_library_hot_and_topology_flags(self):
         flags = _classify(pathlib.Path("src/repro/bgp/propagation.py"))
-        assert flags == (True, True, False, False, False)
+        assert flags == (True, True, False, False, False, False)
         flags = _classify(pathlib.Path("src/repro/topology/generator.py"))
-        assert flags == (True, True, True, False, False)
+        assert flags == (True, True, True, False, False, False)
         flags = _classify(pathlib.Path("src/repro/experiments/fig5.py"))
-        assert flags == (True, False, False, False, False)
+        assert flags == (True, False, False, False, False, False)
         flags = _classify(pathlib.Path("src/repro/telemetry/core.py"))
-        assert flags == (True, False, False, True, False)
+        assert flags == (True, False, False, True, False, False)
         flags = _classify(pathlib.Path("src/repro/flowsim/simulator.py"))
-        assert flags == (True, True, False, False, False)
+        assert flags == (True, True, False, False, False, False)
         flags = _classify(pathlib.Path("src/repro/flowsim/incremental.py"))
-        assert flags == (True, True, False, False, True)
+        assert flags == (True, True, False, False, True, False)
+        flags = _classify(pathlib.Path("src/repro/scenario/engine.py"))
+        assert flags == (True, True, False, False, False, False)
+        flags = _classify(pathlib.Path("src/repro/service/checkpoint.py"))
+        assert flags == (True, True, False, False, False, True)
         flags = _classify(pathlib.Path("tests/bgp/test_parallel.py"))
         assert flags[0] is False
 

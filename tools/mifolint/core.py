@@ -31,9 +31,16 @@ read-only across all destinations *and across forked parallel-engine
 workers* (copy-on-write), so writing to them corrupts every concurrent
 reader.  Likewise the :class:`~repro.flowsim.incremental.IncrementalMaxMin`
 slab/extent/multiplicity arrays persist across simulator events; only
-``repro.flowsim.incremental`` itself may store into them.  Flags mutator
-calls outside ``repro.topology`` and any store into a CSR field, a
-graph-private structure, or a solver slab field.
+``repro.flowsim.incremental`` itself may store into them.  And the
+scenario engine / service session fields the service checkpoint
+serializes (``_flows``, ``_congested``, ``_tick``, the stream cursor,
+...) are restore-critical state: a store from outside the owning class
+desynchronizes the live process from what :mod:`repro.service.checkpoint`
+would capture, silently breaking the restore-replays-byte-identically
+guarantee — only ``repro.service`` (the restore path) may write them
+from outside.  Flags mutator calls outside ``repro.topology`` and any
+store into a CSR field, a graph-private structure, a solver slab field,
+or a checkpointed service-state field.
 
 ``MF004`` — **no ad-hoc clocks in library code.**  Every timing in
 ``src/repro`` must flow through ``repro.telemetry`` (spans for phase
@@ -71,7 +78,8 @@ __all__ = ["RULES", "Violation", "lint_file", "lint_paths", "lint_source"]
 RULES: dict[str, str] = {
     "MF001": "unseeded random/numpy.random in library code breaks reproducibility",
     "MF002": "iteration over an unordered set in a determinism-critical hot path",
-    "MF003": "mutation of a frozen ASGraph, shared CSR arrays, or solver slab state",
+    "MF003": "mutation of a frozen ASGraph, shared CSR arrays, solver slab state, "
+    "or checkpointed service state",
     "MF004": "direct time.time()/perf_counter() in library code; use repro.telemetry",
     "MF005": "public class/function in library code without a docstring",
 }
@@ -94,11 +102,16 @@ TIMER_FUNCS: frozenset[str] = frozenset(
 #: ``repro/flowsim`` joined when the incremental solver landed: flow and
 #: link iteration order there decides float accumulation order, which the
 #: byte-identical incremental-vs-full solver contract depends on.
+#: ``repro/scenario`` and ``repro/service`` joined with the streaming
+#: service: the per-event loop and the checkpoint serializer must emit
+#: deterministic orderings or restore-replay byte-identity breaks.
 HOT_PATHS: tuple[str, ...] = (
     "repro/bgp/",
     "repro/mifo/",
     "repro/topology/",
     "repro/flowsim/",
+    "repro/scenario/",
+    "repro/service/",
 )
 
 #: ASGraph mutator methods (MF003a) — only repro.topology may call these.
@@ -147,6 +160,30 @@ SLAB_FIELDS: frozenset[str] = frozenset(
     }
 )
 
+#: Checkpointed service state (MF003d) — every field the service
+#: checkpoint serializes (scenario-engine data plane, flow table, session
+#: stream cursor).  A store from outside the owning class (``self``)
+#: desynchronizes the live process from its checkpoint; only
+#: ``repro.service`` — the restore path — may write them externally.
+SERVICE_STATE_FIELDS: frozenset[str] = frozenset(
+    {
+        "_alloc",
+        "_cap_factor",
+        "_clock",
+        "_congested",
+        "_event_no",
+        "_expiry",
+        "_failed",
+        "_fed",
+        "_flows",
+        "_link_idx",
+        "_next_flow_id",
+        "_stream_index",
+        "_tick",
+        "_exo_frac",
+    }
+)
+
 _DISABLE_RE = re.compile(r"#\s*(?:mifolint:\s*disable=|noqa:\s*)([A-Z0-9, ]+)")
 
 
@@ -182,6 +219,7 @@ class _Visitor(ast.NodeVisitor):
         allow_mutators: bool = False,
         allow_timers: bool = False,
         allow_slab: bool = False,
+        allow_service: bool = False,
     ) -> None:
         self.path = path
         self.source_lines = source_lines
@@ -193,6 +231,8 @@ class _Visitor(ast.NodeVisitor):
         self.allow_timers = allow_timers
         #: repro.flowsim.incremental owns the slab, so its stores are fine
         self.allow_slab = allow_slab
+        #: repro.service owns checkpoint restore, so its state stores are fine
+        self.allow_service = allow_service
         self.violations: list[Violation] = []
         #: names bound to the stdlib ``random`` module
         self.random_aliases: set[str] = set()
@@ -517,6 +557,18 @@ class _Visitor(ast.NodeVisitor):
                     f"repro.flowsim.incremental may mutate the pooled "
                     f"incidence state it reuses across events",
                 )
+            elif (
+                target.attr in SERVICE_STATE_FIELDS
+                and not self.allow_service
+                and not self._is_self_call(target)
+            ):
+                self._add(
+                    target, "MF003",
+                    f"assignment to checkpointed service state .{target.attr} "
+                    f"from outside the owning class — only the repro.service "
+                    f"restore path may write it, or checkpoint/replay "
+                    f"byte-identity silently breaks",
+                )
         elif isinstance(target, ast.Subscript):
             value = target.value
             if isinstance(value, ast.Attribute) and value.attr in CSR_FIELDS:
@@ -536,6 +588,19 @@ class _Visitor(ast.NodeVisitor):
                     f"repro.flowsim.incremental may mutate the pooled "
                     f"incidence state it reuses across events",
                 )
+            elif (
+                isinstance(value, ast.Attribute)
+                and value.attr in SERVICE_STATE_FIELDS
+                and not self.allow_service
+                and not self._is_self_call(value)
+            ):
+                self._add(
+                    target, "MF003",
+                    f"element store into checkpointed service state "
+                    f".{value.attr} from outside the owning class — only the "
+                    f"repro.service restore path may write it, or "
+                    f"checkpoint/replay byte-identity silently breaks",
+                )
 
     # ------------------------------------------------------------------
     def _add(self, node: ast.expr | ast.stmt, code: str, message: str) -> None:
@@ -553,15 +618,17 @@ class _Visitor(ast.NodeVisitor):
         )
 
 
-def _classify(path: pathlib.Path) -> tuple[bool, bool, bool, bool, bool]:
-    """(library?, hot?, mutators ok?, timers ok?, slab ok?) from the path."""
+def _classify(path: pathlib.Path) -> tuple[bool, bool, bool, bool, bool, bool]:
+    """(library?, hot?, mutators ok?, timers ok?, slab ok?, service ok?)
+    from the path."""
     posix = path.as_posix()
     library = "/src/" in f"/{posix}" or posix.startswith("src/")
     hot = library and any(fragment in posix for fragment in HOT_PATHS)
     allow_mutators = "repro/topology/" in posix
     allow_timers = "repro/telemetry/" in posix
     allow_slab = "repro/flowsim/incremental" in posix
-    return library, hot, allow_mutators, allow_timers, allow_slab
+    allow_service = "repro/service/" in posix
+    return library, hot, allow_mutators, allow_timers, allow_slab, allow_service
 
 
 def lint_source(
@@ -573,6 +640,7 @@ def lint_source(
     allow_mutators: bool = False,
     allow_timers: bool = False,
     allow_slab: bool = False,
+    allow_service: bool = False,
 ) -> list[Violation]:
     """Lint one source string (the unit-test entry point)."""
     tree = ast.parse(source, filename=path)
@@ -584,13 +652,21 @@ def lint_source(
         allow_mutators=allow_mutators,
         allow_timers=allow_timers,
         allow_slab=allow_slab,
+        allow_service=allow_service,
     )
     visitor.visit(tree)
     return sorted(visitor.violations, key=lambda v: (v.line, v.col, v.code))
 
 
 def lint_file(path: pathlib.Path) -> list[Violation]:
-    library, hot, allow_mutators, allow_timers, allow_slab = _classify(path)
+    (
+        library,
+        hot,
+        allow_mutators,
+        allow_timers,
+        allow_slab,
+        allow_service,
+    ) = _classify(path)
     return lint_source(
         path.read_text(encoding="utf-8"),
         str(path),
@@ -599,6 +675,7 @@ def lint_file(path: pathlib.Path) -> list[Violation]:
         allow_mutators=allow_mutators,
         allow_timers=allow_timers,
         allow_slab=allow_slab,
+        allow_service=allow_service,
     )
 
 
