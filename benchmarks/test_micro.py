@@ -5,8 +5,6 @@ Python-side numbers are the per-packet forwarding cost, FIB lookup, the
 max-min solver, one per-destination BGP propagation, and the diversity DP.
 These use real pytest-benchmark timing (multiple rounds)."""
 
-import time
-
 import numpy as np
 import pytest
 
@@ -17,6 +15,7 @@ from repro.dataplane import Network, Packet
 from repro.flowsim.maxmin import build_incidence, maxmin_rates
 from repro.metrics.diversity import count_mifo_paths
 from repro.mifo.engine import MifoEngine, MifoEngineConfig, bgp_engine
+from repro.telemetry import Stopwatch
 from repro.topology.generator import TopologyConfig, generate_topology
 from repro.topology.relationships import Relationship
 
@@ -61,19 +60,19 @@ class TestRoutingBackendComparison:
         dests = list(range(self.N_DESTS))
         graph.csr()  # both paths get a warm adjacency
 
-        t0 = time.perf_counter()
+        sw = Stopwatch()
         for d in dests:
             compute_routing(graph, d)
-        t_dict = time.perf_counter() - t0
+        t_dict = sw.elapsed
 
-        t0 = time.perf_counter()
+        sw.restart()
         serial_array = {d: compute_array_routing(graph, d) for d in dests}
-        t_array = time.perf_counter() - t0
+        t_array = sw.elapsed
 
         engine = ParallelRoutingEngine(graph, n_workers=None)  # one per CPU
-        t0 = time.perf_counter()
+        sw.restart()
         parallel = engine.compute_many(dests)
-        t_parallel = time.perf_counter() - t0
+        t_parallel = sw.elapsed
 
         # same answers, whatever the substrate or worker count
         probe = dests[self.N_DESTS // 2]

@@ -18,13 +18,13 @@ two deterministic loops.  Numbers land in
 
 from __future__ import annotations
 
-import time
 from collections import deque
 
 import numpy as np
 
 from repro.flowsim.incremental import IncrementalMaxMin
 from repro.flowsim.maxmin import build_incidence, maxmin_rates
+from repro.telemetry import Stopwatch
 
 from .conftest import write_result
 
@@ -86,7 +86,7 @@ def _run_full(events, caps) -> tuple[float, float]:
     live: dict[int, list[int]] = {}
     load = np.zeros(N_LINKS)
     checksum = 0.0
-    t0 = time.perf_counter()
+    sw = Stopwatch()
     for op, fid, p in events:
         if op == "remove":
             del live[fid]
@@ -95,14 +95,14 @@ def _run_full(events, caps) -> tuple[float, float]:
         incidence = build_incidence(list(live.values()), N_LINKS)
         maxmin_rates(incidence, caps, load_out=load)
         checksum += float(load.sum())
-    return time.perf_counter() - t0, checksum
+    return sw.elapsed, checksum
 
 
 def _run_incremental(events, caps) -> tuple[float, float, IncrementalMaxMin]:
     solver = IncrementalMaxMin()
     solver.set_capacity(caps)
     checksum = 0.0
-    t0 = time.perf_counter()
+    sw = Stopwatch()
     for op, fid, p in events:
         if op == "add":
             solver.add_flow(fid, p)
@@ -112,7 +112,7 @@ def _run_incremental(events, caps) -> tuple[float, float, IncrementalMaxMin]:
             solver.remove_flow(fid)
         solver.solve()
         checksum += float(solver.link_load()[:N_LINKS].sum())
-    return time.perf_counter() - t0, checksum, solver
+    return sw.elapsed, checksum, solver
 
 
 def _bench(events, caps) -> tuple[float, float, IncrementalMaxMin]:

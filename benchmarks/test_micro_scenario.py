@@ -10,12 +10,12 @@ where real interdomain churn concentrates.  Numbers land in
 ``results/microbench_scenario.txt``.
 """
 
-import time
 
 import pytest
 
 from repro.scenario.engine import ScenarioConfig, ScenarioEngine
 from repro.scenario.events import get_scenario
+from repro.telemetry import Stopwatch
 from repro.topology.generator import TopologyConfig, generate_topology
 from repro.traffic.matrix import TrafficConfig, uniform_matrix
 
@@ -47,10 +47,10 @@ def _timeline_seconds(graph, demands, mode: str) -> tuple[float, ScenarioEngine]
         config=ScenarioConfig(mode=mode, verify=False),
     )
     engine.step(0.0, None)
-    t0 = time.perf_counter()
+    sw = Stopwatch()
     for when, ev in spec.timeline:
         engine.step(when, ev)
-    return time.perf_counter() - t0, engine
+    return sw.elapsed, engine
 
 
 class TestScenarioIncremental:

@@ -17,11 +17,11 @@ repeated runs accumulate a queryable trajectory.
 
 import resource
 import sys
-import time
 
 import pytest
 
 from repro.service import ServiceConfig, ServiceSession
+from repro.telemetry import Stopwatch
 from repro.topology.generator import TopologyConfig
 
 from .conftest import write_result
@@ -57,9 +57,9 @@ class TestServiceSoak:
         session.drain(WARMUP_EVENTS)
         rss_warm = _rss_mb()
 
-        t0 = time.perf_counter()
+        sw = Stopwatch()
         session.drain(N_EVENTS - WARMUP_EVENTS)
-        elapsed = time.perf_counter() - t0
+        elapsed = sw.elapsed
         rss_end = _rss_mb()
 
         rss_delta = rss_end - rss_warm

@@ -17,13 +17,12 @@ wall-clock comparison at the 2% level would be noise-bound on shared CI
 runners; the A/B numbers are still measured and reported for the record.
 """
 
-import time
 
 import pytest
 
 from repro import telemetry as tm
 from repro.bgp.array_routing import compute_array_routing
-from repro.telemetry import Telemetry
+from repro.telemetry import Stopwatch, Telemetry
 
 from .conftest import write_result
 
@@ -50,10 +49,11 @@ def graph():
 def _best_of(fn, repeats=3):
     """Minimum wall time over repeats — the standard noise filter."""
     best = float("inf")
+    sw = Stopwatch()
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        sw.restart()
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, sw.elapsed)
     return best
 
 
@@ -62,15 +62,15 @@ def test_disabled_overhead_under_two_percent(graph, results_dir, bench_report):
 
     # (1) per-call cost of the disabled sink.
     calls = 200_000
-    t0 = time.perf_counter()
+    sw = Stopwatch()
     for _ in range(calls):
         tm.inc("bench.counter")
-    inc_cost = (time.perf_counter() - t0) / calls
-    t0 = time.perf_counter()
+    inc_cost = sw.elapsed / calls
+    sw.restart()
     for _ in range(calls):
         with tm.span("bench.phase"):
             pass
-    span_cost = (time.perf_counter() - t0) / calls
+    span_cost = sw.elapsed / calls
     per_call = max(inc_cost, span_cost)
 
     # (2) the hot path itself, telemetry disabled.

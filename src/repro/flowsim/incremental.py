@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterator, Sequence
+from typing import ClassVar
 
 import numpy as np
 
@@ -93,6 +94,47 @@ class IncrementalMaxMin:
     same configuration, bit for bit).
     """
 
+    #: Checkpoint derivability (mifocheck MC101): restore never serializes
+    #: the slab.  ``repro.service.checkpoint`` re-adds every live flow and
+    #: replays capacity, which reconstructs all of this bit-identically.
+    DERIVABLE: ClassVar[dict[str, str]] = {
+        "unconstrained_rate": "constructor config; restore passes it anew",
+        "tol": "constructor config; restore passes it anew",
+        "group_rtol": "constructor config; restore passes it anew",
+        "_slab_rows": "slab rebuilt by re-adding captured flow paths",
+        "_slab_cols": "slab rebuilt by re-adding captured flow paths",
+        "_slab_used": "slab rebuilt by re-adding captured flow paths",
+        "_col_start": "slab rebuilt by re-adding captured flow paths",
+        "_col_len": "slab rebuilt by re-adding captured flow paths",
+        "_mult": "slab rebuilt by re-adding captured flow paths",
+        "_col_maxlink": "slab rebuilt by re-adding captured flow paths",
+        "_n_cols": "slab rebuilt by re-adding captured flow paths",
+        "_path_col": "keyed cache rebuilt by re-adding captured flow paths",
+        "_col_path": "keyed cache rebuilt by re-adding captured flow paths",
+        "_flow_col": "rebuilt in flow-id order by restore replay",
+        "_base_counts": "incidence counts rebuilt by re-adding flows",
+        "_max_link": "running max over re-added flow paths",
+        "_capacity": "restore replays set_capacity from captured factors",
+        "_solved_tick": "memo; invalidated on restore, next solve recomputes",
+        "_last_rounds": "memo; invalidated on restore, next solve recomputes",
+        "_rates": "scratch buffer rebound wholesale by solve()",
+        "_frozen": "scratch buffer rebound wholesale by solve()",
+        "_counts": "scratch buffer rebound wholesale by solve()",
+        "_share": "scratch buffer rebound wholesale by solve()",
+        "_residual": "scratch buffer rebound wholesale by solve()",
+        "_load": "scratch buffer rebound wholesale by solve()",
+        "_load_c": "scratch buffer rebound wholesale by solve()",
+        "_rowmap": "scratch buffer rebound wholesale by solve()",
+        "_rows_c": "scratch buffer rebound wholesale by solve()",
+        "_active": "scratch buffer rebound wholesale by solve()",
+        "_unfrozen": "scratch buffer rebound wholesale by solve()",
+        "_satf": "scratch buffer rebound wholesale by solve()",
+        "_sat_slab": "scratch buffer rebound wholesale by solve()",
+        "_tf_slab": "scratch buffer rebound wholesale by solve()",
+        "_w_slab": "scratch buffer rebound wholesale by solve()",
+        "_multc": "scratch buffer rebound wholesale by solve()",
+    }
+
     def __init__(
         self,
         *,
@@ -104,14 +146,16 @@ class IncrementalMaxMin:
         self.tol = tol
         self.group_rtol = group_rtol
         # Column slab: flat (link, column) pairs, one per incidence entry.
-        self._slab_rows: np.ndarray = np.zeros(0, dtype=np.int64)
-        self._slab_cols: np.ndarray = np.zeros(0, dtype=np.int64)
-        self._slab_used = 0
+        # The "slab-state" markers below *define* mifolint's MF003 slab
+        # protection set (derived by tools.mifocheck, pass MC104).
+        self._slab_rows: np.ndarray = np.zeros(0, dtype=np.int64)  # mifocheck: slab-state
+        self._slab_cols: np.ndarray = np.zeros(0, dtype=np.int64)  # mifocheck: slab-state
+        self._slab_used = 0  # mifocheck: slab-state
         # Per-column extents into the slab + live multiplicity.
-        self._col_start: np.ndarray = np.zeros(0, dtype=np.int64)
-        self._col_len: np.ndarray = np.zeros(0, dtype=np.int64)
-        self._mult: np.ndarray = np.zeros(0, dtype=np.float64)
-        self._col_maxlink: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._col_start: np.ndarray = np.zeros(0, dtype=np.int64)  # mifocheck: slab-state
+        self._col_len: np.ndarray = np.zeros(0, dtype=np.int64)  # mifocheck: slab-state
+        self._mult: np.ndarray = np.zeros(0, dtype=np.float64)  # mifocheck: slab-state
+        self._col_maxlink: np.ndarray = np.zeros(0, dtype=np.int64)  # mifocheck: slab-state
         self._n_cols = 0
         #: path length -> freed column ids (exact-fit segment recycling).
         self._free: dict[int, list[int]] = {}
@@ -120,7 +164,7 @@ class IncrementalMaxMin:
         #: flow id -> column id (insertion-ordered; drives crosschecks).
         self._flow_col: dict[int, int] = {}
         # Per-link state.
-        self._base_counts: np.ndarray = np.zeros(0, dtype=np.float64)
+        self._base_counts: np.ndarray = np.zeros(0, dtype=np.float64)  # mifocheck: slab-state
         self._max_link = -1
         self._capacity: np.ndarray = np.zeros(0, dtype=np.float64)
         # Memo + reused solve buffers.

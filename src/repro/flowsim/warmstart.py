@@ -21,6 +21,8 @@ the scenario engine's ``--crosscheck`` mode wires this through.
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 import numpy as np
 
 from .. import telemetry as tm
@@ -42,6 +44,15 @@ class WarmStartSolver:
     vector (bitwise identical to what a re-solve would produce, because
     the inputs are unchanged and the algorithm is deterministic).
     """
+
+    #: Checkpoint derivability (mifocheck MC101): the facade holds no
+    #: state restore cannot rebuild from config + captured flows.
+    DERIVABLE: ClassVar[dict[str, str]] = {
+        "unconstrained_rate": "constructor config; restore passes it anew",
+        "crosscheck": "constructor config; restore passes it anew",
+        "_cap_len": "tracks the last set_capacity, which restore replays",
+        "_capacity": "restore replays set_capacity from captured factors",
+    }
 
     def __init__(
         self, unconstrained_rate: float = 1e9, *, crosscheck: bool = False

@@ -45,7 +45,7 @@ from __future__ import annotations
 import collections
 import dataclasses
 from collections.abc import Sequence
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, ClassVar
 
 import numpy as np
 
@@ -180,7 +180,7 @@ class _SimFlow:
         self.src = src
         self.dst = dst
         self.path: tuple[int, ...] | None = None
-        self.link_ids: list[int] = []
+        self.link_ids: list[int] = []  # mifocheck: derivable: re-interned from the captured path by restore
         self.on_alt = False
         self.switches = 0
         self.rate = 0.0
@@ -195,6 +195,17 @@ class ScenarioEngine:
     of :class:`~repro.scenario.events.TrafficRamp` /
     :class:`~repro.scenario.events.FlashCrowd`.
     """
+
+    #: Checkpoint derivability (mifocheck MC101): restore reconstructs
+    #: the engine from captured config, then replays failed links and
+    #: re-adds captured flows; none of these need serializing.
+    DERIVABLE: ClassVar[dict[str, str]] = {
+        "graph": "rebuilt by failed-link replay against the base topology",
+        "spec": "constructor argument; restore constructs the engine anew",
+        "seed": "constructor argument; round-trips via captured config",
+        "capable": "derived from graph nodes (full deployment) at construction",
+        "_base_demand": "derived from the demands argument at construction",
+    }
 
     def __init__(
         self,

@@ -86,9 +86,9 @@ class IncrementalRouting:
             raise ConfigError(
                 f"recompute policy {recompute!r} not in ('dirty', 'all')"
             )
-        self.graph = graph
+        self.graph = graph  # mifocheck: derivable: advance() rebinds it; restore rebuilds the topology
         self.backend = backend
-        self.recompute = recompute
+        self.recompute = recompute  # mifocheck: derivable: policy recomputed from captured config mode
         self._views: dict[int, RoutingView] = {}
         #: cumulative advance() bookkeeping, surfaced in run provenance.
         self.dests_recomputed = 0

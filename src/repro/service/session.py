@@ -93,8 +93,8 @@ class ServiceSession:
             self.telemetry = None
         else:
             self.telemetry = telemetry
-        self._base_graph = generate_topology(self.topology)
-        self._stream = EventStream(self._base_graph, self.config)
+        self._base_graph = generate_topology(self.topology)  # mifocheck: derivable: regenerated from the captured topology config
+        self._stream = EventStream(self._base_graph, self.config)  # mifocheck: derivable: pure function of (base graph, config)
         self.engine = ScenarioEngine(
             self._base_graph,
             [],

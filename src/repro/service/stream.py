@@ -177,19 +177,19 @@ class EventStream:
     def __init__(self, graph: ASGraph, config: ServiceConfig) -> None:
         config.validate()
         self.config = config
-        self._nodes = np.fromiter(graph.nodes(), dtype=np.int64)
+        self._nodes = np.fromiter(graph.nodes(), dtype=np.int64)  # mifocheck: derivable: pure function of the base graph
         if self._nodes.shape[0] < 2:
             raise ConfigError("service stream needs at least two ASes")
         if config.traffic == "zipf":
             ranked = content_provider_ranking(graph)
-            self._sources = np.asarray(ranked, dtype=np.int64)
-            self._src_cum = np.cumsum(
+            self._sources = np.asarray(ranked, dtype=np.int64)  # mifocheck: derivable: pure function of (graph, config)
+            self._src_cum = np.cumsum(  # mifocheck: derivable: pure function of (graph, config)
                 zipf_weights(len(ranked), config.zipf_alpha)
             )
             stubs = np.asarray(graph.stub_ases(), dtype=np.int64)
             if stubs.size == 0:
                 raise ConfigError("graph has no stub ASes to consume traffic")
-            self._dsts = stubs
+            self._dsts = stubs  # mifocheck: derivable: pure function of (graph, config)
         else:
             self._sources = self._nodes
             self._src_cum = None

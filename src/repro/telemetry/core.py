@@ -289,6 +289,14 @@ class TelemetrySnapshot:
         return "\n".join(lines)
 
 
+#: Snapshot fields :meth:`Telemetry.absorb` never reads because the live
+#: registry re-derives them (``events_dropped`` is always
+#: ``events_total - len(trace)`` at the *next* snapshot).  mifocheck MC102
+#: exempts these from its merge-coverage check; adding a field here
+#: instead of merging it needs the same scrutiny as deleting a merge.
+MERGE_DERIVED_FIELDS: tuple[str, ...] = ("events_dropped",)
+
+
 class Telemetry:
     """One live instrument registry.
 

@@ -1,0 +1,7 @@
+"""Planted-bug fixture corpus for the mifocheck analysis passes.
+
+Each ``mc10x/`` directory is a miniature source root holding an ``app``
+package with one (or a few) deliberately planted violations of the
+corresponding pass.  The fixtures are parsed by the analyzer, never
+imported, so they stay independent of the real ``repro`` package.
+"""

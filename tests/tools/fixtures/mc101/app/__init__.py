@@ -1,0 +1,1 @@
+"""MC101 fixture: checkpoint completeness with one uncaptured attr."""

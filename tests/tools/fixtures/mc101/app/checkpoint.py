@@ -1,0 +1,23 @@
+"""Capture/restore pair for the fixture session (``_leak`` missing)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .session import Session
+
+
+def capture(session: Session) -> dict[str, Any]:
+    return {
+        "config": dict(session.config),
+        "tick_no": session._tick_no,
+        "entries": list(session._entries),
+    }
+
+
+def restore(state: dict[str, Any]) -> Session:
+    session = Session(dict(state["config"]))
+    session._tick_no = state["tick_no"]
+    session._entries = list(state["entries"])
+    session.history = [0] * session._tick_no
+    return session

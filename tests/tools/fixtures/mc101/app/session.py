@@ -1,0 +1,27 @@
+"""Checkpoint-target class.
+
+Planted bug: ``_leak`` is assigned in ``__init__`` but neither captured
+by :func:`app.checkpoint.capture` nor declared derivable.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+
+class Session:
+    DERIVABLE: ClassVar[dict[str, str]] = {
+        "history": "rebuilt from the captured tick count on restore",
+    }
+
+    def __init__(self, config: dict[str, int]) -> None:
+        self.config = config  # mifocheck: derivable: constructor argument
+        self._tick_no = 0
+        self._entries: list[int] = []
+        self._leak = 0.0  # planted MC101: never captured, never declared
+        self.history: list[int] = []
+
+    def step(self, value: int) -> None:
+        self._tick_no += 1
+        self._entries.append(value)
+        self._leak += 0.5

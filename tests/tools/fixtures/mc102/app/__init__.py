@@ -1,0 +1,1 @@
+"""MC102 fixture: fork-boundary determinism with planted leaks."""

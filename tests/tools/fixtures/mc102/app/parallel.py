@@ -1,0 +1,30 @@
+"""Pool dispatch with planted worker-side determinism bugs."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from . import telemetry
+
+_PROGRESS = 0
+
+
+def _worker(chunk: list[int]) -> int:
+    global _PROGRESS  # planted MC102: globals do not survive the fork
+    _PROGRESS += 1
+    sink = telemetry.Sink()
+    sink.inc("chunks")
+    sink.span("chunk", float(len(chunk)))  # planted MC102: 'spans' never merged
+    total = sum(chunk)
+    for shard in {2, 3, 5}:  # planted MC102: set iteration order varies
+        total += shard
+    return total
+
+
+def run(pool: Any, chunks: list[list[int]]) -> list[int]:
+    return list(pool.imap(_worker, chunks))
+
+
+def run_fast(pool: Any, chunks: list[list[int]]) -> list[int]:
+    # planted MC102: nondeterministic dispatch
+    return list(pool.imap_unordered(_worker, chunks))

@@ -1,0 +1,36 @@
+"""Snapshot/merge pair.
+
+Planted bug: ``Snapshot.spans`` is never folded by ``Sink.absorb`` and
+is not declared in a ``MERGE_DERIVED_FIELDS`` tuple, so span data from
+workers is silently dropped at the fork boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Snapshot:
+    counters: dict[str, int] = field(default_factory=dict)
+    spans: list[tuple[str, float]] = field(default_factory=list)  # planted MC102
+
+
+class Sink:
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.spans: list[tuple[str, float]] = []
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def span(self, name: str, duration: float) -> None:
+        self.spans.append((name, duration))
+
+    def snapshot(self) -> Snapshot:
+        return Snapshot(counters=dict(self.counters), spans=list(self.spans))
+
+    def absorb(self, snap: Snapshot) -> None:
+        # planted MC102: snap.spans is never read here
+        for key, value in snap.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value

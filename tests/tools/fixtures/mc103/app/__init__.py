@@ -1,0 +1,1 @@
+"""MC103 fixture: stream purity with planted impurities."""

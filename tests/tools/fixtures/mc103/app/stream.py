@@ -1,0 +1,25 @@
+"""Event stream whose ``event_at`` is planted with four impurities."""
+
+from __future__ import annotations
+
+import random
+import time
+
+_DRIFT = 0.0
+
+
+def calibrate(delta: float) -> None:
+    global _DRIFT
+    _DRIFT = delta
+
+
+class Stream:
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._cursor = 0
+
+    def event_at(self, index: int) -> tuple[int, float]:
+        self._cursor = index  # planted MC103: stream keeps a cursor
+        jitter = random.random()  # planted MC103: ambient RNG  # mifolint: disable=MF001
+        stamp = time.time()  # planted MC103: wall clock  # mifolint: disable=MF004
+        return index, stamp + jitter + _DRIFT  # planted MC103: mutable global

@@ -1,0 +1,1 @@
+"""MC104 fixture: protected-field inference with planted drift."""

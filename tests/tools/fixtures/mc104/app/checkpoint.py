@@ -1,0 +1,17 @@
+"""Capture/restore pair feeding the derived checkpointed-state set."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .solver import Solver
+
+
+def capture(solver: Solver) -> dict[str, Any]:
+    return {"rows": list(solver._rows), "extent": solver._extent}
+
+
+def restore(state: dict[str, Any]) -> Solver:
+    solver = Solver(state["extent"])
+    solver._rows = list(state["rows"])
+    return solver

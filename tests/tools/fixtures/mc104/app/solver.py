@@ -1,0 +1,24 @@
+"""Slab solver.
+
+Planted bug: ``_intern`` subscript-stores into ``self._cols`` but the
+``__init__`` assignment of ``_cols`` carries no slab-state marker, so
+the declared slab set is inconsistent with the mutation footprint.
+"""
+
+from __future__ import annotations
+
+
+class Solver:
+    def __init__(self, rows: int) -> None:
+        self._extent = rows
+        self._rows = [0] * rows  # mifocheck: slab-state
+        self._cols = [0] * rows  # planted MC104: mutated but unmarked
+        self._labels: dict[int, str] = {}
+
+    def _intern(self, index: int, value: int) -> None:
+        self._rows[index] = value
+        self._cols[index] = value
+        self._labels[index] = str(value)
+
+    def add(self, index: int) -> None:
+        self._rows[index] += 1

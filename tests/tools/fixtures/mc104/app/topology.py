@@ -1,0 +1,13 @@
+"""CSR adjacency feeding the derived array-field set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Csr:
+    indptr: np.ndarray
+    indices: np.ndarray

@@ -1,0 +1,9 @@
+"""Stand-in mifolint core with a planted stale hand-maintained list.
+
+The derived slab set for the fixture solver is ``{"_rows"}``; the
+literal below restates it with a field that no longer exists.
+"""
+
+from __future__ import annotations
+
+SLAB_FIELDS: frozenset[str] = frozenset({"_rows", "_stale"})  # planted MC104

@@ -8,7 +8,7 @@ import textwrap
 import pytest
 
 from tools.mifolint import RULES, lint_paths, lint_source
-from tools.mifolint.core import _classify
+from tools.mifolint.core import PathPolicy, _classify
 
 REPO = pathlib.Path(__file__).resolve().parent.parent.parent
 
@@ -349,24 +349,38 @@ class TestMF003ServiceState:
 
 class TestClassification:
     def test_library_hot_and_topology_flags(self):
-        flags = _classify(pathlib.Path("src/repro/bgp/propagation.py"))
-        assert flags == (True, True, False, False, False, False)
-        flags = _classify(pathlib.Path("src/repro/topology/generator.py"))
-        assert flags == (True, True, True, False, False, False)
-        flags = _classify(pathlib.Path("src/repro/experiments/fig5.py"))
-        assert flags == (True, False, False, False, False, False)
-        flags = _classify(pathlib.Path("src/repro/telemetry/core.py"))
-        assert flags == (True, False, False, True, False, False)
-        flags = _classify(pathlib.Path("src/repro/flowsim/simulator.py"))
-        assert flags == (True, True, False, False, False, False)
-        flags = _classify(pathlib.Path("src/repro/flowsim/incremental.py"))
-        assert flags == (True, True, False, False, True, False)
-        flags = _classify(pathlib.Path("src/repro/scenario/engine.py"))
-        assert flags == (True, True, False, False, False, False)
-        flags = _classify(pathlib.Path("src/repro/service/checkpoint.py"))
-        assert flags == (True, True, False, False, False, True)
-        flags = _classify(pathlib.Path("tests/bgp/test_parallel.py"))
-        assert flags[0] is False
+        policy = _classify(pathlib.Path("src/repro/bgp/propagation.py"))
+        assert policy == PathPolicy(library=True, hot=True, docstrings=True)
+        policy = _classify(pathlib.Path("src/repro/topology/generator.py"))
+        assert policy == PathPolicy(
+            library=True, hot=True, docstrings=True, allow_mutators=True
+        )
+        policy = _classify(pathlib.Path("src/repro/experiments/fig5.py"))
+        assert policy == PathPolicy(library=True, hot=False, docstrings=True)
+        policy = _classify(pathlib.Path("src/repro/telemetry/core.py"))
+        assert policy == PathPolicy(
+            library=True, hot=False, docstrings=True, allow_timers=True
+        )
+        policy = _classify(pathlib.Path("src/repro/flowsim/simulator.py"))
+        assert policy == PathPolicy(library=True, hot=True, docstrings=True)
+        policy = _classify(pathlib.Path("src/repro/flowsim/incremental.py"))
+        assert policy == PathPolicy(
+            library=True, hot=True, docstrings=True, allow_slab=True
+        )
+        policy = _classify(pathlib.Path("src/repro/scenario/engine.py"))
+        assert policy == PathPolicy(library=True, hot=True, docstrings=True)
+        policy = _classify(pathlib.Path("src/repro/service/checkpoint.py"))
+        assert policy == PathPolicy(
+            library=True, hot=True, docstrings=True, allow_service=True
+        )
+        policy = _classify(pathlib.Path("tests/bgp/test_parallel.py"))
+        assert policy.library is False and policy.docstrings is False
+
+    def test_tooling_paths_get_determinism_rules_without_docstrings(self):
+        # tools/ and benchmarks/ are held to MF001/MF004 but not MF005.
+        for p in ("tools/mifocheck/program.py", "benchmarks/test_micro.py"):
+            policy = _classify(pathlib.Path(p))
+            assert policy == PathPolicy(library=True, hot=False, docstrings=False), p
 
     def test_select_filters(self, tmp_path):
         f = tmp_path / "src" / "repro" / "bgp" / "bad.py"

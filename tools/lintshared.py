@@ -1,0 +1,219 @@
+"""Infrastructure shared by the repo's static analyzers.
+
+:mod:`tools.mifolint` (single-pass, per-file rules MF001–MF005) and
+:mod:`tools.mifocheck` (whole-program passes MC101–MC104) report through
+the same primitives so a finding looks and suppresses identically no
+matter which tool produced it:
+
+* :class:`Finding` — one rule violation at a concrete source location,
+  with the canonical ``path:line:col: CODE message`` rendering;
+* :func:`suppressed` — the per-line suppression test.  All three comment
+  spellings are interchangeable and cross-tool compatible::
+
+      # mifolint: disable=MF003
+      # mifocheck: disable=MC101 — reason is free text after the codes
+      # noqa: MF004,MC103
+
+* baseline files — grandfathered findings keyed by a content fingerprint
+  (rule code + path + the stripped source line), so baselined findings
+  survive unrelated line-number drift but resurface when the offending
+  line itself changes;
+* machine output — :func:`findings_to_json` and :func:`findings_to_sarif`
+  for CI artifacts.
+
+Everything here is stdlib-only on purpose: the lint CI jobs run without
+installing the ``repro`` package or its numpy/scipy dependencies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+import re
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "DISABLE_RE",
+    "Finding",
+    "findings_to_json",
+    "findings_to_sarif",
+    "fingerprint",
+    "load_baseline",
+    "render_text",
+    "save_baseline",
+    "split_baselined",
+    "suppressed",
+]
+
+#: one regex accepts every suppression spelling; free text (a reason) may
+#: follow the code list and is ignored by the match.
+DISABLE_RE = re.compile(
+    r"#\s*(?:(?:mifolint|mifocheck):\s*disable=|noqa:\s*)([A-Z0-9, ]+)"
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a concrete source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def suppressed(source_lines: Sequence[str], line: int, code: str) -> bool:
+    """Whether ``code`` is suppressed on 1-indexed ``line`` of the file."""
+    if not 1 <= line <= len(source_lines):
+        return False
+    m = DISABLE_RE.search(source_lines[line - 1])
+    return bool(m) and code in {c.strip() for c in m.group(1).split(",")}
+
+
+# ----------------------------------------------------------------------
+# baseline files
+# ----------------------------------------------------------------------
+
+
+def fingerprint(finding: Finding, line_text: str) -> str:
+    """Content-addressed identity of a finding for baseline matching.
+
+    Deliberately excludes the line *number* (pure drift must not
+    resurface a grandfathered finding) but includes the stripped line
+    *text* (editing the offending line does resurface it).
+    """
+    key = f"{finding.code}::{pathlib.PurePosixPath(finding.path).name}::{line_text.strip()}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: str | pathlib.Path) -> dict[str, dict[str, object]]:
+    """``fingerprint -> entry`` from a baseline file (empty if absent)."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        return {}
+    data = json.loads(p.read_text(encoding="utf-8"))
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"malformed baseline file {p}: 'entries' is not a dict")
+    return entries
+
+
+def save_baseline(
+    path: str | pathlib.Path,
+    findings: Iterable[tuple[Finding, str]],
+    *,
+    tool: str,
+) -> None:
+    """Write ``(finding, line_text)`` pairs as a baseline file."""
+    entries = {
+        fingerprint(f, text): {
+            "code": f.code,
+            "path": f.path,
+            "message": f.message,
+        }
+        for f, text in findings
+    }
+    doc = {"tool": tool, "version": 1, "entries": entries}
+    pathlib.Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def split_baselined(
+    findings: Iterable[tuple[Finding, str]],
+    baseline: dict[str, dict[str, object]],
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, grandfathered) against a loaded baseline."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f, text in findings:
+        (old if fingerprint(f, text) in baseline else new).append(f)
+    return new, old
+
+
+# ----------------------------------------------------------------------
+# machine-readable output
+# ----------------------------------------------------------------------
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One rendered finding per line (the human/CI-log format)."""
+    return "\n".join(f.render() for f in findings)
+
+
+def findings_to_json(
+    findings: Sequence[Finding],
+    *,
+    tool: str,
+    runtime_s: float | None = None,
+    extra: dict[str, object] | None = None,
+) -> str:
+    """The CI-artifact JSON document (sorted keys, stable ordering)."""
+    by_code: dict[str, int] = {}
+    for f in findings:
+        by_code[f.code] = by_code.get(f.code, 0) + 1
+    doc: dict[str, object] = {
+        "tool": tool,
+        "version": 1,
+        "findings": [dataclasses.asdict(f) for f in findings],
+        "summary": {"total": len(findings), "by_code": dict(sorted(by_code.items()))},
+    }
+    if runtime_s is not None:
+        doc["runtime_s"] = round(runtime_s, 4)
+    if extra:
+        doc.update(extra)
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def findings_to_sarif(
+    findings: Sequence[Finding],
+    *,
+    tool: str,
+    rules: dict[str, str],
+) -> str:
+    """A minimal SARIF 2.1.0 log (one run, one result per finding)."""
+    sarif = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool,
+                        "rules": [
+                            {"id": code, "shortDescription": {"text": desc}}
+                            for code, desc in sorted(rules.items())
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.code,
+                        "level": "error",
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": pathlib.PurePosixPath(f.path).as_posix()
+                                    },
+                                    "region": {
+                                        "startLine": f.line,
+                                        "startColumn": max(1, f.col),
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True) + "\n"

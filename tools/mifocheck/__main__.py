@@ -1,0 +1,123 @@
+"""CLI for mifocheck: ``python -m tools.mifocheck [options]``.
+
+Exit status is 1 when any unsuppressed, unbaselined finding remains,
+0 otherwise.  Stdlib-only — safe to run in CI without installing the
+repro package or its dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .config import REPO_ROOT, default_config
+from .passes import RULES, run_passes
+from ..lintshared import (
+    findings_to_json,
+    findings_to_sarif,
+    load_baseline,
+    render_text,
+    save_baseline,
+    split_baselined,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.mifocheck",
+        description="Whole-program static analysis (MC101-MC104) over src/repro.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="repository root containing src/ and tools/ (default: this repo)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        help="baseline file of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        help="write current findings as a new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule codes and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}: {RULES[code]}")
+        return 0
+
+    select: set[str] | None = None
+    if args.select:
+        select = {c.strip() for c in args.select.split(",") if c.strip()}
+        unknown = select - set(RULES)
+        if unknown:
+            parser.error(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+
+    cfg = default_config(args.root.resolve())
+    start = time.perf_counter()  # mifolint: disable=MF004 (tools cannot import repro.telemetry)
+    pairs, _program = run_passes(cfg, select=select)
+    runtime = time.perf_counter() - start  # mifolint: disable=MF004 (tools cannot import repro.telemetry)
+
+    if args.write_baseline is not None:
+        save_baseline(args.write_baseline, pairs, tool="mifocheck")
+        print(
+            f"mifocheck: baselined {len(pairs)} finding(s) -> {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline) if args.baseline else {}
+    fresh, grandfathered = split_baselined(pairs, baseline)
+
+    if args.format == "json":
+        report = findings_to_json(
+            fresh,
+            tool="mifocheck",
+            runtime_s=runtime,
+            extra={"baselined": len(grandfathered)},
+        )
+    elif args.format == "sarif":
+        report = findings_to_sarif(fresh, tool="mifocheck", rules=RULES)
+    else:
+        report = render_text(fresh)
+        if report:
+            report += "\n"
+
+    if args.output is not None:
+        args.output.write_text(report, encoding="utf-8")
+    elif report:
+        sys.stdout.write(report)
+
+    note = f"mifocheck: {len(fresh)} finding(s) in {runtime:.2f}s"
+    if grandfathered:
+        note += f" ({len(grandfathered)} baselined)"
+    print(note, file=sys.stderr)
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""MC101 — checkpoint completeness.
+
+Every instance attribute assigned in the checkpoint-target classes must
+be one of:
+
+* **captured** — its name appears among the attribute reads of
+  ``checkpoint.capture`` (directly, or via a property/method of the same
+  class whose *name* capture reads: ``capture`` reading ``eng.epoch``
+  covers ``_event_no`` because the ``epoch`` property reads it);
+* **declared derivable** — listed in the class's ``DERIVABLE`` dict with
+  a non-empty reason, or annotated inline on its first assignment with
+  ``# mifocheck: derivable: <reason>``;
+* **suppressed** — ``# mifocheck: disable=MC101`` on the assignment line;
+* otherwise it is flagged at its first assignment site.
+
+Stale bookkeeping is flagged too: a ``DERIVABLE`` entry naming an
+attribute the class no longer assigns, an entry with an empty reason,
+and an entry for an attribute capture already covers (redundant — the
+declaration would mask a future capture regression).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+
+from ..config import AnalysisConfig
+from ..program import ClassInfo, Program
+from ...lintshared import Finding
+
+CODE = "MC101"
+DESCRIPTION = (
+    "instance attribute of a checkpoint-target class is neither captured "
+    "by checkpoint.capture nor declared derivable with a reason"
+)
+
+_DERIVABLE_RE = re.compile(r"#\s*mifocheck:\s*derivable\b[\s:,—–-]*(.*)")
+
+
+def _captured_names(program: Program, cfg: AnalysisConfig) -> set[str] | None:
+    """Every attribute name read anywhere inside ``capture``."""
+    info = program.modules.get(cfg.checkpoint_module)
+    if info is None:
+        return None
+    cap = info.functions.get(cfg.capture_function)
+    if cap is None:
+        return None
+    names: set[str] = set()
+    for node in ast.walk(cap):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            names.add(node.attr)
+    return names
+
+
+def _alias_covered(cls: ClassInfo, captured: set[str]) -> set[str]:
+    """Attrs covered because a captured-name property/method reads them."""
+    covered: set[str] = set()
+    for name, fn in cls.methods.items():
+        if name not in captured:
+            continue
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                covered.add(node.attr)
+    return covered
+
+
+def _inline_derivable(lines: list[str], line: int) -> bool:
+    """Non-empty-reason ``# mifocheck: derivable`` marker on ``line``."""
+    if not 1 <= line <= len(lines):
+        return False
+    m = _DERIVABLE_RE.search(lines[line - 1])
+    return bool(m) and bool(m.group(1).strip())
+
+
+def run(
+    program: Program, cfg: AnalysisConfig, root: pathlib.Path
+) -> list[Finding]:
+    findings: list[Finding] = []
+    captured = _captured_names(program, cfg)
+    if captured is None:
+        ck = program.modules.get(cfg.checkpoint_module)
+        path = program.rel_path(ck, root) if ck else cfg.checkpoint_module
+        findings.append(
+            Finding(
+                path=path,
+                line=1,
+                col=0,
+                code=CODE,
+                message=(
+                    f"checkpoint writer {cfg.checkpoint_module}."
+                    f"{cfg.capture_function} not found; cannot prove "
+                    "checkpoint completeness"
+                ),
+            )
+        )
+        return findings
+    for mod_name, cls_name in cfg.checkpoint_targets:
+        info = program.modules.get(mod_name)
+        cls = info.classes.get(cls_name) if info else None
+        if info is None or cls is None:
+            findings.append(
+                Finding(
+                    path=mod_name if info is None else program.rel_path(info, root),
+                    line=1,
+                    col=0,
+                    code=CODE,
+                    message=f"checkpoint target {mod_name}.{cls_name} not found",
+                )
+            )
+            continue
+        path = program.rel_path(info, root)
+        covered = captured | _alias_covered(cls, captured)
+        for attr, (line, col) in sorted(cls.attrs.items(), key=lambda kv: kv[1]):
+            if attr in covered:
+                continue
+            if attr in cls.derivable and cls.derivable[attr].strip():
+                continue
+            if _inline_derivable(info.lines, line):
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=col,
+                    code=CODE,
+                    message=(
+                        f"instance attribute '{attr}' of {cls_name} is not "
+                        f"captured by {cfg.capture_function}() and not "
+                        "declared derivable"
+                    ),
+                )
+            )
+        for attr, reason in sorted(cls.derivable.items()):
+            if attr not in cls.attrs:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=cls.derivable_line,
+                        col=0,
+                        code=CODE,
+                        message=(
+                            f"stale DERIVABLE entry '{attr}' on {cls_name}: "
+                            "no such instance attribute is assigned"
+                        ),
+                    )
+                )
+            elif not reason.strip():
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=cls.derivable_line,
+                        col=0,
+                        code=CODE,
+                        message=(
+                            f"DERIVABLE entry '{attr}' on {cls_name} has an "
+                            "empty reason"
+                        ),
+                    )
+                )
+            elif attr in covered:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=cls.derivable_line,
+                        col=0,
+                        code=CODE,
+                        message=(
+                            f"redundant DERIVABLE entry '{attr}' on "
+                            f"{cls_name}: the attribute is already captured "
+                            "(the declaration would mask a capture regression)"
+                        ),
+                    )
+                )
+    return findings

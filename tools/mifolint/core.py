@@ -62,6 +62,13 @@ declarations), and functions nested inside other functions are exempt.
 
 Suppression: append ``# mifolint: disable=MF00X`` (or ``# noqa: MF00X``)
 to the offending line.
+
+The MF003 protection sets (CSR arrays, solver slab, checkpointed service
+state) are **derived from source** by :mod:`tools.mifocheck.derive` —
+from the checkpoint writer's reads/writes, the solver's ``slab-state``
+markers, and the CSR dataclass annotations — never hand-maintained here.
+mifocheck's MC104 pass cross-checks the derivations; growing the state
+updates the lint automatically.
 """
 
 from __future__ import annotations
@@ -69,10 +76,25 @@ from __future__ import annotations
 import ast
 import dataclasses
 import pathlib
-import re
 from collections.abc import Iterable, Sequence
 
-__all__ = ["RULES", "Violation", "lint_file", "lint_paths", "lint_source"]
+from ..lintshared import DISABLE_RE as _DISABLE_RE
+from ..lintshared import Finding as Violation
+from ..lintshared import suppressed as _suppressed
+from ..mifocheck.derive import (
+    checkpointed_state_fields,
+    csr_array_fields,
+    slab_state_fields,
+)
+
+__all__ = [
+    "PathPolicy",
+    "RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
 
 #: rule code -> one-line description (also shown by ``--list-rules``).
 RULES: dict[str, str] = {
@@ -120,23 +142,8 @@ GRAPH_MUTATORS: frozenset[str] = frozenset(
 )
 
 #: CsrAdjacency array fields (MF003b) — never assignment targets, anywhere.
-CSR_FIELDS: frozenset[str] = frozenset(
-    {
-        "asns",
-        "cust_indptr",
-        "cust_indices",
-        "cust_rows",
-        "prov_indptr",
-        "prov_indices",
-        "prov_rows",
-        "peer_indptr",
-        "peer_indices",
-        "peer_rows",
-        "nbr_indptr",
-        "nbr_indices",
-        "nbr_rel",
-    }
-)
+#: Derived from the ``np.ndarray``-annotated fields of the CSR dataclass.
+CSR_FIELDS: frozenset[str] = csr_array_fields()
 
 #: ASGraph internal structures (MF003b) — writable only through ``self``.
 GRAPH_PRIVATES: frozenset[str] = frozenset(
@@ -147,65 +154,44 @@ GRAPH_PRIVATES: frozenset[str] = frozenset(
 #: and multiplicity arrays encode the live link×path incidence; a write
 #: from anywhere but ``repro/flowsim/incremental.py`` silently corrupts
 #: every later allocation (the solver reuses them across events).
-SLAB_FIELDS: frozenset[str] = frozenset(
-    {
-        "_slab_rows",
-        "_slab_cols",
-        "_slab_used",
-        "_col_start",
-        "_col_len",
-        "_mult",
-        "_col_maxlink",
-        "_base_counts",
-    }
-)
+#: Derived from the ``# mifocheck: slab-state`` markers in the solver.
+SLAB_FIELDS: frozenset[str] = slab_state_fields()
 
 #: Checkpointed service state (MF003d) — every field the service
 #: checkpoint serializes (scenario-engine data plane, flow table, session
 #: stream cursor).  A store from outside the owning class (``self``)
 #: desynchronizes the live process from its checkpoint; only
 #: ``repro.service`` — the restore path — may write them externally.
-SERVICE_STATE_FIELDS: frozenset[str] = frozenset(
-    {
-        "_alloc",
-        "_cap_factor",
-        "_clock",
-        "_congested",
-        "_event_no",
-        "_expiry",
-        "_failed",
-        "_fed",
-        "_flows",
-        "_link_idx",
-        "_next_flow_id",
-        "_stream_index",
-        "_tick",
-        "_exo_frac",
-    }
-)
+#: Derived from the checkpoint writer: the union of what ``capture``
+#: reads and what the restore functions write.
+SERVICE_STATE_FIELDS: frozenset[str] = checkpointed_state_fields()
 
-_DISABLE_RE = re.compile(r"#\s*(?:mifolint:\s*disable=|noqa:\s*)([A-Z0-9, ]+)")
+# Violation, _DISABLE_RE, and _suppressed come from tools.lintshared,
+# shared with mifocheck so suppressions and rendering behave identically
+# across both analyzers (this also makes "# mifocheck: disable=..."
+# spellings work for MF rules and vice versa).
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
-class Violation:
-    """One rule violation at a concrete source location."""
+class PathPolicy:
+    """Which rule families apply to a file, decided from its path.
 
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
+    ``library`` gates MF001/MF003a/MF004 (reproducibility + frozen-state
+    + clock discipline), ``hot`` gates MF002 (set-iteration order), and
+    ``docstrings`` gates MF005 separately so the repo's own tooling
+    (``tools/``, ``benchmarks/``) can be held to the determinism rules
+    without requiring a docstring on every helper.  The ``allow_*``
+    flags name the single module that legitimately owns each protected
+    mechanism.  MF003 store checks apply everywhere regardless.
+    """
 
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
-
-
-def _suppressed(source_lines: Sequence[str], line: int, code: str) -> bool:
-    if not 1 <= line <= len(source_lines):
-        return False
-    m = _DISABLE_RE.search(source_lines[line - 1])
-    return bool(m) and code in {c.strip() for c in m.group(1).split(",")}
+    library: bool
+    hot: bool
+    docstrings: bool
+    allow_mutators: bool = False
+    allow_timers: bool = False
+    allow_slab: bool = False
+    allow_service: bool = False
 
 
 class _Visitor(ast.NodeVisitor):
@@ -216,6 +202,7 @@ class _Visitor(ast.NodeVisitor):
         *,
         library: bool,
         hot: bool,
+        docstrings: bool,
         allow_mutators: bool = False,
         allow_timers: bool = False,
         allow_slab: bool = False,
@@ -223,8 +210,9 @@ class _Visitor(ast.NodeVisitor):
     ) -> None:
         self.path = path
         self.source_lines = source_lines
-        self.library = library  #: under src/ — MF001 + MF003a + MF004 apply
+        self.library = library  #: MF001 + MF003a + MF004 apply
         self.hot = hot  #: routing hot path — MF002 applies
+        self.docstrings = docstrings  #: MF005 applies
         #: repro.topology builds graphs, so mutator calls are legitimate there
         self.allow_mutators = allow_mutators
         #: repro.telemetry owns the clocks, so raw time.* reads are fine there
@@ -455,7 +443,7 @@ class _Visitor(ast.NodeVisitor):
     # ------------------------------------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         if (
-            self.library
+            self.docstrings
             and self._func_depth == 0
             and not node.name.startswith("_")
             and ast.get_docstring(node) is None
@@ -470,7 +458,7 @@ class _Visitor(ast.NodeVisitor):
         self, node: ast.FunctionDef | ast.AsyncFunctionDef
     ) -> None:
         if (
-            self.library
+            self.docstrings
             and self._func_depth == 0
             and not node.name.startswith("_")
             and ast.get_docstring(node) is None
@@ -618,17 +606,32 @@ class _Visitor(ast.NodeVisitor):
         )
 
 
-def _classify(path: pathlib.Path) -> tuple[bool, bool, bool, bool, bool, bool]:
-    """(library?, hot?, mutators ok?, timers ok?, slab ok?, service ok?)
-    from the path."""
+def _classify(path: pathlib.Path) -> PathPolicy:
+    """Decide which rule families apply to ``path``.
+
+    ``src/`` library code gets everything; the repo's own tooling
+    (``tools/``, ``benchmarks/``) is held to the determinism and clock
+    rules (MF001/MF004 and the always-on MF003 stores) but not MF005
+    docstrings and not the hot-path set-iteration rule; tests get only
+    the always-on MF003 store checks.
+    """
     posix = path.as_posix()
     library = "/src/" in f"/{posix}" or posix.startswith("src/")
-    hot = library and any(fragment in posix for fragment in HOT_PATHS)
-    allow_mutators = "repro/topology/" in posix
-    allow_timers = "repro/telemetry/" in posix
-    allow_slab = "repro/flowsim/incremental" in posix
-    allow_service = "repro/service/" in posix
-    return library, hot, allow_mutators, allow_timers, allow_slab, allow_service
+    if library:
+        return PathPolicy(
+            library=True,
+            hot=any(fragment in posix for fragment in HOT_PATHS),
+            docstrings=True,
+            allow_mutators="repro/topology/" in posix,
+            allow_timers="repro/telemetry/" in posix,
+            allow_slab="repro/flowsim/incremental" in posix,
+            allow_service="repro/service/" in posix,
+        )
+    tooling = any(
+        f"/{posix}".startswith(f"/{prefix}") or f"/{prefix}" in f"/{posix}"
+        for prefix in ("tools/", "benchmarks/")
+    )
+    return PathPolicy(library=tooling, hot=False, docstrings=False)
 
 
 def lint_source(
@@ -637,18 +640,24 @@ def lint_source(
     *,
     library: bool = True,
     hot: bool = True,
+    docstrings: bool | None = None,
     allow_mutators: bool = False,
     allow_timers: bool = False,
     allow_slab: bool = False,
     allow_service: bool = False,
 ) -> list[Violation]:
-    """Lint one source string (the unit-test entry point)."""
+    """Lint one source string (the unit-test entry point).
+
+    ``docstrings`` defaults to ``library`` — src-style code must document
+    its public surface unless told otherwise.
+    """
     tree = ast.parse(source, filename=path)
     visitor = _Visitor(
         path,
         source.splitlines(),
         library=library,
         hot=hot,
+        docstrings=library if docstrings is None else docstrings,
         allow_mutators=allow_mutators,
         allow_timers=allow_timers,
         allow_slab=allow_slab,
@@ -659,23 +668,17 @@ def lint_source(
 
 
 def lint_file(path: pathlib.Path) -> list[Violation]:
-    (
-        library,
-        hot,
-        allow_mutators,
-        allow_timers,
-        allow_slab,
-        allow_service,
-    ) = _classify(path)
+    policy = _classify(path)
     return lint_source(
         path.read_text(encoding="utf-8"),
         str(path),
-        library=library,
-        hot=hot,
-        allow_mutators=allow_mutators,
-        allow_timers=allow_timers,
-        allow_slab=allow_slab,
-        allow_service=allow_service,
+        library=policy.library,
+        hot=policy.hot,
+        docstrings=policy.docstrings,
+        allow_mutators=policy.allow_mutators,
+        allow_timers=policy.allow_timers,
+        allow_slab=policy.allow_slab,
+        allow_service=policy.allow_service,
     )
 
 
