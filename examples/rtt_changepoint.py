@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Measurement-driven deflection walkthrough: detect congestion from
+RTT series alone, then check the detections against the planted truth.
+
+Plays the built-in ``rtt_replay`` timeline — three congestion onsets
+(engine epochs 9, 18, 27) separated by quiet measurement ticks — on a
+200-AS synthetic Internet three times: once with the ``oracle``
+detector (deflection driven by link-utilization hysteresis, the
+fluid-level ground truth) and once each with the measurement-driven
+``threshold`` and ``changepoint`` detectors, which see nothing but the
+per-flow RTT samples synthesized by ``repro.measure.rtt``.  For each
+measurement run it scores the raised alarms against the planted shift
+epochs (windowed precision / recall / detection delay,
+``repro.measure.eval``) and correlates the observed path churn with the
+timeline (``repro.measure.pathwatch``): every switch should land just
+after a planted onset — alignment 1.0 means no unexplained churn.
+
+Run:  python examples/rtt_changepoint.py
+"""
+
+from repro import telemetry as tm
+from repro.measure.eval import (
+    detections_from_trace,
+    planted_changepoints,
+    score_changepoints,
+)
+from repro.measure.pathwatch import watch_paths
+from repro.scenario.engine import ScenarioConfig, ScenarioEngine
+from repro.scenario.events import get_scenario
+from repro.telemetry import Telemetry
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.traffic.matrix import TrafficConfig, uniform_matrix
+
+
+def play(graph, demands, detector: str):
+    """One rtt_replay run; returns (records, trace events, counters)."""
+    telem = Telemetry()
+    tm.activate(telem)
+    try:
+        engine = ScenarioEngine(
+            graph,
+            demands,
+            get_scenario("rtt_replay"),
+            config=ScenarioConfig(detector=detector, verify=False),
+        )
+        run = engine.run()
+    finally:
+        tm.activate(None)
+    return run.records, telem.trace_events(), dict(telem.counters)
+
+
+def main() -> None:
+    graph = generate_topology(TopologyConfig(n_ases=200, seed=2014))
+    demands = uniform_matrix(graph, TrafficConfig(n_flows=60, seed=77))
+    truths = planted_changepoints(get_scenario("rtt_replay"))
+    print(f"rtt_replay plants congestion onsets at epochs {list(truths)}\n")
+
+    deflected = {}
+    for detector in ("oracle", "threshold", "changepoint"):
+        records, events, counters = play(graph, demands, detector)
+        deflected[detector] = sum(r.deflected_flows for r in records)
+        print(f"detector={detector}: {deflected[detector]} deflection(s)")
+        if detector == "oracle":
+            continue  # the oracle reads utilization; nothing to score
+
+        score = score_changepoints(detections_from_trace(events), truths)
+        print(
+            f"  {counters['measure.rtt_samples']} RTT samples, "
+            f"{counters['measure.alarms']} alarm(s) -> "
+            f"precision {score.precision:.2f}, recall {score.recall:.2f}, "
+            f"mean delay {score.mean_delay_epochs:.2f} epoch(s)"
+        )
+        report = watch_paths(events)
+        print(
+            f"  path churn: {report.switch_events} switch(es) across "
+            f"{len(report.switches_by_flow)} flow(s), "
+            f"alignment {report.alignment:.2f} "
+            "(1.0 = every switch follows a planted onset)"
+        )
+
+    # The operational contract: detectors that only see measurements
+    # still move traffic when (and only when) the network degrades.
+    assert deflected["threshold"] > 0 and deflected["changepoint"] > 0
+    print("\nboth measurement-driven detectors deflected traffic"
+          " without reading oracle link state")
+
+
+if __name__ == "__main__":
+    main()

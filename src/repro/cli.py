@@ -162,6 +162,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         workers=args.workers or None,
         scenario=args.name,
         mode=args.mode,
+        detector=args.detector,
         n_flows=args.n_flows,
         verify=not args.no_verify,
         crosscheck=args.crosscheck,
@@ -169,7 +170,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     )
     print(
         f"==== scenario {args.name} (scale={args.scale}, mode={args.mode}, "
-        f"{watch.elapsed:.1f}s) " + "=" * 12
+        f"detector={args.detector}, {watch.elapsed:.1f}s) " + "=" * 12
     )
     print(result.render())
     if telem is not None and args.metrics:
@@ -211,6 +212,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             arrival_rate=args.arrival_rate,
             traffic=args.traffic,
+            detector=args.detector,
             record_capacity=args.record_capacity,
             checkpoint_every=args.checkpoint_every or 0,
         )
@@ -507,6 +509,14 @@ def main(argv: list[str] | None = None) -> int:
         "'full' recomputes everything each event)",
     )
     p_sc_run.add_argument(
+        "--detector",
+        choices=("oracle", "threshold", "changepoint"),
+        default="oracle",
+        help="congestion signal driving deflection: hysteresis bits over "
+        "true link load ('oracle') or a measurement-driven detector over "
+        "per-path RTT samples",
+    )
+    p_sc_run.add_argument(
         "--routing-backend", choices=("dict", "array"), default="dict"
     )
     p_sc_run.add_argument(
@@ -575,6 +585,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_srv.add_argument(
         "--traffic", choices=("zipf", "uniform"), default="zipf"
+    )
+    p_srv.add_argument(
+        "--detector",
+        choices=("oracle", "threshold", "changepoint"),
+        default="oracle",
+        help="congestion signal driving deflection (fresh start; restore "
+        "keeps the checkpoint's setting)",
     )
     p_srv.add_argument(
         "--record-capacity",

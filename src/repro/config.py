@@ -4,8 +4,10 @@ Every layer of the pipeline is configured by one frozen dataclass —
 :class:`TopologyConfig` (graph synthesis), :class:`MifoEngineConfig`
 (the forwarding engine), :class:`FluidSimConfig` (the fluid simulator),
 :class:`ScenarioConfig` (the dynamic-scenario engine), and
-:class:`ServiceConfig` (the streaming service).  This module re-exports
-all five and provides the **single** dict round-trip used everywhere a
+:class:`ServiceConfig` (the streaming service) — plus the measurement
+layer's :class:`RttModelConfig` (the synthetic RTT observable) and
+:class:`DetectorConfig` (the online changepoint/threshold detector).
+This module re-exports them all and provides the **single** dict round-trip used everywhere a
 config crosses a serialization boundary (CLI JSON input, service
 checkpoints, result provenance):
 
@@ -27,6 +29,8 @@ from typing import Any, TypeVar
 
 from .errors import ConfigError
 from .flowsim.simulator import FluidSimConfig
+from .measure.changepoint import DetectorConfig
+from .measure.rtt import RttModelConfig
 from .mifo.engine import MifoEngineConfig
 from .scenario.engine import ScenarioConfig
 from .service.config import ServiceConfig
@@ -34,8 +38,10 @@ from .topology.generator import TopologyConfig
 
 __all__ = [
     "CONFIG_TYPES",
+    "DetectorConfig",
     "FluidSimConfig",
     "MifoEngineConfig",
+    "RttModelConfig",
     "ScenarioConfig",
     "ServiceConfig",
     "TopologyConfig",
@@ -50,6 +56,8 @@ CONFIG_TYPES: dict[str, type] = {
     "flowsim": FluidSimConfig,
     "scenario": ScenarioConfig,
     "service": ServiceConfig,
+    "rtt": RttModelConfig,
+    "detector": DetectorConfig,
 }
 
 _C = TypeVar("_C")

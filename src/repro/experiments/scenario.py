@@ -96,6 +96,7 @@ def run(
     workers: int | None = 1,
     scenario: str | ScenarioSpec = "link_flap",
     mode: str = "incremental",
+    detector: str = "oracle",
     n_flows: int | None = None,
     verify: bool = True,
     crosscheck: bool = False,
@@ -104,7 +105,10 @@ def run(
 
     ``scenario`` is a built-in name (see
     :data:`repro.scenario.events.SCENARIOS`) or a custom
-    :class:`~repro.scenario.events.ScenarioSpec`.  ``n_flows`` overrides
+    :class:`~repro.scenario.events.ScenarioSpec`.  ``detector`` selects
+    the congestion signal driving deflection (``"oracle"`` hysteresis
+    bits, or a measurement-driven ``"threshold"``/``"changepoint"``
+    detector over per-path RTT samples).  ``n_flows`` overrides
     the base demand population (default: a quarter of the scale's flow
     count — every event re-solves the whole population, so scenario
     workloads run leaner than one-shot experiments).  ``verify`` keeps
@@ -132,7 +136,9 @@ def run(
         spec,
         backend=backend,
         seed=sc.seed,
-        config=ScenarioConfig(mode=mode, verify=verify, crosscheck=crosscheck),
+        config=ScenarioConfig(
+            mode=mode, verify=verify, crosscheck=crosscheck, detector=detector
+        ),
     )
     srun = engine.run()
     raw = ScenarioExperimentResult(scale_name=sc.name, run=srun)
@@ -152,6 +158,7 @@ def run(
         meta: dict[str, object] = {
             **provenance_meta(ctx),
             "scenario": srun.scenario,
+            "detector": detector,
             "n_events": srun.n_events,
             "n_flows": recs[-1].flows_total if recs else 0,
             "final_unroutable": recs[-1].flows_unroutable if recs else 0,

@@ -29,6 +29,7 @@ import numpy as np
 
 from .. import telemetry as tm
 from ..errors import NoRouteError, SimulationError
+from ..measure.rtt import RttModel
 from ..topology.asgraph import ASGraph
 from .flow import ActiveFlow, FlowRecord, FlowSpec
 from .incremental import IncrementalMaxMin
@@ -70,6 +71,13 @@ class FluidSimConfig:
     #: The two are byte-identical in every result (cross-validated in
     #: ``tests/flowsim/test_crossvalidation.py``); incremental is faster.
     solver: str = "incremental"
+    #: emit one ``rtt_sample`` trace event per active flow per event
+    #: loop iteration (the :mod:`repro.measure` observable).  Pure
+    #: observation: rates, paths, and records are untouched, and with
+    #: telemetry inactive nothing is computed at all.
+    rtt_sampling: bool = False
+    #: seed of the RTT observable's propagation/noise draws.
+    rtt_seed: int = 2014
 
     def validate(self) -> None:
         """Reject inconsistent configuration values."""
@@ -83,6 +91,8 @@ class FluidSimConfig:
             raise SimulationError(
                 f"solver {self.solver!r} not in ('incremental', 'full')"
             )
+        if self.rtt_seed < 0:
+            raise SimulationError("rtt_seed must be >= 0")
 
 
 @dataclasses.dataclass
@@ -147,6 +157,10 @@ class FluidSimulator:
                 unconstrained_rate=self.config.link_capacity_bps
             )
         self._pool_cap_len = -1  # links covered by the pool's capacity
+        #: RTT observable (None unless the config enables sampling).
+        self._rtt_model: RttModel | None = None
+        if self.config.rtt_sampling:
+            self._rtt_model = RttModel(seed=self.config.rtt_seed)
 
     # ------------------------------------------------------------------
     # congestion callbacks handed to providers
@@ -300,6 +314,8 @@ class FluidSimulator:
                 # Re-solve rates, update congestion, offer reroutes on flips.
                 newly_congested, any_cleared = self._reallocate(active)
                 reallocs += 1
+                if self._rtt_model is not None:
+                    self._emit_rtt_samples(active, now, events)
                 if (
                     (newly_congested or any_cleared)
                     and cfg.reroute
@@ -354,6 +370,38 @@ class FluidSimulator:
         )
 
     # ------------------------------------------------------------------
+    def _emit_rtt_samples(
+        self, active: list[ActiveFlow], now: float, epoch: int
+    ) -> None:
+        """Emit one ``rtt_sample`` trace event per active flow.
+
+        Pure observation over the post-solve allocation — nothing in the
+        simulation reads the samples back, so enabling sampling cannot
+        change rates, paths, or records.  Skipped entirely when no
+        telemetry sink is active.
+        """
+        t = tm.active()
+        if t is None or not active:
+            return
+        model = self._rtt_model
+        assert model is not None
+        n = len(self._link_idx)
+        if n == 0:
+            return
+        util = np.clip(self._alloc[:n] / self._cap[:n], 0.0, 1.0)
+        delays = model.link_delays_ms(list(self._link_idx), util)
+        for f in active:
+            rtt = 2.0 * float(delays[f.link_ids].sum())
+            rtt = max(0.05, rtt + model.noise_ms(f.spec.flow_id, epoch))
+            t.event(
+                "rtt_sample",
+                flow=f.spec.flow_id,
+                rtt_ms=rtt,
+                time_s=now,
+                epoch=epoch,
+            )
+        t.inc("measure.rtt_samples", len(active))
+
     def _reallocate(self, active: list[ActiveFlow]) -> tuple[set[int], bool]:
         """Max-min re-solve.
 

@@ -1,0 +1,84 @@
+"""Forwarding-pattern analysis over a JSONL trace log.
+
+``pathwatch`` answers "did the paths actually move when (and only when)
+something happened?" from the trace alone: it correlates observed
+``path_switch`` events against the ground-truth ``scenario_event``
+entries, reporting per-flow switch counts, per-epoch churn, and the
+fraction of switches that land within a window after some ground-truth
+event (the alignment — 1.0 means no unexplained churn).
+
+Works on any iterable of decoded trace dicts, e.g.
+``repro.telemetry.trace.read_jsonl(path)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping
+
+__all__ = ["PathWatchReport", "watch_paths"]
+
+#: scenario_event labels that cannot move paths (no churn expected)
+_QUIET_EVENTS = ("initial", "measure_tick")
+
+
+@dataclasses.dataclass(frozen=True)
+class PathWatchReport:
+    """Observed path churn vs ground-truth scenario events."""
+
+    flows_observed: int
+    switch_events: int
+    switches_by_flow: dict[int, int]
+    churn_by_epoch: dict[int, int]
+    truth_epochs: tuple[int, ...]
+    aligned_switches: int
+
+    @property
+    def alignment(self) -> float:
+        """Fraction of switches within the window after a truth epoch."""
+        if self.switch_events == 0:
+            return 1.0
+        return self.aligned_switches / self.switch_events
+
+
+def watch_paths(
+    events: Iterable[Mapping[str, object]], *, window: int = 4
+) -> PathWatchReport:
+    """Correlate observed path churn against ground-truth events."""
+    if window < 0:
+        raise ValueError("window must be >= 0")
+    flows: set[int] = set()
+    switches_by_flow: dict[int, int] = {}
+    churn_by_epoch: dict[int, int] = {}
+    switch_epochs: list[int] = []
+    truth_epochs: list[int] = []
+    for event in events:
+        kind = event.get("kind")
+        flow = event.get("flow")
+        if isinstance(flow, int):
+            flows.add(flow)
+        if kind == "scenario_event":
+            epoch = event.get("epoch")
+            if isinstance(epoch, int) and event.get("event") not in _QUIET_EVENTS:
+                truth_epochs.append(epoch)
+        elif kind == "path_switch":
+            if isinstance(flow, int):
+                switches_by_flow[flow] = switches_by_flow.get(flow, 0) + 1
+            epoch = event.get("epoch")
+            if isinstance(epoch, int):
+                churn_by_epoch[epoch] = churn_by_epoch.get(epoch, 0) + 1
+                switch_epochs.append(epoch)
+
+    aligned = sum(
+        1
+        for e in switch_epochs
+        if any(t <= e <= t + window for t in truth_epochs)
+    )
+    return PathWatchReport(
+        flows_observed=len(flows),
+        switch_events=sum(switches_by_flow.values()),
+        switches_by_flow=switches_by_flow,
+        churn_by_epoch=churn_by_epoch,
+        truth_epochs=tuple(truth_epochs),
+        aligned_switches=aligned,
+    )

@@ -13,7 +13,11 @@ swap them freely:
 * :class:`UtilizationDetector` — smoothed link utilization above a
   threshold (what the daemon's measurement windows see);
 * :class:`HybridDetector` — either signal fires (queue catches bursts,
-  utilization catches sustained load below the queue knee).
+  utilization catches sustained load below the queue knee);
+* :class:`RttChangepointDetector` — the measurement-driven signal: a
+  per-port RTT proxy (propagation + queueing backlog) feeds an online
+  changepoint detector (:mod:`repro.measure.changepoint`); the port is
+  congested while a confirmed *upward* regime shift is in effect.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 import typing
 
 from .. import telemetry as tm
+from ..measure.changepoint import DetectorConfig, OnlineDetector
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from ..dataplane.port import Port
@@ -30,7 +35,11 @@ __all__ = [
     "QueuingRatioDetector",
     "UtilizationDetector",
     "HybridDetector",
+    "RttChangepointDetector",
 ]
+
+#: assumed mean packet size when estimating queue drain time (bits).
+_MTU_BITS = 12_000.0
 
 
 class CongestionDetector(typing.Protocol):
@@ -97,3 +106,58 @@ class HybridDetector:
 
     def __repr__(self) -> str:
         return f"HybridDetector({self.queue.threshold}, {self.utilization.threshold})"
+
+
+class RttChangepointDetector:
+    """Measurement-driven signal: changepoints over a per-port RTT proxy.
+
+    Each call samples a deterministic RTT proxy for the port — twice the
+    link's propagation delay plus the time the current queue backlog
+    takes to drain at line rate — and pushes it into that port's online
+    detector.  The port reads as congested from a confirmed *upward*
+    regime shift until a confirmed downward one: deflection reacts to
+    observed performance degradation rather than to the instantaneous
+    queue, which is the paper's motivating scenario made operational.
+    The detectors are pure functions of the pushed series (no RNG, no
+    clock), so the signal is as deterministic as the queue itself.
+    """
+
+    __slots__ = ("config", "_series", "_elevated")
+
+    def __init__(self, config: DetectorConfig | None = None) -> None:
+        self.config = config if config is not None else DetectorConfig()
+        self.config.validate()
+        #: per-port detector state, keyed by port name.
+        self._series: dict[str, OnlineDetector] = {}
+        #: ports currently in a confirmed elevated-RTT regime.
+        self._elevated: dict[str, bool] = {}
+
+    def rtt_proxy_ms(self, port: "Port") -> float:
+        """The port's RTT proxy: 2x propagation + queue drain time."""
+        link = port.link
+        assert link is not None
+        queue_ms = 0.0
+        if link.rate_bps > 0:
+            queue_ms = port.queue_length * _MTU_BITS / link.rate_bps * 1e3
+        return 2.0 * link.delay_s * 1e3 + queue_ms
+
+    def __call__(self, port: "Port") -> bool:
+        if port.link is None:
+            return False
+        detector = self._series.get(port.name)
+        if detector is None:
+            detector = OnlineDetector(self.config)
+            self._series[port.name] = detector
+        alarm = detector.push(self.rtt_proxy_ms(port), detector.count)
+        if alarm is not None:
+            self._elevated[port.name] = alarm.direction == "up"
+        if self._elevated.get(port.name, False):
+            tm.inc("mifo.congestion_signals")
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"RttChangepointDetector(mode={self.config.mode!r}, "
+            f"ports={len(self._series)})"
+        )

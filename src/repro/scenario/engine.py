@@ -52,6 +52,8 @@ import numpy as np
 from .. import telemetry as tm
 from ..errors import ConfigError, NoRouteError, SimulationError, VerificationError
 from ..flowsim.warmstart import WarmStartSolver
+from ..measure.changepoint import DetectorConfig
+from ..measure.rtt import PathRttMonitor
 from ..mifo.deflection import MifoPathBuilder
 from ..topology.asgraph import ASGraph
 from ..topology.dynamics import with_link, without_link
@@ -92,6 +94,11 @@ class ScenarioConfig:
     #: the batch default).  Service mode sets a finite ring so an
     #: unbounded stream holds steady memory.
     record_capacity: int | None = None
+    #: congestion signal driving deflection: ``"oracle"`` (the hysteresis
+    #: bits over true link load — the historical behaviour), or a
+    #: measurement-driven detector over per-path RTT samples
+    #: (``"threshold"`` | ``"changepoint"``, see :mod:`repro.measure`).
+    detector: str = "oracle"
 
     def validate(self) -> None:
         """Reject inconsistent knob combinations."""
@@ -107,6 +114,11 @@ class ScenarioConfig:
             )
         if self.record_capacity is not None and self.record_capacity < 1:
             raise ConfigError("record_capacity must be >= 1 when set")
+        if self.detector not in ("oracle", "threshold", "changepoint"):
+            raise ConfigError(
+                f"detector {self.detector!r} not in "
+                "('oracle', 'threshold', 'changepoint')"
+            )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -251,6 +263,14 @@ class ScenarioEngine:
         #: failed links, most recent last: (u, v, relationship of v from u).
         self._failed: list[tuple[int, int, Relationship]] = []
         self._event_no = -1  # the initial routing pass is epoch 0
+        #: per-path RTT monitor when a measurement-driven detector is
+        #: selected; ``None`` keeps the oracle path byte-identical to
+        #: pre-measurement behaviour (no sampling, no monitor).
+        self._rtt: PathRttMonitor | None = None
+        if self.config.detector != "oracle":
+            self._rtt = PathRttMonitor(
+                seed, config=DetectorConfig(mode=self.config.detector)
+            )
         #: per-event metrics rows; a bounded ring when the config caps it.
         self.records: collections.deque[EventRecord] = collections.deque(
             maxlen=self.config.record_capacity
@@ -318,9 +338,40 @@ class ScenarioEngine:
         smallest endpoint degree sum (edge links churn most in practice,
         and a peering between small ASes carries exports only for their
         customer cones, so its dirty set is tiny — the incremental
-        engine's best case).  Resolution depends only on simulation
-        state, so both update modes pick identical targets.
+        engine's best case).  ``"mid-load"`` — among links carried by at
+        least one routed flow, the one whose utilisation is closest to
+        50% (headroom to visibly congest: the busiest link under max-min
+        often already sits at capacity, so adding exogenous load there
+        moves neither the oracle bits nor the RTT observable).
+        ``"loaded"`` — the link carrying the most exogenous load (the
+        natural target for a clear event).  Resolution depends only on
+        simulation state, so both update modes pick identical targets.
         """
+        if strategy == "mid-load":
+            n = len(self._link_idx)
+            pairs = list(self._link_idx)
+            cap = self.config.link_capacity_bps * self._cap_factor[:n]
+            load = self._alloc[:n] + self._exo_frac[:n] * cap
+            util = np.divide(load, cap, out=np.ones(n), where=cap > 0)
+            used: dict[int, bool] = {}
+            for f in self._flows.values():
+                if f.path is None:
+                    continue
+                for idx in f.link_ids:
+                    used[idx] = True
+            if not used:
+                return self.pick_link("busiest")
+            best = min(used, key=lambda i: (abs(float(util[i]) - 0.5), pairs[i]))
+            return pairs[best]
+        if strategy == "loaded":
+            loaded = [
+                (float(self._exo_frac[idx]), (u, v))
+                for (u, v), idx in self._link_idx.items()
+                if self._exo_frac[idx] > 0
+            ]
+            if not loaded:
+                raise ConfigError("no exogenously loaded link to pick")
+            return max(loaded, key=lambda e: (e[0], (-e[1][0], -e[1][1])))[1]
         if strategy == "edge-peering":
             links = self.graph.links()
             if not links:
@@ -441,6 +492,12 @@ class ScenarioEngine:
             target=f"link {lo}-{hi} @{utilization:g}",
         )
 
+    def observe_only(self) -> EventEffect:
+        """A no-op event primitive (backs ``MeasureTick``): advances the
+        epoch without perturbing the network, so the measurement pass
+        takes exactly one RTT sample per active path."""
+        return EventEffect(target="measure")
+
     def _register_flows(self, pairs: list[tuple[int, int]]) -> tuple[int, ...]:
         ids = []
         for src, dst in pairs:
@@ -498,6 +555,8 @@ class ScenarioEngine:
                 raise ConfigError(f"cannot retire unknown flow {fid}")
             if f.path is not None:
                 self.solver.remove_flow(fid)
+            if self._rtt is not None:
+                self._rtt.drop_flow(fid)
         return EventEffect(target=f"retired {len(flow_ids)} flows")
 
     # ------------------------------------------------------------------
@@ -651,6 +710,90 @@ class ScenarioEngine:
                 )
         return moved
 
+    def _observe_rtt(self) -> set[int]:
+        """Sample every routed flow's path RTT, push into the per-flow
+        detectors, and emit ``rtt_sample`` / ``changepoint`` trace
+        events.  Returns the flows with a confirmed *upward* shift —
+        the deflection candidates of this epoch."""
+        mon = self._rtt
+        assert mon is not None
+        n = len(self._link_idx)
+        cap = self.config.link_capacity_bps * self._cap_factor[:n]
+        load = self._alloc[:n] + self._exo_frac[:n] * cap
+        util = np.divide(load, cap, out=np.ones(n), where=cap > 0)
+        np.clip(util, 0.0, 1.0, out=util)
+        flows = [
+            (f.flow_id, f.link_ids)
+            for f in self._flows.values()
+            if f.path is not None
+        ]
+        samples, alarms = mon.observe_epoch(
+            self._event_no, flows, list(self._link_idx), util
+        )
+        t = tm.active()
+        if t is not None:
+            detector = self.config.detector
+            for s in samples:
+                t.event(
+                    "rtt_sample",
+                    flow=s.flow_id,
+                    rtt_ms=s.rtt_ms,
+                    epoch=self._event_no,
+                    detector=detector,
+                )
+            for a in alarms:
+                t.event(
+                    "changepoint",
+                    flow=a.flow_id,
+                    epoch=a.epoch,
+                    cp_epoch=a.cp_epoch,
+                    direction=a.direction,
+                    rtt_ms=a.after_ms,
+                    detector=detector,
+                )
+        tm.inc("measure.rtt_samples", len(samples))
+        if alarms:
+            tm.inc("measure.alarms", len(alarms))
+        return {a.flow_id for a in alarms if a.direction == "up"}
+
+    def _respond_to_alarms(
+        self,
+        builder: MifoPathBuilder,
+        alarmed: set[int],
+        any_cleared: bool,
+    ) -> int:
+        """Measurement-driven twin of :meth:`_respond_to_congestion`:
+        flows on their default path deflect when their own RTT series
+        alarmed upward; deflected flows reconsider (and possibly resume)
+        when some link cleared."""
+        moved = 0
+        for f in self._flows.values():  # insertion order == flow-id order
+            if f.path is None:
+                continue
+            if f.on_alt:
+                if not any_cleared:
+                    continue
+            elif f.flow_id not in alarmed:
+                continue
+            old_ids = list(f.link_ids)
+            rate = f.rate
+            if self._route_flow(f, builder):
+                moved += 1
+                for idx in old_ids:
+                    self._alloc[idx] = max(0.0, self._alloc[idx] - rate)
+                for idx in f.link_ids:
+                    self._alloc[idx] += rate
+                tm.event(
+                    "path_switch",
+                    flow=f.flow_id,
+                    src=f.src,
+                    dst=f.dst,
+                    on_alt=f.on_alt,
+                    cause="rtt_alarm" if f.on_alt else "resume",
+                    epoch=self._event_no,
+                )
+        return moved
+
     def _certify(
         self,
         dirty: tuple[int, ...],
@@ -730,12 +873,24 @@ class ScenarioEngine:
                     rerouted += 1
             self._solve()
             newly_congested, any_cleared = self._update_congestion()
-            if newly_congested or any_cleared:
-                if self._respond_to_congestion(
-                    builder, newly_congested, any_cleared
-                ):
-                    self._solve()
-                    self._update_congestion()
+            if self._rtt is None:
+                if newly_congested or any_cleared:
+                    if self._respond_to_congestion(
+                        builder, newly_congested, any_cleared
+                    ):
+                        self._solve()
+                        self._update_congestion()
+            else:
+                # Measurement-driven loop: the hysteresis bits above still
+                # steer *where* alternatives go (the builder consults
+                # them), but *when* to deflect is decided by the RTT
+                # detector.  One sample per path per epoch — responses do
+                # not re-sample, mirroring a real measurement cadence.
+                alarmed = self._observe_rtt()
+                if alarmed or any_cleared:
+                    if self._respond_to_alarms(builder, alarmed, any_cleared):
+                        self._solve()
+                        self._update_congestion()
 
             verified = 0
             do_verify = self.config.verify if verify is None else verify

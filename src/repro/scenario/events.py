@@ -34,6 +34,7 @@ __all__ = [
     "TrafficRamp",
     "FlashCrowd",
     "CongestionOnset",
+    "MeasureTick",
     "ScenarioEvent",
     "ScenarioSpec",
     "SCENARIOS",
@@ -198,8 +199,32 @@ class CongestionOnset:
         return engine.set_exogenous_load(u, v, self.utilization)
 
 
+@dataclasses.dataclass(frozen=True)
+class MeasureTick:
+    """Advance one measurement epoch without perturbing the network.
+
+    The engine takes exactly one RTT sample per active path per epoch
+    (when a measurement-driven detector is enabled), so a run of ticks
+    between perturbations is how a scenario scripts a measurement
+    cadence — each tick grows every per-flow series by one sample.
+    Under the oracle detector a tick is a pure no-op event.
+    """
+
+    kind = "measure_tick"
+
+    def apply(self, engine: "ScenarioEngine") -> "EventEffect":
+        """Advance the epoch through the engine's no-op primitive."""
+        return engine.observe_only()
+
+
 ScenarioEvent = Union[
-    LinkFail, LinkRecover, CapacityScale, TrafficRamp, FlashCrowd, CongestionOnset
+    LinkFail,
+    LinkRecover,
+    CapacityScale,
+    TrafficRamp,
+    FlashCrowd,
+    CongestionOnset,
+    MeasureTick,
 ]
 
 
@@ -221,6 +246,20 @@ class ScenarioSpec:
                     f"non-decreasing and >= 0 (got {t} after {last})"
                 )
             last = t
+
+
+def _rtt_replay_timeline() -> tuple[tuple[float, ScenarioEvent], ...]:
+    """Timeline of ``rtt_replay``: 8 measurement ticks either side of
+    each planted shift, at one event per second."""
+    events: list[ScenarioEvent] = []
+    events.extend(MeasureTick() for _ in range(8))
+    events.append(CongestionOnset(utilization=0.9, pick="mid-load"))
+    events.extend(MeasureTick() for _ in range(8))
+    events.append(CongestionOnset(utilization=0.0, pick="loaded"))
+    events.extend(MeasureTick() for _ in range(8))
+    events.append(CongestionOnset(utilization=0.85, pick="mid-load"))
+    events.extend(MeasureTick() for _ in range(8))
+    return tuple((float(i + 1), ev) for i, ev in enumerate(events))
 
 
 SCENARIOS: dict[str, ScenarioSpec] = {
@@ -278,6 +317,15 @@ SCENARIOS: dict[str, ScenarioSpec] = {
             (1.0, CongestionOnset(utilization=0.9)),
             (3.0, CongestionOnset(utilization=0.0)),
         ),
+    ),
+    "rtt_replay": ScenarioSpec(
+        "rtt_replay",
+        "Measurement-cadence replay with planted RTT regime shifts: "
+        "quiet measurement ticks around three exogenous-load events on "
+        "mid-utilisation links (onset, clear, second onset).  Ground "
+        "truth for scoring changepoint detectors lives at the "
+        "congestion_onset epochs (9, 18, 27).",
+        _rtt_replay_timeline(),
     ),
 }
 

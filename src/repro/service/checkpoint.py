@@ -50,7 +50,11 @@ from .stream import STREAM_EVENT_TYPES, StreamEvent
 __all__ = ["CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "capture", "restore", "to_json"]
 
 CHECKPOINT_FORMAT = "mifo-service-checkpoint"
-CHECKPOINT_VERSION = 1
+#: version 2 added the engine's ``rtt`` section (per-flow RTT detector
+#: windows + monitor counters); version-1 documents (no measurement
+#: state, implying the oracle detector) still restore.
+CHECKPOINT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def capture(session: Any) -> dict[str, Any]:
@@ -77,6 +81,29 @@ def capture(session: Any) -> dict[str, Any]:
     if session.telemetry is not None:
         telemetry_state = {
             "counters": dict(sorted(session.telemetry.counters.items()))
+        }
+    # Measurement state: per-flow detector windows are genuine state (a
+    # detector is a pure function of its pushed series, but the series
+    # itself cannot be re-derived), so they serialize in full.
+    rtt_state: dict[str, Any] | None = None
+    mon = eng._rtt
+    if mon is not None:
+        rtt_state = {
+            "samples_total": mon._rtt_samples_total,
+            "alarms_total": mon._rtt_alarms_total,
+            "series": [
+                [
+                    fid,
+                    det._cp_base,
+                    det._cp_count,
+                    det._cp_last,
+                    det._cp_streak,
+                    det._cp_baseline,
+                    [float(x) for x in det._cp_values],
+                    [int(x) for x in det._cp_epochs],
+                ]
+                for fid, det in mon._rtt_series.items()
+            ],
         }
     from ..config import config_to_dict
 
@@ -128,6 +155,7 @@ def capture(session: Any) -> dict[str, Any]:
                     "hits": eng.solver.pool.hits,
                 },
             },
+            "rtt": rtt_state,
         },
         "telemetry": telemetry_state,
     }
@@ -149,10 +177,10 @@ def _load(source: dict[str, Any] | str) -> dict[str, Any]:
             f"not a {CHECKPOINT_FORMAT} document: format="
             f"{state.get('format')!r}"
         )
-    if state.get("version") != CHECKPOINT_VERSION:
+    if state.get("version") not in _READABLE_VERSIONS:
         raise ConfigError(
             f"unsupported checkpoint version {state.get('version')!r} "
-            f"(this build reads version {CHECKPOINT_VERSION})"
+            f"(this build reads versions {_READABLE_VERSIONS})"
         )
     return state
 
@@ -278,6 +306,28 @@ def _restore_engine(
     eng.records.clear()
     for row in es["records"]:
         eng.records.append(EventRecord(**row))
+    # 7. Measurement state: detector windows verbatim (a v1 checkpoint
+    # has no "rtt" key; a config with detector="oracle" has no monitor —
+    # both sides must agree via the round-tripped config).
+    rtt = es.get("rtt")
+    mon = eng._rtt
+    if rtt is not None and mon is not None:
+        mon._rtt_samples_total = int(rtt["samples_total"])
+        mon._rtt_alarms_total = int(rtt["alarms_total"])
+        series = {}
+        for fid, base, count, last, streak, baseline, values, epochs in rtt[
+            "series"
+        ]:
+            det = mon.new_detector()
+            det._cp_base = int(base)
+            det._cp_count = int(count)
+            det._cp_last = int(last)
+            det._cp_streak = int(streak)
+            det._cp_baseline = None if baseline is None else float(baseline)
+            det._cp_values = [float(x) for x in values]
+            det._cp_epochs = [int(x) for x in epochs]
+            series[int(fid)] = det
+        mon._rtt_series = series
 
 
 def _restore_session_state(session: Any, ss: dict[str, Any]) -> None:

@@ -32,6 +32,11 @@ class ServiceConfig:
     clear_threshold: float = 0.70
     #: control-plane update policy: ``"incremental"`` or ``"full"``.
     mode: str = "incremental"
+    #: congestion signal driving deflection: ``"oracle"`` (hysteresis
+    #: bits over true link load) or a measurement-driven detector over
+    #: per-path RTT samples (``"threshold"`` | ``"changepoint"``).
+    #: Detector state rides along in checkpoints.
+    detector: str = "oracle"
     #: seed of the event stream (event ``i`` is a pure function of
     #: ``(seed, i)``, which is what makes restore-and-replay exact).
     seed: int = 2014
@@ -73,6 +78,7 @@ class ServiceConfig:
             verify=False,
             crosscheck=False,
             record_capacity=self.record_capacity,
+            detector=self.detector,
         )
 
     def validate(self) -> None:

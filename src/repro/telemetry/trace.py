@@ -32,6 +32,15 @@ Event kinds:
     (``repro.flowsim``): which solver ran, the progressive-filling rounds
     it executed, and — for the incremental solver — how much work the
     path pool and the warm-start memo avoided.
+``rtt_sample``
+    One per-flow path RTT observation (``repro.measure.rtt``), taken
+    once per epoch by the scenario engine's measurement pass or per
+    control interval by the fluid simulator.
+``changepoint``
+    A confirmed RTT regime shift on one flow's series
+    (``repro.measure.changepoint``): when the shift was detected
+    (``epoch``), when the detector estimates it happened (``cp_epoch``),
+    and its direction.
 """
 
 from __future__ import annotations
@@ -74,6 +83,8 @@ TRACE_SCHEMA: dict[str, object] = {
                 "encap",
                 "scenario_event",
                 "solver_stats",
+                "rtt_sample",
+                "changepoint",
             ],
         },
         "seq": {"type": "integer"},
@@ -87,7 +98,13 @@ TRACE_SCHEMA: dict[str, object] = {
         "chosen": {"type": "integer"},
         "cause": {
             "type": "string",
-            "enum": ["congested_link", "deflected_to_us", "resume", "tag_check"],
+            "enum": [
+                "congested_link",
+                "deflected_to_us",
+                "resume",
+                "tag_check",
+                "rtt_alarm",
+            ],
         },
         "spare_bps": {"type": "number"},
         "candidates": {"type": "integer"},
@@ -109,7 +126,7 @@ TRACE_SCHEMA: dict[str, object] = {
             "description": (
                 "Scenario event kind (link_fail, link_recover, "
                 "capacity_scale, traffic_ramp, flash_crowd, "
-                "congestion_onset, initial)."
+                "congestion_onset, measure_tick, initial)."
             ),
         },
         "target": {"type": "string"},
@@ -134,6 +151,33 @@ TRACE_SCHEMA: dict[str, object] = {
         "pool_hits": {"type": "integer"},
         "cols_reused": {"type": "integer"},
         "warm_rounds_saved": {"type": "integer"},
+        "rtt_ms": {
+            "type": "number",
+            "description": "Observed path round-trip time, milliseconds.",
+        },
+        "cp_epoch": {
+            "type": "integer",
+            "description": (
+                "Detector's estimate of the epoch the RTT regime shift "
+                "happened (first post-shift sample); `epoch` is when it "
+                "was confirmed, so `epoch - cp_epoch` is the detection "
+                "delay."
+            ),
+        },
+        "direction": {
+            "type": "string",
+            "enum": ["up", "down"],
+            "description": "Sign of a changepoint's level shift.",
+        },
+        "detector": {
+            "type": "string",
+            "enum": ["threshold", "changepoint"],
+            "description": (
+                "Which measurement-driven detector produced an "
+                "rtt_sample/changepoint event (the oracle signal emits "
+                "neither)."
+            ),
+        },
     },
 }
 
@@ -282,6 +326,26 @@ def summarize(
             value = e.get(field)
             if isinstance(value, int):
                 agg[field] += value
+    # per-detector digest: [samples, detections, delay_sum, delays]
+    detectors: dict[str, list[int]] = {}
+    detector_series: dict[str, set[int]] = {}
+    for e in events:
+        name = e.get("detector")
+        if not isinstance(name, str):
+            continue
+        agg = detectors.setdefault(name, [0, 0, 0, 0])
+        flows = detector_series.setdefault(name, set())
+        kind = e.get("kind")
+        if kind == "rtt_sample":
+            agg[0] += 1
+            if isinstance(e.get("flow"), int):
+                flows.add(int(e["flow"]))
+        elif kind == "changepoint":
+            agg[1] += 1
+            epoch, cp_epoch = e.get("epoch"), e.get("cp_epoch")
+            if isinstance(epoch, int) and isinstance(cp_epoch, int):
+                agg[2] += epoch - cp_epoch
+                agg[3] += 1
     summary: dict[str, object] = {
         "events": len(events),
         "by_kind": dict(sorted(by_kind.items())),
@@ -291,6 +355,16 @@ def summarize(
     }
     if solvers:
         summary["solver_stats"] = dict(sorted(solvers.items()))
+    if detectors:
+        summary["detector_stats"] = {
+            name: {
+                "series": len(detector_series[name]),
+                "samples": agg[0],
+                "detections": agg[1],
+                "mean_detection_delay": agg[2] / agg[3] if agg[3] else 0.0,
+            }
+            for name, agg in sorted(detectors.items())
+        }
     if spares:
         summary["spare_bps"] = {
             "min": min(spares),
@@ -329,6 +403,16 @@ def render_summary(summary: dict[str, object]) -> str:
                 f"over {agg['runs']} run(s); pool hits {agg['pool_hits']}, "
                 f"columns reused {agg['cols_reused']}, "
                 f"rounds memoized away {agg['warm_rounds_saved']}"
+            )
+    detector_stats = summary.get("detector_stats")
+    if isinstance(detector_stats, dict) and detector_stats:
+        lines.append("  rtt detectors:")
+        for name, agg in detector_stats.items():
+            lines.append(
+                f"    {name:<12} {agg['detections']} detection(s) over "
+                f"{agg['series']} series ({agg['samples']} samples); "
+                f"mean detection delay {agg['mean_detection_delay']:.1f} "
+                "epoch(s)"
             )
     spare = summary.get("spare_bps")
     if isinstance(spare, dict):

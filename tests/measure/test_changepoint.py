@@ -1,0 +1,200 @@
+"""PELT correctness and the online detector (both modes)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.measure.changepoint import (
+    CpAlarm,
+    DetectorConfig,
+    OnlineDetector,
+    pelt,
+)
+
+
+def step_series(*segments: tuple[float, int]) -> list[float]:
+    """Concatenate constant segments ``(level, length)``."""
+    out: list[float] = []
+    for level, length in segments:
+        out.extend([level] * length)
+    return out
+
+
+class TestPelt:
+    def test_homogeneous_series_has_no_splits(self):
+        assert pelt([5.0] * 20, penalty=10.0) == []
+
+    def test_short_series_has_no_splits(self):
+        assert pelt([1.0, 100.0, 1.0], penalty=1.0, min_size=2) == []
+
+    def test_single_clean_shift_found_exactly(self):
+        values = step_series((1.0, 10), (9.0, 10))
+        assert pelt(values, penalty=10.0) == [10]
+
+    def test_two_shifts_found_exactly(self):
+        values = step_series((0.0, 8), (6.0, 8), (1.0, 8))
+        assert pelt(values, penalty=10.0) == [8, 16]
+
+    def test_penalty_suppresses_small_shifts(self):
+        values = step_series((1.0, 10), (1.4, 10))
+        assert pelt(values, penalty=50.0) == []
+        # a big enough level change survives the same penalty
+        assert pelt(step_series((1.0, 10), (9.0, 10)), penalty=50.0) == [10]
+
+    def test_min_size_respected(self):
+        values = step_series((0.0, 3), (50.0, 3))
+        for g in pelt(values, penalty=1.0, min_size=3):
+            assert g >= 3 and len(values) - g >= 3
+
+    def test_matches_brute_force_on_small_series(self):
+        # Exhaustive optimal partitioning over all split subsets.
+        import itertools
+
+        def seg_cost(vals: list[float]) -> float:
+            m = sum(vals) / len(vals)
+            return sum((x - m) ** 2 for x in vals)
+
+        values = step_series((0.0, 4), (3.0, 4), (1.0, 4))
+        penalty, min_size = 4.0, 2
+        n = len(values)
+        best, best_splits = float("inf"), []
+        interior = range(min_size, n - min_size + 1)
+        for k in range(0, 4):
+            for combo in itertools.combinations(interior, k):
+                bounds = [0, *combo, n]
+                if any(b - a < min_size for a, b in zip(bounds, bounds[1:])):
+                    continue
+                c = sum(
+                    seg_cost(values[a:b]) for a, b in zip(bounds, bounds[1:])
+                ) + penalty * k
+                if c < best:
+                    best, best_splits = c, list(combo)
+        assert pelt(values, penalty, min_size) == best_splits
+
+
+class TestDetectorConfig:
+    def test_defaults_validate(self):
+        DetectorConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "psychic"},
+            {"penalty": 0.0},
+            {"min_size": 0},
+            {"window": 4},
+            {"confirm": 0},
+            {"factor": 1.0},
+            {"warmup": 0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            DetectorConfig(**kwargs).validate()
+
+
+class TestOnlineChangepoint:
+    def _push_all(self, det: OnlineDetector, values) -> list[CpAlarm]:
+        alarms = []
+        for epoch, v in enumerate(values):
+            alarm = det.push(v, epoch)
+            if alarm is not None:
+                alarms.append(alarm)
+        return alarms
+
+    def test_flat_series_never_alarms(self):
+        det = OnlineDetector()
+        assert self._push_all(det, [3.0] * 40) == []
+        assert det.count == 40
+
+    def test_upward_shift_alarms_once_with_direction(self):
+        det = OnlineDetector()
+        alarms = self._push_all(det, step_series((2.0, 10), (20.0, 10)))
+        assert len(alarms) == 1
+        a = alarms[0]
+        assert a.direction == "up"
+        # the estimated shift epoch is within one sample of the truth
+        assert abs(a.epoch - 10) <= 1
+        assert a.before < a.after
+
+    def test_downward_shift_alarms(self):
+        det = OnlineDetector()
+        alarms = self._push_all(det, step_series((20.0, 10), (2.0, 10)))
+        assert [a.direction for a in alarms] == ["down"]
+
+    def test_two_well_separated_shifts_alarm_twice(self):
+        det = OnlineDetector()
+        alarms = self._push_all(
+            det, step_series((2.0, 12), (20.0, 12), (2.0, 12))
+        )
+        assert [a.direction for a in alarms] == ["up", "down"]
+
+    def test_window_slides_without_losing_state(self):
+        det = OnlineDetector(DetectorConfig(window=16))
+        alarms = self._push_all(
+            det, step_series((2.0, 40), (20.0, 8))
+        )
+        assert [a.direction for a in alarms] == ["up"]
+        assert det.count == 48
+
+    def test_alarm_epoch_comes_from_pushed_epochs(self):
+        det = OnlineDetector()
+        alarms = []
+        for i, v in enumerate(step_series((1.0, 8), (30.0, 8))):
+            alarm = det.push(v, 100 + 2 * i)  # non-contiguous epochs
+            if alarm:
+                alarms.append(alarm)
+        assert alarms and alarms[0].epoch in (114, 116)
+
+
+class TestOnlineThreshold:
+    CFG = DetectorConfig(mode="threshold", factor=1.5, warmup=4, confirm=2)
+
+    def test_sustained_excursion_alarms(self):
+        det = OnlineDetector(self.CFG)
+        alarms = [det.push(v, i) for i, v in enumerate([10.0] * 6 + [20.0] * 4)]
+        fired = [a for a in alarms if a is not None]
+        assert len(fired) == 1
+        assert fired[0].direction == "up"
+
+    def test_single_spike_is_ignored(self):
+        det = OnlineDetector(self.CFG)
+        series = [10.0] * 6 + [40.0] + [10.0] * 6
+        assert all(det.push(v, i) is None for i, v in enumerate(series))
+
+    def test_rebase_allows_recovery_alarm(self):
+        det = OnlineDetector(self.CFG)
+        fired = []
+        for i, v in enumerate([10.0] * 6 + [20.0] * 6 + [10.0] * 6):
+            a = det.push(v, i)
+            if a is not None:
+                fired.append(a.direction)
+        assert fired == ["up", "down"]
+
+
+class TestPurity:
+    """Detectors are pure functions of the pushed (value, epoch) series."""
+
+    series = st.lists(
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        min_size=0,
+        max_size=64,
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=series, mode=st.sampled_from(["changepoint", "threshold"]))
+    def test_identical_pushes_identical_alarms(self, values, mode):
+        cfg = DetectorConfig(mode=mode)
+        a, b = OnlineDetector(cfg), OnlineDetector(cfg)
+        got_a = [a.push(v, i) for i, v in enumerate(values)]
+        got_b = [b.push(v, i) for i, v in enumerate(values)]
+        assert got_a == got_b
+        assert a.count == b.count == len(values)
+
+    @settings(max_examples=20, deadline=None)
+    @given(values=series)
+    def test_pelt_is_deterministic(self, values):
+        assert pelt(values, 12.0) == pelt(list(values), 12.0)

@@ -1,0 +1,84 @@
+"""Windowed precision/recall/delay scoring against planted truths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measure.eval import (
+    detections_from_trace,
+    planted_changepoints,
+    score_changepoints,
+)
+from repro.scenario.events import get_scenario
+
+
+class TestPlantedChangepoints:
+    def test_rtt_replay_truths(self):
+        spec = get_scenario("rtt_replay")
+        truths = planted_changepoints(spec)
+        assert len(truths) == 3
+        # timeline entry i is processed at engine epoch i + 1
+        kinds = [getattr(ev, "kind", None) for _, ev in spec.timeline]
+        assert all(kinds[t - 1] == "congestion_onset" for t in truths)
+
+    def test_scenario_without_onsets_has_no_truths(self):
+        assert planted_changepoints(get_scenario("link_flap")) == ()
+
+    def test_object_without_timeline_is_empty(self):
+        assert planted_changepoints(object()) == ()
+
+
+class TestDetectionsFromTrace:
+    def test_extracts_changepoint_events_only(self):
+        events = [
+            {"kind": "rtt_sample", "flow": 1, "epoch": 3},
+            {"kind": "changepoint", "flow": 1, "cp_epoch": 9, "epoch": 11},
+            {"kind": "changepoint", "flow": 2, "cp_epoch": 18, "epoch": 20},
+            {"kind": "changepoint", "flow": 2, "cp_epoch": None, "epoch": 20},
+        ]
+        assert detections_from_trace(events) == [(9, 11), (18, 20)]
+
+
+class TestScoreChangepoints:
+    def test_perfect_run(self):
+        score = score_changepoints([(9, 11), (18, 20)], [9, 18])
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.mean_delay_epochs == pytest.approx(2.0)
+        assert score.missed_truths == ()
+
+    def test_no_detections_is_vacuously_precise(self):
+        score = score_changepoints([], [9, 18])
+        assert score.precision == 1.0
+        assert score.recall == 0.0
+        assert score.missed_truths == (9, 18)
+
+    def test_no_truths_is_vacuously_recalled(self):
+        score = score_changepoints([(5, 6)], [])
+        assert score.recall == 1.0
+        assert score.precision == 0.0
+        assert score.false_positives == 1
+
+    def test_window_bounds_matches(self):
+        # cp_epoch 14 is outside [9 - 1, 9 + 4]
+        score = score_changepoints([(14, 15)], [9], window=4, slack=1)
+        assert score.true_positives == 0
+        assert score.missed_truths == (9,)
+
+    def test_slack_absorbs_one_early_estimate(self):
+        # penalised least squares often lumps one pre-shift sample in
+        score = score_changepoints([(8, 11)], [9], window=4, slack=1)
+        assert score.true_positives == 1
+        assert score.recall == 1.0
+        score = score_changepoints([(8, 11)], [9], window=4, slack=0)
+        assert score.true_positives == 0
+
+    def test_delay_uses_earliest_matching_alarm(self):
+        score = score_changepoints([(9, 15), (10, 11)], [9])
+        assert score.mean_delay_epochs == pytest.approx(2.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            score_changepoints([], [], window=-1)
+        with pytest.raises(ValueError):
+            score_changepoints([], [], slack=-1)

@@ -1,0 +1,55 @@
+"""Path-churn analysis over decoded trace events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.measure.pathwatch import watch_paths
+
+
+def switch(flow: int, epoch: int) -> dict:
+    return {"kind": "path_switch", "flow": flow, "epoch": epoch}
+
+
+def truth(epoch: int, event: str = "congestion_onset") -> dict:
+    return {"kind": "scenario_event", "event": event, "epoch": epoch}
+
+
+class TestWatchPaths:
+    def test_empty_trace(self):
+        report = watch_paths([])
+        assert report.switch_events == 0
+        assert report.alignment == 1.0
+        assert report.truth_epochs == ()
+
+    def test_counts_and_alignment(self):
+        events = [
+            truth(3),
+            switch(1, 3),
+            switch(1, 4),
+            switch(2, 9),  # outside the window after epoch 3
+        ]
+        report = watch_paths(events, window=2)
+        assert report.switch_events == 3
+        assert report.switches_by_flow == {1: 2, 2: 1}
+        assert report.churn_by_epoch == {3: 1, 4: 1, 9: 1}
+        assert report.truth_epochs == (3,)
+        assert report.aligned_switches == 2
+        assert report.alignment == pytest.approx(2 / 3)
+
+    def test_quiet_events_are_not_truths(self):
+        events = [truth(0, "initial"), truth(5, "measure_tick"), switch(1, 5)]
+        report = watch_paths(events)
+        assert report.truth_epochs == ()
+        assert report.alignment == 0.0
+
+    def test_flows_observed_counts_rtt_samples_too(self):
+        events = [
+            {"kind": "rtt_sample", "flow": 7, "epoch": 1},
+            switch(8, 2),
+        ]
+        assert watch_paths(events).flows_observed == 2
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            watch_paths([], window=-1)

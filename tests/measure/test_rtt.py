@@ -1,0 +1,138 @@
+"""The deterministic RTT observable and the per-flow monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.measure.rtt import PathRttMonitor, RttModel, RttModelConfig
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        RttModelConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay_ms": 0.0},
+            {"delay_jitter_ms": 5.0},  # >= base_delay_ms
+            {"queue_delay_ms": -1.0},
+            {"util_knee": 1.0},
+            {"noise_ms": -0.1},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RttModelConfig(**kwargs).validate()
+
+
+class TestRttModel:
+    def test_propagation_is_symmetric_and_cached(self):
+        model = RttModel(seed=7)
+        assert model.propagation_ms(3, 9) == model.propagation_ms(9, 3)
+        assert model.propagation_ms(3, 9) == model.propagation_ms(3, 9)
+
+    def test_propagation_within_jitter_band(self):
+        cfg = RttModelConfig()
+        model = RttModel(cfg, seed=1)
+        for u, v in [(0, 1), (5, 2), (100, 7)]:
+            p = model.propagation_ms(u, v)
+            assert cfg.base_delay_ms - cfg.delay_jitter_ms <= p
+            assert p <= cfg.base_delay_ms + cfg.delay_jitter_ms
+
+    def test_same_seed_same_draws(self):
+        a, b = RttModel(seed=42), RttModel(seed=42)
+        assert a.propagation_ms(1, 2) == b.propagation_ms(1, 2)
+        assert a.noise_ms(5, 9) == b.noise_ms(5, 9)
+
+    def test_different_seeds_differ(self):
+        a, b = RttModel(seed=1), RttModel(seed=2)
+        assert a.propagation_ms(1, 2) != b.propagation_ms(1, 2)
+
+    def test_queueing_grows_with_utilisation_and_caps(self):
+        model = RttModel(seed=0)
+        util = np.array([0.0, 0.5, 0.9, 1.0, 5.0])
+        q = model.queueing_ms(util)
+        assert q[0] == 0.0
+        assert np.all(np.diff(q) >= 0)
+        # saturated and over-saturated links hit the same finite knee
+        assert q[3] == q[4] < np.inf
+
+    def test_zero_noise_config_is_exact(self):
+        model = RttModel(RttModelConfig(noise_ms=0.0), seed=3)
+        assert model.noise_ms(1, 1) == 0.0
+
+    def test_link_delays_compose_propagation_and_queueing(self):
+        model = RttModel(seed=5)
+        links = [(0, 1), (1, 2)]
+        idle = model.link_delays_ms(links, np.zeros(2))
+        loaded = model.link_delays_ms(links, np.array([0.9, 0.9]))
+        assert np.all(loaded > idle)
+        assert idle[0] == model.propagation_ms(0, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        u=st.integers(min_value=0, max_value=10_000),
+        v=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_propagation_pure_function_of_seed_and_pair(self, seed, u, v):
+        assert RttModel(seed=seed).propagation_ms(u, v) == RttModel(
+            seed=seed
+        ).propagation_ms(v, u)
+
+
+class TestPathRttMonitor:
+    LINKS = [(0, 1), (1, 2), (2, 3)]
+
+    def _observe(self, mon, epoch, util):
+        flows = [(1, [0, 1]), (2, [2])]
+        return mon.observe_epoch(epoch, flows, self.LINKS, np.asarray(util))
+
+    def test_samples_are_positive_and_counted(self):
+        mon = PathRttMonitor(seed=11)
+        samples, alarms = self._observe(mon, 0, [0.1, 0.1, 0.1])
+        assert [s.flow_id for s in samples] == [1, 2]
+        assert all(s.rtt_ms > 0 for s in samples)
+        assert alarms == []
+        assert mon.samples_total == 2
+        assert mon.series_count == 2
+
+    def test_same_inputs_bitwise_identical(self):
+        a, b = PathRttMonitor(seed=11), PathRttMonitor(seed=11)
+        for epoch in range(5):
+            sa, _ = self._observe(a, epoch, [0.2, 0.4, 0.6])
+            sb, _ = self._observe(b, epoch, [0.2, 0.4, 0.6])
+            assert sa == sb
+
+    def test_utilisation_shift_raises_alarm_with_truth_epoch(self):
+        mon = PathRttMonitor(seed=11)
+        all_alarms = []
+        for epoch in range(24):
+            util = [0.1] * 3 if epoch < 12 else [0.96] * 3
+            _, alarms = self._observe(mon, epoch, util)
+            all_alarms.extend(alarms)
+        up = [a for a in all_alarms if a.direction == "up"]
+        assert up, "sustained utilisation jump must alarm"
+        assert abs(up[0].cp_epoch - 12) <= 1
+        assert up[0].epoch >= up[0].cp_epoch
+        assert up[0].after_ms > up[0].before_ms
+        assert mon.alarms_total == len(all_alarms)
+
+    def test_drop_flow_forgets_the_series(self):
+        mon = PathRttMonitor(seed=11)
+        self._observe(mon, 0, [0.1, 0.1, 0.1])
+        mon.drop_flow(1)
+        assert mon.series_count == 1
+        mon.drop_flow(999)  # unknown ids are a no-op
+        assert mon.series_count == 1
+
+    def test_new_detector_carries_the_monitor_config(self):
+        from repro.measure.changepoint import DetectorConfig
+
+        mon = PathRttMonitor(seed=1, config=DetectorConfig(mode="threshold"))
+        assert mon.new_detector().config.mode == "threshold"

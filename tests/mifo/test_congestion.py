@@ -7,9 +7,11 @@ from repro.dataplane.link import Link
 from repro.dataplane.device import Device
 from repro.dataplane.packet import Packet
 from repro.dataplane.port import Port
+from repro.measure.changepoint import DetectorConfig
 from repro.mifo.congestion import (
     HybridDetector,
     QueuingRatioDetector,
+    RttChangepointDetector,
     UtilizationDetector,
 )
 
@@ -81,6 +83,64 @@ class TestHybrid:
     def test_neither_fires_when_idle(self):
         _sim, p = wired_port()
         assert not HybridDetector()(p)
+
+
+class TestRttChangepoint:
+    def test_unwired_port_never_congested(self):
+        assert not RttChangepointDetector()(Port("x"))
+
+    def test_proxy_composes_propagation_and_backlog(self):
+        _sim, p = wired_port(rate=1e6, queue=8)
+        det = RttChangepointDetector()
+        idle = det.rtt_proxy_ms(p)
+        assert idle == pytest.approx(2.0)  # 2 x 1 ms propagation
+        p.send(pkt())
+        p.send(pkt())
+        # 2 packets x 12000 bits / 1 Mbps = 24 ms of drain time
+        assert det.rtt_proxy_ms(p) == pytest.approx(idle + 24.0)
+
+    def test_latches_on_sustained_backlog_and_releases_on_drain(self):
+        sim, p = wired_port(rate=1e6, queue=8)
+        det = RttChangepointDetector()
+        assert not any(det(p) for _ in range(8))  # idle regime
+        for _ in range(4):
+            p.send(pkt())
+        fired = [det(p) for _ in range(6)]
+        assert any(fired), "sustained backlog must trip the detector"
+        assert fired[-1], "signal stays latched while the regime holds"
+        sim.run()  # drain the queue
+        cleared = [det(p) for _ in range(8)]
+        assert not cleared[-1], "confirmed downward shift releases the latch"
+
+    def test_instantaneous_spike_does_not_trip(self):
+        sim, p = wired_port(rate=1e6, queue=8)
+        det = RttChangepointDetector()
+        for _ in range(8):
+            assert not det(p)
+        p.send(pkt())  # one packet, immediately drained
+        sim.run()
+        assert not any(det(p) for _ in range(4))
+
+    def test_deterministic_across_instances(self):
+        def drive(det):
+            sim, p = wired_port(rate=1e6, queue=8)
+            out = [det(p) for _ in range(8)]
+            for _ in range(4):
+                p.send(pkt())
+            out += [det(p) for _ in range(6)]
+            return out
+
+        assert drive(RttChangepointDetector()) == drive(
+            RttChangepointDetector()
+        )
+
+    def test_config_validated_and_repr(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            RttChangepointDetector(DetectorConfig(mode="psychic"))
+        det = RttChangepointDetector(DetectorConfig(mode="threshold"))
+        assert "threshold" in repr(det)
 
 
 class TestEngineIntegration:

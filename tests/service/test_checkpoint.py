@@ -155,6 +155,72 @@ class TestFedEvents:
         ) == s.result().to_json(include_provenance=False)
 
 
+class TestDetectorState:
+    """Measurement-driven detector windows are checkpointed state."""
+
+    DET_CFG = ServiceConfig(
+        seed=29,
+        arrival_rate=60.0,
+        mean_lifetime_events=8.0,
+        p_link_event=0.08,
+        p_capacity_event=0.08,
+        record_capacity=24,
+        detector="changepoint",
+    )
+
+    def test_oracle_checkpoint_stores_null_rtt(self, reference):
+        assert reference["checkpoints"][0]["engine"]["rtt"] is None
+
+    def test_detector_checkpoint_stores_series_rows(self):
+        s = ServiceSession(self.DET_CFG, topology=TOPO)
+        s.drain(20)
+        rtt = s.checkpoint()["engine"]["rtt"]
+        assert rtt is not None
+        assert rtt["samples_total"] > 0
+        assert len(rtt["series"]) == s.engine._rtt.series_count > 0
+        for row in rtt["series"]:
+            assert len(row) == 8
+            fid, base, count, last, streak, baseline, values, epochs = row
+            assert len(values) == len(epochs)
+            assert count >= base + len(values)
+
+    def test_restore_replays_detector_state_byte_identically(self):
+        s = ServiceSession(self.DET_CFG, topology=TOPO, telemetry=True)
+        s.drain(20)
+        blob = s.checkpoint()
+        s.drain(16)
+
+        restored = ServiceSession.restore(blob)
+        restored.drain(16)
+        assert restored.result().to_json(
+            include_provenance=False
+        ) == s.result().to_json(include_provenance=False)
+        assert restored.checkpoint_json() == s.checkpoint_json()
+        assert restored.telemetry is not None
+        assert dict(restored.telemetry.counters) == dict(s.telemetry.counters)
+
+    def test_detector_checkpoint_conforms_to_docs_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        import pathlib
+
+        schema_path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "docs"
+            / "checkpoint.schema.json"
+        )
+        schema = json.loads(schema_path.read_text(encoding="utf-8"))
+        s = ServiceSession(self.DET_CFG, topology=TOPO)
+        s.drain(12)
+        jsonschema.validate(json.loads(s.checkpoint_json()), schema)
+
+    def test_version_one_document_without_rtt_still_restores(self, reference):
+        state = json.loads(json.dumps(reference["checkpoints"][5]))
+        state["version"] = 1
+        del state["engine"]["rtt"]
+        restored = ServiceSession.restore(state)
+        assert restored.events_processed == 5
+
+
 class TestTelemetryPolicy:
     def test_counterless_checkpoint_restores_without_telemetry(self):
         s = ServiceSession(CFG, topology=TOPO)  # no telemetry attached

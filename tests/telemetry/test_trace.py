@@ -130,6 +130,65 @@ class TestSummarize:
         json.dumps(summarize(self._events()))
 
 
+class TestDetectorDigest:
+    def _events(self):
+        evs = []
+        seq = 0
+        for flow in (1, 2):
+            for epoch in range(3):
+                evs.append(
+                    {
+                        "kind": "rtt_sample",
+                        "seq": seq,
+                        "flow": flow,
+                        "rtt_ms": 10.0 + flow,
+                        "epoch": epoch,
+                        "detector": "changepoint",
+                    }
+                )
+                seq += 1
+        evs.append(
+            {
+                "kind": "changepoint",
+                "seq": seq,
+                "flow": 1,
+                "epoch": 5,
+                "cp_epoch": 3,
+                "direction": "up",
+                "rtt_ms": 40.0,
+                "detector": "changepoint",
+            }
+        )
+        return evs
+
+    def test_measurement_events_validate(self):
+        assert validate_events(self._events()) == []
+
+    def test_bad_direction_rejected(self):
+        bad = {**self._events()[-1], "direction": "sideways"}
+        assert validate_event(bad)
+
+    def test_digest_aggregates_per_detector(self):
+        stats = summarize(self._events())["detector_stats"]
+        assert set(stats) == {"changepoint"}
+        cp = stats["changepoint"]
+        assert cp["series"] == 2
+        assert cp["samples"] == 6
+        assert cp["detections"] == 1
+        assert cp["mean_detection_delay"] == pytest.approx(2.0)
+
+    def test_digest_absent_without_measurement_events(self):
+        assert "detector_stats" not in summarize([GOOD_DEFLECTION])
+
+    def test_render_mentions_detectors(self):
+        text = render_summary(summarize(self._events()))
+        assert "rtt detectors" in text
+        assert "changepoint" in text
+
+    def test_digest_is_json_serializable(self):
+        json.dumps(summarize(self._events()))
+
+
 def test_cli_level_schema_override(tmp_path):
     """validate_events accepts an external schema dict (the --schema path)."""
     schema = json.loads(json.dumps(TRACE_SCHEMA))  # a detached copy

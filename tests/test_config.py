@@ -148,5 +148,7 @@ class TestSerialization:
             "flowsim",
             "scenario",
             "service",
+            "rtt",
+            "detector",
         }
         assert CONFIG_TYPES["flowsim"] is FluidSimConfig

@@ -294,6 +294,30 @@ class TestDeletionRegressions:
             for f in findings
         ), [f.render() for f in findings]
 
+    def test_deleting_a_detector_field_fires_mc101(self, real_copy):
+        ck = real_copy / "src" / "repro" / "service" / "checkpoint.py"
+        rewrite(ck, "det._cp_streak,", "0,")
+        pairs, _ = run_passes(default_config(real_copy), select={"MC101"})
+        findings = [f for f, _text in pairs]
+        assert any(
+            f.code == "MC101"
+            and f.path == "src/repro/measure/changepoint.py"
+            and "'_cp_streak'" in f.message
+            for f in findings
+        ), [f.render() for f in findings]
+
+    def test_deleting_the_monitor_counter_fires_mc101(self, real_copy):
+        ck = real_copy / "src" / "repro" / "service" / "checkpoint.py"
+        rewrite(ck, '"samples_total": mon._rtt_samples_total,', "")
+        pairs, _ = run_passes(default_config(real_copy), select={"MC101"})
+        findings = [f for f, _text in pairs]
+        assert any(
+            f.code == "MC101"
+            and f.path == "src/repro/measure/rtt.py"
+            and "'_rtt_samples_total'" in f.message
+            for f in findings
+        ), [f.render() for f in findings]
+
     def test_deleting_a_merge_entry_fires_mc102(self, real_copy):
         core = real_copy / "src" / "repro" / "telemetry" / "core.py"
         rewrite(core, "self._events_total += snap.events_total", "pass")

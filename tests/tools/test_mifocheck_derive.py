@@ -27,6 +27,21 @@ class TestDerivedSets:
         assert fields, "derived checkpointed-state set must not be empty"
         assert {"_flows", "_tick", "_stream_index"} <= set(fields)
 
+    def test_checkpointed_fields_include_the_detector_state(self):
+        fields = set(checkpointed_state_fields())
+        assert {
+            "_rtt_series",
+            "_rtt_samples_total",
+            "_rtt_alarms_total",
+            "_cp_values",
+            "_cp_epochs",
+            "_cp_base",
+            "_cp_count",
+            "_cp_last",
+            "_cp_streak",
+            "_cp_baseline",
+        } <= fields
+
     def test_slab_fields_cover_the_pool_arrays(self):
         fields = slab_state_fields()
         assert fields, "derived slab set must not be empty"

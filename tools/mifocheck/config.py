@@ -94,6 +94,8 @@ def default_config(root: pathlib.Path | None = None) -> AnalysisConfig:
             ("repro.scenario.incremental", "IncrementalRouting"),
             ("repro.flowsim.warmstart", "WarmStartSolver"),
             ("repro.flowsim.incremental", "IncrementalMaxMin"),
+            ("repro.measure.rtt", "PathRttMonitor"),
+            ("repro.measure.changepoint", "OnlineDetector"),
         ),
         parallel_module="repro.bgp.parallel",
         telemetry_module="repro.telemetry.core",

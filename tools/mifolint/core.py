@@ -127,6 +127,10 @@ TIMER_FUNCS: frozenset[str] = frozenset(
 #: ``repro/scenario`` and ``repro/service`` joined with the streaming
 #: service: the per-event loop and the checkpoint serializer must emit
 #: deterministic orderings or restore-replay byte-identity breaks.
+#: ``repro/measure`` joined with the measurement subsystem: detectors
+#: are pure functions of their pushed series and the RTT observable is
+#: seeded, so any unordered iteration there breaks the cross-backend
+#: bitwise-identity contract on traces and checkpoints.
 HOT_PATHS: tuple[str, ...] = (
     "repro/bgp/",
     "repro/mifo/",
@@ -134,6 +138,7 @@ HOT_PATHS: tuple[str, ...] = (
     "repro/flowsim/",
     "repro/scenario/",
     "repro/service/",
+    "repro/measure/",
 )
 
 #: ASGraph mutator methods (MF003a) — only repro.topology may call these.
