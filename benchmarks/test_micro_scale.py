@@ -1,0 +1,182 @@
+"""Propagation throughput scale curve + the persistent-pool CI gate.
+
+Two measurements, both recorded in ``results/BENCH_suite.json``:
+
+* ``micro_scale`` — destinations/second of one Gao–Rexford convergence at
+  1k / 10k / 44k ASes (the 44k tier is the paper's 44,340-AS UCLA IRL
+  topology), for the serial array backend and the persistent
+  shared-memory pool.  The rendered curve lands in
+  ``results/microbench_scale.txt``.
+* ``micro_scale_gate`` — the ISSUE-9 acceptance gate: at the 10k tier a
+  **persistent** pool must finish a stream of small destination batches
+  at least 2x faster than **fork-per-run** pools, because each fork-per-
+  run call pays pool spin-up while the standing pool pays it once.  Both
+  sides take the best of three repetitions so scheduler noise cannot
+  flip the verdict.
+
+Tier selection is environment-driven so CI stays fast: set
+``MIFO_SCALE_TIERS`` to a comma-separated subset of ``1k,10k,44k``
+(default ``1k,10k``).  The CI ``scale`` job runs the 1k smoke tier only;
+run all three tiers locally to refresh the full curve.
+"""
+
+import os
+
+import pytest
+
+from repro.bgp.parallel import ParallelRoutingEngine, fork_available
+from repro.telemetry import Stopwatch
+from repro.topology.generator import TopologyConfig, generate_topology
+
+from .conftest import write_result
+
+#: Tier name -> AS count.  44k is the paper's measured topology size.
+TIERS: dict[str, int] = {"1k": 1_000, "10k": 10_000, "44k": 44_340}
+
+#: Destinations converged per tier for the throughput curve — scaled down
+#: with topology size so every tier costs roughly the same wall-clock.
+CURVE_DESTS: dict[str, int] = {"1k": 32, "10k": 12, "44k": 6}
+
+_DEFAULT_TIERS = "1k,10k"
+
+#: Gate shape: NB batches of BATCH destinations each, best of REPS runs.
+GATE_TIER = "10k"
+GATE_BATCH = 2
+GATE_BATCHES = 12
+GATE_REPS = 3
+GATE_MIN_SPEEDUP = 2.0
+
+
+def selected_tiers() -> list[str]:
+    """The tier subset this run covers, from ``MIFO_SCALE_TIERS``."""
+    raw = os.environ.get("MIFO_SCALE_TIERS", _DEFAULT_TIERS)
+    names = [t.strip() for t in raw.split(",") if t.strip()]
+    unknown = sorted(set(names) - set(TIERS))
+    if unknown:
+        raise ValueError(
+            f"MIFO_SCALE_TIERS has unknown tiers {unknown}; "
+            f"choose from {sorted(TIERS)}"
+        )
+    return names
+
+
+_GRAPHS: dict[str, object] = {}
+
+
+def _graph(tier: str):
+    """Tier topology, built once per process (the 44k build is minutes)."""
+    if tier not in _GRAPHS:
+        g = generate_topology(TopologyConfig(n_ases=TIERS[tier], seed=2014))
+        g.csr()  # warm the adjacency outside every timed region
+        _GRAPHS[tier] = g
+    return _GRAPHS[tier]
+
+
+class TestScaleCurve:
+    def test_dests_per_second_curve(self, results_dir, bench_report):
+        """Record serial + persistent-pool throughput at each tier."""
+        tiers = selected_tiers()
+        rows: list[tuple[str, int, int, float, float]] = []
+        for tier in tiers:
+            graph = _graph(tier)
+            n_dests = CURVE_DESTS[tier]
+            dests = list(range(n_dests))
+
+            serial = ParallelRoutingEngine(graph, n_workers=1)
+            sw = Stopwatch()
+            serial_map = serial.compute_many(dests)
+            serial_tput = n_dests / sw.elapsed
+
+            with ParallelRoutingEngine(
+                graph, n_workers=2, persistent=True
+            ) as engine:
+                # pool spin-up outside the timed region (>= 2 dests, or the
+                # engine takes the serial path and never starts the pool)
+                engine.compute_many(dests[:2])
+                assert engine.pool_live
+                sw.restart()
+                pool_map = engine.compute_many(dests)
+                pool_tput = n_dests / sw.elapsed
+
+            # same answers at every tier, whatever the substrate
+            probe = dests[n_dests // 2]
+            assert pool_map[probe].reachable_count() == serial_map[
+                probe
+            ].reachable_count()
+
+            rows.append((tier, len(graph), n_dests, serial_tput, pool_tput))
+            bench_report(
+                "micro_scale",
+                tier=tier,
+                n_ases=len(graph),
+                n_dests=n_dests,
+                serial_dests_per_s=round(serial_tput, 2),
+                persistent_dests_per_s=round(pool_tput, 2),
+            )
+
+        lines = [
+            f"propagation throughput scale curve (tiers: {', '.join(tiers)})",
+            f"  {'tier':>5} {'ASes':>7} {'dests':>6} "
+            f"{'serial d/s':>11} {'pool d/s':>9}",
+        ]
+        for tier, n_ases, n_dests, s_tput, p_tput in rows:
+            lines.append(
+                f"  {tier:>5} {n_ases:>7} {n_dests:>6} "
+                f"{s_tput:>11.1f} {p_tput:>9.1f}"
+            )
+        write_result(results_dir, "microbench_scale", "\n".join(lines))
+
+        # per-destination cost must grow with topology size: each larger
+        # tier's serial throughput is strictly below the previous tier's
+        # (the gaps are ~7x, so this cannot flake on scheduler noise).
+        for (_, _, _, prev, _), (_, _, _, cur, _) in zip(rows, rows[1:]):
+            assert cur < prev, (rows,)
+
+
+class TestPersistentPoolGate:
+    @pytest.mark.skipif(not fork_available(), reason="needs the fork start method")
+    def test_persistent_amortizes_pool_startup(self, bench_report):
+        """ISSUE-9 gate: persistent >= 2x fork-per-run on repeated batches."""
+        if GATE_TIER not in selected_tiers():
+            pytest.skip(f"gate tier {GATE_TIER!r} not in MIFO_SCALE_TIERS")
+        graph = _graph(GATE_TIER)
+        batches = [
+            list(range(b * GATE_BATCH, (b + 1) * GATE_BATCH))
+            for b in range(GATE_BATCHES)
+        ]
+
+        def run_fork_per_run() -> float:
+            engine = ParallelRoutingEngine(graph, n_workers=2)
+            sw = Stopwatch()
+            for batch in batches:
+                engine.compute_many(batch)
+            return sw.elapsed
+
+        def run_persistent() -> float:
+            with ParallelRoutingEngine(
+                graph, n_workers=2, persistent=True
+            ) as engine:
+                engine.compute_many(batches[0])  # pool paid once, here
+                assert engine.pool_live
+                sw = Stopwatch()
+                for batch in batches:
+                    engine.compute_many(batch)
+                return sw.elapsed
+
+        fork_s = min(run_fork_per_run() for _ in range(GATE_REPS))
+        persistent_s = min(run_persistent() for _ in range(GATE_REPS))
+        speedup = fork_s / persistent_s
+
+        bench_report(
+            "micro_scale_gate",
+            tier=GATE_TIER,
+            batch=GATE_BATCH,
+            batches=GATE_BATCHES,
+            fork_per_run_s=round(fork_s, 4),
+            persistent_s=round(persistent_s, 4),
+            speedup=round(speedup, 2),
+        )
+        assert speedup >= GATE_MIN_SPEEDUP, (
+            f"persistent pool only {speedup:.2f}x faster than fork-per-run "
+            f"(gate: >= {GATE_MIN_SPEEDUP}x): {fork_s:.3f}s vs {persistent_s:.3f}s"
+        )

@@ -32,11 +32,16 @@ import numpy as np
 
 from .. import telemetry as tm
 from ..errors import NoRouteError, RoutingError, TopologyError
-from ..topology.asgraph import ASGraph
+from ..topology.asgraph import ASGraph, CsrAdjacency
 from ..topology.relationships import Relationship, export_allowed, invert
 from .propagation import RibEntry
 
-__all__ = ["ArrayDestinationRouting", "compute_array_routing"]
+__all__ = [
+    "ArrayDestinationRouting",
+    "compute_array_routing",
+    "converge_csr",
+    "state_reachable_count",
+]
 
 #: best_class codes; 0/1/2 match Relationship values, the rest are local.
 _UNREACHABLE = np.int8(-1)
@@ -59,6 +64,98 @@ def _expand_rows(
     # output offset), then add a flat arange to enumerate within rows.
     offsets = np.repeat(starts - (np.cumsum(lens) - lens), lens) + np.arange(total)
     return indices[offsets]
+
+
+def converge_csr(csr: CsrAdjacency, dest_idx: int) -> tuple[np.ndarray, ...]:
+    """The three-stage Gao–Rexford computation over bare CSR arrays.
+
+    Returns the five per-node result arrays ``(cust, peer, export, class,
+    next_hop)`` — the exact payload :meth:`ArrayDestinationRouting.state`
+    ships between processes.  Needs only a :class:`CsrAdjacency` (which may
+    be a read-only shared-memory attachment, see :mod:`repro.bgp.shm`) and
+    a **dense** destination index, so persistent-pool workers can converge
+    destinations without ever holding an :class:`ASGraph`.
+    """
+    n = csr.n_nodes
+    inf = np.int32(n + 2)
+    d = dest_idx
+
+    # Stage 1: customer routes — level-synchronous BFS up provider edges.
+    cust = np.full(n, inf, dtype=np.int32)
+    cust[d] = 0
+    frontier = np.array([d], dtype=np.int32)
+    dist = np.int32(0)
+    while frontier.size:
+        dist += 1
+        nbrs = _expand_rows(csr.prov_indptr, csr.prov_indices, frontier)
+        fresh = np.unique(nbrs[cust[nbrs] == inf])
+        cust[fresh] = dist
+        frontier = fresh
+
+    # Stage 2: peer routes — one scatter-min over every peering edge.
+    peer = np.full(n, inf, dtype=np.int32)
+    if csr.peer_indices.size:
+        np.minimum.at(peer, csr.peer_rows, cust[csr.peer_indices] + 1)
+    peer[peer > inf] = inf  # inf+1 candidates back to inf
+    peer[d] = inf  # the destination never takes a peer route
+
+    # Stage 3: provider routes — unit-weight Dijkstra == level-by-level
+    # relaxation down customer edges, seeded with exported best lengths
+    # (class priority: an AS with a customer/peer route exports that).
+    export = np.where(cust < inf, cust, peer).astype(np.int32)
+    has_cp = export < inf
+    prov_class = np.zeros(n, dtype=bool)
+    max_level = int(export[has_cp].max(initial=0))
+    level = 0
+    while level <= max_level:
+        frontier = np.nonzero(export == level)[0].astype(np.int32)
+        if frontier.size:
+            custs = _expand_rows(csr.cust_indptr, csr.cust_indices, frontier)
+            fresh = np.unique(custs[export[custs] == inf])
+            if fresh.size:
+                export[fresh] = level + 1
+                prov_class[fresh] = True
+                max_level = max(max_level, level + 1)
+        level += 1
+
+    # Best class per node.
+    cls = np.full(n, _UNREACHABLE, dtype=np.int8)
+    cls[prov_class] = int(Relationship.PROVIDER)
+    cls[peer < inf] = int(Relationship.PEER)
+    cls[cust < inf] = int(Relationship.CUSTOMER)
+    cls[d] = _DEST
+
+    # Default next hops: scatter-min of the qualifying neighbor per
+    # class (index order == AS-number order, so min index == min ASN).
+    nh = np.full(n, np.int32(n), dtype=np.int32)
+    if csr.cust_indices.size:
+        rows, cols = csr.cust_rows, csr.cust_indices
+        mask = (cls[rows] == int(Relationship.CUSTOMER)) & (
+            cust[cols] == cust[rows] - 1
+        )
+        np.minimum.at(nh, rows[mask], cols[mask])
+    if csr.peer_indices.size:
+        rows, cols = csr.peer_rows, csr.peer_indices
+        mask = (cls[rows] == int(Relationship.PEER)) & (
+            cust[cols] == peer[rows] - 1
+        )
+        np.minimum.at(nh, rows[mask], cols[mask])
+    if csr.prov_indices.size:
+        rows, cols = csr.prov_rows, csr.prov_indices
+        mask = (cls[rows] == int(Relationship.PROVIDER)) & (
+            export[cols] == export[rows] - 1
+        )
+        np.minimum.at(nh, rows[mask], cols[mask])
+    nh[nh == n] = _NO_HOP
+    nh[d] = _NO_HOP
+
+    return (cust, peer, export, cls, nh)
+
+
+def state_reachable_count(state: tuple[np.ndarray, ...]) -> int:
+    """Reachable-AS count of a raw state tuple (telemetry accounting for
+    workers that converge without constructing the result object)."""
+    return int((state[3] != _UNREACHABLE).sum())
 
 
 class ArrayDestinationRouting:
@@ -112,85 +209,8 @@ class ArrayDestinationRouting:
     # the three-stage computation, vectorized
     # ------------------------------------------------------------------
     def _compute(self) -> None:
-        csr = self.csr
-        n = csr.n_nodes
-        inf = self._inf
-        d = self._dest_idx
-
-        # Stage 1: customer routes — level-synchronous BFS up provider edges.
-        cust = np.full(n, inf, dtype=np.int32)
-        cust[d] = 0
-        frontier = np.array([d], dtype=np.int32)
-        dist = np.int32(0)
-        while frontier.size:
-            dist += 1
-            nbrs = _expand_rows(csr.prov_indptr, csr.prov_indices, frontier)
-            fresh = np.unique(nbrs[cust[nbrs] == inf])
-            cust[fresh] = dist
-            frontier = fresh
-
-        # Stage 2: peer routes — one scatter-min over every peering edge.
-        peer = np.full(n, inf, dtype=np.int32)
-        if csr.peer_indices.size:
-            np.minimum.at(peer, csr.peer_rows, cust[csr.peer_indices] + 1)
-        peer[peer > inf] = inf  # inf+1 candidates back to inf
-        peer[d] = inf  # the destination never takes a peer route
-
-        # Stage 3: provider routes — unit-weight Dijkstra == level-by-level
-        # relaxation down customer edges, seeded with exported best lengths
-        # (class priority: an AS with a customer/peer route exports that).
-        export = np.where(cust < inf, cust, peer).astype(np.int32)
-        has_cp = export < inf
-        prov_class = np.zeros(n, dtype=bool)
-        max_level = int(export[has_cp].max(initial=0))
-        level = 0
-        while level <= max_level:
-            frontier = np.nonzero(export == level)[0].astype(np.int32)
-            if frontier.size:
-                custs = _expand_rows(csr.cust_indptr, csr.cust_indices, frontier)
-                fresh = np.unique(custs[export[custs] == inf])
-                if fresh.size:
-                    export[fresh] = level + 1
-                    prov_class[fresh] = True
-                    max_level = max(max_level, level + 1)
-            level += 1
-
-        # Best class per node.
-        cls = np.full(n, _UNREACHABLE, dtype=np.int8)
-        cls[prov_class] = int(Relationship.PROVIDER)
-        cls[peer < inf] = int(Relationship.PEER)
-        cls[cust < inf] = int(Relationship.CUSTOMER)
-        cls[d] = _DEST
-
-        # Default next hops: scatter-min of the qualifying neighbor per
-        # class (index order == AS-number order, so min index == min ASN).
-        nh = np.full(n, np.int32(n), dtype=np.int32)
-        if csr.cust_indices.size:
-            rows, cols = csr.cust_rows, csr.cust_indices
-            mask = (cls[rows] == int(Relationship.CUSTOMER)) & (
-                cust[cols] == cust[rows] - 1
-            )
-            np.minimum.at(nh, rows[mask], cols[mask])
-        if csr.peer_indices.size:
-            rows, cols = csr.peer_rows, csr.peer_indices
-            mask = (cls[rows] == int(Relationship.PEER)) & (
-                cust[cols] == peer[rows] - 1
-            )
-            np.minimum.at(nh, rows[mask], cols[mask])
-        if csr.prov_indices.size:
-            rows, cols = csr.prov_rows, csr.prov_indices
-            mask = (cls[rows] == int(Relationship.PROVIDER)) & (
-                export[cols] == export[rows] - 1
-            )
-            np.minimum.at(nh, rows[mask], cols[mask])
-        nh[nh == n] = _NO_HOP
-        nh[d] = _NO_HOP
-
-        self._cust = cust
-        self._peer = peer
-        self._export = export
-        self._class = cls
-        self._nh = nh
+        state = converge_csr(self.csr, int(self._dest_idx))
+        self._cust, self._peer, self._export, self._class, self._nh = state
 
     # ------------------------------------------------------------------
     # worker-process serialization

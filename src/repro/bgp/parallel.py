@@ -3,20 +3,35 @@ backend).
 
 Per-destination Gao–Rexford convergence is embarrassingly parallel: every
 destination reads the same frozen CSR arrays and writes only its own
-result.  :class:`ParallelRoutingEngine` exploits that by forking worker
-processes *after* the CSR arrays exist, so the topology is shared
-copy-on-write and never pickled; workers ship back only each
-destination's five result arrays (a few KB at bench scale), which the
-parent re-wraps around its own graph via
-:meth:`~repro.bgp.array_routing.ArrayDestinationRouting.from_state`.
+result.  :class:`ParallelRoutingEngine` exploits that in two modes:
+
+* **fork-per-run** (the default) — a fresh ``fork`` pool per
+  :meth:`~ParallelRoutingEngine.compute_many` call; the topology is shared
+  copy-on-write and never pickled.  Zero standing state, but every call
+  pays the pool spin-up, which dominates at paper scale where propagation
+  happens in many small destination shards.
+* **persistent** (``persistent=True``) — the frozen CSR arrays are
+  exported once into named shared memory (:mod:`repro.bgp.shm`) and a
+  worker pool is created once per engine lifetime; workers attach
+  zero-copy in their initializer and each task ships only a tuple of
+  dense destination indices.  Works under ``spawn`` too (the graph never
+  crosses a pipe), survives worker crashes by falling back to in-process
+  compute and rebuilding the pool on the next call, and releases the pool
+  and segment on :meth:`~ParallelRoutingEngine.close` / garbage
+  collection.
+
+Either way workers ship back only each destination's five result arrays
+(a few KB at bench scale), which the parent re-wraps around its own graph
+via :meth:`~repro.bgp.array_routing.ArrayDestinationRouting.from_state`,
+and worker telemetry flows through child-local snapshots absorbed in
+submission order — deterministic totals for any worker count.
 
 Degradation is graceful and explicit:
 
 * ``n_workers=1`` (or an effectively-serial pool) computes in-process,
   bit-for-bit identical to the parallel path;
-* platforms without the ``fork`` start method (Windows, some macOS
-  configurations) fall back to serial rather than paying a spawn-and
-  -repickle tax per worker;
+* platforms without the ``fork`` start method fall back to serial in
+  fork-per-run mode, and to a ``spawn`` pool in persistent mode;
 * the ``dict`` backend is always serial — its per-node dict state is the
   cross-validation oracle, not a shipping format.
 
@@ -31,7 +46,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import weakref
 from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
@@ -39,8 +57,13 @@ from .. import telemetry as tm
 from ..errors import ConfigError, TopologyError
 from ..telemetry import Telemetry, TelemetrySnapshot
 from ..topology.asgraph import ASGraph
-from .array_routing import ArrayDestinationRouting
+from .array_routing import (
+    ArrayDestinationRouting,
+    converge_csr,
+    state_reachable_count,
+)
 from .propagation import DestinationRouting, RoutingView
+from .shm import AttachedCsr, CsrSegment, SegmentManifest, attach_csr
 
 __all__ = ["ParallelRoutingEngine", "fork_available", "resolve_workers"]
 
@@ -48,6 +71,11 @@ __all__ = ["ParallelRoutingEngine", "fork_available", "resolve_workers"]
 #: before the pool forks; children inherit it through copy-on-write memory,
 #: which is the whole point — the graph never crosses a pipe.
 _WORKER_GRAPH: ASGraph | None = None
+
+#: Module-level slot holding the shared-memory CSR attachment in each
+#: persistent-pool worker.  Installed exactly once per worker lifetime by
+#: the pool initializer (:func:`_attach_worker`); tasks only read it.
+_WORKER_CSR: AttachedCsr | None = None
 
 
 def fork_available() -> bool:
@@ -67,7 +95,7 @@ def resolve_workers(n_workers: int | None) -> int:
 def _compute_chunk(
     chunk: Sequence[int],
 ) -> tuple[list[tuple[int, tuple[np.ndarray, ...]]], TelemetrySnapshot | None]:
-    """Worker body: converge each destination, return compact states.
+    """Fork-per-run worker body: converge each destination, return states.
 
     When the parent forked with telemetry active, the child inherits the
     parent's registry copy-on-write — recording into it would be invisible
@@ -90,6 +118,82 @@ def _compute_chunk(
     return states, local.snapshot()
 
 
+def _attach_worker(manifest: SegmentManifest) -> None:
+    """Persistent-pool initializer: attach the shared CSR segment.
+
+    Runs once per worker process (fork or spawn); the attachment is held
+    in the sanctioned worker-local slot ``_WORKER_CSR`` for every
+    subsequent :func:`_compute_shard` task.  This is a one-way install of
+    worker-local state, never a channel back to the parent — results and
+    telemetry still return exclusively through task return values.
+    """
+    global _WORKER_CSR
+    _WORKER_CSR = attach_csr(manifest)
+
+
+def _compute_shard(
+    task: tuple[tuple[int, ...], int | None],
+) -> tuple[list[tuple[int, tuple[np.ndarray, ...]]], TelemetrySnapshot | None]:
+    """Persistent-pool worker body: converge a shard of dense indices.
+
+    ``task`` is ``(dest_indices, trace_capacity)`` — indices are dense CSR
+    rows (the parent owns the ASN mapping), and ``trace_capacity`` is
+    ``None`` when the parent has no telemetry active at submission time.
+    Mirrors :func:`_compute_chunk`'s accounting exactly: each destination
+    is converged under a ``bgp.propagate`` span with the same counters the
+    serial path records, into a child-local registry whose snapshot ships
+    back for in-order absorption.
+    """
+    shard, trace_capacity = task
+    attached = _WORKER_CSR
+    assert attached is not None, "persistent worker started without attach"
+    csr = attached.csr
+    if trace_capacity is None:
+        return [(idx, converge_csr(csr, idx)) for idx in shard], None
+    previous = tm.active()
+    local = Telemetry(trace_capacity=trace_capacity)
+    tm.activate(local)
+    try:
+        states: list[tuple[int, tuple[np.ndarray, ...]]] = []
+        for idx in shard:
+            with tm.span("bgp.propagate"):
+                state = converge_csr(csr, idx)
+            tm.inc("bgp.destinations_converged")
+            tm.inc("bgp.routes_propagated", state_reachable_count(state))
+            states.append((idx, state))
+    finally:
+        tm.activate(previous)
+    return states, local.snapshot()
+
+
+class _PoolResources:
+    """Mutable holder for the lazily created persistent pool + segment.
+
+    One ``weakref.finalize`` guard per engine points here, so whatever the
+    engine created by the time it is closed or collected gets released —
+    without the finalizer keeping the engine itself alive.
+    """
+
+    __slots__ = ("segment", "pool")
+
+    def __init__(self) -> None:
+        self.segment: CsrSegment | None = None
+        self.pool: ProcessPoolExecutor | None = None
+
+    def discard_pool(self) -> None:
+        """Shut down the worker pool (idempotent), keeping the segment."""
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def release(self) -> None:
+        """Shut down the pool and unlink the shared segment (idempotent)."""
+        self.discard_pool()
+        segment, self.segment = self.segment, None
+        if segment is not None:
+            segment.close()
+
+
 class ParallelRoutingEngine:
     """Shards a destination list across worker processes.
 
@@ -103,6 +207,12 @@ class ParallelRoutingEngine:
         ``"array"`` (parallelizable) or ``"dict"`` (oracle; always serial).
     chunk_size:
         Destinations per work item; ``None`` picks ~4 chunks per worker.
+    persistent:
+        Keep one worker pool (and one shared-memory CSR export) alive for
+        the engine's lifetime instead of forking per call.  Call
+        :meth:`close` (or use the engine as a context manager) to release
+        them; garbage collection releases them too.  Results are
+        byte-identical across all modes and worker counts.
     """
 
     def __init__(
@@ -112,6 +222,7 @@ class ParallelRoutingEngine:
         n_workers: int | None = None,
         backend: str = "array",
         chunk_size: int | None = None,
+        persistent: bool = False,
     ) -> None:
         if backend not in ("array", "dict"):
             raise ConfigError(f"unknown routing backend {backend!r}")
@@ -121,14 +232,55 @@ class ParallelRoutingEngine:
         self.backend = backend
         self.n_workers = resolve_workers(n_workers)
         self.chunk_size = chunk_size
+        self.persistent = persistent
         if chunk_size is not None and chunk_size < 1:
             raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._resources = _PoolResources()
+        self._finalizer = weakref.finalize(
+            self, _PoolResources.release, self._resources
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool_live(self) -> bool:
+        """Whether a persistent worker pool currently exists."""
+        return self._resources.pool is not None
+
+    @property
+    def segment_name(self) -> str | None:
+        """Shared-memory segment name while exported (None otherwise)."""
+        segment = self._resources.segment
+        return None if segment is None else segment.manifest.segment
+
+    def close(self) -> None:
+        """Release the persistent pool and unlink the shared segment.
+
+        Idempotent, and a no-op for engines that never went persistent.
+        The engine stays usable afterwards: the next persistent
+        ``compute_many`` lazily re-creates both resources.
+        """
+        self._resources.release()
+
+    def __enter__(self) -> "ParallelRoutingEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     @property
     def effective_workers(self) -> int:
-        """Workers the engine will actually use (after fallbacks)."""
-        if self.backend == "dict" or not fork_available():
+        """Workers the engine will actually use (after fallbacks).
+
+        The ``dict`` oracle is always serial.  Fork-per-run mode needs the
+        ``fork`` start method; persistent mode works anywhere because
+        workers attach the shared segment instead of inheriting memory.
+        """
+        if self.backend == "dict":
+            return 1
+        if not self.persistent and not fork_available():
             return 1
         return self.n_workers
 
@@ -142,7 +294,7 @@ class ParallelRoutingEngine:
         """Converge every destination; returns ``{dest: routing}``.
 
         Duplicate destinations are computed once.  Results are identical
-        (and identically keyed) for every worker count, including the
+        (and identically keyed) for every worker count, pool mode, and the
         serial fallback.
         """
         unique = list(dict.fromkeys(dests))
@@ -153,29 +305,39 @@ class ParallelRoutingEngine:
             tm.set_gauge("parallel.workers_used", 1)
             return {d: self.compute(d) for d in unique}
         try:
+            if self.persistent:
+                return self._compute_persistent(unique, workers)
             return self._compute_parallel(unique, workers)
-        except OSError:
-            # fork() exists on this platform but pool creation failed —
-            # fd/process limits, a locked-down sandbox, EAGAIN under load.
-            # Parallelism is a wall-clock knob, never a results knob, so
-            # degrade to the serial path instead of failing the run.
-            # Telemetry must report what actually happened, not what was
-            # requested: one worker, and a fallback on the record.
+        except (OSError, BrokenProcessPool):
+            # Pool creation failed (fd/process limits, a locked-down
+            # sandbox, EAGAIN under load) or a persistent worker died
+            # mid-task.  Parallelism is a wall-clock knob, never a results
+            # knob, so degrade to the serial path instead of failing the
+            # run; a broken persistent pool is discarded so the next call
+            # starts a fresh one.  Telemetry must report what actually
+            # happened, not what was requested: one worker, and a fallback
+            # on the record.
+            self._resources.discard_pool()
             tm.inc("parallel.pool_fallbacks")
             tm.set_gauge("parallel.workers_used", 1)
             return {d: self.compute(d) for d in unique}
 
     # ------------------------------------------------------------------
+    def _chunks(self, unique: Sequence[int], workers: int) -> list[list[int]]:
+        """Split a destination list into per-task chunks (~4 per worker)."""
+        chunk = self.chunk_size or max(1, -(-len(unique) // (workers * 4)))
+        return [list(unique[i : i + chunk]) for i in range(0, len(unique), chunk)]
+
     def _compute_parallel(
         self, unique: list[int], workers: int
     ) -> dict[int, RoutingView]:
+        """Fork-per-run mode: a fresh COW pool for this call only."""
         global _WORKER_GRAPH
         graph = self.graph
         # Materialize the CSR arrays *before* forking so children inherit
         # them copy-on-write instead of each rebuilding the adjacency.
         graph.csr()
-        chunk = self.chunk_size or max(1, -(-len(unique) // (workers * 4)))
-        chunks = [unique[i : i + chunk] for i in range(0, len(unique), chunk)]
+        chunks = self._chunks(unique, workers)
         ctx = multiprocessing.get_context("fork")
         _WORKER_GRAPH = graph
         telemetry = tm.active()
@@ -192,6 +354,58 @@ class ParallelRoutingEngine:
                         telemetry.absorb(snap)
         finally:
             _WORKER_GRAPH = None
+        if telemetry is not None:
+            telemetry.set_gauge("parallel.workers_used", workers)
+            telemetry.inc("parallel.chunks", len(chunks))
+        return out
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent pool, creating segment and workers on first use."""
+        res = self._resources
+        if res.segment is None or res.segment.closed:
+            res.segment = CsrSegment.create(self.graph.csr())
+            tm.set_gauge("parallel.shm_bytes", res.segment.manifest.total_bytes)
+        if res.pool is None:
+            # fork is cheaper to start; spawn works everywhere because
+            # workers rebuild state from the manifest, never from memory.
+            method = "fork" if fork_available() else "spawn"
+            res.pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=multiprocessing.get_context(method),
+                initializer=_attach_worker,
+                initargs=(res.segment.manifest,),
+            )
+            tm.inc("parallel.pool_starts")
+        else:
+            tm.inc("parallel.pool_reuses")
+        return res.pool
+
+    def _compute_persistent(
+        self, unique: list[int], workers: int
+    ) -> dict[int, RoutingView]:
+        """Persistent mode: shard dense indices over the standing pool."""
+        graph = self.graph
+        csr = graph.csr()
+        index = csr.index
+        try:
+            idxs = [index[d] for d in unique]
+        except KeyError as exc:
+            raise TopologyError(f"destination AS {exc.args[0]} not in graph") from None
+        pool = self._ensure_pool()
+        telemetry = tm.active()
+        trace_capacity = None if telemetry is None else telemetry.trace_capacity
+        chunks = self._chunks(idxs, workers)
+        tasks = [(tuple(chunk), trace_capacity) for chunk in chunks]
+        asns = csr.asns
+        out: dict[int, RoutingView] = {}
+        # Executor.map yields in submission order — the same deterministic
+        # merge discipline as the fork path's imap.
+        for part, snap in pool.map(_compute_shard, tasks):
+            for idx, state in part:
+                dest = int(asns[idx])
+                out[dest] = ArrayDestinationRouting.from_state(graph, dest, state)
+            if telemetry is not None and snap is not None:
+                telemetry.absorb(snap)
         if telemetry is not None:
             telemetry.set_gauge("parallel.workers_used", workers)
             telemetry.inc("parallel.chunks", len(chunks))

@@ -22,13 +22,85 @@ from __future__ import annotations
 import argparse
 import sys
 
+from typing import TYPE_CHECKING
+
 from .experiments import REGISTRY, SCALES
 from .telemetry import Stopwatch, Telemetry, TelemetrySnapshot
 from .topology.generator import TopologyConfig, generate_topology
 from .topology.loader import save_caida
 from .topology.stats import topology_stats
 
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .bgp.parallel import ParallelRoutingEngine
+    from .topology.asgraph import ASGraph
+
 __all__ = ["main"]
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """The routing-engine knobs every compute subcommand shares.
+
+    One definition site so ``run``, ``scenario run``, ``verify``,
+    ``export`` and ``simulate`` cannot drift apart in defaults, choices or
+    flag names (they used to hand-roll these arguments separately).
+    """
+    parser.add_argument(
+        "--routing-backend",
+        choices=("dict", "array"),
+        default="dict",
+        help="BGP convergence implementation (array = vectorized CSR backend)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="routing worker processes (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--persistent-pool",
+        action="store_true",
+        help="keep one worker pool alive over a shared-memory CSR export "
+        "instead of forking per propagation (array backend; "
+        "results are byte-identical — see docs/scaling.md)",
+    )
+
+
+def _engine_from_args(
+    graph: "ASGraph", args: argparse.Namespace
+) -> "ParallelRoutingEngine":
+    """Build the one CLI routing engine from the shared engine options.
+
+    The single construction site behind ``verify`` and ``simulate`` —
+    the two subcommands that drive a
+    :class:`~repro.bgp.parallel.ParallelRoutingEngine` directly rather
+    than through :class:`~repro.experiments.common.SharedContext`.
+    """
+    from .bgp.parallel import ParallelRoutingEngine
+
+    return ParallelRoutingEngine(
+        graph,
+        n_workers=args.workers or None,
+        backend=args.routing_backend,
+        persistent=args.persistent_pool,
+    )
+
+
+def _warm_context(args: argparse.Namespace, scale: str) -> None:
+    """Install the CLI's engine options on the memoized SharedContext.
+
+    Experiment modules call ``SharedContext.get(scale, backend, workers)``
+    themselves and leave the pool mode alone (``persistent=None``), so
+    warming the context first is how ``--persistent-pool`` reaches them
+    without threading a new keyword through every experiment signature.
+    """
+    from .experiments.common import SharedContext
+
+    SharedContext.get(
+        scale,
+        backend=args.routing_backend,
+        workers=args.workers or None,
+        persistent=True if args.persistent_pool else None,
+    )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -70,6 +142,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     telem: Telemetry | None = None
     if args.metrics or args.profile or args.trace_out:
         telem = Telemetry()
+    if args.persistent_pool:
+        _warm_context(args, args.scale)
     import inspect
 
     for name in names:
@@ -132,6 +206,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"post-run invariant gate: {report.render().splitlines()[0]}",
             file=sys.stderr,
         )
+    from .experiments.common import SharedContext
+
+    SharedContext.close_all()  # release persistent pools / shm before exit
     return 0
 
 
@@ -155,6 +232,8 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     telem: Telemetry | None = None
     if args.metrics or args.trace_out:
         telem = Telemetry()
+    if args.persistent_pool:
+        _warm_context(args, args.scale)
     watch = Stopwatch()
     result = scenario_mod.run(
         args.scale,
@@ -188,6 +267,9 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         path = out / f"scenario_{args.name}_{args.scale}.json"
         path.write_text(result.to_json(indent=2) + "\n", encoding="utf-8")
         print(f"wrote {path}", file=sys.stderr)
+    from .experiments.common import SharedContext
+
+    SharedContext.close_all()  # release persistent pools / shm before exit
     return 0
 
 
@@ -296,7 +378,6 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Statically prove (or refute) the forwarding invariants."""
-    from .bgp.parallel import ParallelRoutingEngine
     from .bgp.propagation import RoutingCache
     from .experiments.common import deployment_sample, get_scale
     from .verify import verify_routing
@@ -314,12 +395,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     else:
         dests = nodes
 
-    workers = args.workers or None
-    engine = ParallelRoutingEngine(
-        graph, n_workers=workers, backend=args.routing_backend
-    )
-    if engine.effective_workers > 1:
-        routing.precompute(dests, engine=engine)
+    with _engine_from_args(graph, args) as engine:
+        if engine.effective_workers > 1:
+            routing.precompute(dests, engine=engine)
 
     capable = deployment_sample(graph, args.deployment)
     report = verify_routing(
@@ -355,8 +433,11 @@ def _cmd_topology(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
+    from .experiments.common import SharedContext
     from .experiments.export import export_all
 
+    if args.persistent_pool:
+        _warm_context(args, args.scale)
     written = export_all(
         args.out,
         args.scale,
@@ -365,6 +446,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     )
     for p in written:
         print(f"wrote {p}")
+    SharedContext.close_all()  # release persistent pools / shm before exit
     return 0
 
 
@@ -393,21 +475,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         specs = powerlaw_matrix(graph, tc, n_providers=max(50, args.n_ases // 20))
 
-    workers = args.workers or None
-    if workers != 1:
-        from .bgp.parallel import ParallelRoutingEngine
-
-        engine = ParallelRoutingEngine(
-            graph, n_workers=workers, backend=args.routing_backend
-        )
-        if engine.effective_workers > 1:
-            watch = Stopwatch()
-            n = routing.precompute({s.dst for s in specs}, engine=engine)
-            print(
-                f"precomputed {n} destinations on {engine.effective_workers} "
-                f"workers in {watch.elapsed:.1f}s",
-                file=sys.stderr,
-            )
+    if args.workers != 1:
+        with _engine_from_args(graph, args) as engine:
+            if engine.effective_workers > 1:
+                watch = Stopwatch()
+                n = routing.precompute({s.dst for s in specs}, engine=engine)
+                print(
+                    f"precomputed {n} destinations on {engine.effective_workers} "
+                    f"workers in {watch.elapsed:.1f}s",
+                    file=sys.stderr,
+                )
 
     results = []
     for scheme in args.schemes:
@@ -445,18 +522,7 @@ def main(argv: list[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="run one experiment (or 'all')")
     p_run.add_argument("experiment", help="experiment name from 'list', or 'all'")
     p_run.add_argument("--scale", default="default", choices=sorted(SCALES))
-    p_run.add_argument(
-        "--routing-backend",
-        choices=("dict", "array"),
-        default="dict",
-        help="BGP convergence implementation (array = vectorized CSR backend)",
-    )
-    p_run.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="routing worker processes (0 = one per CPU)",
-    )
+    _add_engine_options(p_run)
     p_run.add_argument(
         "--solver",
         choices=("incremental", "full"),
@@ -516,15 +582,7 @@ def main(argv: list[str] | None = None) -> int:
         "true link load ('oracle') or a measurement-driven detector over "
         "per-path RTT samples",
     )
-    p_sc_run.add_argument(
-        "--routing-backend", choices=("dict", "array"), default="dict"
-    )
-    p_sc_run.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="routing worker processes for the shared topology context",
-    )
+    _add_engine_options(p_sc_run)
     p_sc_run.add_argument(
         "--n-flows", type=int, default=None, help="base demand population size"
     )
@@ -655,15 +713,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="ablation: verify with Tag-Check disabled",
     )
-    p_ver.add_argument(
-        "--routing-backend", choices=("dict", "array"), default="dict"
-    )
-    p_ver.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="routing worker processes (0 = one per CPU)",
-    )
+    _add_engine_options(p_ver)
     p_ver.add_argument(
         "--json", default=None, metavar="FILE", help="dump the report as JSON"
     )
@@ -680,10 +730,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_exp.add_argument("--out", default="results/dat")
     p_exp.add_argument("--scale", default="bench", choices=sorted(SCALES))
-    p_exp.add_argument(
-        "--routing-backend", choices=("dict", "array"), default="dict"
-    )
-    p_exp.add_argument("--workers", type=int, default=1)
+    _add_engine_options(p_exp)
     p_exp.set_defaults(fn=_cmd_export)
 
     p_sim = sub.add_parser(
@@ -703,23 +750,12 @@ def main(argv: list[str] | None = None) -> int:
         "--schemes", nargs="+", default=["BGP", "MIRO", "MIFO"],
         help="any of BGP MIRO MIFO",
     )
-    p_sim.add_argument(
-        "--routing-backend",
-        choices=("dict", "array"),
-        default="dict",
-        help="BGP convergence implementation",
-    )
+    _add_engine_options(p_sim)
     p_sim.add_argument(
         "--solver",
         choices=("incremental", "full"),
         default="incremental",
         help="fluid max-min solver (byte-identical results)",
-    )
-    p_sim.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="routing worker processes (0 = one per CPU)",
     )
     p_sim.set_defaults(fn=_cmd_simulate)
 

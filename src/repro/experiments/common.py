@@ -104,11 +104,16 @@ class SharedContext:
     plus the routing backend — not just ``(name, seed)``, which silently
     aliased two scales sharing a name but differing in ``n_ases``.
 
-    ``workers`` selects how many processes the context's
-    :class:`~repro.bgp.parallel.ParallelRoutingEngine` may fork when an
-    experiment bulk-fills the routing cache (see :meth:`precompute`);
-    it deliberately does not participate in the memo key because it
-    changes wall-clock, never results.
+    ``workers`` and ``persistent`` select how the context's
+    :class:`~repro.bgp.parallel.ParallelRoutingEngine` parallelizes when
+    an experiment bulk-fills the routing cache (see :meth:`precompute`);
+    they deliberately do not participate in the memo key because they
+    change wall-clock, never results.  A persistent engine owns a worker
+    pool and a shared-memory CSR export — the context closes the old
+    engine whenever it swaps in a new one, and :meth:`close` /
+    :meth:`close_all` release everything explicitly (engines also release
+    on garbage collection, so leaked contexts cannot leak ``/dev/shm``
+    segments).
     """
 
     _cache: dict[tuple[ExperimentScale, str], "SharedContext"] = {}
@@ -119,15 +124,17 @@ class SharedContext:
         *,
         backend: str = "dict",
         workers: int | None = 1,
+        persistent: bool = False,
     ) -> None:
         self.scale = scale
         self.backend = backend
         self.workers = workers
+        self.persistent = persistent
         with tm.span("topology.build"):
             self.graph: ASGraph = generate_topology(scale.topology_config())
         self.routing = RoutingCache(self.graph, backend=backend)
         self.engine = ParallelRoutingEngine(
-            self.graph, n_workers=workers, backend=backend
+            self.graph, n_workers=workers, backend=backend, persistent=persistent
         )
 
     @classmethod
@@ -137,21 +144,51 @@ class SharedContext:
         *,
         backend: str = "dict",
         workers: int | None = 1,
+        persistent: bool | None = None,
     ) -> "SharedContext":
-        """The memoized context for ``scale`` (built on first use)."""
+        """The memoized context for ``scale`` (built on first use).
+
+        ``persistent=None`` (the default) keeps whatever pool mode the
+        memoized context already runs — experiment modules pass only
+        ``workers``, so a CLI- or benchmark-selected persistent engine
+        survives the experiment's own ``get`` call.
+        """
         sc = get_scale(scale)
         key = (sc, backend)
         ctx = cls._cache.get(key)
         if ctx is None:
-            ctx = cls(sc, backend=backend, workers=workers)
+            ctx = cls(sc, backend=backend, workers=workers, persistent=bool(persistent))
             cls._cache[key] = ctx
-        elif workers is not None and workers != ctx.workers:
-            # same topology/cache, new parallelism knob: swap the engine.
-            ctx.workers = workers
+        elif (workers is not None and workers != ctx.workers) or (
+            persistent is not None and persistent != ctx.persistent
+        ):
+            # same topology/cache, new parallelism knobs: swap the engine,
+            # releasing the old one's pool/segment (if any) first.
+            ctx.workers = workers if workers is not None else ctx.workers
+            if persistent is not None:
+                ctx.persistent = persistent
+            ctx.engine.close()
             ctx.engine = ParallelRoutingEngine(
-                ctx.graph, n_workers=workers, backend=backend
+                ctx.graph,
+                n_workers=ctx.workers,
+                backend=backend,
+                persistent=ctx.persistent,
             )
         return ctx
+
+    def close(self) -> None:
+        """Release this context's engine resources (pool + shm segment)."""
+        self.engine.close()
+
+    @classmethod
+    def close_all(cls) -> None:
+        """Release engine resources of every memoized context.
+
+        The memo itself survives (topology + routing cache stay warm);
+        persistent engines transparently re-create their pool on next use.
+        """
+        for ctx in cls._cache.values():
+            ctx.close()
 
     def precompute(self, dests: Iterable[int]) -> int:
         """Bulk-converge ``dests`` through the parallel engine."""

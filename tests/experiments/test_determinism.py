@@ -49,6 +49,23 @@ class TestCrossBackendDeterminism:
         # worker-count invariance is covered by tests/bgp/test_parallel).
         assert _run_json(fig5, "dict", 1) == _run_json(fig5, "array", 1)
 
+    def test_persistent_pool_equals_serial_dict(self):
+        # The strongest cross-substrate claim: a full experiment routed
+        # through the standing shared-memory pool is byte-identical to the
+        # serial dict oracle.  Pre-warming the context is how the CLI's
+        # --persistent-pool reaches experiments, so this also exercises
+        # that wiring end to end.
+        serial = _run_json(fig7, "dict", 1)
+        SharedContext._cache.clear()
+        ctx = SharedContext.get("test", backend="array", workers=2, persistent=True)
+        try:
+            result = fig7.run("test", backend="array", workers=2)
+            assert ctx.engine.persistent and ctx.engine.pool_live
+            persistent = result.to_json(include_provenance=False)
+        finally:
+            SharedContext.close_all()
+        assert serial == persistent
+
 
 class TestRepeatDeterminism:
     @pytest.mark.parametrize("backend", ["dict", "array"])

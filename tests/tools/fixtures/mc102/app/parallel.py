@@ -8,6 +8,18 @@ from . import telemetry
 
 _PROGRESS = 0
 
+#: sanctioned worker-state slot (named in worker_state_globals)
+_SHARED = None
+
+
+def _init_worker(seed: int) -> None:
+    global _SHARED  # allowlisted: the sanctioned one-way state install
+    global _PROGRESS  # planted MC102: initializer rebinds a parent global
+    _SHARED = seed
+    _PROGRESS = seed
+    sink = telemetry.Sink()
+    sink.span("attach", 0.0)  # planted MC102: 'spans' never merged
+
 
 def _worker(chunk: list[int]) -> int:
     global _PROGRESS  # planted MC102: globals do not survive the fork
@@ -23,6 +35,11 @@ def _worker(chunk: list[int]) -> int:
 
 def run(pool: Any, chunks: list[list[int]]) -> list[int]:
     return list(pool.imap(_worker, chunks))
+
+
+def run_pooled(pool_cls: Any, chunks: list[list[int]]) -> list[int]:
+    with pool_cls(initializer=_init_worker, initargs=(1,)) as pool:
+        return list(pool.map(_worker, chunks))
 
 
 def run_fast(pool: Any, chunks: list[list[int]]) -> list[int]:

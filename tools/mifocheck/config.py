@@ -55,6 +55,10 @@ class AnalysisConfig:
     #: module-level tuple naming snapshot fields that merge derives
     #: implicitly instead of reading (e.g. drop accounting)
     merge_derived_decl: str
+    #: globals a pool initializer may rebind: the sanctioned one-way
+    #: worker-state installs (e.g. the shared-memory CSR attachment).
+    #: Any other ``global`` in worker-reachable code is still a finding.
+    worker_state_globals: tuple[str, ...]
 
     # -- MC103 stream purity -------------------------------------------
     #: module + class + method defining the pure stream entry point
@@ -102,6 +106,7 @@ def default_config(root: pathlib.Path | None = None) -> AnalysisConfig:
         snapshot_class="TelemetrySnapshot",
         merge_function="absorb",
         merge_derived_decl="MERGE_DERIVED_FIELDS",
+        worker_state_globals=("_WORKER_CSR",),
         stream_module="repro.service.stream",
         stream_class="EventStream",
         stream_method="event_at",

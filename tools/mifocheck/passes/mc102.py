@@ -12,8 +12,11 @@ dropped at the fork boundary — exactly the regression deleting one
 ``absorb`` entry would introduce.
 
 **Worker-side hygiene**, over every function reachable (via the call
-graph) from a worker entry point (the callables handed to
-``pool.imap``/``pool.map``):
+graph) from a worker entry point — the callables handed to
+``pool.imap``/``pool.map`` *and* any ``initializer=`` callable given to
+a pool constructor (``multiprocessing.Pool`` or
+``ProcessPoolExecutor``), which runs in every worker before its first
+task and is therefore just as worker-side as the task body:
 
 * telemetry emissions whose snapshot field is *not* merged (an ``inc``
   is fine because ``counters`` merges; a ``span`` in a worker is a bug
@@ -21,7 +24,10 @@ graph) from a worker entry point (the callables handed to
 * ``global`` statements — parent-side globals do not exist in forked
   children, so rebinding them there is dead state at best (the
   telemetry module itself is exempt: its ``activate`` sink swap is the
-  sanctioned mechanism workers use to install a local sink);
+  sanctioned mechanism workers use to install a local sink; globals
+  named in ``AnalysisConfig.worker_state_globals`` are likewise exempt,
+  the declared one-way worker-state installs a pool initializer
+  performs, such as the shared-memory CSR attachment);
 * iteration over set literals / ``set()`` results, whose order can
   differ across processes;
 * nondeterministic pool dispatch (``imap_unordered``, ``map_async``,
@@ -116,24 +122,37 @@ def _merged_fields(program: Program, cfg: AnalysisConfig) -> set[str]:
 
 
 def _worker_entries(program: Program, cfg: AnalysisConfig) -> list[FunctionId]:
-    """Callables handed to ordered pool dispatch in the parallel module."""
+    """Callables that run inside workers, per the parallel module's AST.
+
+    Two ways a function crosses into a worker: as the first argument of
+    ordered pool dispatch (``.imap``/``.map``), or as the
+    ``initializer=`` keyword of a pool constructor — the latter runs in
+    every worker before its first task (the shared-memory attach path),
+    so its reachable closure needs the same hygiene checks.
+    """
     info = program.modules.get(cfg.parallel_module)
     if info is None:
         return []
     entries: list[FunctionId] = []
+
+    def add(candidate: ast.expr) -> None:
+        if isinstance(candidate, ast.Name):
+            resolved = program.resolve_symbol(info.name, candidate.id)
+            if resolved is not None and resolved[0] == "function":
+                entries.append(f"{resolved[1]}:{resolved[2]}")
+
     for node in ast.walk(info.tree):
-        if not (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
             and node.func.attr in _ORDERED_DISPATCH
             and node.args
         ):
-            continue
-        worker = node.args[0]
-        if isinstance(worker, ast.Name):
-            resolved = program.resolve_symbol(info.name, worker.id)
-            if resolved is not None and resolved[0] == "function":
-                entries.append(f"{resolved[1]}:{resolved[2]}")
+            add(node.args[0])
+        for kw in node.keywords:
+            if kw.arg == "initializer":
+                add(kw.value)
     return entries
 
 
@@ -151,7 +170,11 @@ def _check_worker_body(
     path = program.rel_path(info, root)
     findings: list[Finding] = []
     for node in ast.walk(fn):
-        if isinstance(node, ast.Global) and info.name != cfg.telemetry_module:
+        if (
+            isinstance(node, ast.Global)
+            and info.name != cfg.telemetry_module
+            and not all(n in cfg.worker_state_globals for n in node.names)
+        ):
             findings.append(
                 Finding(
                     path=path,
