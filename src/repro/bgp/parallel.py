@@ -126,27 +126,45 @@ def _attach_worker(manifest: SegmentManifest) -> None:
     subsequent :func:`_compute_shard` task.  This is a one-way install of
     worker-local state, never a channel back to the parent — results and
     telemetry still return exclusively through task return values.
+
+    The attach is best-effort: a worker respawned after
+    :meth:`ParallelRoutingEngine.rebind` holds initargs naming a segment
+    that may already be unlinked, and every task carries the current
+    manifest anyway, so :func:`_compute_shard` re-attaches on demand.
     """
     global _WORKER_CSR
-    _WORKER_CSR = attach_csr(manifest)
+    try:
+        _WORKER_CSR = attach_csr(manifest)
+    except TopologyError:
+        _WORKER_CSR = None
 
 
 def _compute_shard(
-    task: tuple[tuple[int, ...], int | None],
+    task: tuple[tuple[int, ...], int | None, SegmentManifest],
 ) -> tuple[list[tuple[int, tuple[np.ndarray, ...]]], TelemetrySnapshot | None]:
     """Persistent-pool worker body: converge a shard of dense indices.
 
-    ``task`` is ``(dest_indices, trace_capacity)`` — indices are dense CSR
-    rows (the parent owns the ASN mapping), and ``trace_capacity`` is
-    ``None`` when the parent has no telemetry active at submission time.
-    Mirrors :func:`_compute_chunk`'s accounting exactly: each destination
-    is converged under a ``bgp.propagate`` span with the same counters the
+    ``task`` is ``(dest_indices, trace_capacity, manifest)`` — indices
+    are dense CSR rows (the parent owns the ASN mapping), and
+    ``trace_capacity`` is ``None`` when the parent has no telemetry
+    active at submission time.  The manifest names the segment the shard
+    must be computed against: long-lived pools outlive topology changes
+    (:meth:`ParallelRoutingEngine.rebind` re-exports the CSR without
+    restarting workers), so a worker whose cached attachment is for a
+    different segment detaches it and re-attaches here.  Mirrors
+    :func:`_compute_chunk`'s accounting exactly: each destination is
+    converged under a ``bgp.propagate`` span with the same counters the
     serial path records, into a child-local registry whose snapshot ships
     back for in-order absorption.
     """
-    shard, trace_capacity = task
+    global _WORKER_CSR
+    shard, trace_capacity, manifest = task
     attached = _WORKER_CSR
-    assert attached is not None, "persistent worker started without attach"
+    if attached is None or attached.segment_name != manifest.segment:
+        if attached is not None:
+            attached.detach()
+        attached = attach_csr(manifest)
+        _WORKER_CSR = attached
     csr = attached.csr
     if trace_capacity is None:
         return [(idx, converge_csr(csr, idx)) for idx in shard], None
@@ -262,6 +280,28 @@ class ParallelRoutingEngine:
         ``compute_many`` lazily re-creates both resources.
         """
         self._resources.release()
+
+    def rebind(self, graph: ASGraph) -> None:
+        """Point the engine at a new frozen topology, keeping the pool.
+
+        The streaming flap path mutates the topology between solves; a
+        fork-per-run engine needs nothing (each call forks off the current
+        graph), but a persistent engine's shared-memory export describes
+        the *old* arrays.  ``rebind`` retargets it: the stale segment is
+        unlinked (workers re-attach from the manifest each task carries,
+        and POSIX keeps existing mappings valid past the unlink) while the
+        worker pool itself survives — the expensive resource at streaming
+        rates.  The next ``compute_many`` re-exports the new CSR lazily.
+        No-op when ``graph`` is already the engine's current graph.
+        """
+        if graph is self.graph:
+            return
+        if not graph.frozen:
+            raise TopologyError("freeze() the graph before rebinding an engine")
+        self.graph = graph
+        segment, self._resources.segment = self._resources.segment, None
+        if segment is not None:
+            segment.close()
 
     def __enter__(self) -> "ParallelRoutingEngine":
         return self
@@ -392,10 +432,13 @@ class ParallelRoutingEngine:
         except KeyError as exc:
             raise TopologyError(f"destination AS {exc.args[0]} not in graph") from None
         pool = self._ensure_pool()
+        segment = self._resources.segment
+        assert segment is not None  # _ensure_pool just created it
+        manifest = segment.manifest
         telemetry = tm.active()
         trace_capacity = None if telemetry is None else telemetry.trace_capacity
         chunks = self._chunks(idxs, workers)
-        tasks = [(tuple(chunk), trace_capacity) for chunk in chunks]
+        tasks = [(tuple(chunk), trace_capacity, manifest) for chunk in chunks]
         asns = csr.asns
         out: dict[int, RoutingView] = {}
         # Executor.map yields in submission order — the same deterministic

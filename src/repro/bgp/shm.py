@@ -211,6 +211,10 @@ class AttachedCsr:
     def __init__(self, shm: shared_memory.SharedMemory, csr: CsrAdjacency) -> None:
         self._shm = shm
         self.csr = csr
+        #: name of the segment this attachment maps — lets a long-lived
+        #: worker detect that the parent re-exported a new topology and
+        #: re-attach (see ``repro.bgp.parallel._compute_shard``).
+        self.segment_name = shm.name
         self._finalizer = weakref.finalize(self, _close_attachment, shm)
 
     @property

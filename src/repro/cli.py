@@ -37,17 +37,21 @@ if TYPE_CHECKING:  # pragma: no cover - types only
 __all__ = ["main"]
 
 
-def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+def _add_engine_options(
+    parser: argparse.ArgumentParser, *, backend_default: str | None = "dict"
+) -> None:
     """The routing-engine knobs every compute subcommand shares.
 
-    One definition site so ``run``, ``scenario run``, ``verify``,
-    ``export`` and ``simulate`` cannot drift apart in defaults, choices or
-    flag names (they used to hand-roll these arguments separately).
+    One definition site so ``run``, ``scenario run``, ``serve``,
+    ``verify``, ``export`` and ``simulate`` cannot drift apart in
+    defaults, choices or flag names (they used to hand-roll these
+    arguments separately).  ``backend_default`` exists for ``serve``,
+    where an unset backend means "the checkpoint's" on restore.
     """
     parser.add_argument(
         "--routing-backend",
         choices=("dict", "array"),
-        default="dict",
+        default=backend_default,
         help="BGP convergence implementation (array = vectorized CSR backend)",
     )
     parser.add_argument(
@@ -297,12 +301,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             detector=args.detector,
             record_capacity=args.record_capacity,
             checkpoint_every=args.checkpoint_every or 0,
+            batch_max=args.batch_max if args.batch_max is not None else 1,
         )
         session = ServiceSession(
             cfg,
             topology=TopologyConfig(n_ases=args.n_ases, seed=args.seed),
             backend=args.routing_backend or "dict",
             telemetry=args.metrics,
+        )
+    if args.workers != 1 and session.engine.routing.backend == "array":
+        # Sharded flap re-convergence over a worker pool.  The engine is
+        # built against the session's *effective* backend (restore may
+        # have kept the checkpoint's), and the session owns it from here:
+        # the finally below releases pool and shared memory even on
+        # KeyboardInterrupt, so an interrupted serve leaves /dev/shm
+        # clean.
+        args.routing_backend = session.engine.routing.backend
+        session.attach_routing_engine(
+            _engine_from_args(session.engine.routing.graph, args)
         )
     interval = (
         args.checkpoint_every
@@ -311,23 +327,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     watch = Stopwatch()
     done = 0
-    while done < args.events:
-        batch = (
-            args.events - done
-            if interval <= 0
-            else min(interval, args.events - done)
-        )
-        report = session.drain(batch)
-        done += batch
-        print(
-            f"[{session.events_processed}] +{batch} events: "
-            f"{report.arrivals} arrivals, {report.retired} retired, "
-            f"{report.flows_live} live, clock {report.clock_s:.2f}s",
-            file=sys.stderr,
-        )
-        if interval > 0:
-            session.save_checkpoint(args.checkpoint_out)
-            print(f"checkpointed to {args.checkpoint_out}", file=sys.stderr)
+    try:
+        while done < args.events:
+            batch = (
+                args.events - done
+                if interval <= 0
+                else min(interval, args.events - done)
+            )
+            report = session.drain(batch)
+            done += batch
+            print(
+                f"[{session.events_processed}] +{batch} events: "
+                f"{report.arrivals} arrivals, {report.retired} retired, "
+                f"{report.flows_live} live, clock {report.clock_s:.2f}s",
+                file=sys.stderr,
+            )
+            if interval > 0:
+                session.save_checkpoint(args.checkpoint_out)
+                print(f"checkpointed to {args.checkpoint_out}", file=sys.stderr)
+    finally:
+        session.close()
     rate = done / watch.elapsed if watch.elapsed > 0 else float("inf")
     print(f"processed {done} events in {watch.elapsed:.1f}s "
           f"({rate:.0f} events/s)", file=sys.stderr)
@@ -658,11 +677,14 @@ def main(argv: list[str] | None = None) -> int:
         help="per-event records retained (the bounded ring)",
     )
     p_srv.add_argument(
-        "--routing-backend",
-        choices=("dict", "array"),
+        "--batch-max",
+        type=int,
         default=None,
-        help="routing implementation (restore default: the checkpoint's)",
+        metavar="N",
+        help="coalesce up to N consecutive arrival/retirement ticks into "
+        "one solve (fresh start; restore keeps the checkpoint's setting)",
     )
+    _add_engine_options(p_srv, backend_default=None)
     p_srv.add_argument(
         "--metrics",
         action="store_true",

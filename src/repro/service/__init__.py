@@ -20,6 +20,7 @@ kill points, across routing backends).
 from .config import ServiceConfig
 from .session import DrainReport, ServiceSession
 from .stream import (
+    BatchTick,
     CapacityJitter,
     EventStream,
     FlowArrival,
@@ -29,6 +30,7 @@ from .stream import (
 )
 
 __all__ = [
+    "BatchTick",
     "CapacityJitter",
     "DrainReport",
     "EventStream",

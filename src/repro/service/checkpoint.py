@@ -2,10 +2,11 @@
 
 Design rule: **serialize only what cannot be re-derived, re-derive the
 rest.**  The checkpoint stores configs, the failed-link stack, the flow
-table, the dense data-plane arrays, the record ring, counters, and the
-stream cursor — all JSON scalars (Python floats round-trip exactly
-through ``repr``, so JSON is lossless here).  It does *not* store
-routing views, solver slabs, or RNG internals:
+table, the dense data-plane arrays, the record ring, counters, the
+stream cursor, and any batch ticks still buffered between flushes — all
+JSON scalars (Python floats round-trip exactly through ``repr``, so
+JSON is lossless here).  It does *not* store routing views, solver
+slabs, or RNG internals:
 
 * the topology regenerates from its config and the failed stack replays
   over it (same frozen-graph derivative chain as live operation);
@@ -45,16 +46,20 @@ from ..scenario.incremental import IncrementalRouting
 from ..telemetry import Telemetry
 from ..topology.dynamics import without_link
 from ..topology.relationships import Relationship
-from .stream import STREAM_EVENT_TYPES, StreamEvent
+from .stream import STREAM_EVENT_TYPES, ServiceTick, StreamEvent
 
 __all__ = ["CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "capture", "restore", "to_json"]
 
 CHECKPOINT_FORMAT = "mifo-service-checkpoint"
 #: version 2 added the engine's ``rtt`` section (per-flow RTT detector
-#: windows + monitor counters); version-1 documents (no measurement
-#: state, implying the oracle detector) still restore.
-CHECKPOINT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+#: windows + monitor counters); version 3 added the session's
+#: ``pending`` section (buffered batch ticks, so a kill landing
+#: mid-batch restores and replays byte-identically).  Version-1
+#: documents (no measurement state, implying the oracle detector) and
+#: version-2 documents (no pending buffer, implying ``batch_max=1``
+#: behavior or an empty buffer) still restore.
+CHECKPOINT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def capture(session: Any) -> dict[str, Any]:
@@ -123,6 +128,17 @@ def capture(session: Any) -> dict[str, Any]:
             "fed": [
                 [float(dt), ev.kind, dataclasses.asdict(ev)]
                 for dt, ev in session._fed
+            ],
+            # Buffered batch ticks (in arrival order): genuine state — the
+            # events were consumed from the stream but not yet applied, so
+            # a mid-batch kill must carry them verbatim.
+            "pending": [
+                [
+                    list(tk.retire),
+                    tk.event.kind if tk.event is not None else None,
+                    dataclasses.asdict(tk.event) if tk.event is not None else None,
+                ]
+                for tk in session._pending
             ],
         },
         "engine": {
@@ -346,3 +362,19 @@ def _restore_session_state(session: Any, ss: dict[str, Any]) -> None:
             raise ConfigError(f"unknown fed event kind {kind!r} in checkpoint")
         fed.append((float(dt), event_cls(**fields)))
     session._fed = fed
+    # Pre-v3 documents have no pending buffer (every tick was applied
+    # immediately), so restore to an empty one.
+    pending: list[ServiceTick] = []
+    for retire, kind, fields in ss.get("pending", []):
+        event: StreamEvent | None = None
+        if kind is not None:
+            event_cls = STREAM_EVENT_TYPES.get(kind)
+            if event_cls is None:
+                raise ConfigError(
+                    f"unknown pending event kind {kind!r} in checkpoint"
+                )
+            event = event_cls(**fields)
+        pending.append(
+            ServiceTick(retire=tuple(int(x) for x in retire), event=event)
+        )
+    session._pending = pending

@@ -62,6 +62,12 @@ class ServiceConfig:
     verify_every: int = 0
     #: CLI checkpoint cadence in events (0 = only on demand).
     checkpoint_every: int = 0
+    #: coalesce up to this many consecutive arrival/retirement ticks into
+    #: one engine epoch (one delta-solve instead of N).  Flap, jitter,
+    #: fed, and verify-cadence ticks are barriers that always flush.
+    #: ``1`` (the default) applies every tick immediately — the exact
+    #: one-at-a-time semantics of earlier releases.
+    batch_max: int = 1
 
     def scenario_config(self) -> ScenarioConfig:
         """The engine-facing projection of these knobs.
@@ -108,3 +114,5 @@ class ServiceConfig:
             raise ConfigError("verify_every must be >= 0")
         if self.checkpoint_every < 0:
             raise ConfigError("checkpoint_every must be >= 0")
+        if self.batch_max < 1:
+            raise ConfigError("batch_max must be >= 1")

@@ -19,6 +19,22 @@ at a time:
 * :meth:`result` — package the retained window as the standard
   :class:`~repro.experiments.result.ExperimentResult` envelope.
 
+**Batching** (``ServiceConfig.batch_max > 1``): consecutive
+arrival/retirement ticks buffer instead of stepping the engine, and the
+whole run applies as one :class:`~repro.service.stream.BatchTick` —
+one route pass, one delta-solve, one congestion response per flush
+instead of one per event.  The flush schedule is a pure function of the
+event sequence (buffer full, or a barrier: flap, jitter, fed event,
+verify-cadence tick) — never of observation points — so checkpoints
+taken mid-batch serialize the pending ticks verbatim and restore
+replays byte-identically.  See ``docs/scaling.md`` for the semantics.
+
+**Parallel re-convergence**: :meth:`attach_routing_engine` wires a
+:class:`~repro.bgp.parallel.ParallelRoutingEngine` into the flap hot
+path — dirty destination sets re-converge sharded over the worker pool
+instead of serially.  Call :meth:`close` (or use the session as a
+context manager) to release the pool and its shared-memory segment.
+
 Memory stays bounded no matter how long the stream runs: retired flows
 leave the population and the solver, per-event records live in a ring
 (``ServiceConfig.record_capacity``), and the telemetry trace ring is
@@ -36,12 +52,13 @@ from .. import telemetry as tm
 from ..errors import ConfigError
 from ..scenario.engine import EventRecord, ScenarioEngine
 from ..scenario.events import ScenarioSpec
-from ..telemetry import Telemetry
+from ..telemetry import Stopwatch, Telemetry
 from ..topology.generator import TopologyConfig, generate_topology
 from .config import ServiceConfig
-from .stream import EventStream, FlowArrival, ServiceTick, StreamEvent
+from .stream import BatchTick, EventStream, FlowArrival, ServiceTick, StreamEvent
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..bgp.parallel import ParallelRoutingEngine
     from ..experiments.result import ExperimentResult
 
 __all__ = ["DrainReport", "ServiceSession"]
@@ -107,11 +124,14 @@ class ServiceSession:
         self._fed: deque[tuple[float, StreamEvent]] = deque()
         #: min-heap of (due_tick, flow_id) retirements.
         self._expiry: list[tuple[int, int]] = []
+        #: buffered non-barrier ticks awaiting the next flush (batching).
+        self._pending: list[ServiceTick] = []
         self._stream_index = 0
         self._clock = 0.0
         self._tick = 0
         self.arrivals_total = 0
         self.retired_total = 0
+        self._routing_engine: "ParallelRoutingEngine | None" = None  # mifocheck: derivable: runtime worker-pool resource, re-attached via attach_routing_engine
         if bootstrap:
             # Epoch 0: the engine's initial-routing pass over the (empty)
             # base population.  A restored session skips this — its epoch
@@ -122,8 +142,16 @@ class ServiceSession:
     # the event loop
     # ------------------------------------------------------------------
     def step(self) -> EventRecord:
-        """Process one service tick and return its metrics record."""
-        if self._fed:
+        """Process one service tick and return the newest metrics record.
+
+        With ``batch_max > 1`` a non-barrier tick may only be *buffered*;
+        the returned record is then the one from the last flush.  The
+        flush schedule depends only on the event sequence (never on when
+        the caller observes the session), which is what keeps
+        checkpoint/restore and drain-chunking byte-identical.
+        """
+        fed = bool(self._fed)
+        if fed:
             dt, event = self._fed.popleft()
         else:
             dt, event = self._stream.event_at(self._stream_index)
@@ -133,28 +161,71 @@ class ServiceSession:
         due: list[int] = []
         while self._expiry and self._expiry[0][0] <= t:
             due.append(heapq.heappop(self._expiry)[1])
-        arrival_id = (
-            self.engine.next_flow_id if isinstance(event, FlowArrival) else None
-        )
+        arrival_id: int | None = None
+        if isinstance(event, FlowArrival):
+            # Buffered arrivals haven't registered yet, so the id this
+            # event will receive is offset by the arrivals ahead of it.
+            arrival_id = self.engine.next_flow_id + sum(
+                1 for tk in self._pending if isinstance(tk.event, FlowArrival)
+            )
         tick = ServiceTick(retire=tuple(due), event=event)
         verify = (
             self.config.verify_every > 0
             and (t + 1) % self.config.verify_every == 0
         )
-        prev = tm.active()
-        if self.telemetry is not None:
-            tm.activate(self.telemetry)
-        try:
-            self.engine.step(self._clock, tick, verify=verify)
-        finally:
-            if self.telemetry is not None:
-                tm.activate(prev)
+        # Barrier events must see (and produce) exact per-event state:
+        # topology/capacity changes resolve symbolically against the live
+        # engine, fed events are operator interventions, and a verify
+        # tick certifies a single-event epoch.
+        barrier = fed or verify or not (
+            event is None or isinstance(event, FlowArrival)
+        )
         self._tick = t + 1
         if arrival_id is not None and isinstance(event, FlowArrival):
             heapq.heappush(self._expiry, (t + event.lifetime, arrival_id))
             self.arrivals_total += 1
         self.retired_total += len(due)
+        if self.config.batch_max <= 1 or barrier:
+            if self._pending:
+                self._flush()
+            self._apply((tick,), verify=verify, batched=False)
+        else:
+            self._pending.append(tick)
+            if len(self._pending) >= self.config.batch_max:
+                self._flush()
         return self.engine.records[-1]
+
+    def _flush(self) -> None:
+        """Apply the buffered batch as one engine epoch."""
+        pending, self._pending = self._pending, []
+        self._apply(tuple(pending), verify=False, batched=True)
+
+    def _apply(
+        self,
+        ticks: tuple[ServiceTick, ...],
+        *,
+        verify: bool,
+        batched: bool,
+    ) -> None:
+        """One engine epoch over ``ticks`` (one tick, or a whole batch)."""
+        event = ticks[0] if len(ticks) == 1 else BatchTick(ticks=ticks)
+        prev = tm.active()
+        if self.telemetry is not None:
+            tm.activate(self.telemetry)
+        try:
+            self.engine.step(self._clock, event, verify=verify)
+            if batched:
+                tm.inc("service.batched_events", len(ticks))
+                tm.inc("service.batch_solves")
+                tm.event(
+                    "batch_flush",
+                    epoch=self.engine.epoch,
+                    batched=len(ticks),
+                    time_s=self._clock,
+                )
+        finally:
+            if self.telemetry is not None:
+                tm.activate(prev)
 
     def feed(self, event: StreamEvent, *, dt: float = 0.0) -> None:
         """Enqueue an external event ahead of the generated stream.
@@ -169,13 +240,26 @@ class ServiceSession:
         self._fed.append((float(dt), event))
 
     def drain(self, n: int) -> DrainReport:
-        """Step ``n`` times; return a summary of the batch."""
+        """Step ``n`` times; return a summary of the batch.
+
+        Draining never flushes a pending batch by itself — the flush
+        schedule belongs to the event sequence, so two sessions draining
+        the same stream in different chunk sizes stay byte-identical.
+        As a side effect the ``service.events_per_sec`` gauge is updated
+        (wall-clock throughput; gauges are monitoring-only and never
+        checkpointed, so determinism is untouched).
+        """
         if n < 0:
             raise ConfigError("drain count must be >= 0")
         arrivals0, retired0 = self.arrivals_total, self.retired_total
         last: EventRecord | None = None
+        watch = Stopwatch()
         for _ in range(n):
             last = self.step()
+        if self.telemetry is not None and n > 0 and watch.elapsed > 0:
+            self.telemetry.set_gauge(
+                "service.events_per_sec", n / watch.elapsed
+            )
         return DrainReport(
             events=n,
             arrivals=self.arrivals_total - arrivals0,
@@ -184,6 +268,46 @@ class ServiceSession:
             clock_s=self._clock,
             last_record=last,
         )
+
+    # ------------------------------------------------------------------
+    # parallel re-convergence + lifecycle
+    # ------------------------------------------------------------------
+    def attach_routing_engine(
+        self, engine: "ParallelRoutingEngine | None", *, shard_min: int = 16
+    ) -> None:
+        """Wire a :class:`~repro.bgp.parallel.ParallelRoutingEngine` into
+        the flap hot path (or detach with ``None``).
+
+        Dirty destination sets of at least ``shard_min`` entries then
+        re-converge sharded over the pool instead of serially (array
+        backend only; the serial path remains the fallback ladder).  The
+        session owns the engine from here: :meth:`close` releases it.
+        """
+        self._routing_engine = engine
+        self.engine.routing.attach_engine(engine, shard_min=shard_min)
+
+    @property
+    def routing_engine(self) -> "ParallelRoutingEngine | None":
+        """The attached parallel routing engine, if any."""
+        return self._routing_engine
+
+    def close(self) -> None:
+        """Release the attached routing engine's pool and shared memory.
+
+        Idempotent; a no-op for sessions that never attached one.  The
+        session itself stays usable (flap re-convergence falls back to
+        the serial path).
+        """
+        engine, self._routing_engine = self._routing_engine, None
+        if engine is not None:
+            self.engine.routing.attach_engine(None)
+            engine.close()
+
+    def __enter__(self) -> "ServiceSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # introspection
@@ -205,6 +329,7 @@ class ServiceSession:
         return {
             "events": self._tick,
             "clock_s": self._clock,
+            "pending_batch": len(self._pending),
             "flows_live": self.engine.n_flows,
             "arrivals_total": self.arrivals_total,
             "retired_total": self.retired_total,
@@ -254,7 +379,11 @@ class ServiceSession:
         last = records[-1] if records else None
         meta: dict[str, Any] = {
             "backend": self.engine.routing.backend,
-            "workers": 1,
+            "workers": (
+                self._routing_engine.effective_workers
+                if self._routing_engine is not None
+                else 1
+            ),
             "routing_cache": {
                 "cached_destinations": len(
                     self.engine.routing.cached_destinations()

@@ -35,12 +35,14 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from ..scenario.engine import EventEffect, ScenarioEngine
 
 __all__ = [
+    "BatchTick",
     "CapacityJitter",
     "EventStream",
     "FlowArrival",
     "LinkFlap",
     "ServiceTick",
     "StreamEvent",
+    "merge_effects",
 ]
 
 #: salt separating the stream's RNG family from the scenario engine's.
@@ -121,6 +123,40 @@ STREAM_EVENT_TYPES: dict[str, type] = {
 }
 
 
+def merge_effects(effects: "list[EventEffect]") -> "EventEffect":
+    """Fold several :class:`EventEffect`\\ s into one.
+
+    Removed links and new flows concatenate in application order; dirty
+    and capacity-changed sets dedupe ascending; targets join with ``"; "``
+    — the same algebra :class:`ServiceTick` has always used for its
+    retire-then-event pair, shared here so :class:`BatchTick` merges
+    identically.
+    """
+    from ..scenario.engine import EventEffect
+
+    if len(effects) == 1:
+        return effects[0]
+    removed: list[tuple[int, int]] = []
+    dirty: list[int] = []
+    capacity: list[int] = []
+    new: list[int] = []
+    targets: list[str] = []
+    for e in effects:
+        removed.extend(e.removed)
+        dirty.extend(e.dirty)
+        capacity.extend(e.capacity_changed)
+        new.extend(e.new_flows)
+        if e.target:
+            targets.append(e.target)
+    return EventEffect(
+        removed=tuple(removed),
+        dirty=tuple(sorted(dict.fromkeys(dirty))),
+        capacity_changed=tuple(sorted(dict.fromkeys(capacity))),
+        new_flows=tuple(new),
+        target="; ".join(targets),
+    )
+
+
 @dataclasses.dataclass(frozen=True)
 class ServiceTick:
     """One session iteration: due retirements, then the stream event."""
@@ -135,34 +171,38 @@ class ServiceTick:
 
     def apply(self, engine: "ScenarioEngine") -> "EventEffect":
         """Apply retirements then the stream event; merge their effects."""
-        from ..scenario.engine import EventEffect
-
         effects: list[EventEffect] = []
         if self.retire:
             effects.append(engine.retire_flows(self.retire))
         if self.event is not None:
             effects.append(self.event.apply(engine))
-        if len(effects) == 1:
-            return effects[0]
-        removed: list[tuple[int, int]] = []
-        dirty: list[int] = []
-        capacity: list[int] = []
-        new: list[int] = []
-        targets: list[str] = []
-        for e in effects:
-            removed.extend(e.removed)
-            dirty.extend(e.dirty)
-            capacity.extend(e.capacity_changed)
-            new.extend(e.new_flows)
-            if e.target:
-                targets.append(e.target)
-        return EventEffect(
-            removed=tuple(removed),
-            dirty=tuple(sorted(dict.fromkeys(dirty))),
-            capacity_changed=tuple(sorted(dict.fromkeys(capacity))),
-            new_flows=tuple(new),
-            target="; ".join(targets),
-        )
+        return merge_effects(effects)
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchTick:
+    """A coalesced run of consecutive arrival/retirement ticks.
+
+    The session buffers non-barrier ticks up to
+    ``ServiceConfig.batch_max`` and hands the whole run to the engine as
+    *one* event: each constituent tick applies to the flow table in
+    arrival order (so a flow that arrives and retires within the batch
+    resolves correctly), then the engine routes the merged affected set
+    and issues a single delta-solve instead of one per tick.  Barrier
+    events (flap, jitter, fed, verify-cadence) never enter a batch.
+    """
+
+    ticks: tuple[ServiceTick, ...]
+    kind = "batch"
+
+    @property
+    def events(self) -> int:
+        """Service ticks coalesced into this engine epoch."""
+        return len(self.ticks)
+
+    def apply(self, engine: "ScenarioEngine") -> "EventEffect":
+        """Apply every buffered tick in order; merge all their effects."""
+        return merge_effects([t.apply(engine) for t in self.ticks])
 
 
 class EventStream:

@@ -41,6 +41,11 @@ Event kinds:
     (``repro.measure.changepoint``): when the shift was detected
     (``epoch``), when the detector estimates it happened (``cp_epoch``),
     and its direction.
+``batch_flush``
+    The streaming service applied a coalesced batch of buffered ticks as
+    one engine epoch (``repro.service.session``): how many stream events
+    the flush covered (``batched``), the epoch they landed in, and the
+    stream clock at flush time.
 """
 
 from __future__ import annotations
@@ -85,6 +90,7 @@ TRACE_SCHEMA: dict[str, object] = {
                 "solver_stats",
                 "rtt_sample",
                 "changepoint",
+                "batch_flush",
             ],
         },
         "seq": {"type": "integer"},
@@ -176,6 +182,14 @@ TRACE_SCHEMA: dict[str, object] = {
                 "Which measurement-driven detector produced an "
                 "rtt_sample/changepoint event (the oracle signal emits "
                 "neither)."
+            ),
+        },
+        "batched": {
+            "type": "integer",
+            "description": (
+                "Stream events a batch_flush coalesced into one engine "
+                "epoch (always >= 1; the unbatched path emits no flush "
+                "events at all)."
             ),
         },
     },
@@ -346,6 +360,11 @@ def summarize(
             if isinstance(epoch, int) and isinstance(cp_epoch, int):
                 agg[2] += epoch - cp_epoch
                 agg[3] += 1
+    flushes = [
+        int(e["batched"])
+        for e in events
+        if e.get("kind") == "batch_flush" and isinstance(e.get("batched"), int)
+    ]
     summary: dict[str, object] = {
         "events": len(events),
         "by_kind": dict(sorted(by_kind.items())),
@@ -353,6 +372,13 @@ def summarize(
         "top_deflecting_ases": deflectors.most_common(top),
         "top_destinations": dests.most_common(top),
     }
+    if flushes:
+        summary["batch_stats"] = {
+            "flushes": len(flushes),
+            "batched_events": sum(flushes),
+            "mean_batch": sum(flushes) / len(flushes),
+            "max_batch": max(flushes),
+        }
     if solvers:
         summary["solver_stats"] = dict(sorted(solvers.items()))
     if detectors:
@@ -404,6 +430,14 @@ def render_summary(summary: dict[str, object]) -> str:
                 f"columns reused {agg['cols_reused']}, "
                 f"rounds memoized away {agg['warm_rounds_saved']}"
             )
+    batch_stats = summary.get("batch_stats")
+    if isinstance(batch_stats, dict):
+        lines.append(
+            f"  batch flushes: {batch_stats['flushes']} covering "
+            f"{batch_stats['batched_events']} event(s) "
+            f"(mean {batch_stats['mean_batch']:.1f}, "
+            f"max {batch_stats['max_batch']})"
+        )
     detector_stats = summary.get("detector_stats")
     if isinstance(detector_stats, dict) and detector_stats:
         lines.append("  rtt detectors:")

@@ -1,0 +1,179 @@
+"""Sharded dirty-set re-convergence == the serial flap hot path.
+
+With a persistent :class:`~repro.bgp.parallel.ParallelRoutingEngine`
+attached, flap re-convergence shards the dirty destinations over the
+worker pool.  Parallelism must stay a wall-clock knob: the determinism
+payload and every ``bgp.*``/``scenario.*``/``service.*`` counter must be
+identical to the serial path (worker snapshots absorb in submission
+order).  ``parallel.*`` counters are excluded — they record *how* the
+work ran, the one thing the two paths legitimately disagree on.
+"""
+
+import gc
+import os
+
+import pytest
+
+from repro import telemetry as tm
+from repro.bgp.parallel import ParallelRoutingEngine
+from repro.errors import ConfigError
+from repro.service import ServiceConfig, ServiceSession
+from repro.telemetry import Telemetry
+from repro.topology.generator import TopologyConfig
+
+TOPO = TopologyConfig(n_ases=120, seed=3)
+CFG = ServiceConfig(
+    seed=11,
+    arrival_rate=80.0,
+    mean_lifetime_events=10.0,
+    p_link_event=0.05,
+    p_capacity_event=0.02,
+    record_capacity=32,
+    batch_max=8,
+)
+N_EVENTS = 250
+
+
+@pytest.fixture(autouse=True)
+def no_shm_leak():
+    """Every test must leave /dev/shm exactly as it found it."""
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        yield
+        return
+    before = set(os.listdir("/dev/shm"))
+    yield
+    gc.collect()
+    leaked = set(os.listdir("/dev/shm")) - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def _run(*, sharded: bool):
+    t = Telemetry()
+    tm.activate(t)
+    try:
+        s = ServiceSession(CFG, topology=TOPO, backend="array")
+        if sharded:
+            engine = ParallelRoutingEngine(
+                s.engine.routing.graph, n_workers=4, persistent=True
+            )
+            s.attach_routing_engine(engine, shard_min=4)
+        s.drain(N_EVENTS)
+        payload = s.result().to_json(include_provenance=False)
+        blob = s.checkpoint_json()
+        s.close()
+    finally:
+        tm.activate(None)
+    counters = {
+        k: v
+        for k, v in t.snapshot().counters.items()
+        if not k.startswith("parallel.")
+    }
+    return payload, blob, counters, dict(t.snapshot().counters)
+
+
+class TestShardedEqualsSerial:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        serial = _run(sharded=False)
+        sharded = _run(sharded=True)
+        return serial, sharded
+
+    def test_payload_identical(self, runs):
+        serial, sharded = runs
+        assert sharded[0] == serial[0]
+
+    def test_checkpoint_bytes_identical(self, runs):
+        serial, sharded = runs
+        assert sharded[1] == serial[1]
+
+    def test_counters_identical_outside_parallel(self, runs):
+        serial, sharded = runs
+        assert sharded[2] == serial[2]
+
+    def test_sharded_run_actually_used_the_pool(self, runs):
+        _, sharded = runs
+        raw = sharded[3]
+        assert raw.get("parallel.pool_starts", 0) >= 1
+        # rebind keeps the pool across flaps: reuses, not restarts.
+        assert raw.get("parallel.pool_reuses", 0) >= 1
+
+    def test_result_meta_reports_workers(self):
+        s = ServiceSession(CFG, topology=TOPO, backend="array")
+        engine = ParallelRoutingEngine(
+            s.engine.routing.graph, n_workers=3, persistent=True
+        )
+        s.attach_routing_engine(engine, shard_min=4)
+        try:
+            assert s.result().meta["workers"] == 3
+        finally:
+            s.close()
+        assert s.result().meta["workers"] == 1
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_detaches(self):
+        s = ServiceSession(CFG, topology=TOPO, backend="array")
+        engine = ParallelRoutingEngine(
+            s.engine.routing.graph, n_workers=2, persistent=True
+        )
+        s.attach_routing_engine(engine)
+        assert s.routing_engine is engine
+        s.close()
+        assert s.routing_engine is None
+        s.close()  # idempotent
+        s.drain(5)  # session still usable on the serial path
+
+    def test_context_manager_closes(self):
+        with ServiceSession(CFG, topology=TOPO, backend="array") as s:
+            engine = ParallelRoutingEngine(
+                s.engine.routing.graph, n_workers=2, persistent=True
+            )
+            s.attach_routing_engine(engine)
+            s.drain(60)
+        assert s.routing_engine is None
+
+    def test_shard_min_validated(self):
+        s = ServiceSession(CFG, topology=TOPO, backend="array")
+        with pytest.raises(ConfigError):
+            s.attach_routing_engine(None, shard_min=0)
+
+
+class TestRebind:
+    def test_rebind_requires_frozen_graph(self):
+        from repro.errors import TopologyError
+        from repro.topology.asgraph import ASGraph
+        from repro.topology.generator import generate_topology
+
+        engine = ParallelRoutingEngine(generate_topology(TOPO), n_workers=2)
+        mutable = ASGraph()
+        mutable.add_p2c(1, 2)
+        with pytest.raises(TopologyError):
+            engine.rebind(mutable)
+
+    def test_rebind_same_graph_is_noop(self):
+        from repro.topology.generator import generate_topology
+
+        g = generate_topology(TOPO)
+        engine = ParallelRoutingEngine(g, n_workers=2, persistent=True)
+        with engine:
+            engine.compute_many(sorted(g.nodes())[:8])
+            name = engine.segment_name
+            engine.rebind(g)
+            assert engine.segment_name == name  # segment untouched
+
+    def test_rebind_drops_stale_segment(self):
+        from repro.topology.generator import generate_topology
+
+        g1 = generate_topology(TOPO)
+        g2 = generate_topology(TOPO)  # equal content, distinct object
+        engine = ParallelRoutingEngine(g1, n_workers=2, persistent=True)
+        with engine:
+            first = engine.compute_many(sorted(g1.nodes())[:8])
+            engine.rebind(g2)
+            assert engine.segment_name is None  # re-exported lazily
+            again = engine.compute_many(sorted(g2.nodes())[:8])
+            digest = lambda views: {  # noqa: E731 - local comparator
+                d: [v.next_hop(x) for x in sorted(g1.nodes())]
+                for d, v in views.items()
+            }
+            assert digest(first) == digest(again)

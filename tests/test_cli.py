@@ -177,3 +177,93 @@ class TestSimulateCommand:
         assert main(["export", "--out", str(tmp_path), "--scale", "test"]) == 0
         out = capsys.readouterr().out
         assert "fig8_offload.dat" in out
+
+
+class TestServeCommand:
+    @pytest.fixture(autouse=True)
+    def no_shm_leak(self):
+        """serve must release its pool + shared memory on every exit path."""
+        import gc
+        import os
+
+        if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+            yield
+            return
+        before = set(os.listdir("/dev/shm"))
+        yield
+        gc.collect()
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+    def test_serve_with_workers_and_batching(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--events", "60",
+                    "--n-ases", "80",
+                    "--routing-backend", "array",
+                    "--workers", "2",
+                    "--persistent-pool",
+                    "--batch-max", "8",
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["events"] == 60
+        assert snapshot["pending_batch"] < 8
+        counters = snapshot["telemetry"]["counters"]
+        assert counters["service.batched_events"] > 0
+
+    def test_serve_releases_engine_on_interrupt(self, monkeypatch, capsys):
+        """Ctrl-C mid-drain must not leak the pool's /dev/shm segment."""
+        from repro.service import session as session_mod
+
+        def boom(self, n):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(session_mod.ServiceSession, "drain", boom)
+        with pytest.raises(KeyboardInterrupt):
+            main(
+                [
+                    "serve",
+                    "--events", "40",
+                    "--n-ases", "80",
+                    "--routing-backend", "array",
+                    "--workers", "2",
+                    "--persistent-pool",
+                ]
+            )
+
+    def test_serve_checkpoint_roundtrip_with_batching(self, tmp_path, capsys):
+        ckpt = tmp_path / "svc.ckpt.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--events", "50",
+                    "--n-ases", "80",
+                    "--batch-max", "4",
+                    "--checkpoint-every", "25",
+                    "--checkpoint-out", str(ckpt),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert ckpt.exists()
+        assert (
+            main(
+                [
+                    "serve",
+                    "--events", "20",
+                    "--restore-from", str(ckpt),
+                    "--checkpoint-every", "0",
+                ]
+            )
+            == 0
+        )
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["events"] == 70

@@ -12,6 +12,7 @@ def capture(session: Session) -> dict[str, Any]:
         "config": dict(session.config),
         "tick_no": session._tick_no,
         "entries": list(session._entries),
+        "pending": list(session._pending_batch),
     }
 
 
@@ -19,5 +20,6 @@ def restore(state: dict[str, Any]) -> Session:
     session = Session(dict(state["config"]))
     session._tick_no = state["tick_no"]
     session._entries = list(state["entries"])
+    session._pending_batch = list(state.get("pending", []))
     session.history = [0] * session._tick_no
     return session

@@ -19,9 +19,13 @@ class Session:
         self._tick_no = 0
         self._entries: list[int] = []
         self._leak = 0.0  # planted MC101: never captured, never declared
+        self._pending_batch: list[int] = []  # buffered ticks; checkpointed
         self.history: list[int] = []
 
     def step(self, value: int) -> None:
         self._tick_no += 1
-        self._entries.append(value)
+        self._pending_batch.append(value)
+        if len(self._pending_batch) >= 4:
+            self._entries.extend(self._pending_batch)
+            self._pending_batch.clear()
         self._leak += 0.5

@@ -220,6 +220,52 @@ class TestMC103Fixture:
         assert findings[0].code == "MC103"
         assert "not found" in findings[0].message
 
+    def test_forbidden_helper_in_closure_detected(self, tmp_path):
+        """A batch-application helper reached from event_at is a finding."""
+        root = copy_fixture(tmp_path, "mc103")
+        src = root / "app" / "stream.py"
+        rewrite(
+            src,
+            "return index, stamp + jitter + _DRIFT",
+            "return apply_batch(index, stamp + jitter + _DRIFT)",
+        )
+        src.write_text(
+            src.read_text(encoding="utf-8")
+            + "\n\ndef apply_batch(index: int, value: float)"
+            + " -> tuple[int, float]:\n"
+            + '    """Stand-in for the service batch applier."""\n'
+            + "    return index, value\n",
+            encoding="utf-8",
+        )
+        pairs, _ = run_passes(
+            fixture_config(
+                "mc103",
+                root=root,
+                stream_forbidden=("app.stream:apply_batch",),
+            ),
+            select={"MC103"},
+        )
+        findings = [f for f, _text in pairs]
+        forbidden = [
+            f for f in findings if "batch-application helper" in f.message
+        ]
+        assert len(forbidden) == 1
+        assert forbidden[0].line == line_of(src, "def apply_batch")
+        assert "apply_batch()" in forbidden[0].message
+        assert len(findings) == 5  # the four planted impurities survive
+
+    def test_unreachable_forbidden_helper_is_silent(self):
+        """Forbidden names only fire when actually inside the closure."""
+        pairs, _ = run_passes(
+            fixture_config(
+                "mc103", stream_forbidden=("app.stream:calibrate",)
+            ),
+            select={"MC103"},
+        )
+        findings = [f for f, _text in pairs]
+        assert len(findings) == 4
+        assert not any("batch-application" in f.message for f in findings)
+
 
 # ----------------------------------------------------------------------
 # MC104 — protected-field inference

@@ -80,6 +80,15 @@ class AnalysisConfig:
     #: consume — not restate — the derived sets
     mifolint_core: pathlib.Path
 
+    # -- MC103 stream purity, continued --------------------------------
+    #: fully qualified FunctionIds (``module:Class.method``) that must
+    #: NEVER enter the stream method's call-graph closure — the batching
+    #: and flush machinery reads session state, so the pure sampler
+    #: calling into it would couple event generation to application
+    #: order.  Defaulted (trailing field) so fixture configs built from
+    #: explicit field dicts keep working.
+    stream_forbidden: tuple[str, ...] = ()
+
 
 def default_config(root: pathlib.Path | None = None) -> AnalysisConfig:
     """The configuration describing the real ``src/repro`` tree."""
@@ -110,6 +119,12 @@ def default_config(root: pathlib.Path | None = None) -> AnalysisConfig:
         stream_module="repro.service.stream",
         stream_class="EventStream",
         stream_method="event_at",
+        stream_forbidden=(
+            "repro.service.session:ServiceSession._flush",
+            "repro.service.session:ServiceSession._apply",
+            "repro.service.stream:BatchTick.apply",
+            "repro.service.stream:merge_effects",
+        ),
         slab_module="repro.flowsim.incremental",
         slab_class="IncrementalMaxMin",
         slab_methods=("_intern", "seed_free_segments", "add_flow", "remove_flow"),

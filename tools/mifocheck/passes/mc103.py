@@ -15,6 +15,13 @@ The deterministic event stream is the root of every replay guarantee:
 * telemetry emissions (they read and mutate the process-global sink);
 * loads of module globals that are rebound via a ``global`` statement
   anywhere in their defining module (mutable-global reads).
+
+Additionally, any function named in ``cfg.stream_forbidden`` that shows
+up in the closure is itself a finding: the service-mode batching and
+flush machinery (``ServiceSession._flush``/``_apply``,
+``BatchTick.apply``) reads session state by design, so the pure sampler
+reaching it would couple event *generation* to event *application*
+order — exactly the coupling replay determinism forbids.
 """
 
 from __future__ import annotations
@@ -155,6 +162,26 @@ def run(
             )
         ]
     findings: list[Finding] = []
-    for fid in sorted(program.reachable_from([entry])):
+    closure = program.reachable_from([entry])
+    forbidden = set(cfg.stream_forbidden) & set(closure)
+    for fid in sorted(forbidden):
+        located = program.function_node(fid)
+        if located is None:  # pragma: no cover - closure members resolve
+            continue
+        info, _cls, fn = located
+        findings.append(
+            Finding(
+                path=program.rel_path(info, root),
+                line=getattr(fn, "lineno", 1),
+                col=getattr(fn, "col_offset", 0),
+                code=CODE,
+                message=(
+                    f"batch-application helper {fid.partition(':')[2]}() is "
+                    f"reachable from {cfg.stream_class}.{cfg.stream_method} "
+                    "(event generation must not depend on application order)"
+                ),
+            )
+        )
+    for fid in sorted(closure):
         findings.extend(_check_body(program, root, fid))
     return findings
